@@ -1,0 +1,23 @@
+"""ABL bench: GreedyBalance priority-rule ablation.
+
+Reproduces the ablation experiment (balance direction is the
+load-bearing ingredient of the 2 - 1/m guarantee) and times the
+inverted-tie-break variant on the adversarial family."""
+
+from repro.experiments import get_experiment
+from repro.experiments.ablation import GreedyBalanceSmallTie
+from repro.generators import greedy_balance_adversarial
+
+
+def test_ablation(benchmark, record_result):
+    record_result(
+        get_experiment("ABL").run(ms=(2, 3, 4), blocks=6, seeds=(0, 1, 2, 3))
+    )
+
+    instance = greedy_balance_adversarial(3, 10)
+    policy = GreedyBalanceSmallTie()
+
+    def run() -> int:
+        return policy.run(instance).makespan
+
+    assert benchmark(run) > 0

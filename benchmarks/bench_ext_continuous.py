@@ -1,0 +1,21 @@
+"""CONT bench: the continuous-time variant (Section 9 outlook).
+
+Reproduces the fluid-vs-discrete experiment and times the event-driven
+fluid GreedyBalance on a mid-size instance (exact rational event
+times)."""
+
+from repro.core import continuous_greedy_balance
+from repro.experiments import get_experiment
+from repro.generators import uniform_instance
+
+
+def test_continuous(benchmark, record_result):
+    record_result(get_experiment("CONT").run())
+
+    instance = uniform_instance(4, 10, seed=21)
+
+    def run():
+        fluid = continuous_greedy_balance(instance)
+        return fluid.makespan
+
+    assert benchmark(run) > 0

@@ -1,0 +1,23 @@
+"""GEN bench: arbitrary job sizes (Section 9 conjecture).
+
+Reproduces the general-size guarantee experiment and times the MILP
+exact oracle on one general-size instance."""
+
+from repro.algorithms import milp_makespan
+from repro.experiments import get_experiment
+from repro.generators import general_size_instance
+
+
+def test_gen_general_sizes(benchmark, record_result):
+    record_result(
+        get_experiment("GEN").run(
+            configs=((2, 2), (2, 3), (3, 2)), seeds=(0, 1, 2, 3)
+        )
+    )
+
+    instance = general_size_instance(2, 3, grid=10, max_size=3, seed=9)
+
+    def solve() -> int:
+        return milp_makespan(instance, upper=instance.total_jobs * 3 + 1)
+
+    assert benchmark(solve) >= 1

@@ -1,0 +1,24 @@
+"""FIG1 bench: scheduling hypergraph construction (Section 3.2).
+
+Reproduces Figure 1 (verdict) and times hypergraph construction +
+component analysis on a large schedule -- the kernel behind the
+Lemma 5/6 certificates."""
+
+from repro.algorithms import GreedyBalance
+from repro.core import SchedulingGraph
+from repro.experiments import get_experiment
+from repro.generators import uniform_instance
+
+
+def test_fig1_hypergraph(benchmark, record_result):
+    record_result(get_experiment("FIG1").run())
+
+    schedule = GreedyBalance().run(uniform_instance(8, 60, seed=0))
+
+    def build() -> int:
+        graph = SchedulingGraph(schedule)
+        assert graph.check_observation_2()
+        return graph.num_components
+
+    components = benchmark(build)
+    assert components >= 1

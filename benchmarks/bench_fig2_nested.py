@@ -1,0 +1,23 @@
+"""FIG2 bench: the Lemma 1 normalization transform.
+
+Reproduces Figure 2 (verdict: 2b nested, 2c not, repairable) and times
+``make_nice`` on a schedule with many crossings."""
+
+from repro.algorithms import LargestRequirementFirst
+from repro.core import make_nice
+from repro.core.properties import is_nice
+from repro.experiments import get_experiment
+from repro.generators import uniform_instance
+
+
+def test_fig2_lemma1_transform(benchmark, record_result):
+    record_result(get_experiment("FIG2").run())
+
+    messy = LargestRequirementFirst().run(uniform_instance(3, 6, seed=5))
+
+    def transform():
+        return make_nice(messy)
+
+    nice = benchmark(transform)
+    assert is_nice(nice)
+    assert nice.makespan <= messy.makespan

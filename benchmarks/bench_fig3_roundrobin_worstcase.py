@@ -1,0 +1,23 @@
+"""FIG3 bench: RoundRobin's worst-case family (Theorem 3 lower bound).
+
+Reproduces the Figure 3 sweep (RR = 2n vs OPT = n+1, ratio -> 2) and
+times RoundRobin itself on a large member of the family."""
+
+from repro.algorithms import RoundRobin
+from repro.experiments import get_experiment
+from repro.generators import round_robin_adversarial
+
+
+def test_fig3_roundrobin_worstcase(benchmark, record_result):
+    record_result(
+        get_experiment("FIG3").run(sizes=(5, 10, 25, 50, 100, 200))
+    )
+
+    instance = round_robin_adversarial(150)
+    policy = RoundRobin()
+
+    def run() -> int:
+        return policy.run(instance).makespan
+
+    makespan = benchmark(run)
+    assert makespan == 300

@@ -1,0 +1,21 @@
+"""FIG4 bench: the Theorem 4 NP-hardness gadget.
+
+Reproduces the YES <=> makespan-4 biconditional over random Partition
+instances and times the exact solve of one gadget (the fixed-m
+configuration search with domination pruning)."""
+
+from repro.algorithms import opt_res_assignment_general
+from repro.experiments import get_experiment
+from repro.reductions import random_yes_instance, reduction_instance
+
+
+def test_fig4_partition_reduction(benchmark, record_result):
+    record_result(get_experiment("FIG4").run(sizes=(3, 4, 5), seeds=(0, 1, 2)))
+
+    partition, _ = random_yes_instance(4, seed=42)
+    gadget = reduction_instance(partition)
+
+    def solve() -> int:
+        return opt_res_assignment_general(gadget).makespan
+
+    assert benchmark(solve) == 4

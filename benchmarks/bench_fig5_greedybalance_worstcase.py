@@ -1,0 +1,25 @@
+"""FIG5 bench: GreedyBalance's tight worst case (Theorem 8).
+
+Reproduces the Figure 5 block-family sweep (GB = (2m-1) steps/block vs
+the m-steps/block diagonal witness; ratio -> 2 - 1/m) and times
+GreedyBalance on a long block chain."""
+
+from repro.algorithms import GreedyBalance
+from repro.experiments import get_experiment
+from repro.generators import greedy_balance_adversarial
+
+
+def test_fig5_greedybalance_worstcase(benchmark, record_result):
+    record_result(
+        get_experiment("FIG5").run(
+            ms=(2, 3, 4, 5), block_counts=(2, 5, 10, 20, 40)
+        )
+    )
+
+    instance = greedy_balance_adversarial(4, 25)
+    policy = GreedyBalance()
+
+    def run() -> int:
+        return policy.run(instance).makespan
+
+    assert benchmark(run) == 7 * 25

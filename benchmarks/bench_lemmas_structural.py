@@ -1,0 +1,31 @@
+"""LEM bench: structural lemmas (Obs 2, Lemma 2, Props 1/2, Lemmas 5/6).
+
+Reproduces the structural sweep and times the full property check
+battery on one balanced schedule."""
+
+from repro.algorithms import GreedyBalance
+from repro.core import SchedulingGraph
+from repro.core.properties import check_proposition_1, check_proposition_2
+from repro.experiments import get_experiment
+from repro.generators import uniform_instance
+
+
+def test_lemmas_structural(benchmark, record_result):
+    record_result(
+        get_experiment("LEM").run(
+            configs=((2, 4), (3, 3), (4, 4), (5, 3)), seeds=(0, 1, 2)
+        )
+    )
+
+    schedule = GreedyBalance().run(uniform_instance(5, 12, seed=2))
+
+    def checks() -> bool:
+        graph = SchedulingGraph(schedule)
+        return (
+            graph.check_observation_2()
+            and graph.check_lemma_2()
+            and check_proposition_1(schedule)
+            and check_proposition_2(schedule)
+        )
+
+    assert benchmark(checks)

@@ -1,0 +1,22 @@
+"""SIM bench: the many-core substrate (Section 1's motivating system).
+
+Reproduces the policy-comparison experiment on synthetic I/O workloads
+and measures engine throughput (steps simulated per benchmark run) on
+a 16-core mixed workload."""
+
+from repro.algorithms import GreedyBalance
+from repro.experiments import get_experiment
+from repro.generators import make_io_workload
+from repro.simulation import run_workload
+
+
+def test_simulator_throughput(benchmark, record_result):
+    record_result(get_experiment("SIM").run(num_cores=8, seeds=(0, 1, 2)))
+
+    tasks = make_io_workload(16, seed=13)
+    policy = GreedyBalance()
+
+    def run() -> int:
+        return run_workload(tasks, policy, unit_split=True).makespan
+
+    assert benchmark(run) > 0

@@ -1,0 +1,24 @@
+"""THM3 bench: RoundRobin's 2-approximation on random instances.
+
+Reproduces the random-sweep verdict (ratio <= 2 against exact optima)
+and times the policy on a wide random instance."""
+
+from repro.algorithms import RoundRobin
+from repro.experiments import get_experiment
+from repro.generators import uniform_instance
+
+
+def test_thm3_roundrobin_random(benchmark, record_result):
+    record_result(
+        get_experiment("THM3").run(
+            configs=((2, 4), (2, 8), (3, 3), (4, 2)), seeds=(0, 1, 2, 3, 4)
+        )
+    )
+
+    instance = uniform_instance(16, 40, seed=1)
+    policy = RoundRobin()
+
+    def run() -> int:
+        return policy.run(instance).makespan
+
+    assert benchmark(run) >= 40

@@ -1,0 +1,23 @@
+"""THM6 bench: the fixed-m exact configuration search.
+
+Reproduces the optimality + state-count experiment and times the
+search on a 3-processor instance (polynomial for fixed m, Theorem 6)."""
+
+from repro.algorithms import opt_res_assignment_general
+from repro.experiments import get_experiment
+from repro.generators import uniform_instance
+
+
+def test_thm6_optm(benchmark, record_result):
+    record_result(
+        get_experiment("THM6").run(
+            configs=((2, 3), (2, 5), (3, 2), (3, 3), (3, 4)), seeds=(0, 1, 2)
+        )
+    )
+
+    instance = uniform_instance(3, 4, seed=3)
+
+    def solve() -> int:
+        return opt_res_assignment_general(instance).makespan
+
+    assert benchmark(solve) >= 4

@@ -1,0 +1,27 @@
+"""THM7 bench: the (2 - 1/m) guarantee for balanced schedules.
+
+Reproduces the certificate-bound experiment and times the full
+guarantee pipeline: GreedyBalance + hypergraph + Lemma 5/6 bounds."""
+
+from fractions import Fraction
+
+from repro.algorithms import GreedyBalance
+from repro.core import SchedulingGraph, theorem7_reference
+from repro.experiments import get_experiment
+from repro.generators import uniform_instance
+
+
+def test_thm7_balanced_bound(benchmark, record_result):
+    record_result(
+        get_experiment("THM7").run(ms=(2, 3, 4, 5), seeds=(0, 1, 2, 3, 4))
+    )
+
+    instance = uniform_instance(6, 20, seed=11)
+    policy = GreedyBalance()
+
+    def pipeline() -> bool:
+        sched = policy.run(instance)
+        graph = SchedulingGraph(sched)
+        return sched.makespan <= (2 - Fraction(1, 6)) * theorem7_reference(graph)
+
+    assert benchmark(pipeline)

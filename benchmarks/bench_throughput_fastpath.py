@@ -1,0 +1,32 @@
+"""THRU bench: exact-Fraction vs integer-grid execution throughput.
+
+The HPC-guide pattern: correctness first (the exact simulator is the
+source of truth and the theorems' verifier), then an optimized path
+validated against it.  This bench quantifies what the integer-grid
+fast path buys on a bulk-sweep-sized instance; the tests in
+``tests/algorithms/test_fastpath.py`` pin down bit-for-bit equality.
+"""
+
+from repro.algorithms import GreedyBalance, greedy_balance_makespan
+from repro.generators import uniform_instance
+
+INSTANCE = uniform_instance(8, 120, seed=0)
+
+
+def test_exact_fraction_path(benchmark):
+    policy = GreedyBalance()
+    expected = greedy_balance_makespan(INSTANCE)
+
+    def run() -> int:
+        return policy.run(INSTANCE).makespan
+
+    assert benchmark(run) == expected
+
+
+def test_integer_grid_fastpath(benchmark):
+    expected = GreedyBalance().run(INSTANCE).makespan
+
+    def run() -> int:
+        return greedy_balance_makespan(INSTANCE)
+
+    assert benchmark(run) == expected

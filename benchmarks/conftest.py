@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench (one per paper figure/theorem, see DESIGN.md section 3):
+
+1. runs the corresponding experiment once, asserting its ``verdict``
+   (the machine-checked statement that the paper's claim reproduces);
+2. writes the paper-style rows to ``benchmarks/results/<ID>.txt`` and
+   ``.csv`` (pytest captures stdout, so files are the reliable channel
+   -- EXPERIMENTS.md quotes them);
+3. times the experiment's computational kernel with pytest-benchmark.
+
+Run: ``pytest benchmarks/ --benchmark-only``
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Persist an experiment result and assert its verdict."""
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        (results_dir / f"{result.experiment}.txt").write_text(result.to_text() + "\n")
+        result.to_csv(results_dir / f"{result.experiment}.csv")
+        assert result.verdict in (True, None), (
+            f"{result.experiment} failed to reproduce the paper's claim:\n"
+            f"{result.to_text()}"
+        )
+        return result
+
+    return _record

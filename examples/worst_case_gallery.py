@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Gallery of the paper's adversarial constructions, rendered to SVG.
+
+Generates the worst-case families of Theorems 3 and 8, runs the
+policies they defeat, and writes publication-style SVG figures (Gantt
+charts, the Figure 1 hypergraph, and ratio-vs-size line plots) into
+``examples/out/``.
+
+Run:  python examples/worst_case_gallery.py
+"""
+
+from pathlib import Path
+
+from repro import GreedyBalance, RoundRobin, SchedulingGraph
+from repro.algorithms import GreedyFinishJobs, opt_res_assignment
+from repro.generators import (
+    fig1_instance,
+    greedy_balance_adversarial,
+    greedy_balance_witness_schedule,
+    round_robin_adversarial,
+)
+from repro.viz import hypergraph_svg, render_schedule, schedule_svg, series_svg
+
+OUT = Path(__file__).parent / "out"
+
+
+def figure1() -> None:
+    instance = fig1_instance()
+    schedule = GreedyFinishJobs().run(instance)
+    graph = SchedulingGraph(schedule)
+    (OUT / "fig1_hypergraph.svg").write_text(hypergraph_svg(graph))
+    print(f"fig1: {graph.num_components} components -> fig1_hypergraph.svg")
+
+
+def round_robin_worst_case() -> None:
+    # Small instance for the Gantt; a sweep for the ratio curve.
+    instance = round_robin_adversarial(6)
+    rr = RoundRobin().run(instance)
+    opt = opt_res_assignment(instance).schedule
+    (OUT / "fig3_roundrobin.svg").write_text(
+        schedule_svg(rr, title="RoundRobin on the Theorem 3 family (n=6)")
+    )
+    (OUT / "fig3_optimal.svg").write_text(
+        schedule_svg(opt, title="Optimal schedule (n=6)")
+    )
+    print("fig3 gantts written; RoundRobin ASCII:")
+    print(render_schedule(rr, max_width=100))
+
+    points = []
+    for n in (5, 10, 20, 40, 80, 160):
+        inst = round_robin_adversarial(n)
+        ratio = RoundRobin().run(inst).makespan / (n + 1)
+        points.append((float(n), ratio))
+    (OUT / "fig3_ratio.svg").write_text(
+        series_svg(
+            {"RoundRobin / OPT": points, "limit = 2": [(5, 2.0), (160, 2.0)]},
+            title="Theorem 3: RoundRobin ratio -> 2",
+            xlabel="jobs per processor (n)",
+            ylabel="makespan ratio",
+        )
+    )
+    print("fig3 ratio curve -> fig3_ratio.svg")
+
+
+def greedy_balance_worst_case() -> None:
+    m = 3
+    instance = greedy_balance_adversarial(m, 3)
+    gb = GreedyBalance().run(instance)
+    witness = greedy_balance_witness_schedule(instance, m)
+    (OUT / "fig5_greedybalance.svg").write_text(
+        schedule_svg(gb, title=f"GreedyBalance on the Theorem 8 family (m={m})")
+    )
+    (OUT / "fig5_witness.svg").write_text(
+        schedule_svg(witness, title="Diagonal witness schedule")
+    )
+    print(f"fig5: GreedyBalance {gb.makespan} vs witness {witness.makespan}")
+
+    series = {}
+    for m in (2, 3, 4):
+        points = []
+        for blocks in (2, 5, 10, 20):
+            inst = greedy_balance_adversarial(m, blocks)
+            g = GreedyBalance().run(inst).makespan
+            w = greedy_balance_witness_schedule(inst, m).makespan
+            points.append((float(blocks), g / w))
+        series[f"m={m} (limit {2 - 1 / m:.2f})"] = points
+    (OUT / "fig5_ratio.svg").write_text(
+        series_svg(
+            series,
+            title="Theorem 8: GreedyBalance ratio -> 2 - 1/m",
+            xlabel="blocks",
+            ylabel="makespan ratio",
+        )
+    )
+    print("fig5 ratio curves -> fig5_ratio.svg")
+
+
+if __name__ == "__main__":
+    OUT.mkdir(exist_ok=True)
+    figure1()
+    round_robin_worst_case()
+    greedy_balance_worst_case()
+    print(f"\nall figures in {OUT}/")

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools but not ``wheel``, so PEP 660
+editable installs (which build a wheel) are unavailable; this shim lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""Schedulers for CRSharing: the paper's algorithms plus oracles.
+
+Online policies (run via :func:`repro.core.simulate` or
+``policy.run(instance)``):
+
+* :class:`RoundRobin` -- Section 4.2, worst-case ratio exactly 2;
+* :class:`GreedyBalance` -- Section 8.3, worst-case ratio exactly
+  ``2 - 1/m``;
+* the :mod:`~repro.algorithms.heuristics` baselines.
+
+Offline exact algorithms:
+
+* :func:`opt_res_assignment` / :func:`opt_res_assignment_pq` --
+  Algorithm 1, optimal for ``m = 2`` in ``O(n^2)``;
+* :func:`opt_res_assignment_general` -- Algorithm 2, optimal for any
+  fixed ``m`` in polynomial time (practical for small ``m``);
+* :func:`brute_force_makespan` and :func:`milp_makespan` --
+  independent optimality oracles for cross-validation.
+"""
+
+from .base import Policy, available_policies, get_policy, register_policy, water_fill
+from .brute_force import brute_force_makespan
+from .fastpath import greedy_balance_makespan, round_robin_makespan
+from .greedy_balance import GreedyBalance
+from .heuristics import (
+    FewestRemainingJobsFirst,
+    GreedyFinishJobs,
+    LargestRequirementFirst,
+    ProportionalShare,
+)
+from .milp import milp_feasible, milp_makespan
+from .opt_general import OptGeneralResult, opt_res_assignment_general
+from .opt_two import OptTwoResult, opt_res_assignment, opt_res_assignment_pq
+from .round_robin import RoundRobin, round_robin_makespan_formula, round_robin_phase
+
+__all__ = [
+    "FewestRemainingJobsFirst",
+    "GreedyBalance",
+    "GreedyFinishJobs",
+    "LargestRequirementFirst",
+    "OptGeneralResult",
+    "OptTwoResult",
+    "Policy",
+    "ProportionalShare",
+    "RoundRobin",
+    "available_policies",
+    "brute_force_makespan",
+    "get_policy",
+    "greedy_balance_makespan",
+    "milp_feasible",
+    "milp_makespan",
+    "round_robin_makespan",
+    "opt_res_assignment",
+    "opt_res_assignment_general",
+    "opt_res_assignment_pq",
+    "register_policy",
+    "round_robin_makespan_formula",
+    "round_robin_phase",
+    "water_fill",
+]

@@ -1,0 +1,132 @@
+"""Policy interface and shared helpers for CRSharing schedulers.
+
+Two kinds of algorithms live in this subpackage:
+
+* **online policies** -- state-feedback rules invoked once per time
+  step by :func:`repro.core.simulator.simulate` (RoundRobin,
+  GreedyBalance, the baseline heuristics).  They subclass
+  :class:`Policy` and implement :meth:`Policy.shares`.
+* **offline exact algorithms** -- functions that take an
+  :class:`~repro.core.instance.Instance` and return an optimal
+  :class:`~repro.core.schedule.Schedule` directly
+  (:mod:`~repro.algorithms.opt_two`, :mod:`~repro.algorithms.opt_general`,
+  the oracles).
+
+The dominant building block for policies is *water-filling*
+(:func:`water_fill`): visit processors in priority order and grant each
+its maximum useful share until the resource is exhausted.  Greedy
+water-filling is exactly what the paper's GreedyBalance does and what
+RoundRobin does within a phase; it guarantees the resulting schedules
+are non-wasting and progressive by construction (at most one processor
+receives a partial grant).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Iterable, Sequence
+
+from ..core.instance import Instance
+from ..core.numerics import ONE, ZERO
+from ..core.schedule import Schedule
+from ..core.simulator import simulate
+from ..core.state import ExecState
+
+__all__ = ["Policy", "water_fill", "register_policy", "get_policy", "available_policies"]
+
+
+class Policy:
+    """Base class for online resource-assignment policies.
+
+    Subclasses implement :meth:`shares`; the base class makes instances
+    directly usable as simulator callables and provides :meth:`run`.
+
+    Policies must be stateless with respect to the run (the full
+    execution state arrives each step), so one policy object can be
+    reused across instances and runs.
+    """
+
+    #: Short identifier used by the registry/CLI.
+    name: str = "policy"
+
+    def shares(self, state: ExecState) -> Sequence[Fraction]:
+        """Return the per-processor share vector for the current step."""
+        raise NotImplementedError
+
+    def __call__(self, state: ExecState) -> Sequence[Fraction]:
+        return self.shares(state)
+
+    def run(self, instance: Instance, **kwargs) -> Schedule:
+        """Simulate this policy on *instance* and return the schedule."""
+        return simulate(instance, self, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def water_fill(
+    state: ExecState,
+    order: Iterable[int],
+    *,
+    capacity: Fraction = ONE,
+) -> list[Fraction]:
+    """Grant processors their maximum useful share in the given order.
+
+    Each processor in *order* receives
+    ``min(remaining_work, requirement, capacity_left)`` -- the most it
+    can convert into work this step.  Processors not listed (or listed
+    after capacity runs out) receive zero.
+
+    For unit-size jobs, remaining work never exceeds the requirement,
+    so every fully-served processor finishes its job; at most one
+    processor receives a partial grant.  This is the mechanism behind
+    the *progressive* property of all our greedy policies.
+    """
+    shares = [ZERO] * state.num_processors
+    left = capacity
+    if left < ZERO:
+        raise ValueError("capacity must be non-negative")
+    for i in order:
+        if left <= ZERO:
+            break
+        if not state.is_active(i):
+            continue
+        j = state.active_job(i)
+        requirement = state.instance.job(i, j).requirement
+        useful = min(state.remaining_work(i), requirement, left)
+        if useful > ZERO:
+            shares[i] = useful
+            left -= useful
+    return shares
+
+
+# ----------------------------------------------------------------------
+# Registry (CLI / experiment harness lookup)
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, Callable[[], Policy]] = {}
+
+
+def register_policy(factory: Callable[[], Policy]) -> Callable[[], Policy]:
+    """Register a policy factory under its ``name`` (decorator-friendly)."""
+    probe = factory()
+    _REGISTRY[probe.name] = factory
+    return factory
+
+
+def get_policy(name: str) -> Policy:
+    """Instantiate a registered policy by name.
+
+    Raises:
+        KeyError: with the list of known names.
+    """
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_policies() -> list[str]:
+    """Names of all registered policies."""
+    return sorted(_REGISTRY)

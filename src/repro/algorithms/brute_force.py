@@ -1,0 +1,118 @@
+"""Brute-force exact oracle (for cross-validating the paper algorithms).
+
+A deliberately *independent* implementation of optimal CRSharing: plain
+memoized depth-first search over exact states, exploring a strictly
+larger move space than :mod:`~repro.algorithms.opt_general`:
+
+* any non-empty set of active jobs may be finished if their remaining
+  requirements fit into the step (wasteful moves included -- we do not
+  force non-wasting);
+* the leftover capacity may go to any single other active job, which
+  may or may not finish from it;
+* no domination pruning -- only exact-state memoization.
+
+Because the searched space is a superset of the non-wasting /
+progressive / nested schedules, its optimum equals the true optimum
+whenever Lemma 1 holds; agreement between this oracle, the m=2 dynamic
+program, the fixed-m configuration search and the MILP oracle is the
+test-suite's evidence that all four are correct.
+
+Exponential: use on small instances only (guarded by ``max_states``).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+
+from ..core.instance import Instance
+from ..core.numerics import ONE, ZERO, frac_sum
+from ..exceptions import SolverError
+
+__all__ = ["brute_force_makespan"]
+
+_State = tuple[tuple[int, ...], tuple[Fraction, ...]]
+
+
+def brute_force_makespan(instance: Instance, *, max_states: int = 500_000) -> int:
+    """Optimal makespan by exhaustive search.
+
+    Raises:
+        SolverError: if more than *max_states* distinct states appear.
+        UnitSizeRequiredError: for non-unit-size jobs.
+    """
+    instance.require_unit_size("brute_force_makespan")
+    m = instance.num_processors
+    n_jobs = [instance.num_jobs(i) for i in range(m)]
+    memo: dict[_State, int] = {}
+
+    def fresh(done: tuple[int, ...]) -> tuple[Fraction, ...]:
+        return tuple(
+            instance.job(i, done[i]).work if done[i] < n_jobs[i] else ZERO
+            for i in range(m)
+        )
+
+    def solve(state: _State) -> int:
+        if state in memo:
+            return memo[state]
+        if len(memo) > max_states:
+            raise SolverError(
+                f"brute force exceeded {max_states} states; instance too large"
+            )
+        done, rem = state
+        active = [i for i in range(m) if done[i] < n_jobs[i]]
+        if not active:
+            return 0
+        memo[state] = 10**9  # cycle guard; every move makes progress
+        # Active zero-work jobs complete this step no matter what.
+        forced = tuple(i for i in active if rem[i] == ZERO)
+        optional = [i for i in active if rem[i] > ZERO]
+        best = 10**9
+
+        def child(finish: tuple[int, ...], partial: int | None, amount: Fraction) -> int:
+            new_done = list(done)
+            new_rem = list(rem)
+            for i in finish:
+                new_done[i] += 1
+            if partial is not None:
+                new_rem[partial] = rem[partial] - amount
+                if new_rem[partial] == ZERO:
+                    new_done[partial] += 1
+            for i in range(m):
+                if new_done[i] != done[i]:
+                    new_rem[i] = (
+                        instance.job(i, new_done[i]).work
+                        if new_done[i] < n_jobs[i]
+                        else ZERO
+                    )
+            return solve((tuple(new_done), tuple(new_rem)))
+
+        for size in range(0, len(optional) + 1):
+            for chosen in combinations(optional, size):
+                finish = forced + chosen
+                used = frac_sum(rem[i] for i in chosen)
+                if used > ONE:
+                    continue
+                spare = ONE - used
+                if finish:
+                    # Possibly wasteful: finish F, spare unused.
+                    best = min(best, 1 + child(finish, None, ZERO))
+                if spare > ZERO:
+                    for p in optional:
+                        if p in chosen:
+                            continue
+                        amount = min(spare, rem[p])
+                        # Progress guarantee (termination): either some
+                        # job finishes via F, or p itself completes
+                        # (for unit jobs spare = 1 >= rem[p] whenever F
+                        # is empty, so this always holds there).
+                        if amount > ZERO and (finish or amount == rem[p]):
+                            best = min(best, 1 + child(finish, p, amount))
+        memo[state] = best
+        return best
+
+    start: _State = ((0,) * m, fresh((0,) * m))
+    result = solve(start)
+    if result >= 10**9:  # pragma: no cover
+        raise SolverError("brute force failed to find any schedule")
+    return result

@@ -1,0 +1,85 @@
+"""Integer-grid fast path for the greedy policies.
+
+The exact simulator runs every policy in ``fractions.Fraction``
+arithmetic -- the right default for verifying theorems, but needlessly
+slow for bulk sweeps.  Since every instance's requirements live on a
+common rational grid (``r = units / D`` for the least common
+denominator ``D``, see :meth:`repro.core.instance.Instance.to_integer_grid`),
+the whole execution can run in machine/big *integers*: the per-step
+capacity becomes ``D`` units and water-filling is integer subtraction.
+
+:func:`greedy_balance_makespan` and :func:`round_robin_makespan` are
+drop-in makespan computations for unit-size instances that are
+bit-for-bit equal to simulating the corresponding policy (the
+test-suite cross-validates on random instances) while running an order
+of magnitude faster -- the THRU benchmark measures the speedup.
+
+This is the "optimize after it's correct" step from the HPC guide: the
+exact path stays the source of truth; the fast path is validated
+against it, not trusted.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import Instance
+
+__all__ = ["greedy_balance_makespan", "round_robin_makespan"]
+
+
+def greedy_balance_makespan(instance: Instance) -> int:
+    """GreedyBalance's makespan via pure integer arithmetic.
+
+    Equivalent to ``GreedyBalance().run(instance).makespan`` for
+    unit-size instances (asserted by tests), without building the
+    Schedule artifact.
+
+    Raises:
+        UnitSizeRequiredError: for non-unit-size jobs.
+    """
+    instance.require_unit_size("greedy_balance_makespan (fast path)")
+    units, capacity = instance.to_integer_grid()
+    m = instance.num_processors
+    n_jobs = [len(row) for row in units]
+    done = [0] * m
+    rem = [units[i][0] for i in range(m)]
+    active = set(range(m))
+    steps = 0
+
+    while active:
+        steps += 1
+        # Priority: more remaining jobs first, then larger remaining
+        # requirement, then index (exactly GreedyBalance's order).
+        order = sorted(
+            active, key=lambda i: (-(n_jobs[i] - done[i]), -rem[i], i)
+        )
+        left = capacity
+        for i in order:
+            give = rem[i] if rem[i] < left else left
+            rem[i] -= give
+            left -= give
+            if rem[i] == 0:
+                done[i] += 1
+                if done[i] < n_jobs[i]:
+                    rem[i] = units[i][done[i]]
+                else:
+                    active.discard(i)
+            if left == 0:
+                break
+    return steps
+
+
+def round_robin_makespan(instance: Instance) -> int:
+    """RoundRobin's makespan via pure integer arithmetic.
+
+    Uses the phase decomposition directly: phase ``j`` costs
+    ``max(1, ceil(sum of phase-j units / capacity))`` steps (the
+    closed form from the Theorem 3 proof, in grid units).
+    """
+    instance.require_unit_size("round_robin_makespan (fast path)")
+    units, capacity = instance.to_integer_grid()
+    n = instance.max_jobs
+    total = 0
+    for j in range(n):
+        phase = sum(row[j] for row in units if len(row) > j)
+        total += max(1, -(-phase // capacity))
+    return total

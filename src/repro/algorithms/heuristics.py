@@ -1,0 +1,114 @@
+"""Baseline heuristic policies.
+
+These are not analyzed in the paper (except :class:`GreedyFinishJobs`,
+which is the policy behind Figure 1's example schedule); they serve as
+comparison points in the benchmark harness and as stress inputs for
+the property-based tests (e.g. :class:`ProportionalShare` produces
+valid but deliberately non-progressive schedules).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from ..core.numerics import ONE, ZERO, frac_sum
+from ..core.state import ExecState
+from .base import Policy, register_policy, water_fill
+
+__all__ = [
+    "GreedyFinishJobs",
+    "LargestRequirementFirst",
+    "FewestRemainingJobsFirst",
+    "ProportionalShare",
+]
+
+
+@register_policy
+class GreedyFinishJobs(Policy):
+    """Finish as many jobs as possible each step (Figure 1's policy).
+
+    Water-fills in order of *increasing* remaining requirement: cheap
+    jobs first maximizes the number of completions per step.  Greedy
+    per-step job count is not globally optimal -- Figure 1 shows it
+    fragmenting the schedule into three components.
+    """
+
+    name = "greedy-finish-jobs"
+
+    def shares(self, state: ExecState) -> Sequence[Fraction]:
+        order = sorted(
+            state.active_processors(),
+            key=lambda i: (state.remaining_work(i), i),
+        )
+        return water_fill(state, order)
+
+
+@register_policy
+class LargestRequirementFirst(Policy):
+    """Water-fill in order of decreasing remaining requirement.
+
+    The "anti-greedy": clears the heaviest active job first regardless
+    of queue lengths.  Non-wasting and progressive but not balanced.
+    """
+
+    name = "largest-requirement-first"
+
+    def shares(self, state: ExecState) -> Sequence[Fraction]:
+        order = sorted(
+            state.active_processors(),
+            key=lambda i: (-state.remaining_work(i), i),
+        )
+        return water_fill(state, order)
+
+
+@register_policy
+class FewestRemainingJobsFirst(Policy):
+    """Water-fill processors with *fewer* remaining jobs first.
+
+    The deliberate inversion of GreedyBalance's priority; useful as an
+    ablation showing that the balance direction (not greediness per se)
+    is what earns the 2 - 1/m guarantee.
+    """
+
+    name = "fewest-remaining-jobs-first"
+
+    def shares(self, state: ExecState) -> Sequence[Fraction]:
+        order = sorted(
+            state.active_processors(),
+            key=lambda i: (state.jobs_remaining(i), -state.remaining_work(i), i),
+        )
+        return water_fill(state, order)
+
+
+@register_policy
+class ProportionalShare(Policy):
+    """Split the resource proportionally to remaining requirements.
+
+    Every active job progresses every step (fair sharing, as a bus
+    arbiter without scheduler support would do).  The resulting
+    schedules are feasible and non-wasting but *not* progressive:
+    several jobs can be left partially processed in one step.  Included
+    as the "no scheduling" baseline the paper's introduction argues
+    against.
+
+    Note: proportional division compounds denominators step over step,
+    so exact arithmetic grows quickly -- intended for small
+    demonstration instances, not bulk benchmarks.
+    """
+
+    name = "proportional-share"
+
+    def shares(self, state: ExecState) -> Sequence[Fraction]:
+        active = state.active_processors()
+        shares = [ZERO] * state.num_processors
+        total = frac_sum(state.remaining_work(i) for i in active)
+        if total == ZERO:
+            return shares
+        if total <= ONE:
+            for i in active:
+                shares[i] = state.remaining_work(i)
+            return shares
+        for i in active:
+            shares[i] = state.remaining_work(i) / total
+        return shares

@@ -1,0 +1,267 @@
+"""OptResAssignment2: the exact algorithm for any fixed number of
+processors (Section 7, Algorithm 2, Theorem 6).
+
+The algorithm enumerates *configurations* (Definition 6): the number of
+completed jobs per processor plus the resource already invested in each
+active job.  Starting from the initial configuration it generates, per
+round, every successor reachable by a non-wasting and progressive step:
+
+* if the remaining requirements of all active jobs fit into one step's
+  capacity, the only non-wasting move finishes all of them;
+* otherwise pick a subset ``F`` of active jobs to finish (their
+  remaining requirements must fit) and pour the leftover capacity into
+  at most one other active job (progressiveness: at most one job ends
+  the step partially processed);
+
+and prunes, within each round, every configuration *dominated* by
+another (Lemma 4's order: no fewer jobs completed anywhere and no less
+resource invested anywhere).  The first round containing the final
+configuration yields an optimal schedule, reconstructed via parent
+pointers.
+
+Deviation from the paper, documented per DESIGN.md: the paper
+additionally restricts the search to *nested* schedules to bound the
+number of non-dominated extended configurations polynomially
+(Theorem 6's counting argument).  Nestedness is a with-loss-of-nothing
+restriction (Lemma 1), so searching the slightly larger
+non-wasting + progressive space returns the same optimum -- it only
+weakens the worst-case bound on states explored.  We keep the larger
+space because domination pruning needs no extended-configuration
+bookkeeping there to remain sound; the per-round state counts are
+reported in :class:`OptGeneralResult.stats` and benchmarked (THM6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import combinations
+
+from ..core.instance import Instance
+from ..core.numerics import ONE, ZERO, frac_sum
+from ..core.schedule import Schedule
+from ..exceptions import SolverError
+
+__all__ = ["OptGeneralResult", "opt_res_assignment_general"]
+
+#: A configuration key: (jobs completed per processor, remaining
+#: requirement of each active job -- ZERO for exhausted processors).
+_Key = tuple[tuple[int, ...], tuple[Fraction, ...]]
+
+
+@dataclass(frozen=True, slots=True)
+class OptGeneralResult:
+    """Result of the fixed-m exact search.
+
+    Attributes:
+        makespan: optimal makespan.
+        schedule: an optimal schedule witnessing it.
+        stats: per-round counts of configurations kept after
+            domination pruning (Theorem 6 growth measurements).
+    """
+
+    makespan: int
+    schedule: Schedule
+    stats: list[int]
+
+    @property
+    def total_configurations(self) -> int:
+        return sum(self.stats)
+
+
+def _fresh_remaining(instance: Instance, done: tuple[int, ...]) -> tuple[Fraction, ...]:
+    return tuple(
+        instance.job(i, done[i]).work if done[i] < instance.num_jobs(i) else ZERO
+        for i in range(instance.num_processors)
+    )
+
+
+def _spent_vector(
+    instance: Instance, done: tuple[int, ...], rem: tuple[Fraction, ...]
+) -> tuple[Fraction, ...]:
+    """The paper's ``v`` vector: resource already invested in each
+    active job (0 for exhausted processors)."""
+    out = []
+    for i in range(instance.num_processors):
+        if done[i] < instance.num_jobs(i):
+            out.append(instance.job(i, done[i]).work - rem[i])
+        else:
+            out.append(ZERO)
+    return tuple(out)
+
+
+def _successors(
+    instance: Instance, key: _Key
+) -> list[tuple[_Key, tuple[tuple[int, ...], int | None, Fraction]]]:
+    """All non-wasting, progressive one-step successors of *key*.
+
+    Each successor comes with its move ``(F, p, c)``: the processors
+    whose jobs finish, the processor receiving the leftover ``c``
+    partially (or ``None``), used for schedule reconstruction.
+    """
+    done, rem = key
+    m = instance.num_processors
+    active = [i for i in range(m) if done[i] < instance.num_jobs(i)]
+    if not active:
+        return []
+
+    def advance(finish: tuple[int, ...], partial: int | None, c: Fraction):
+        new_done = list(done)
+        new_rem = list(rem)
+        for i in finish:
+            new_done[i] += 1
+            new_rem[i] = (
+                instance.job(i, new_done[i]).work
+                if new_done[i] < instance.num_jobs(i)
+                else ZERO
+            )
+        if partial is not None:
+            new_rem[partial] = rem[partial] - c
+        return (tuple(new_done), tuple(new_rem)), (finish, partial, c)
+
+    total = frac_sum(rem[i] for i in active)
+    if total <= ONE:
+        # Non-wasting forces finishing every active job.
+        return [advance(tuple(active), None, ZERO)]
+
+    # Zero-requirement jobs complete as soon as they are active, so
+    # they belong to every finishing set.
+    forced = tuple(i for i in active if rem[i] == ZERO)
+    optional = [i for i in active if rem[i] > ZERO]
+
+    out = []
+    for size in range(0, len(optional) + 1):
+        for chosen in combinations(optional, size):
+            finish = forced + chosen
+            if not finish:
+                continue  # capacity 1 always finishes some unit job
+            used = frac_sum(rem[i] for i in chosen)
+            if used > ONE:
+                continue
+            c = ONE - used
+            if c == ZERO:
+                out.append(advance(finish, None, ZERO))
+                continue
+            # Leftover must go to exactly one job that will NOT finish
+            # (w_p > c); if every remaining job fits in c, this finish
+            # set wastes resource and a superset covers the case.
+            for p in optional:
+                if p in chosen:
+                    continue
+                if rem[p] > c:
+                    out.append(advance(finish, p, c))
+    return out
+
+
+def _dominates(
+    instance: Instance, a: _Key, b: _Key
+) -> bool:
+    """Lemma 4 order within a round: ``a`` is at least as far on every
+    processor and has at least as much invested everywhere."""
+    done_a, rem_a = a
+    done_b, rem_b = b
+    if any(x < y for x, y in zip(done_a, done_b)):
+        return False
+    va = _spent_vector(instance, done_a, rem_a)
+    vb = _spent_vector(instance, done_b, rem_b)
+    return all(x >= y for x, y in zip(va, vb))
+
+
+def opt_res_assignment_general(
+    instance: Instance,
+    *,
+    max_configurations: int = 2_000_000,
+) -> OptGeneralResult:
+    """Exact optimum for any (small) fixed ``m`` (Algorithm 2).
+
+    Args:
+        instance: unit-size instance; any number of processors, but the
+            state space grows quickly -- intended for ``m <= 4`` and
+            short queues (Theorem 6's polynomial has degree
+            ``2(m+1)^2``).
+        max_configurations: safety cap on total states explored.
+
+    Raises:
+        SolverError: if the cap is exceeded.
+        UnitSizeRequiredError: for non-unit-size jobs.
+    """
+    instance.require_unit_size("OptResAssignment2")
+    m = instance.num_processors
+    initial_done = (0,) * m
+    initial: _Key = (initial_done, _fresh_remaining(instance, initial_done))
+    final_done = tuple(instance.num_jobs(i) for i in range(m))
+
+    #: parent[key] = (parent_key, move) for reconstruction.
+    parent: dict[_Key, tuple[_Key, tuple[tuple[int, ...], int | None, Fraction]]] = {}
+    current: list[_Key] = [initial]
+    stats: list[int] = [1]
+    explored = 1
+
+    t = 0
+    while True:
+        # Check for the final configuration in the current round.
+        for key in current:
+            if key[0] == final_done:
+                schedule = _reconstruct(instance, parent, key)
+                if schedule.makespan != t:  # pragma: no cover
+                    raise SolverError(
+                        f"reconstructed makespan {schedule.makespan} != round {t}"
+                    )
+                return OptGeneralResult(makespan=t, schedule=schedule, stats=stats)
+
+        # Expand one round.
+        nxt: dict[_Key, tuple[_Key, tuple[tuple[int, ...], int | None, Fraction]]] = {}
+        for key in current:
+            for skey, move in _successors(instance, key):
+                if skey not in nxt:
+                    nxt[skey] = (key, move)
+        explored += len(nxt)
+        if explored > max_configurations:
+            raise SolverError(
+                f"configuration search exceeded {max_configurations} states; "
+                f"instance too large for the exact fixed-m algorithm"
+            )
+        if not nxt:  # pragma: no cover - final config always reached
+            raise SolverError("search space exhausted before completion")
+
+        # Domination pruning (pairwise, within the round).
+        keys = list(nxt)
+        alive = [True] * len(keys)
+        for a_idx in range(len(keys)):
+            if not alive[a_idx]:
+                continue
+            for b_idx in range(len(keys)):
+                if a_idx == b_idx or not alive[b_idx]:
+                    continue
+                if _dominates(instance, keys[a_idx], keys[b_idx]):
+                    alive[b_idx] = False
+        kept = [k for k, ok in zip(keys, alive) if ok]
+        for k in kept:
+            parent[k] = nxt[k]
+        stats.append(len(kept))
+        current = kept
+        t += 1
+
+
+def _reconstruct(
+    instance: Instance,
+    parent: dict[_Key, tuple[_Key, tuple[tuple[int, ...], int | None, Fraction]]],
+    final_key: _Key,
+) -> Schedule:
+    moves = []
+    key = final_key
+    while key in parent:
+        pkey, move = parent[key]
+        moves.append((pkey, move))
+        key = pkey
+    moves.reverse()
+
+    rows: list[list[Fraction]] = []
+    for (pdone, prem), (finish, partial, c) in moves:
+        row = [ZERO] * instance.num_processors
+        for i in finish:
+            row[i] = prem[i]
+        if partial is not None:
+            row[partial] = c
+        rows.append(row)
+    return Schedule(instance, rows, validate=True, trim=True)

@@ -1,0 +1,281 @@
+"""OptResAssignment: the exact O(n^2) algorithm for two processors
+(Section 6, Algorithm 1, Theorem 5).
+
+Dynamic program over cells ``(i1, i2)`` meaning "all jobs before
+``(1, i1)`` and ``(2, i2)`` are finished" (0-based: ``i1`` jobs done on
+processor 1, ``i2`` on processor 2).  Each cell stores the best pair
+``(t, r)``: the earliest step count ``t`` at which the cell is
+reachable and, among schedules achieving ``t``, the minimal sum ``r``
+of the remaining requirements of the two current jobs.  Lemma 3 proves
+this pair is a sufficient statistic: only the *sum* of the two
+remaining requirements matters, because capacity can be freely shifted
+between the two current jobs (each fits within one step's capacity).
+
+Transitions from a cell with value ``(t, r)`` (``nxt`` denotes the full
+requirement of the following job, 0 past the end):
+
+* both processors at real jobs and ``r <= 1`` -- the step can finish
+  both: advance both (fresh requirements), or advance only one (the
+  other job is fully processed too but bookkept later; these "lazy"
+  moves are the paper's lines 17-18 and are needed as boundary cases);
+* ``r > 1`` -- finish either one job and pour the remaining capacity
+  into the other, which then has ``r - 1`` left (the paper's lines
+  20-21; the listing prints ``A1[i1]+A2[i2]-1`` where the cell's
+  ``r - 1`` is meant -- they coincide only for fresh cells.  We
+  implement the corrected recurrence; optimality is cross-validated
+  against two independent oracles in the test-suite);
+* one processor exhausted -- advance the other one job per step.
+
+The DP fills the table diagonal by diagonal (phases of Algorithm 1) in
+``O(n1 * n2)`` time; :func:`opt_res_assignment_pq` is the priority-
+queue variant sketched after Theorem 5 which only visits reachable
+cells.  Both reconstruct an explicit optimal schedule by walking parent
+pointers forward and re-deriving the concrete share split per step.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..core.instance import Instance
+from ..core.numerics import ONE, ZERO
+from ..core.schedule import Schedule
+from ..exceptions import SolverError
+
+__all__ = ["OptTwoResult", "opt_res_assignment", "opt_res_assignment_pq"]
+
+# Move codes (stored as parent pointers for reconstruction).
+_BOTH = "both"  # finish both current jobs
+_ONLY1 = "only1"  # r <= 1: advance 1; job on p2 fully processed too
+_ONLY2 = "only2"  # r <= 1: advance 2; job on p1 fully processed too
+_FIN1_SURPLUS2 = "fin1"  # r > 1: finish p1's job, surplus into p2's
+_FIN2_SURPLUS1 = "fin2"  # r > 1: finish p2's job, surplus into p1's
+_ADV1 = "adv1"  # p2 exhausted: p1 advances alone
+_ADV2 = "adv2"  # p1 exhausted: p2 advances alone
+
+
+@dataclass(frozen=True, slots=True)
+class OptTwoResult:
+    """Result of the two-processor exact algorithm.
+
+    Attributes:
+        makespan: the optimal makespan.
+        schedule: an optimal schedule witnessing it.
+        cells_expanded: number of DP cells whose value was computed
+            (table variant: all of them; PQ variant: reachable only).
+    """
+
+    makespan: int
+    schedule: Schedule
+    cells_expanded: int
+
+
+def _requirements(instance: Instance) -> tuple[list[Fraction], list[Fraction]]:
+    instance.require_unit_size("OptResAssignment")
+    if instance.num_processors != 2:
+        raise SolverError(
+            f"OptResAssignment handles exactly 2 processors, got "
+            f"{instance.num_processors}; use opt_general for fixed m"
+        )
+    return list(instance.requirements(0)), list(instance.requirements(1))
+
+
+def _successors(
+    i1: int,
+    i2: int,
+    t: int,
+    r: Fraction,
+    a1: list[Fraction],
+    a2: list[Fraction],
+) -> list[tuple[int, int, int, Fraction, str]]:
+    """All Algorithm-1 transitions from cell ``(i1, i2)`` with value
+    ``(t, r)``.  Returns ``(i1', i2', t', r', move)`` tuples."""
+    n1, n2 = len(a1), len(a2)
+
+    def nxt1(i: int) -> Fraction:
+        return a1[i] if i < n1 else ZERO
+
+    def nxt2(i: int) -> Fraction:
+        return a2[i] if i < n2 else ZERO
+
+    out: list[tuple[int, int, int, Fraction, str]] = []
+    if i1 >= n1 and i2 >= n2:
+        return out
+    if i1 >= n1:
+        # Processor 1 exhausted: p2 finishes one job per step (its
+        # remaining requirement is at most 1, so one step suffices).
+        out.append((i1, i2 + 1, t + 1, nxt2(i2 + 1), _ADV2))
+    elif i2 >= n2:
+        out.append((i1 + 1, i2, t + 1, nxt1(i1 + 1), _ADV1))
+    elif r <= ONE:
+        out.append((i1 + 1, i2 + 1, t + 1, nxt1(i1 + 1) + nxt2(i2 + 1), _BOTH))
+        out.append((i1, i2 + 1, t + 1, nxt2(i2 + 1), _ONLY2))
+        out.append((i1 + 1, i2, t + 1, nxt1(i1 + 1), _ONLY1))
+    else:
+        out.append((i1, i2 + 1, t + 1, (r - ONE) + nxt2(i2 + 1), _FIN2_SURPLUS1))
+        out.append((i1 + 1, i2, t + 1, nxt1(i1 + 1) + (r - ONE), _FIN1_SURPLUS2))
+    return out
+
+
+def opt_res_assignment(instance: Instance) -> OptTwoResult:
+    """Exact optimum for ``m = 2`` via the diagonal dynamic program
+    (Algorithm 1, Theorem 5).  Runs in ``O(n1 * n2)`` time and space.
+
+    Raises:
+        SolverError: if the instance does not have exactly 2 processors.
+        UnitSizeRequiredError: for non-unit-size jobs.
+    """
+    a1, a2 = _requirements(instance)
+    n1, n2 = len(a1), len(a2)
+    # best[(i1, i2)] = (t, r); parent[(i1, i2)] = (pi1, pi2, move)
+    best: dict[tuple[int, int], tuple[int, Fraction]] = {}
+    parent: dict[tuple[int, int], tuple[int, int, str]] = {}
+    best[(0, 0)] = (0, a1[0] + a2[0])
+    expanded = 0
+
+    # Diagonal-by-diagonal fill: every transition increases i1 + i2 by
+    # exactly one, so values on diagonal l are final when processing it.
+    for level in range(0, n1 + n2):
+        lo = max(0, level - n2)
+        hi = min(level, n1)
+        for i1 in range(lo, hi + 1):
+            i2 = level - i1
+            key = (i1, i2)
+            if key not in best:
+                continue
+            expanded += 1
+            t, r = best[key]
+            for s1, s2, st, sr, move in _successors(i1, i2, t, r, a1, a2):
+                skey = (s1, s2)
+                old = best.get(skey)
+                if old is None or (st, sr) < old:
+                    best[skey] = (st, sr)
+                    parent[skey] = (i1, i2, move)
+
+    final = best.get((n1, n2))
+    if final is None:  # pragma: no cover - always reachable
+        raise SolverError("DP failed to reach the final cell")
+    schedule = _reconstruct(instance, a1, a2, parent, (n1, n2))
+    makespan = final[0]
+    if schedule.makespan != makespan:  # pragma: no cover - consistency check
+        raise SolverError(
+            f"reconstructed schedule has makespan {schedule.makespan}, "
+            f"DP value is {makespan}"
+        )
+    return OptTwoResult(makespan=makespan, schedule=schedule, cells_expanded=expanded)
+
+
+def opt_res_assignment_pq(instance: Instance) -> OptTwoResult:
+    """Priority-queue variant (discussed after Theorem 5).
+
+    Cells are expanded in lexicographic ``(level, t, r)`` order from a
+    heap, so only *reachable* cells are touched; on instances where
+    many jobs pair up (``r <= 1``), most of the table is skipped.
+    Produces the same optimum as :func:`opt_res_assignment`.
+    """
+    a1, a2 = _requirements(instance)
+    n1, n2 = len(a1), len(a2)
+    start = (0, 0)
+    best: dict[tuple[int, int], tuple[int, Fraction]] = {start: (0, a1[0] + a2[0])}
+    parent: dict[tuple[int, int], tuple[int, int, str]] = {}
+    # Heap ordered by (level, t, r): levels are processed in order, and
+    # within a level the best value for a cell pops first.
+    heap: list[tuple[int, int, Fraction, int, int]] = [(0, 0, best[start][1], 0, 0)]
+    settled: set[tuple[int, int]] = set()
+    expanded = 0
+
+    while heap:
+        level, t, r, i1, i2 = heapq.heappop(heap)
+        key = (i1, i2)
+        if key in settled:
+            continue
+        if best.get(key) != (t, r):
+            continue  # stale entry
+        settled.add(key)
+        expanded += 1
+        if key == (n1, n2):
+            schedule = _reconstruct(instance, a1, a2, parent, key)
+            return OptTwoResult(makespan=t, schedule=schedule, cells_expanded=expanded)
+        for s1, s2, st, sr, move in _successors(i1, i2, t, r, a1, a2):
+            skey = (s1, s2)
+            if skey in settled:
+                continue
+            old = best.get(skey)
+            if old is None or (st, sr) < old:
+                best[skey] = (st, sr)
+                parent[skey] = (i1, i2, move)
+                heapq.heappush(heap, (s1 + s2, st, sr, s1, s2))
+    raise SolverError("priority queue exhausted before final cell")  # pragma: no cover
+
+
+def _reconstruct(
+    instance: Instance,
+    a1: list[Fraction],
+    a2: list[Fraction],
+    parent: dict[tuple[int, int], tuple[int, int, str]],
+    final: tuple[int, int],
+) -> Schedule:
+    """Walk the parent chain, then replay it forward tracking the true
+    per-job remaining requirements to emit concrete share vectors."""
+    n1, n2 = len(a1), len(a2)
+    path: list[str] = []
+    key = final
+    while key != (0, 0):
+        pi1, pi2, move = parent[key]
+        path.append(move)
+        key = (pi1, pi2)
+    path.reverse()
+
+    rows: list[tuple[Fraction, Fraction]] = []
+    i1 = i2 = 0
+    v1 = a1[0]
+    v2 = a2[0]
+
+    def advance1() -> None:
+        nonlocal i1, v1
+        i1 += 1
+        v1 = a1[i1] if i1 < n1 else ZERO
+
+    def advance2() -> None:
+        nonlocal i2, v2
+        i2 += 1
+        v2 = a2[i2] if i2 < n2 else ZERO
+
+    for move in path:
+        if move == _BOTH:
+            rows.append((v1, v2))
+            advance1()
+            advance2()
+        elif move == _ONLY2:
+            # r <= 1: both current jobs are fully served this step; the
+            # DP only credits processor 2's advance (processor 1's job
+            # physically completes now and its successor idles).
+            rows.append((v1, v2))
+            v1 = ZERO
+            advance2()
+        elif move == _ONLY1:
+            rows.append((v1, v2))
+            v2 = ZERO
+            advance1()
+        elif move == _FIN2_SURPLUS1:
+            give1 = ONE - v2
+            rows.append((give1, v2))
+            v1 -= give1
+            advance2()
+        elif move == _FIN1_SURPLUS2:
+            give2 = ONE - v1
+            rows.append((v1, give2))
+            v2 -= give2
+            advance1()
+        elif move == _ADV1:
+            rows.append((v1, ZERO))
+            advance1()
+        elif move == _ADV2:
+            rows.append((ZERO, v2))
+            advance2()
+        else:  # pragma: no cover
+            raise SolverError(f"unknown move {move!r}")
+
+    return Schedule(instance, rows, validate=True, trim=True)

@@ -1,0 +1,24 @@
+"""Schedule analysis: metrics, verification, and ratio studies."""
+
+from .metrics import (
+    ScheduleMetrics,
+    approximation_ratio,
+    compute_metrics,
+    mean_completion_time,
+    total_completion_time,
+)
+from .ratios import PolicyStats, RatioStudy, run_ratio_study
+from .verification import VerificationReport, verify_schedule
+
+__all__ = [
+    "PolicyStats",
+    "RatioStudy",
+    "ScheduleMetrics",
+    "VerificationReport",
+    "approximation_ratio",
+    "compute_metrics",
+    "mean_completion_time",
+    "run_ratio_study",
+    "total_completion_time",
+    "verify_schedule",
+]

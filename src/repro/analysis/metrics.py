@@ -1,0 +1,97 @@
+"""Schedule quality metrics.
+
+Everything the experiment harness reports about a schedule, in exact
+arithmetic: makespan, utilization/waste, ratios against lower bounds
+and optima, and per-step traces for visualization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..core.instance import Instance
+from ..core.lower_bounds import best_lower_bound
+from ..core.numerics import as_float
+from ..core.schedule import Schedule
+
+__all__ = [
+    "ScheduleMetrics",
+    "compute_metrics",
+    "approximation_ratio",
+    "total_completion_time",
+    "mean_completion_time",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleMetrics:
+    """Aggregate quality numbers for one schedule.
+
+    Attributes:
+        makespan: number of steps.
+        total_work: the instance's total work (Observation 1 quantity).
+        utilization: average fraction of capacity converted to work.
+        waste: total capacity left unconverted, summed over steps.
+        lower_bound: the strongest certificate lower bound available
+            (Observation 1, length, and -- when the schedule is
+            unit-size -- the Lemma 5/6 bounds derived from it).
+        ratio_vs_lower_bound: ``makespan / lower_bound`` -- an upper
+            bound on the true approximation ratio.
+    """
+
+    makespan: int
+    total_work: Fraction
+    utilization: Fraction
+    waste: Fraction
+    lower_bound: int
+    ratio_vs_lower_bound: Fraction
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict for table/CSV rendering (floats for readability)."""
+        return {
+            "makespan": self.makespan,
+            "total_work": round(as_float(self.total_work), 4),
+            "utilization": round(as_float(self.utilization), 4),
+            "waste": round(as_float(self.waste), 4),
+            "lower_bound": self.lower_bound,
+            "ratio_vs_lb": round(as_float(self.ratio_vs_lower_bound), 4),
+        }
+
+
+def compute_metrics(schedule: Schedule) -> ScheduleMetrics:
+    """Compute :class:`ScheduleMetrics` for a validated schedule."""
+    instance = schedule.instance
+    lb = best_lower_bound(instance, schedule if instance.is_unit_size else None)
+    return ScheduleMetrics(
+        makespan=schedule.makespan,
+        total_work=instance.total_work(),
+        utilization=schedule.utilization(),
+        waste=schedule.total_waste(),
+        lower_bound=lb,
+        ratio_vs_lower_bound=Fraction(schedule.makespan, max(lb, 1)),
+    )
+
+
+def approximation_ratio(schedule: Schedule, optimal_makespan: int) -> Fraction:
+    """Exact ``S / OPT`` (the paper's abuse of notation ``S/OPT``)."""
+    if optimal_makespan <= 0:
+        raise ValueError("optimal makespan must be positive")
+    return Fraction(schedule.makespan, optimal_makespan)
+
+
+def total_completion_time(schedule: Schedule) -> int:
+    """Sum of (1-based) job completion steps.
+
+    The discrete-continuous literature the paper builds on also studies
+    mean completion/flow time (Józefowska & Weglarz 1996, cited as [10]);
+    exposing the objective lets the ratio studies compare policies under
+    it even though the paper's analysis targets the makespan.
+    """
+    return sum(t + 1 for t in schedule.completion_steps.values())
+
+
+def mean_completion_time(schedule: Schedule) -> Fraction:
+    """Average (1-based) completion step over all jobs."""
+    total = total_completion_time(schedule)
+    return Fraction(total, schedule.instance.total_jobs)

@@ -1,0 +1,113 @@
+"""Empirical approximation-ratio studies.
+
+The harness behind the THM3/THM7 benchmarks: sweep an instance family,
+run a set of policies, compare against the best available reference
+(an exact solver where affordable, otherwise certificate lower
+bounds), and aggregate exact ratio statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Iterable, Sequence
+
+from ..algorithms.base import Policy
+from ..core.instance import Instance
+from ..core.lower_bounds import best_lower_bound
+from ..core.numerics import as_float
+
+__all__ = ["RatioStudy", "PolicyStats", "run_ratio_study"]
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyStats:
+    """Ratio statistics of one policy over a family of instances.
+
+    Ratios are against the study's reference (exact optimum when an
+    oracle is supplied, else the strongest lower bound -- in which case
+    they are *upper bounds* on the true ratios).
+    """
+
+    policy: str
+    count: int
+    mean_ratio: float
+    max_ratio: Fraction
+    max_ratio_seed: object
+    mean_makespan: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "policy": self.policy,
+            "instances": self.count,
+            "mean_ratio": round(self.mean_ratio, 4),
+            "max_ratio": round(as_float(self.max_ratio), 4),
+            "worst_case": self.max_ratio_seed,
+            "mean_makespan": round(self.mean_makespan, 2),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class RatioStudy:
+    """Results of :func:`run_ratio_study`."""
+
+    stats: tuple[PolicyStats, ...]
+    exact_reference: bool
+
+    def best(self) -> PolicyStats:
+        return min(self.stats, key=lambda s: s.mean_ratio)
+
+
+def run_ratio_study(
+    instances: Iterable[tuple[object, Instance]],
+    policies: Sequence[Policy],
+    *,
+    optimal: Callable[[Instance], int] | None = None,
+) -> RatioStudy:
+    """Run *policies* over labelled *instances* and aggregate ratios.
+
+    Args:
+        instances: ``(label, instance)`` pairs (label = seed/params,
+            reported for the worst case).
+        policies: policies to compare.
+        optimal: optional exact oracle; when omitted, the reference is
+            the strongest certificate lower bound, computed using the
+            *first* policy's schedule for the Lemma 5/6 bounds (so pass
+            GreedyBalance first for the tightest certificates).
+    """
+    pairs = list(instances)
+    if not pairs:
+        raise ValueError("need at least one instance")
+    totals: dict[str, list[Fraction]] = {p.name: [] for p in policies}
+    spans: dict[str, list[int]] = {p.name: [] for p in policies}
+    worst: dict[str, tuple[Fraction, object]] = {}
+
+    for label, inst in pairs:
+        schedules = {p.name: p.run(inst) for p in policies}
+        if optimal is not None:
+            reference = optimal(inst)
+        else:
+            first = schedules[policies[0].name]
+            reference = best_lower_bound(inst, first if inst.is_unit_size else None)
+        reference = max(reference, 1)
+        for name, sched in schedules.items():
+            ratio = Fraction(sched.makespan, reference)
+            totals[name].append(ratio)
+            spans[name].append(sched.makespan)
+            if name not in worst or ratio > worst[name][0]:
+                worst[name] = (ratio, label)
+
+    stats = []
+    for p in policies:
+        rs = totals[p.name]
+        stats.append(
+            PolicyStats(
+                policy=p.name,
+                count=len(rs),
+                mean_ratio=float(sum(as_float(r) for r in rs) / len(rs)),
+                max_ratio=worst[p.name][0],
+                max_ratio_seed=worst[p.name][1],
+                mean_makespan=float(sum(spans[p.name]) / len(rs)),
+            )
+        )
+    return RatioStudy(stats=tuple(stats), exact_reference=optimal is not None)

@@ -1,0 +1,97 @@
+"""Independent full-schedule verification.
+
+:class:`~repro.core.schedule.Schedule` already validates on
+construction; this module re-derives everything from the raw share
+rows with a *separate* implementation so tests can assert that the
+two agree (defense against bugs in the canonical executor), and
+produces a structured report usable in error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from ..core.numerics import ONE, ZERO, format_frac
+from ..core.schedule import Schedule
+
+__all__ = ["VerificationReport", "verify_schedule"]
+
+
+@dataclass(slots=True)
+class VerificationReport:
+    """Outcome of :func:`verify_schedule`.
+
+    Attributes:
+        ok: True iff no problems were found.
+        problems: human-readable descriptions of each violation.
+        completion_steps: independently computed completion step per
+            job (0-based), for cross-checking the Schedule's own
+            bookkeeping.
+    """
+
+    ok: bool = True
+    problems: list[str] = field(default_factory=list)
+    completion_steps: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        self.problems.append(message)
+
+
+def verify_schedule(schedule: Schedule) -> VerificationReport:
+    """Re-execute a schedule's share rows from scratch and check every
+    model rule of Section 3.1.
+
+    Checked: share bounds, per-step capacity, in-order processing, the
+    speed cap, exact completion accounting, and agreement with the
+    Schedule's own start/completion records.
+    """
+    report = VerificationReport()
+    inst = schedule.instance
+    m = inst.num_processors
+    current = [0] * m
+    left = [inst.job(i, 0).work for i in range(m)]
+
+    for t in range(schedule.makespan):
+        step = schedule.step(t)
+        total = ZERO
+        for i in range(m):
+            share = step.shares[i]
+            total += share
+            if share < ZERO or share > ONE:
+                report.fail(f"step {t}: share {format_frac(share)} out of [0,1]")
+        if total > ONE:
+            report.fail(f"step {t}: capacity overused ({format_frac(total)})")
+        for i in range(m):
+            if current[i] >= inst.num_jobs(i):
+                continue
+            job = inst.job(i, current[i])
+            progress = min(step.shares[i], job.requirement, left[i])
+            if step.processed[i] != progress:
+                report.fail(
+                    f"step {t}, processor {i}: recorded progress "
+                    f"{format_frac(step.processed[i])} != derived "
+                    f"{format_frac(progress)}"
+                )
+            left[i] -= progress
+            if left[i] == ZERO:
+                jid = (i, current[i])
+                report.completion_steps[jid] = t
+                recorded = schedule.completion_steps.get(jid)
+                if recorded != t:
+                    report.fail(
+                        f"job {jid}: schedule records completion at "
+                        f"{recorded}, derived {t}"
+                    )
+                current[i] += 1
+                if current[i] < inst.num_jobs(i):
+                    left[i] = inst.job(i, current[i]).work
+
+    for i in range(m):
+        if current[i] < inst.num_jobs(i):
+            report.fail(
+                f"processor {i}: {inst.num_jobs(i) - current[i]} job(s) "
+                f"unfinished at the end"
+            )
+    return report

@@ -1,0 +1,184 @@
+"""Command-line interface: ``crsharing`` / ``python -m repro``.
+
+Subcommands:
+
+* ``experiment <ID>`` -- run a paper experiment and print its table
+  (optionally write CSV/SVG);
+* ``list`` -- list experiments and policies;
+* ``solve <instance.json>`` -- exact optimum of an instance file;
+* ``schedule <instance.json> --policy NAME`` -- run a policy and
+  render the schedule (ASCII, optionally SVG/JSON);
+* ``demo`` -- a quick end-to-end tour on the Figure 1 instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .algorithms import (
+    available_policies,
+    get_policy,
+    opt_res_assignment,
+    opt_res_assignment_general,
+)
+from .analysis import compute_metrics
+from .core.hypergraph import SchedulingGraph
+from .experiments import EXPERIMENTS, get_experiment
+from .io import load_instance, save_schedule
+from .viz import (
+    hypergraph_svg,
+    render_components,
+    render_instance,
+    render_schedule,
+    schedule_svg,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="crsharing",
+        description=(
+            "Reproduction toolkit for 'Scheduling Shared Continuous "
+            "Resources on Many-Cores' (Althaus et al.)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiments and policies")
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument("id", help=f"experiment id, one of {sorted(EXPERIMENTS)}")
+    p_exp.add_argument("--csv", type=Path, help="write the rows as CSV")
+
+    p_solve = sub.add_parser("solve", help="exact optimum of an instance file")
+    p_solve.add_argument("instance", type=Path)
+
+    p_sched = sub.add_parser("schedule", help="run a policy on an instance file")
+    p_sched.add_argument("instance", type=Path)
+    p_sched.add_argument(
+        "--policy",
+        default="greedy-balance",
+        help=f"one of {available_policies()}",
+    )
+    p_sched.add_argument("--svg", type=Path, help="write a Gantt SVG")
+    p_sched.add_argument("--json", type=Path, help="write the schedule as JSON")
+
+    p_verify = sub.add_parser(
+        "verify", help="validate a schedule file and report its properties"
+    )
+    p_verify.add_argument("schedule", type=Path)
+
+    sub.add_parser("demo", help="quick tour on the Figure 1 example")
+    return parser
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    for exp in EXPERIMENTS.values():
+        print(f"  {exp.id:<6} {exp.title}")
+    print("policies:")
+    for name in available_policies():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    exp = get_experiment(args.id)
+    result = exp.run()
+    print(result.to_text())
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"rows written to {args.csv}")
+    return 0 if result.verdict in (True, None) else 1
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    print(render_instance(instance))
+    if instance.num_processors == 2:
+        result = opt_res_assignment(instance)
+    else:
+        result = opt_res_assignment_general(instance)
+    print(f"optimal makespan: {result.makespan}")
+    print(render_schedule(result.schedule))
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    policy = get_policy(args.policy)
+    schedule = policy.run(instance)
+    print(render_instance(instance))
+    print()
+    print(render_schedule(schedule))
+    metrics = compute_metrics(schedule)
+    print(f"metrics: {metrics.as_row()}")
+    if args.svg:
+        args.svg.write_text(schedule_svg(schedule, title=f"{args.policy}"))
+        print(f"SVG written to {args.svg}")
+    if args.json:
+        save_schedule(schedule, args.json)
+        print(f"JSON written to {args.json}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .analysis import verify_schedule
+    from .core.properties import is_balanced, is_nested, is_non_wasting, is_progressive
+    from .io import load_schedule
+
+    schedule = load_schedule(args.schedule)
+    report = verify_schedule(schedule)
+    print(f"makespan: {schedule.makespan}")
+    print(f"feasible: {report.ok}")
+    for problem in report.problems:
+        print(f"  problem: {problem}")
+    if report.ok:
+        print(f"non-wasting: {is_non_wasting(schedule)}")
+        print(f"progressive: {is_progressive(schedule)}")
+        print(f"nested:      {is_nested(schedule)}")
+        print(f"balanced:    {is_balanced(schedule)}")
+        print(f"metrics: {compute_metrics(schedule).as_row()}")
+    return 0 if report.ok else 1
+
+
+def _cmd_demo() -> int:
+    from .algorithms import GreedyBalance
+    from .generators import fig1_instance
+
+    instance = fig1_instance()
+    print("Figure 1 instance:")
+    print(render_instance(instance))
+    schedule = GreedyBalance().run(instance)
+    print("\nGreedyBalance schedule:")
+    print(render_schedule(schedule))
+    graph = SchedulingGraph(schedule)
+    print("\nScheduling hypergraph:")
+    print(render_components(graph))
+    print(f"\nmetrics: {compute_metrics(schedule).as_row()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "schedule":
+        return _cmd_schedule(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    if args.command == "demo":
+        return _cmd_demo()
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

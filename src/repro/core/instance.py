@@ -1,0 +1,235 @@
+"""Problem instances for CRSharing (Section 3.1).
+
+An :class:`Instance` is ``m`` sequences of :class:`~repro.core.job.Job`
+objects, one sequence per processor.  The job-to-processor assignment
+and the order of jobs on a processor are *fixed* -- this is the paper's
+central modelling decision: the scheduler only distributes the shared
+resource, it does not place jobs.
+
+The class carries the derived quantities used throughout the paper:
+
+* ``n`` -- the maximum number of jobs on any processor,
+* ``M_j`` -- the set of processors with at least ``j`` jobs
+  (:meth:`Instance.processors_with_at_least`),
+* the total work :math:`\\sum_{i,j} r_{ij} p_{ij}` behind
+  Observation 1 (:meth:`Instance.total_work`).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Iterator, Sequence
+
+from ..exceptions import InvalidInstanceError, UnitSizeRequiredError
+from .job import Job, JobId
+from .numerics import (
+    Num,
+    ONE,
+    ZERO,
+    common_denominator,
+    frac_ceil,
+    frac_sum,
+    to_frac,
+)
+
+__all__ = ["Instance"]
+
+
+class Instance:
+    """An immutable CRSharing problem instance.
+
+    Args:
+        queues: one sequence of jobs per processor.  Elements may be
+            :class:`Job` objects or bare numbers (interpreted as
+            unit-size requirements), so
+            ``Instance([[0.5, 0.5], [1, "1/3"]])`` works.
+
+    Raises:
+        InvalidInstanceError: if there are no processors, or any
+            processor has an empty job sequence.  (The paper allows
+            ``n_i >= 1`` implicitly; an idle processor adds nothing to
+            the problem and would break several notational conventions,
+            so we reject it at construction.)
+    """
+
+    __slots__ = ("_queues", "_hash")
+
+    def __init__(self, queues: Iterable[Iterable[Job | Num]]) -> None:
+        built: list[tuple[Job, ...]] = []
+        for qi, queue in enumerate(queues):
+            jobs: list[Job] = []
+            for job in queue:
+                jobs.append(job if isinstance(job, Job) else Job(job))
+            if not jobs:
+                raise InvalidInstanceError(f"processor {qi} has an empty job sequence")
+            built.append(tuple(jobs))
+        if not built:
+            raise InvalidInstanceError("an instance needs at least one processor")
+        self._queues: tuple[tuple[Job, ...], ...] = tuple(built)
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Basic shape
+    # ------------------------------------------------------------------
+    @property
+    def num_processors(self) -> int:
+        """``m`` -- the number of processors."""
+        return len(self._queues)
+
+    @property
+    def m(self) -> int:
+        """Alias for :attr:`num_processors` matching the paper."""
+        return len(self._queues)
+
+    @property
+    def queues(self) -> tuple[tuple[Job, ...], ...]:
+        """The job sequences, one tuple per processor."""
+        return self._queues
+
+    def num_jobs(self, processor: int) -> int:
+        """``n_i`` -- the number of jobs on *processor*."""
+        return len(self._queues[processor])
+
+    @property
+    def max_jobs(self) -> int:
+        """``n = max_i n_i`` -- the longest job sequence."""
+        return max(len(q) for q in self._queues)
+
+    @property
+    def total_jobs(self) -> int:
+        """Total number of jobs over all processors."""
+        return sum(len(q) for q in self._queues)
+
+    def job(self, processor: int, index: int) -> Job:
+        """The job ``(processor, index)`` (0-based indices)."""
+        return self._queues[processor][index]
+
+    def jobs(self) -> Iterator[tuple[JobId, Job]]:
+        """Iterate over ``((i, j), job)`` pairs in processor-major order."""
+        for i, queue in enumerate(self._queues):
+            for j, job in enumerate(queue):
+                yield (i, j), job
+
+    def requirement(self, processor: int, index: int) -> Fraction:
+        """``r_{ij}`` of job ``(processor, index)``."""
+        return self._queues[processor][index].requirement
+
+    def requirements(self, processor: int) -> tuple[Fraction, ...]:
+        """All requirements on one processor, in order."""
+        return tuple(job.requirement for job in self._queues[processor])
+
+    # ------------------------------------------------------------------
+    # Paper quantities
+    # ------------------------------------------------------------------
+    def processors_with_at_least(self, j: int) -> tuple[int, ...]:
+        """``M_j = { i : n_i >= j }`` for 1-based job index *j*.
+
+        Matches the paper's definition, so ``processors_with_at_least(1)``
+        is every processor.
+        """
+        if j < 1:
+            raise ValueError(f"job index must be >= 1 (paper convention), got {j}")
+        return tuple(i for i, q in enumerate(self._queues) if len(q) >= j)
+
+    def total_work(self) -> Fraction:
+        """:math:`\\sum_{i,j} r_{ij} \\cdot p_{ij}` -- total resource-time.
+
+        By Observation 1, ``ceil(total_work())`` lower-bounds the
+        makespan of any feasible schedule.
+        """
+        return frac_sum(job.work for _, job in self.jobs())
+
+    def work_lower_bound(self) -> int:
+        """Observation 1: ``ceil(total work)`` as an integer step count."""
+        return frac_ceil(self.total_work())
+
+    @property
+    def is_unit_size(self) -> bool:
+        """True iff every job has unit size (the analyzed restriction)."""
+        return all(job.is_unit for _, job in self.jobs())
+
+    def require_unit_size(self, algorithm: str) -> None:
+        """Raise :class:`UnitSizeRequiredError` unless all jobs are unit
+        size.  Exact algorithms from Sections 5-8 call this."""
+        if not self.is_unit_size:
+            raise UnitSizeRequiredError(
+                f"{algorithm} is defined for unit-size jobs only "
+                "(Sections 4-8 of the paper); use the simulator for the "
+                "general model"
+            )
+
+    # ------------------------------------------------------------------
+    # Integer grid
+    # ------------------------------------------------------------------
+    def resource_denominator(self) -> int:
+        """Least common denominator of all requirements (>= 1)."""
+        return common_denominator(job.requirement for _, job in self.jobs())
+
+    def to_integer_grid(self) -> tuple[list[list[int]], int]:
+        """Express all requirements as integers over a common grid.
+
+        Returns ``(units, D)`` with
+        ``units[i][j] * Fraction(1, D) == r_{ij}``; the per-step
+        resource capacity becomes ``D`` units.  Algorithms that only
+        add and compare requirements can then run in pure integer
+        arithmetic.
+        """
+        d = self.resource_denominator()
+        units = [[int(job.requirement * d) for job in queue] for queue in self._queues]
+        return units, d
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_requirements(cls, requirements: Sequence[Sequence[Num]]) -> "Instance":
+        """Build a unit-size instance from raw requirement values."""
+        return cls([[Job(r) for r in row] for row in requirements])
+
+    @classmethod
+    def from_percent(cls, percents: Sequence[Sequence[Num]]) -> "Instance":
+        """Build a unit-size instance from requirements given in percent
+        (the notation used by the paper's figures, e.g. node label
+        ``55`` means :math:`r = 0.55`)."""
+        return cls([[Job(to_frac(p) / 100) for p in row] for row in percents])
+
+    def restrict_to_suffix(self, completed: Sequence[int]) -> "Instance":
+        """Sub-instance with the first ``completed[i]`` jobs of each
+        processor removed (processors that become empty are dropped).
+
+        Used by the Case-2 analysis of Theorem 7 and by tests that
+        recurse on residual workloads.
+        """
+        if len(completed) != self.num_processors:
+            raise ValueError("completed must have one entry per processor")
+        rows = []
+        for i, queue in enumerate(self._queues):
+            done = completed[i]
+            if not 0 <= done <= len(queue):
+                raise ValueError(
+                    f"completed[{i}]={done} out of range 0..{len(queue)}"
+                )
+            if done < len(queue):
+                rows.append(queue[done:])
+        if not rows:
+            raise InvalidInstanceError("all jobs already completed; empty sub-instance")
+        return Instance(rows)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._queues == other._queues
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._queues)
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rows = ", ".join(
+            "[" + ", ".join(repr(j) for j in queue) + "]" for queue in self._queues
+        )
+        return f"Instance([{rows}])"

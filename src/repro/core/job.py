@@ -1,0 +1,88 @@
+"""Job model for the CRSharing problem (Section 3.1 of the paper).
+
+A job ``(i, j)`` is the *j*-th phase of the task pinned to processor
+*i*.  It carries two numbers:
+
+``requirement`` (:math:`r_{ij} \\in [0, 1]`)
+    The share of the common resource needed to process one unit of the
+    job's volume per time step at full speed.
+
+``size`` (:math:`p_{ij} > 0`)
+    The processing volume.  The paper's analysis (Sections 4-8) fixes
+    ``size == 1`` ("unit size jobs"); the general model and the
+    simulator support arbitrary sizes.
+
+Under the paper's *alternative interpretation* (Section 3.1, Eq. 2) a
+job is a work volume :math:`\\tilde p_{ij} = r_{ij} p_{ij}` processed
+at speed :math:`\\min(R_i(t), r_{ij})`; :attr:`Job.work` exposes that
+quantity, which is the natural unit for all bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..exceptions import InvalidInstanceError
+from .numerics import Num, ONE, ZERO, format_frac, to_frac
+
+__all__ = ["Job", "JobId"]
+
+#: A job is addressed as ``(processor_index, job_index)``; both 0-based
+#: in code (the paper uses 1-based indices).
+JobId = tuple[int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """One job: a resource requirement in ``[0,1]`` and a positive size.
+
+    Instances are immutable value objects; all numeric fields are exact
+    :class:`~fractions.Fraction` values (see :mod:`repro.core.numerics`).
+
+    Args:
+        requirement: resource requirement :math:`r_{ij} \\in [0, 1]`.
+        size: processing volume :math:`p_{ij} > 0` (default 1 = the
+            unit-size restriction analyzed in the paper).
+
+    Raises:
+        InvalidInstanceError: if the requirement is outside ``[0,1]`` or
+            the size is not positive.
+    """
+
+    requirement: Fraction
+    size: Fraction
+
+    def __init__(self, requirement: Num, size: Num = 1) -> None:
+        req = to_frac(requirement)
+        sz = to_frac(size)
+        if not (ZERO <= req <= ONE):
+            raise InvalidInstanceError(
+                f"job requirement must be in [0, 1], got {format_frac(req)}"
+            )
+        if sz <= ZERO:
+            raise InvalidInstanceError(f"job size must be positive, got {format_frac(sz)}")
+        object.__setattr__(self, "requirement", req)
+        object.__setattr__(self, "size", sz)
+
+    @property
+    def work(self) -> Fraction:
+        """Total work :math:`\\tilde p = r \\cdot p` in the alternative
+        (variable-speed) interpretation -- the amount of resource-time
+        the job consumes over its lifetime."""
+        return self.requirement * self.size
+
+    @property
+    def is_unit(self) -> bool:
+        """True iff the job has unit size (``p == 1``)."""
+        return self.size == ONE
+
+    def steps_at_full_speed(self) -> int:
+        """Minimum number of whole time steps to finish the job when it
+        is always granted its full requirement (``ceil(size)``)."""
+        return -((-self.size).__floor__())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_unit:
+            return f"Job({format_frac(self.requirement)})"
+        return f"Job({format_frac(self.requirement)}, size={format_frac(self.size)})"

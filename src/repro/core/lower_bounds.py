@@ -1,0 +1,122 @@
+"""Lower bounds on the optimal makespan.
+
+Four bounds from the paper:
+
+* **Observation 1**: the shared resource processes at most one unit of
+  total work per step, so ``OPT >= ceil(sum r_ij * p_ij)``.
+* **Trivial parallelism bound**: a processor finishes at most one job
+  per step, so ``OPT >= n`` (the longest job sequence).
+* **Lemma 5** (needs a *non-wasting* schedule's hypergraph): every
+  non-final edge of every component consumes the full resource, so
+  ``OPT >= sum_k (#_k - 1)``.
+* **Lemma 6** (needs a *balanced* schedule's hypergraph):
+  ``OPT >= n >= sum_{k<N} |C_k| / q_k + |C_N| / m``.
+
+The schedule-derived bounds are certificates: they are lower bounds on
+*any* schedule's makespan, computed from the structure of one given
+schedule.  Theorem 7's proof combines them; the test-suite checks them
+against exact optima.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .hypergraph import SchedulingGraph
+from .instance import Instance
+from .numerics import frac_ceil
+from .schedule import Schedule
+
+__all__ = [
+    "work_bound",
+    "length_bound",
+    "lemma5_bound",
+    "lemma6_bound",
+    "theorem7_reference",
+    "best_lower_bound",
+]
+
+
+def work_bound(instance: Instance) -> int:
+    """Observation 1: ``ceil`` of the total work
+    :math:`\\sum_{i,j} r_{ij} p_{ij}`."""
+    return instance.work_lower_bound()
+
+
+def length_bound(instance: Instance) -> int:
+    """``n`` -- each processor finishes at most one job per step.
+
+    Stated for unit-size jobs; for general sizes each job ``(i,j)``
+    still needs at least ``ceil(p_ij)`` steps, so we sum those per
+    processor and take the maximum, which degenerates to ``n`` in the
+    unit case.
+    """
+    best = 0
+    for i in range(instance.num_processors):
+        steps = sum(job.steps_at_full_speed() for job in instance.queues[i])
+        best = max(best, steps)
+    return best
+
+
+def lemma5_bound(graph: SchedulingGraph) -> int:
+    """Lemma 5: ``sum_k (#_k - 1)`` over the components of a
+    *non-wasting* schedule's hypergraph.
+
+    The caller is responsible for the non-wasting hypothesis (our
+    policy implementations produce non-wasting schedules by
+    construction; :func:`repro.core.properties.is_non_wasting` checks).
+    """
+    return sum(comp.num_edges - 1 for comp in graph.components)
+
+
+def lemma6_bound(graph: SchedulingGraph) -> Fraction:
+    """Lemma 6: ``sum_{k<N} |C_k|/q_k + |C_N|/m`` for a *balanced*
+    schedule's hypergraph.  Returns the exact rational; since OPT is an
+    integer, ``ceil`` of the returned value is also a valid bound.
+    """
+    m = graph.schedule.instance.num_processors
+    total = Fraction(0)
+    comps = graph.components
+    for comp in comps[:-1]:
+        total += Fraction(comp.num_nodes, comp.klass)
+    total += Fraction(comps[-1].num_nodes, m)
+    return total
+
+
+def theorem7_reference(graph: SchedulingGraph) -> Fraction:
+    """The reference quantity the Theorem 7 proof bounds against.
+
+    The proof splits on ``OPT >= n + 1`` vs ``OPT = n``:
+
+    * case 1 establishes ``S <= (2 - 1/m) * max(LB_5, LB_6 + 1)``
+      (its Eq. (12) divides by the Lemma 6 certificate *plus one*);
+    * case 2 establishes ``S <= (2 - 1/m) * n`` directly.
+
+    Hence ``S <= (2 - 1/m) * max(LB_5, LB_6 + 1, n)`` holds for every
+    balanced, non-wasting, progressive schedule ``S`` -- that is the
+    machine-checkable form used by the THM7 experiment and the
+    property tests.  Note this reference is *not* itself a lower bound
+    on OPT (the ``LB_6 + 1`` term is only valid in case 1); use
+    :func:`best_lower_bound` for certificates.
+    """
+    instance = graph.schedule.instance
+    return max(
+        Fraction(lemma5_bound(graph)),
+        lemma6_bound(graph) + 1,
+        Fraction(length_bound(instance)),
+    )
+
+
+def best_lower_bound(instance: Instance, schedule: Schedule | None = None) -> int:
+    """The strongest available integer lower bound on OPT.
+
+    Always includes Observation 1 and the length bound; when a
+    *schedule* is supplied (expected: a balanced, non-wasting one such
+    as GreedyBalance's output on a unit-size instance) the Lemma 5 and
+    Lemma 6 certificates are added.
+    """
+    bound = max(work_bound(instance), length_bound(instance))
+    if schedule is not None and instance.is_unit_size:
+        graph = SchedulingGraph(schedule)
+        bound = max(bound, lemma5_bound(graph), frac_ceil(lemma6_bound(graph)))
+    return bound

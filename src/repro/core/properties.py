@@ -1,0 +1,199 @@
+"""Structural schedule properties from Section 4.1 of the paper.
+
+The paper restricts analysis to schedules that are *non-wasting*
+(Definition 2), *progressive* (Definition 3) and *nested*
+(Definition 4); balancedness (Definition 5) is the extra property that
+buys the :math:`2 - 1/m` approximation (Theorem 7).  This module
+implements all four predicates plus the consequences used in proofs
+(Propositions 1 and 2), so the test-suite can assert them directly on
+the schedules our algorithms produce.
+
+Conventions: a job is *running* during step ``t`` if it processes a
+positive amount of work in that step (zero-work jobs are treated as
+running in their completion step); it is *in progress* at ``t`` if it
+has started (first resource at or before ``t``) but completes after
+``t``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .job import JobId
+from .numerics import ONE, ZERO, frac_sum
+from .schedule import Schedule
+
+__all__ = [
+    "is_non_wasting",
+    "is_progressive",
+    "is_nested",
+    "is_balanced",
+    "is_nice",
+    "nested_violations",
+    "balance_violations",
+    "check_proposition_1",
+    "check_proposition_2",
+]
+
+
+def _running_jobs(schedule: Schedule, t: int) -> list[JobId]:
+    """Jobs processing positive work during step *t* (plus zero-work
+    jobs completing at *t*, which occupy their processor)."""
+    step = schedule.step(t)
+    out: list[JobId] = []
+    for i, j in enumerate(step.active):
+        if j is None:
+            continue
+        if step.processed[i] > ZERO or schedule.completion_step(i, j) == t:
+            out.append((i, j))
+    return out
+
+
+def is_non_wasting(schedule: Schedule) -> bool:
+    """Definition 2: whenever a step assigns less than the full
+    resource, every active job finishes during that step."""
+    for t in range(schedule.makespan):
+        step = schedule.step(t)
+        if frac_sum(step.shares) < ONE:
+            for i, j in enumerate(step.active):
+                if j is None:
+                    continue
+                if schedule.completion_step(i, j) != t:
+                    return False
+    return True
+
+
+def is_progressive(schedule: Schedule) -> bool:
+    """Definition 3: in every step, at most one job that receives
+    resource is only partially processed (``n_i(t) == n_i(t+1)`` while
+    ``R_i(t) > 0`` for at most one processor)."""
+    for t in range(schedule.makespan):
+        step = schedule.step(t)
+        partial = 0
+        for i, j in enumerate(step.active):
+            if j is None or step.shares[i] == ZERO:
+                continue
+            if schedule.completion_step(i, j) != t:
+                partial += 1
+                if partial > 1:
+                    return False
+    return True
+
+
+def nested_violations(schedule: Schedule) -> list[tuple[JobId, JobId, int]]:
+    """All witnesses ``((i,j), (i',j'), t)`` violating Definition 4.
+
+    A violation is: job ``(i,j)`` runs during step ``t`` while some job
+    ``(i',j')`` with a *later* start is still in progress
+    (``S(i,j) < S(i',j') <= t < C(i',j')``) and that later job started
+    before ``(i,j)`` completed (``S(i',j') < C(i,j)``).
+    """
+    starts = schedule.start_steps
+    comps = schedule.completion_steps
+    jobs = list(starts)
+    violations: list[tuple[JobId, JobId, int]] = []
+    for t in range(schedule.makespan):
+        running = _running_jobs(schedule, t)
+        if not running:
+            continue
+        in_progress = [
+            jid for jid in jobs if starts[jid] <= t < comps[jid]
+        ]
+        for a in running:
+            sa, ca = starts[a], comps[a]
+            for b in in_progress:
+                if b == a:
+                    continue
+                sb = starts[b]
+                if sa < sb and sb <= t and sb < ca:
+                    violations.append((a, b, t))
+    return violations
+
+
+def is_nested(schedule: Schedule) -> bool:
+    """Definition 4: among partially processed jobs, the latest-started
+    one is always preferred (run and completed) -- equivalently, no
+    witness found by :func:`nested_violations`."""
+    return not nested_violations(schedule)
+
+
+def balance_violations(schedule: Schedule) -> list[tuple[int, int, int]]:
+    """All witnesses ``(t, i, i')`` violating Definition 5: processor
+    ``i`` finishes a job at step ``t`` while processor ``i'`` with
+    strictly more remaining jobs does not."""
+    inst = schedule.instance
+    m = inst.num_processors
+    violations: list[tuple[int, int, int]] = []
+    finish_steps: dict[int, set[int]] = {i: set() for i in range(m)}
+    for (i, _j), t in schedule.completion_steps.items():
+        finish_steps[i].add(t)
+    for t in range(schedule.makespan):
+        finishing = [i for i in range(m) if t in finish_steps[i]]
+        if not finishing:
+            continue
+        for i in finishing:
+            ni = schedule.jobs_remaining(t, i)
+            for ip in range(m):
+                if ip == i or t in finish_steps[ip]:
+                    continue
+                if schedule.jobs_remaining(t, ip) > ni:
+                    violations.append((t, i, ip))
+    return violations
+
+
+def is_balanced(schedule: Schedule) -> bool:
+    """Definition 5: whenever a processor finishes a job at step ``t``,
+    so does every processor holding more remaining jobs."""
+    return not balance_violations(schedule)
+
+
+def is_nice(schedule: Schedule) -> bool:
+    """The Lemma 1 package: non-wasting, progressive and nested."""
+    return is_non_wasting(schedule) and is_progressive(schedule) and is_nested(schedule)
+
+
+def check_proposition_1(schedule: Schedule) -> bool:
+    """Proposition 1 for balanced schedules:
+
+    (a) ``n_{i1} >= n_{i2}`` implies ``n_{i1}(t) >= n_{i2}(t) - 1``;
+    (b) ``n_{i1} > n_{i2}`` implies
+        ``n_{i1}(t) <= n_{i2}(t) + n_{i1} - n_{i2}``.
+
+    Returns True iff both hold at every step (callers assert this for
+    schedules known to be balanced).
+    """
+    inst = schedule.instance
+    m = inst.num_processors
+    totals = [inst.num_jobs(i) for i in range(m)]
+    for t in range(schedule.makespan + 1):
+        rem = [schedule.jobs_remaining(t, i) for i in range(m)]
+        for i1 in range(m):
+            for i2 in range(m):
+                if i1 == i2:
+                    continue
+                if totals[i1] >= totals[i2] and not rem[i1] >= rem[i2] - 1:
+                    return False
+                if totals[i1] > totals[i2] and not (
+                    rem[i1] <= rem[i2] + totals[i1] - totals[i2]
+                ):
+                    return False
+    return True
+
+
+def check_proposition_2(schedule: Schedule) -> bool:
+    """Proposition 2 for balanced schedules: if job ``(i, j)`` is active
+    at step ``t`` and is not the last job on its processor, then every
+    processor in ``M_j`` is active at ``t``.
+
+    (Indices follow the paper: ``M_j`` uses 1-based ``j``.)
+    """
+    inst = schedule.instance
+    for t in range(schedule.makespan):
+        for (i, j0) in schedule.active_jobs(t):
+            if schedule.jobs_remaining(t, i) <= 1:
+                continue  # last job on the processor: no claim
+            j_paper = j0 + 1
+            for ip in inst.processors_with_at_least(j_paper):
+                if not schedule.is_active(t, ip):
+                    return False
+    return True

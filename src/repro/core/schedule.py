@@ -1,0 +1,310 @@
+"""Schedules for CRSharing (Section 3.1).
+
+A feasible schedule is, per the paper, a family of resource assignment
+functions :math:`R_i : \\mathbb{N} \\to [0,1]` with
+:math:`\\sum_i R_i(t) \\le 1` for every time step.  At each step,
+processor *i* uses its share to process its first unfinished job.
+
+:class:`Schedule` stores the share vectors and *executes* them against
+the instance (in exact arithmetic, using the alternative
+variable-speed interpretation of Section 3.1): it derives, per step,
+which job is active on each processor, how much work it processes, and
+when every job starts and completes.  All downstream analysis --
+property checks (Section 4.1), the scheduling hypergraph (Section 3.2),
+lower bounds (Lemmas 5/6) -- is computed from this one artifact, so
+online policies and offline exact algorithms are directly comparable.
+
+Step indices are 0-based in code; the paper is 1-based.  Rendering
+helpers add 1 where appropriate.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from ..exceptions import InvalidScheduleError
+from .instance import Instance
+from .job import JobId
+from .numerics import Num, ONE, ZERO, format_frac, frac_sum, to_frac
+
+__all__ = ["Schedule", "StepExecution"]
+
+
+class StepExecution:
+    """Execution record of one time step (derived, read-only).
+
+    Attributes:
+        shares: the resource share granted to each processor.
+        active: per processor, the index of the job processed this
+            step, or ``None`` if the processor had already finished.
+        processed: per processor, the amount of *work*
+            (remaining-requirement units, cf. Eq. (2)) actually
+            processed this step.
+        useful: total work processed over all processors; the step's
+            wasted resource is ``1 - useful`` for non-terminal steps of
+            a non-wasting schedule (Lemma 5's accounting).
+    """
+
+    __slots__ = ("shares", "active", "processed")
+
+    def __init__(
+        self,
+        shares: tuple[Fraction, ...],
+        active: tuple[int | None, ...],
+        processed: tuple[Fraction, ...],
+    ) -> None:
+        self.shares = shares
+        self.active = active
+        self.processed = processed
+
+    @property
+    def useful(self) -> Fraction:
+        return frac_sum(self.processed)
+
+    @property
+    def assigned(self) -> Fraction:
+        return frac_sum(self.shares)
+
+    @property
+    def waste(self) -> Fraction:
+        """Capacity not converted into work this step (``1 - useful``)."""
+        return ONE - self.useful
+
+
+class Schedule:
+    """A (validated) schedule for a CRSharing instance.
+
+    Args:
+        instance: the problem instance the schedule is for.
+        shares: one share vector per time step; each vector has one
+            entry per processor.  Entries are converted to exact
+            rationals.
+        validate: when True (default), raise
+            :class:`~repro.exceptions.InvalidScheduleError` if any step
+            overuses the resource, any share is outside ``[0,1]``, or
+            the schedule does not finish all jobs.
+        trim: when True (default), drop trailing steps in which no work
+            is processed (they only inflate the makespan and every
+            transformation in the paper implicitly removes them).
+
+    Raises:
+        InvalidScheduleError: see ``validate``.
+    """
+
+    __slots__ = (
+        "_instance",
+        "_steps",
+        "_completion",
+        "_start",
+        "_jobs_done_before",
+        "_final_done_counts",
+    )
+
+    def __init__(
+        self,
+        instance: Instance,
+        shares: Iterable[Sequence[Num]],
+        *,
+        validate: bool = True,
+        trim: bool = True,
+    ) -> None:
+        m = instance.num_processors
+        rows: list[tuple[Fraction, ...]] = []
+        for t, row in enumerate(shares):
+            vec = tuple(to_frac(x) for x in row)
+            if len(vec) != m:
+                raise InvalidScheduleError(
+                    f"step {t}: share vector has {len(vec)} entries, expected {m}"
+                )
+            rows.append(vec)
+        self._instance = instance
+        self._steps: list[StepExecution] = []
+        self._completion: dict[JobId, int] = {}
+        self._start: dict[JobId, int] = {}
+        self._jobs_done_before: list[tuple[int, ...]] = []
+        self._execute(rows, validate=validate, trim=trim)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute(
+        self, rows: list[tuple[Fraction, ...]], *, validate: bool, trim: bool
+    ) -> None:
+        from .state import ExecState  # local import to avoid a module cycle
+
+        inst = self._instance
+        m = inst.num_processors
+        state = ExecState(inst)
+
+        for t, vec in enumerate(rows):
+            if validate:
+                total = frac_sum(vec)
+                if total > ONE:
+                    raise InvalidScheduleError(
+                        f"step {t}: resource overused (sum of shares = "
+                        f"{format_frac(total)} > 1)"
+                    )
+                for i, x in enumerate(vec):
+                    if x < ZERO or x > ONE:
+                        raise InvalidScheduleError(
+                            f"step {t}: share for processor {i} is "
+                            f"{format_frac(x)}, outside [0, 1]"
+                        )
+            self._jobs_done_before.append(tuple(state.done))
+            outcome = state.apply(vec)
+            for jid in outcome.started:
+                self._start.setdefault(jid, t)
+            for jid in outcome.completed:
+                self._completion[jid] = t
+            self._steps.append(StepExecution(vec, outcome.active, outcome.processed))
+        done = state.done
+
+        if trim:
+            while self._steps and self._steps[-1].useful == ZERO:
+                removed_t = len(self._steps) - 1
+                # No job starts/completes in a zero-work step except
+                # zero-work jobs; keep those steps.
+                if any(t == removed_t for t in self._completion.values()):
+                    break
+                self._steps.pop()
+                self._jobs_done_before.pop()
+
+        # Trimmed steps never contain completions, so `done` is final.
+        self._final_done_counts = tuple(done)
+
+        if validate:
+            for i in range(m):
+                if done[i] < inst.num_jobs(i):
+                    raise InvalidScheduleError(
+                        f"schedule ends after {len(self._steps)} steps but "
+                        f"processor {i} still has "
+                        f"{inst.num_jobs(i) - done[i]} unfinished job(s)"
+                    )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def instance(self) -> Instance:
+        return self._instance
+
+    @property
+    def makespan(self) -> int:
+        """Number of time steps until all jobs are finished."""
+        return len(self._steps)
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    @property
+    def steps(self) -> tuple[StepExecution, ...]:
+        return tuple(self._steps)
+
+    def step(self, t: int) -> StepExecution:
+        return self._steps[t]
+
+    def share(self, t: int, processor: int) -> Fraction:
+        """``R_i(t)`` with 0-based step index."""
+        return self._steps[t].shares[processor]
+
+    def share_rows(self) -> list[list[Fraction]]:
+        """The raw share matrix (steps x processors), e.g. for serialization."""
+        return [list(s.shares) for s in self._steps]
+
+    # ------------------------------------------------------------------
+    # Paper quantities
+    # ------------------------------------------------------------------
+    def jobs_completed_before(self, t: int, processor: int) -> int:
+        """``j_i(t)`` -- jobs finished on *processor* before step *t*
+        (0-based *t*; ``t == makespan`` is allowed and returns the final
+        counts)."""
+        if t == len(self._steps):
+            return self._final_done()[processor]
+        return self._jobs_done_before[t][processor]
+
+    def jobs_remaining(self, t: int, processor: int) -> int:
+        """``n_i(t)`` -- unfinished jobs on *processor* at the start of
+        step *t* (paper notation, shifted to 0-based steps)."""
+        return self._instance.num_jobs(processor) - self.jobs_completed_before(t, processor)
+
+    def _final_done(self) -> tuple[int, ...]:
+        return self._final_done_counts
+
+    def is_active(self, t: int, processor: int) -> bool:
+        """True iff *processor* still has unfinished jobs at step *t*."""
+        return self.jobs_remaining(t, processor) > 0
+
+    def active_job(self, t: int, processor: int) -> int | None:
+        """Index of the job processed by *processor* at step *t* (the
+        first unfinished one), or ``None`` if the processor is done."""
+        return self._steps[t].active[processor]
+
+    def active_jobs(self, t: int) -> tuple[JobId, ...]:
+        """The hyperedge ``e_t``: all active jobs at step *t*
+        (Section 3.2), as ``(processor, job_index)`` pairs."""
+        out = []
+        for i, j in enumerate(self._steps[t].active):
+            if j is not None:
+                out.append((i, j))
+        return tuple(out)
+
+    def start_step(self, processor: int, index: int) -> int:
+        """``S(i, j)`` -- the step at which the job first receives
+        resource (Definition 4's notion of *starting*)."""
+        return self._start[(processor, index)]
+
+    def completion_step(self, processor: int, index: int) -> int:
+        """``C(i, j)`` -- the step in which the job completes."""
+        return self._completion[(processor, index)]
+
+    @property
+    def completion_steps(self) -> Mapping[JobId, int]:
+        return dict(self._completion)
+
+    @property
+    def start_steps(self) -> Mapping[JobId, int]:
+        return dict(self._start)
+
+    def finishes_job_at(self, t: int) -> tuple[JobId, ...]:
+        """All jobs completing during step *t*."""
+        return tuple(jid for jid, ct in self._completion.items() if ct == t)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_waste(self) -> Fraction:
+        """Total capacity not converted into work, summed over steps."""
+        return frac_sum(s.waste for s in self._steps)
+
+    def utilization(self) -> Fraction:
+        """Average fraction of capacity converted into work."""
+        if not self._steps:
+            return ZERO
+        return frac_sum(s.useful for s in self._steps) / len(self._steps)
+
+    def resource_given(self, processor: int, index: int) -> Fraction:
+        """Work processed for one job over its lifetime (equals the
+        job's work :math:`\\tilde p` in a valid complete schedule)."""
+        total = ZERO
+        for t, s in enumerate(self._steps):
+            if s.active[processor] == index:
+                total += s.processed[processor]
+        return total
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return (
+            self._instance == other._instance
+            and [s.shares for s in self._steps] == [s.shares for s in other._steps]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule(m={self._instance.num_processors}, "
+            f"makespan={self.makespan})"
+        )

@@ -1,0 +1,114 @@
+"""Discrete-time simulator driving online policies (Section 3.1).
+
+The simulator is the bridge between *policies* (state-feedback rules
+such as RoundRobin and GreedyBalance, Sections 4.2 / 8.3) and the
+offline :class:`~repro.core.schedule.Schedule` artifact all analysis
+operates on.  Each step it asks the policy for a share vector, checks
+feasibility, advances the shared :class:`~repro.core.state.ExecState`,
+and finally wraps the recorded share rows in a validated
+:class:`Schedule`.
+
+Policies are plain callables ``policy(state) -> shares`` where *state*
+is the live :class:`ExecState` (treated as read-only by convention;
+:class:`~repro.algorithms.base.Policy` documents the contract).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Sequence
+
+from ..exceptions import InfeasibleAssignmentError, SimulationLimitError
+from .instance import Instance
+from .numerics import Num, ONE, ZERO, format_frac, frac_sum, to_frac
+from .schedule import Schedule
+from .state import ExecState
+
+__all__ = ["simulate", "default_step_limit", "PolicyFn"]
+
+#: A policy maps the execution state to a per-processor share vector.
+PolicyFn = Callable[[ExecState], Sequence[Num]]
+
+
+def default_step_limit(instance: Instance) -> int:
+    """A generous upper bound on the steps any sane policy needs.
+
+    Any schedule that each step either finishes a job or uses the full
+    resource takes at most ``total_jobs + ceil(total_work)`` steps; we
+    double that and pad, so only genuinely stuck policies hit the limit.
+    """
+    return 2 * (instance.total_jobs + instance.work_lower_bound()) + 16
+
+
+def simulate(
+    instance: Instance,
+    policy: PolicyFn,
+    *,
+    max_steps: int | None = None,
+    stall_limit: int = 3,
+) -> Schedule:
+    """Run *policy* on *instance* until every job is finished.
+
+    Args:
+        instance: the CRSharing instance (unit or general job sizes).
+        policy: callable producing one share vector per step.
+        max_steps: hard safety limit (default
+            :func:`default_step_limit`).
+        stall_limit: abort after this many *consecutive* steps in which
+            nothing changed (no work processed, no job completed) --
+            the signature of a policy that will never terminate.
+
+    Returns:
+        A validated :class:`Schedule`.
+
+    Raises:
+        InfeasibleAssignmentError: if the policy overuses the resource
+            or emits an invalid share.
+        SimulationLimitError: if the limits are exceeded.
+    """
+    limit = default_step_limit(instance) if max_steps is None else max_steps
+    state = ExecState(instance)
+    rows: list[tuple[Fraction, ...]] = []
+    stalled = 0
+
+    while not state.all_done:
+        if state.t >= limit:
+            raise SimulationLimitError(
+                f"policy did not finish within {limit} steps "
+                f"(done={state.done})"
+            )
+        raw = policy(state)
+        shares = tuple(to_frac(x) for x in raw)
+        if len(shares) != instance.num_processors:
+            raise InfeasibleAssignmentError(
+                f"policy returned {len(shares)} shares for "
+                f"{instance.num_processors} processors at step {state.t}"
+            )
+        for i, x in enumerate(shares):
+            if x < ZERO or x > ONE:
+                raise InfeasibleAssignmentError(
+                    f"step {state.t}: share {format_frac(x)} for processor "
+                    f"{i} outside [0, 1]"
+                )
+        total = frac_sum(shares)
+        if total > ONE:
+            raise InfeasibleAssignmentError(
+                f"step {state.t}: resource overused "
+                f"(sum of shares = {format_frac(total)} > 1)"
+            )
+        outcome = state.apply(shares)
+        rows.append(shares)
+        if not outcome.completed and all(p == ZERO for p in outcome.processed):
+            stalled += 1
+            if stalled >= stall_limit:
+                raise SimulationLimitError(
+                    f"policy made no progress for {stalled} consecutive "
+                    f"steps (t={state.t}); aborting"
+                )
+        else:
+            stalled = 0
+
+    # The rows were produced against live state; Schedule re-executes
+    # them through the same ExecState semantics, guaranteeing the
+    # returned artifact is internally consistent.
+    return Schedule(instance, rows, validate=True, trim=True)

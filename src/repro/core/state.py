@@ -1,0 +1,218 @@
+"""Execution state and configurations.
+
+Two closely related state notions live here:
+
+:class:`ExecState`
+    The operational state of a running schedule: per processor, how
+    many jobs are done and how much work the active job still needs.
+    It implements the *single* authoritative step semantics (Eq. (1)/(2)
+    of the paper) used by both :class:`~repro.core.schedule.Schedule`
+    (offline replay) and :mod:`repro.core.simulator` (online policies).
+
+:class:`Configuration`
+    The paper's Definition 6: a vector
+    ``(t, j_1..j_m, v_1..v_m)`` where ``j_i`` counts completed jobs and
+    ``v_i`` is the resource already *spent* on the active job.  Used by
+    the fixed-``m`` exact algorithm (Section 7) together with its
+    *core*/*support* notions and the domination order of Lemma 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from .instance import Instance
+from .job import JobId
+from .numerics import ONE, ZERO
+
+__all__ = ["ExecState", "StepOutcome", "Configuration"]
+
+
+@dataclass(frozen=True, slots=True)
+class StepOutcome:
+    """What happened during one executed step.
+
+    Attributes:
+        active: per processor, the job index processed (``None`` if the
+            processor had no unfinished jobs).
+        processed: per processor, work units processed this step.
+        completed: jobs that finished during this step.
+        started: jobs that received their first resource this step
+            (zero-work jobs count as started when they become active).
+    """
+
+    active: tuple[int | None, ...]
+    processed: tuple[Fraction, ...]
+    completed: tuple[JobId, ...]
+    started: tuple[JobId, ...]
+
+
+class ExecState:
+    """Mutable execution state of a CRSharing run.
+
+    The semantics implemented by :meth:`apply` follow Section 3.1:
+
+    * each processor works on its first unfinished job only;
+    * the work processed in a step is
+      ``min(share, requirement, remaining_work)`` -- the requirement
+      caps the useful speed (granting more than ``r_ij`` does not help)
+      and a processor cannot start its next job within the same step;
+    * a job whose remaining work reaches zero completes in that step;
+      the successor job becomes active at the *next* step.
+    """
+
+    __slots__ = ("instance", "t", "done", "remaining", "_started")
+
+    def __init__(self, instance: Instance) -> None:
+        self.instance = instance
+        self.t = 0
+        self.done = [0] * instance.num_processors
+        self.remaining = [instance.job(i, 0).work for i in range(instance.num_processors)]
+        self._started: set[JobId] = set()
+
+    # ------------------------------------------------------------------
+    # Read-only views used by policies
+    # ------------------------------------------------------------------
+    @property
+    def num_processors(self) -> int:
+        return self.instance.num_processors
+
+    def jobs_remaining(self, processor: int) -> int:
+        """``n_i(t)`` -- unfinished jobs on *processor*."""
+        return self.instance.num_jobs(processor) - self.done[processor]
+
+    def is_active(self, processor: int) -> bool:
+        return self.done[processor] < self.instance.num_jobs(processor)
+
+    def active_processors(self) -> list[int]:
+        return [i for i in range(self.num_processors) if self.is_active(i)]
+
+    def active_job(self, processor: int) -> int | None:
+        if not self.is_active(processor):
+            return None
+        return self.done[processor]
+
+    def remaining_work(self, processor: int) -> Fraction:
+        """Remaining work (:math:`\\tilde p` units) of the active job;
+        0 if the processor has finished everything."""
+        if not self.is_active(processor):
+            return ZERO
+        return self.remaining[processor]
+
+    def remaining_requirement(self, processor: int) -> Fraction:
+        """For unit-size jobs this equals :meth:`remaining_work` (the
+        paper's *remaining resource requirement*); kept as a separate
+        name so policy code reads like the paper."""
+        return self.remaining_work(processor)
+
+    @property
+    def all_done(self) -> bool:
+        return all(not self.is_active(i) for i in range(self.num_processors))
+
+    def snapshot(self) -> tuple[int, tuple[int, ...], tuple[Fraction, ...]]:
+        """Hashable progress snapshot (used for stall detection)."""
+        return (self.t, tuple(self.done), tuple(self.remaining))
+
+    # ------------------------------------------------------------------
+    # Step semantics
+    # ------------------------------------------------------------------
+    def apply(self, shares: Sequence[Fraction]) -> StepOutcome:
+        """Execute one step with the given share vector.
+
+        The caller is responsible for feasibility checks (the
+        simulator and :class:`~repro.core.schedule.Schedule` validate
+        before calling).
+        """
+        inst = self.instance
+        m = inst.num_processors
+        active: list[int | None] = [None] * m
+        processed: list[Fraction] = [ZERO] * m
+        completed: list[JobId] = []
+        started: list[JobId] = []
+        for i in range(m):
+            j = self.done[i]
+            if j >= inst.num_jobs(i):
+                continue
+            active[i] = j
+            job = inst.job(i, j)
+            speed = min(shares[i], job.requirement)
+            work = min(speed, self.remaining[i])
+            if work > ZERO and (i, j) not in self._started:
+                self._started.add((i, j))
+                started.append((i, j))
+            processed[i] = work
+            self.remaining[i] -= work
+            if self.remaining[i] == ZERO:
+                if (i, j) not in self._started:
+                    self._started.add((i, j))
+                    started.append((i, j))
+                completed.append((i, j))
+                self.done[i] += 1
+                if self.done[i] < inst.num_jobs(i):
+                    self.remaining[i] = inst.job(i, self.done[i]).work
+        self.t += 1
+        return StepOutcome(
+            active=tuple(active),
+            processed=tuple(processed),
+            completed=tuple(completed),
+            started=tuple(started),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Configuration:
+    """Definition 6: the state of a schedule before a round.
+
+    Attributes:
+        t: the (0-based) number of steps already executed.
+        completed: ``(j_1(t), ..., j_m(t))`` -- jobs completed per
+            processor; the paper's *core*.
+        spent: ``(v_1(t), ..., v_m(t))`` -- resource already spent on
+            each processor's active job (0 if not started or no active
+            job).
+    """
+
+    t: int
+    completed: tuple[int, ...]
+    spent: tuple[Fraction, ...]
+
+    @property
+    def core(self) -> tuple[int, ...]:
+        """The paper's ``core(γ) = (j_1, ..., j_m)``."""
+        return self.completed
+
+    @property
+    def support(self) -> tuple[int, ...]:
+        """``supp(γ) = { i : v_i > 0 }`` -- processors whose active job
+        is partially processed."""
+        return tuple(i for i, v in enumerate(self.spent) if v > ZERO)
+
+    def dominates(self, other: "Configuration") -> bool:
+        """Domination order used by Algorithm 2's pruning: equal or
+        better in *every* component -- no later, no fewer jobs done on
+        any processor, and no less resource invested anywhere.
+        """
+        if self.t > other.t:
+            return False
+        if any(a < b for a, b in zip(self.completed, other.completed)):
+            return False
+        if any(a < b for a, b in zip(self.spent, other.spent)):
+            return False
+        return True
+
+    def step_equal(self, other: "Configuration") -> bool:
+        """Same round and same core (Definition 6's *step-equal*)."""
+        return self.t == other.t and self.completed == other.completed
+
+    @classmethod
+    def initial(cls, instance: Instance) -> "Configuration":
+        m = instance.num_processors
+        return cls(t=0, completed=(0,) * m, spent=(ZERO,) * m)
+
+    def is_final(self, instance: Instance) -> bool:
+        return all(
+            self.completed[i] >= instance.num_jobs(i)
+            for i in range(instance.num_processors)
+        )

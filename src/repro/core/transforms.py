@@ -1,0 +1,313 @@
+"""Constructive Lemma 1: normalizing schedules without losing makespan.
+
+Lemma 1 states every feasible schedule can be transformed into one that
+is *non-wasting*, *progressive* and *nested* without increasing the
+makespan.  The paper proves this with three exchange arguments; this
+module implements them operationally so the claim can be tested on
+arbitrary schedules:
+
+1. :func:`make_non_wasting` -- sweep steps in ascending order and pull
+   work of active jobs earlier into unused capacity;
+2. crossing elimination -- for any pair with
+   ``S(A) < S(B) < C(A) < C(B)``, pool the two jobs' per-step resource
+   over ``S(B)..C(A)`` and serve ``A`` first;
+3. the per-step exchange that leaves at most one running-but-unfinished
+   job per step (this yields progressiveness and, together with
+   crossing elimination, nestedness).
+
+All passes operate on the *work matrix* ``w[t][i]`` (work processed per
+step and processor).  Assigning exactly the processed amounts is always
+feasible, so shares and work coincide; after every modification the
+matrix is re-executed and re-normalized through the canonical
+:class:`~repro.core.schedule.Schedule` semantics, which keeps the
+implementation honest about speed caps and job boundaries.
+
+The passes are valid for **unit-size jobs** (the scope of Lemma 1 and
+of Sections 4--8): unit size guarantees a job's remaining work never
+exceeds its requirement, so every pooled reassignment respects the
+per-step speed cap automatically.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..exceptions import SolverError
+from .instance import Instance
+from .numerics import ONE, ZERO, frac_sum
+from .schedule import Schedule
+
+__all__ = ["make_non_wasting", "make_nice"]
+
+_MAX_PASSES = 10_000
+
+
+def _replay(instance: Instance, w: list[list[Fraction]]) -> Schedule:
+    """Execute the work matrix and normalize it to processed amounts
+    (idempotent: shares equal to processed work are always feasible)."""
+    sched = Schedule(instance, w, validate=True, trim=False)
+    for t, step in enumerate(sched.steps):
+        w[t] = list(step.processed)
+    return sched
+
+
+def make_non_wasting(schedule: Schedule) -> Schedule:
+    """Return an equivalent non-wasting schedule (first part of Lemma 1).
+
+    For each step with unused capacity, active unfinished jobs are
+    granted more resource now and correspondingly less later.  The
+    makespan never increases; completion times never increase.
+
+    Raises:
+        UnitSizeRequiredError: for non-unit-size instances.
+    """
+    instance = schedule.instance
+    instance.require_unit_size("make_non_wasting")
+    w = [list(step.processed) for step in schedule.steps]
+    _non_wasting_pass(instance, w)
+    return Schedule(instance, w, validate=True, trim=True)
+
+
+def _non_wasting_pass(instance: Instance, w: list[list[Fraction]]) -> None:
+    T = len(w)
+    for t in range(T):
+        sched = _replay(instance, w)
+        spare = ONE - frac_sum(w[t])
+        if spare <= ZERO:
+            continue
+        for i in range(instance.num_processors):
+            if spare <= ZERO:
+                break
+            j = sched.active_job(t, i)
+            if j is None:
+                continue
+            # Remaining work of (i, j) at the start of step t.
+            consumed_before = sum(
+                (sched.step(s).processed[i] for s in range(t) if sched.active_job(s, i) == j),
+                ZERO,
+            )
+            room = instance.job(i, j).work - consumed_before - w[t][i]
+            if room <= ZERO:
+                continue
+            delta = min(spare, room)
+            w[t][i] += delta
+            spare -= delta
+            # Take the same amount away from the job's later steps,
+            # earliest first.
+            t2 = t + 1
+            while delta > ZERO and t2 < T:
+                if sched.active_job(t2, i) == j and w[t2][i] > ZERO:
+                    take = min(delta, w[t2][i])
+                    w[t2][i] -= take
+                    delta -= take
+                t2 += 1
+    _replay(instance, w)
+
+
+def _find_crossing(
+    sched: Schedule, min_start: int
+) -> tuple[tuple[int, int], tuple[int, int]] | None:
+    """A pair ``(A, B)`` with ``S(A) < S(B) < C(A) < C(B)`` and
+    ``S(B) > min_start``, or ``None``.  Pairs are scanned in order of
+    ``S(B)`` so the earliest crossing is repaired first."""
+    starts = sched.start_steps
+    comps = sched.completion_steps
+    jobs = sorted(starts, key=lambda jid: starts[jid])
+    best = None
+    for b in jobs:
+        sb = starts[b]
+        if sb <= min_start:
+            continue
+        for a in jobs:
+            if a == b:
+                continue
+            if starts[a] < sb < comps[a] < comps[b]:
+                if best is None or sb < starts[best[1]]:
+                    best = (a, b)
+                break
+    return best
+
+
+def _eliminate_crossings(
+    instance: Instance, w: list[list[Fraction]], min_start: int
+) -> None:
+    """Repair all crossing pairs whose inner job starts after *min_start*
+    (the paper's exchange: serve the earlier-started job first from the
+    pooled resource of both)."""
+    for _ in range(_MAX_PASSES):
+        sched = _replay(instance, w)
+        pair = _find_crossing(sched, min_start)
+        if pair is None:
+            return
+        (ia, ja), (ib, jb) = pair
+        t_lo = sched.start_step(ib, jb)
+        t_hi = sched.completion_step(ia, ja)
+        consumed_before = sum(
+            (
+                sched.step(s).processed[ia]
+                for s in range(t_lo)
+                if sched.active_job(s, ia) == ja
+            ),
+            ZERO,
+        )
+        rem_a = instance.job(ia, ja).work - consumed_before
+        for t in range(t_lo, t_hi + 1):
+            pool = w[t][ia] + w[t][ib]
+            give_a = min(pool, rem_a)
+            w[t][ia] = give_a
+            rem_a -= give_a
+            w[t][ib] = pool - give_a
+    raise SolverError("crossing elimination did not converge")  # pragma: no cover
+
+
+def make_nice(schedule: Schedule) -> Schedule:
+    """Full Lemma 1: an equivalent non-wasting, progressive and nested
+    schedule with makespan at most the original's.
+
+    The returned schedule is re-validated; the three properties are
+    asserted before returning, so a successful call is a constructive
+    witness of Lemma 1 for the given input.
+
+    Raises:
+        UnitSizeRequiredError: for non-unit-size instances.
+        SolverError: if any pass fails to converge or a postcondition
+            is violated (would indicate a bug, not bad input).
+    """
+    from .properties import is_nested, is_non_wasting, is_progressive
+
+    instance = schedule.instance
+    instance.require_unit_size("make_nice")
+    original_makespan = schedule.makespan
+    w = [list(step.processed) for step in schedule.steps]
+
+    # The passes interact: the nested repair conserves per-step totals
+    # but moves completions, which can re-expose waste (Definition 2
+    # demands under-full steps *finish* every active job); the
+    # non-wasting pass pulls work earlier, which can re-create order
+    # violations.  Iterate to a fixpoint.  Termination: the potential
+    # "sum over steps of t * (work processed at t)" lives on the
+    # instance's finite rational grid, never increases under any pass,
+    # and strictly decreases whenever the non-wasting pass acts -- so
+    # only finitely many rounds can make changes.
+    for _ in range(_MAX_PASSES):
+        _fixpoint_round(instance, w)
+        sched = _replay(instance, w)
+        if (
+            is_non_wasting(sched)
+            and is_progressive(sched)
+            and is_nested(sched)
+        ):
+            break
+    else:  # pragma: no cover
+        raise SolverError("Lemma 1 passes did not reach a fixpoint")
+
+    result = Schedule(instance, w, validate=True, trim=True)
+    if result.makespan > original_makespan:  # pragma: no cover
+        raise SolverError(
+            f"transformation increased makespan "
+            f"({original_makespan} -> {result.makespan})"
+        )
+    if not is_non_wasting(result):  # pragma: no cover
+        raise SolverError("transformation failed to be non-wasting")
+    if not is_progressive(result):  # pragma: no cover
+        raise SolverError("transformation failed to be progressive")
+    if not is_nested(result):  # pragma: no cover
+        raise SolverError("transformation failed to be nested")
+    return result
+
+
+def _remaining_after(
+    sched: Schedule, instance: Instance, i: int, j: int, t: int
+) -> Fraction:
+    """Remaining work of job ``(i, j)`` after step ``t`` under *sched*."""
+    consumed = sum(
+        (
+            sched.step(s).processed[i]
+            for s in range(t + 1)
+            if sched.active_job(s, i) == j
+        ),
+        ZERO,
+    )
+    return instance.job(i, j).work - consumed
+
+
+def _lifo_exchange(
+    instance: Instance,
+    w: list[list[Fraction]],
+    sched: Schedule,
+    newer: tuple[int, int],
+    older: tuple[int, int],
+    t: int,
+) -> None:
+    """The paper's exchange at step ``t``: move the older job's step-t
+    resource to the newer job, compensating the older job in the steps
+    the newer job surrenders afterwards.  Crossing-freeness guarantees
+    ``C(older) >= C(newer)``, so the compensation always lands while
+    the older job is unfinished.  Per-step totals are conserved."""
+    ia, ja = newer
+    ib, jb = older
+    later_newer = _remaining_after(sched, instance, ia, ja, t)
+    x = min(w[t][ib], later_newer)
+    if x <= ZERO:  # pragma: no cover - callers guarantee x > 0
+        raise SolverError("LIFO exchange stalled")
+    w[t][ib] -= x
+    w[t][ia] += x
+    xx = x
+    t2 = t + 1
+    while xx > ZERO and t2 < len(w):
+        if sched.active_job(t2, ia) == ja and w[t2][ia] > ZERO:
+            take = min(xx, w[t2][ia])
+            w[t2][ia] -= take
+            w[t2][ib] += take
+            xx -= take
+        t2 += 1
+    if xx > ZERO:  # pragma: no cover - conservation guarantees 0
+        raise SolverError("LIFO exchange lost work")
+
+
+def _fixpoint_round(instance: Instance, w: list[list[Fraction]]) -> None:
+    """One round of all Lemma 1 passes.
+
+    1. non-wasting pass (pull work earlier into spare capacity);
+    2. crossing elimination (no S(A) < S(B) < C(A) < C(B));
+    3. progressive pass: per step, among jobs *running* and unfinished,
+       keep at most one -- exchange toward the earliest-completing one;
+    4. nested repair: eliminate remaining Definition 4 witnesses, which
+       may involve a newer job that is in progress but *idle* at the
+       step (prefer it over the older runner).
+    """
+    from .properties import nested_violations
+
+    _non_wasting_pass(instance, w)
+    _eliminate_crossings(instance, w, min_start=-1)
+
+    T = len(w)
+    for t in range(T):
+        for _ in range(_MAX_PASSES):
+            sched = _replay(instance, w)
+            partials = [
+                (i, j)
+                for i, j in sched.active_jobs(t)
+                if sched.step(t).processed[i] > ZERO
+                and sched.completion_step(i, j) > t
+            ]
+            if len(partials) <= 1:
+                break
+            # Keep the job with the smallest completion time running.
+            keep = min(partials, key=lambda jid: sched.completion_step(*jid))
+            other = next(jid for jid in partials if jid != keep)
+            _lifo_exchange(instance, w, sched, keep, other, t)
+            # Shrinking a completion time can create crossings after t.
+            _eliminate_crossings(instance, w, min_start=t)
+        else:  # pragma: no cover
+            raise SolverError("progressive pass did not converge")
+
+    for _ in range(_MAX_PASSES):
+        sched = _replay(instance, w)
+        violations = nested_violations(sched)
+        if not violations:
+            return
+        older, newer, t = violations[0]
+        _lifo_exchange(instance, w, sched, newer, older, t)
+        _eliminate_crossings(instance, w, min_start=t)
+    raise SolverError("nested repair did not converge")  # pragma: no cover

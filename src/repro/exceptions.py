@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers
+can catch everything from this package with one clause while standard
+errors (``TypeError``/``ValueError`` raised for plain misuse of the
+API) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "InfeasibleAssignmentError",
+    "UnitSizeRequiredError",
+    "SimulationLimitError",
+    "SolverError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidInstanceError(ReproError):
+    """An :class:`~repro.core.instance.Instance` violates the model.
+
+    Examples: a resource requirement outside ``[0, 1]``, a non-positive
+    processing volume, or an empty system (no processors).
+    """
+
+
+class InvalidScheduleError(ReproError):
+    """A :class:`~repro.core.schedule.Schedule` is malformed or does not
+    match the instance it is validated against (wrong processor count,
+    shares outside ``[0,1]``, resource overuse, or jobs left unfinished).
+    """
+
+
+class InfeasibleAssignmentError(ReproError):
+    """A policy produced a per-step resource assignment that overuses
+    the shared resource or assigns a negative share."""
+
+
+class UnitSizeRequiredError(ReproError):
+    """An algorithm analyzed only for unit-size jobs (Sections 4-8 of
+    the paper) was given an instance with non-unit processing volumes."""
+
+
+class SimulationLimitError(ReproError):
+    """The step simulator exceeded its ``max_steps`` safety limit,
+    which indicates a non-terminating policy (e.g. one that assigns
+    zero resource forever)."""
+
+
+class SolverError(ReproError):
+    """An exact solver (DP / configuration search / MILP) failed to
+    produce a certified-optimal solution."""

@@ -1,0 +1,20 @@
+"""Experiment reproductions, one module per paper figure/theorem.
+
+See DESIGN.md section 3 for the experiment index.  Run via the CLI
+(``crsharing experiment FIG3``) or programmatically::
+
+    from repro.experiments import get_experiment
+    print(get_experiment("FIG3").run().to_text())
+"""
+
+from .registry import EXPERIMENTS, get_experiment, run_all
+from .runner import Experiment, ExperimentResult, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentResult",
+    "format_table",
+    "get_experiment",
+    "run_all",
+]

@@ -1,0 +1,60 @@
+"""Registry of all experiments (the DESIGN.md per-experiment index)."""
+
+from __future__ import annotations
+
+from . import (
+    ablation,
+    cont,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    gen,
+    lemmas,
+    sim,
+    thm3,
+    thm5,
+    thm6,
+    thm7,
+)
+from .runner import Experiment, ExperimentResult
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_all"]
+
+EXPERIMENTS: dict[str, Experiment] = {
+    exp.id: exp
+    for exp in [
+        Experiment("FIG1", "Scheduling hypergraph of Figure 1", fig1.run),
+        Experiment("FIG2", "Nested schedules and Lemma 1 (Figure 2)", fig2.run),
+        Experiment("FIG3", "RoundRobin worst case (Figure 3 / Thm 3)", fig3.run),
+        Experiment("FIG4", "Partition reduction (Figure 4 / Thm 4)", fig4.run),
+        Experiment("FIG5", "GreedyBalance worst case (Figure 5 / Thm 8)", fig5.run),
+        Experiment("THM3", "RoundRobin 2-approximation on random instances", thm3.run),
+        Experiment("THM5", "m=2 exact DP optimality and scaling", thm5.run),
+        Experiment("THM6", "Fixed-m exact search optimality and states", thm6.run),
+        Experiment("THM7", "Balanced schedules are (2-1/m)-approximations", thm7.run),
+        Experiment("LEM", "Structural lemmas (Obs 2, Lem 2, Prop 1/2, Lem 5/6)", lemmas.run),
+        Experiment("SIM", "Many-core shared-bus policy comparison", sim.run),
+        Experiment("GEN", "Arbitrary job sizes (Section 9 conjecture)", gen.run),
+        Experiment("ABL", "GreedyBalance ablation: balance vs tie-break", ablation.run),
+        Experiment("CONT", "Continuous-time variant (Section 9 outlook)", cont.run),
+    ]
+}
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up an experiment by id (case-insensitive).
+
+    Raises:
+        KeyError: listing the available ids.
+    """
+    key = exp_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key]
+
+
+def run_all(**kwargs) -> list[ExperimentResult]:
+    """Run every registered experiment with default parameters."""
+    return [exp.run() for exp in EXPERIMENTS.values()]

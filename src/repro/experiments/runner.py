@@ -1,0 +1,98 @@
+"""Experiment harness: result containers, table rendering, CSV output.
+
+Every experiment module in this package exposes a ``run(**params)``
+returning an :class:`ExperimentResult`: the rows/series the paper's
+corresponding figure or theorem reports, plus the paper's claim and
+a machine-checkable verdict.  The CLI and the benchmark suite both
+consume these.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = ["ExperimentResult", "Experiment", "format_table"]
+
+
+def format_table(columns: list[str], rows: list[dict[str, Any]]) -> str:
+    """Render rows as a fixed-width text table."""
+    widths = {c: len(c) for c in columns}
+    rendered: list[dict[str, str]] = []
+    for row in rows:
+        out = {}
+        for c in columns:
+            text = str(row.get(c, ""))
+            out[c] = text
+            widths[c] = max(widths[c], len(text))
+        rendered.append(out)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    sep = "  ".join("-" * widths[c] for c in columns)
+    lines = [header, sep]
+    for row in rendered:
+        lines.append("  ".join(row[c].ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """Output of one experiment run.
+
+    Attributes:
+        experiment: the DESIGN.md experiment id (e.g. ``"FIG3"``).
+        title: human-readable title.
+        paper_claim: what the paper asserts (the expected shape).
+        params: parameters the run used.
+        columns: ordered column names for the table.
+        rows: the data rows.
+        verdict: True when the measured shape matches the claim (each
+            experiment defines its own machine check), None when the
+            experiment is purely descriptive.
+        notes: free-form remarks (deviations, context).
+    """
+
+    experiment: str
+    title: str
+    paper_claim: str
+    params: dict[str, Any]
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    verdict: bool | None = None
+    notes: list[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        head = [
+            f"== {self.experiment}: {self.title} ==",
+            f"paper claim: {self.paper_claim}",
+            f"params: {self.params}",
+            "",
+            format_table(self.columns, self.rows),
+        ]
+        if self.verdict is not None:
+            head.append("")
+            head.append(f"verdict: {'REPRODUCED' if self.verdict else 'MISMATCH'}")
+        for note in self.notes:
+            head.append(f"note: {note}")
+        return "\n".join(head)
+
+    def to_csv(self, path: str | Path) -> None:
+        with open(path, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=self.columns, extrasaction="ignore")
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+
+    def series(self, x: str, y: str) -> list[tuple[float, float]]:
+        """Extract an ``(x, y)`` float series from the rows (for SVG)."""
+        return [(float(r[x]), float(r[y])) for r in self.rows if x in r and y in r]
+
+
+@dataclass(frozen=True, slots=True)
+class Experiment:
+    """Registry entry: id, description and runner."""
+
+    id: str
+    title: str
+    run: Callable[..., ExperimentResult]

@@ -1,0 +1,67 @@
+"""THM6: OptResAssignment2 is optimal for fixed m with bounded states.
+
+Cross-validates the configuration search against the brute-force
+oracle on random instances for m in {2, 3} and reports the per-round
+configuration counts after domination pruning -- the quantity
+Theorem 6 bounds polynomially (our search skips the nestedness
+restriction, see opt_general's docstring, so counts are an upper bound
+on the paper's)."""
+
+from __future__ import annotations
+
+from ..algorithms.brute_force import brute_force_makespan
+from ..algorithms.opt_general import opt_res_assignment_general
+from ..generators.random_instances import uniform_instance
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    configs: tuple[tuple[int, int], ...] = ((2, 3), (2, 5), (3, 2), (3, 3), (3, 4)),
+    seeds: tuple[int, ...] = (0, 1, 2),
+) -> ExperimentResult:
+    rows = []
+    ok = True
+    for m, n in configs:
+        max_round = 0
+        total = 0
+        agreed = 0
+        for seed in seeds:
+            instance = uniform_instance(m, n, seed=seed)
+            result = opt_res_assignment_general(instance)
+            bf = brute_force_makespan(instance)
+            if result.makespan == bf:
+                agreed += 1
+            max_round = max(max_round, max(result.stats))
+            total += result.total_configurations
+        ok = ok and agreed == len(seeds)
+        rows.append(
+            {
+                "m": m,
+                "n": n,
+                "instances": len(seeds),
+                "optimal_agreement": f"{agreed}/{len(seeds)}",
+                "max_configs_per_round": max_round,
+                "total_configs": total,
+            }
+        )
+    return ExperimentResult(
+        experiment="THM6",
+        title="Fixed-m exact search: optimality and state growth",
+        paper_claim=(
+            "OptResAssignment2 computes an optimal schedule in time "
+            "polynomial in n for fixed m"
+        ),
+        params={"configs": list(configs), "seeds": list(seeds)},
+        columns=[
+            "m",
+            "n",
+            "instances",
+            "optimal_agreement",
+            "max_configs_per_round",
+            "total_configs",
+        ],
+        rows=rows,
+        verdict=ok,
+    )

@@ -1,0 +1,43 @@
+"""Instance generators: canonical figures, adversarial families,
+random families, and synthetic many-core workloads."""
+
+from .random_instances import (
+    bimodal_instance,
+    general_size_instance,
+    heavy_tail_instance,
+    ragged_instance,
+    uniform_instance,
+)
+from .workloads import Phase, TaskSpec, make_io_workload, tasks_to_instance
+from .worst_case import (
+    fig1_instance,
+    fig2_instance,
+    fig2_nested_schedule,
+    fig2_unnested_schedule,
+    greedy_balance_adversarial,
+    greedy_balance_witness_schedule,
+    max_blocks,
+    round_robin_adversarial,
+    round_robin_optimal_schedule,
+)
+
+__all__ = [
+    "Phase",
+    "TaskSpec",
+    "bimodal_instance",
+    "fig1_instance",
+    "fig2_instance",
+    "fig2_nested_schedule",
+    "fig2_unnested_schedule",
+    "general_size_instance",
+    "greedy_balance_adversarial",
+    "greedy_balance_witness_schedule",
+    "heavy_tail_instance",
+    "make_io_workload",
+    "max_blocks",
+    "ragged_instance",
+    "round_robin_adversarial",
+    "round_robin_optimal_schedule",
+    "tasks_to_instance",
+    "uniform_instance",
+]

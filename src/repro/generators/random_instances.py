@@ -1,0 +1,142 @@
+"""Seeded random CRSharing instance families.
+
+All generators emit requirements on an exact rational grid
+(``k / grid`` with integer ``k``), so downstream exact arithmetic stays
+fast (common denominators; see :mod:`repro.core.numerics`) and every
+experiment is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from ..core.instance import Instance
+from ..core.job import Job
+
+__all__ = [
+    "uniform_instance",
+    "bimodal_instance",
+    "ragged_instance",
+    "heavy_tail_instance",
+    "general_size_instance",
+]
+
+
+def _rng(seed: int | None) -> random.Random:
+    return random.Random(seed)
+
+
+def uniform_instance(
+    m: int,
+    n: int,
+    *,
+    grid: int = 100,
+    low: int = 1,
+    high: int | None = None,
+    seed: int | None = None,
+) -> Instance:
+    """``m`` processors x ``n`` unit jobs with requirements uniform on
+    ``{low/grid, ..., high/grid}`` (defaults: 1%..100%)."""
+    if high is None:
+        high = grid
+    if not 0 <= low <= high <= grid:
+        raise ValueError(f"need 0 <= low <= high <= grid, got {low}, {high}, {grid}")
+    rng = _rng(seed)
+    return Instance.from_requirements(
+        [
+            [Fraction(rng.randint(low, high), grid) for _ in range(n)]
+            for _ in range(m)
+        ]
+    )
+
+
+def bimodal_instance(
+    m: int,
+    n: int,
+    *,
+    heavy_prob: float = 0.3,
+    heavy_range: tuple[int, int] = (70, 100),
+    light_range: tuple[int, int] = (1, 10),
+    grid: int = 100,
+    seed: int | None = None,
+) -> Instance:
+    """Hot/cold mixture: jobs are *heavy* (I/O-bound phases) with
+    probability ``heavy_prob``, otherwise *light* (compute phases that
+    barely touch the bus).  Mirrors the paper's motivating workloads
+    where bandwidth-hungry phases alternate with compute."""
+    rng = _rng(seed)
+
+    def draw() -> Fraction:
+        lo, hi = heavy_range if rng.random() < heavy_prob else light_range
+        return Fraction(rng.randint(lo, hi), grid)
+
+    return Instance.from_requirements(
+        [[draw() for _ in range(n)] for _ in range(m)]
+    )
+
+
+def ragged_instance(
+    m: int,
+    n_range: tuple[int, int],
+    *,
+    grid: int = 100,
+    seed: int | None = None,
+) -> Instance:
+    """Uniform requirements with *different* queue lengths per
+    processor (exercises the ``M_j`` machinery and unbalanced cases)."""
+    lo, hi = n_range
+    if lo < 1 or hi < lo:
+        raise ValueError(f"invalid queue-length range {n_range}")
+    rng = _rng(seed)
+    return Instance.from_requirements(
+        [
+            [Fraction(rng.randint(1, grid), grid) for _ in range(rng.randint(lo, hi))]
+            for _ in range(m)
+        ]
+    )
+
+
+def heavy_tail_instance(
+    m: int,
+    n: int,
+    *,
+    grid: int = 1000,
+    seed: int | None = None,
+) -> Instance:
+    """Pareto-flavoured requirements (many tiny, a few near 1):
+    ``r = min(1, 0.01 / u)`` for uniform ``u``, snapped to the grid.
+    Stresses schedulers with high variance between jobs."""
+    rng = _rng(seed)
+
+    def draw() -> Fraction:
+        u = rng.random()
+        r = min(1.0, 0.01 / max(u, 1e-9))
+        return Fraction(max(1, round(r * grid)), grid)
+
+    return Instance.from_requirements(
+        [[draw() for _ in range(n)] for _ in range(m)]
+    )
+
+
+def general_size_instance(
+    m: int,
+    n: int,
+    *,
+    grid: int = 100,
+    max_size: int = 4,
+    seed: int | None = None,
+) -> Instance:
+    """Non-unit-size instance for the general model (Section 3.1):
+    requirements on the grid, integer sizes in ``1..max_size``.
+    Exact algorithms reject it; the simulator and policies accept it."""
+    rng = _rng(seed)
+    return Instance(
+        [
+            [
+                Job(Fraction(rng.randint(1, grid), grid), rng.randint(1, max_size))
+                for _ in range(n)
+            ]
+            for _ in range(m)
+        ]
+    )

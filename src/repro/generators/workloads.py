@@ -1,0 +1,146 @@
+"""Synthetic many-core I/O workloads (the paper's Section 1 motivation).
+
+The paper motivates CRSharing with many-core chips whose cores share a
+single data bus: I/O-intensive scientific tasks progress at the rate
+the bus feeds them.  No trace data ships with the paper, so (per the
+reproduction's substitution rule) we model tasks as sequences of
+*phases* -- each phase a bandwidth demand plus a data volume -- and
+generate workload mixes spanning the regimes the introduction
+describes: streaming (sustained high bandwidth), bursty (alternating
+compute/IO), and compute-dominated tasks.
+
+A :class:`TaskSpec` converts to the processor queue of a CRSharing
+instance: each phase becomes one job whose requirement is the
+bandwidth demand and whose size is the phase length (in steps at full
+speed).  ``unit_split=True`` chops phases into unit-size jobs so the
+exact algorithms (Sections 5-8) apply.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..core.instance import Instance
+from ..core.job import Job
+from ..core.numerics import Num, to_frac
+
+__all__ = ["Phase", "TaskSpec", "tasks_to_instance", "make_io_workload"]
+
+
+@dataclass(frozen=True, slots=True)
+class Phase:
+    """One task phase: constant bandwidth demand for a data volume.
+
+    Attributes:
+        bandwidth: fraction of the shared bus needed to run at full
+            speed (the job's resource requirement).
+        duration: length of the phase in time steps at full speed (the
+            job's processing volume).
+    """
+
+    bandwidth: Fraction
+    duration: int
+
+    def __init__(self, bandwidth: Num, duration: int = 1) -> None:
+        bw = to_frac(bandwidth)
+        if duration < 1:
+            raise ValueError(f"phase duration must be >= 1, got {duration}")
+        object.__setattr__(self, "bandwidth", bw)
+        object.__setattr__(self, "duration", int(duration))
+
+
+@dataclass(frozen=True, slots=True)
+class TaskSpec:
+    """A named task: an ordered sequence of phases pinned to one core."""
+
+    name: str
+    phases: tuple[Phase, ...]
+
+    def __init__(self, name: str, phases) -> None:
+        object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "phases", tuple(phases))
+        if not self.phases:
+            raise ValueError(f"task {name!r} has no phases")
+
+    @property
+    def total_volume(self) -> int:
+        return sum(p.duration for p in self.phases)
+
+
+def tasks_to_instance(tasks: list[TaskSpec], *, unit_split: bool = True) -> Instance:
+    """Convert one task per core into a CRSharing instance.
+
+    Args:
+        tasks: one task per processor, in core order.
+        unit_split: when True (default) each phase of duration ``d``
+            becomes ``d`` unit-size jobs with the phase's bandwidth
+            (the restriction analyzed in the paper); when False each
+            phase maps to a single job of size ``d``.
+    """
+    rows: list[list[Job]] = []
+    for task in tasks:
+        row: list[Job] = []
+        for phase in task.phases:
+            if unit_split:
+                row.extend(Job(phase.bandwidth) for _ in range(phase.duration))
+            else:
+                row.append(Job(phase.bandwidth, phase.duration))
+        rows.append(row)
+    return Instance(rows)
+
+
+def make_io_workload(
+    num_cores: int,
+    *,
+    phases_per_task: tuple[int, int] = (3, 6),
+    streaming_fraction: float = 0.3,
+    bursty_fraction: float = 0.4,
+    grid: int = 100,
+    seed: int | None = None,
+) -> list[TaskSpec]:
+    """A mixed many-core workload: streaming, bursty and compute tasks.
+
+    * **streaming**: long phases at 40-90% bus demand (e.g. checkpoint
+      writers, data ingest);
+    * **bursty**: alternating compute (1-10%) and I/O (50-100%) phases
+      (e.g. iterative solvers with snapshot output);
+    * **compute**: low demand throughout (5-20%).
+
+    Fractions are over cores; the remainder are compute tasks.
+    """
+    if num_cores < 1:
+        raise ValueError("need at least one core")
+    rng = random.Random(seed)
+    tasks: list[TaskSpec] = []
+    n_stream = round(num_cores * streaming_fraction)
+    n_bursty = round(num_cores * bursty_fraction)
+
+    def n_phases() -> int:
+        return rng.randint(*phases_per_task)
+
+    def bw(lo: int, hi: int) -> Fraction:
+        return Fraction(rng.randint(lo, hi), grid)
+
+    for c in range(num_cores):
+        if c < n_stream:
+            phases = [
+                Phase(bw(40, 90), rng.randint(2, 4)) for _ in range(n_phases())
+            ]
+            kind = "stream"
+        elif c < n_stream + n_bursty:
+            phases = []
+            for p in range(n_phases()):
+                if p % 2 == 0:
+                    phases.append(Phase(bw(1, 10), rng.randint(1, 3)))
+                else:
+                    phases.append(Phase(bw(50, 100), 1))
+            kind = "bursty"
+        else:
+            phases = [
+                Phase(bw(5, 20), rng.randint(1, 3)) for _ in range(n_phases())
+            ]
+            kind = "compute"
+        tasks.append(TaskSpec(f"{kind}-{c}", phases))
+    return tasks

@@ -1,0 +1,265 @@
+"""Adversarial and canonical instances from the paper's figures.
+
+* :func:`fig1_instance` / :func:`fig2_instance` -- the worked examples
+  of Figures 1 and 2 (exact requirement values from the figures);
+* :func:`fig2_nested_schedule` / :func:`fig2_unnested_schedule` -- the
+  two hand-built schedules of Figure 2b/2c;
+* :func:`round_robin_adversarial` -- the Theorem 3 lower-bound family
+  (Figure 3) driving RoundRobin to ratio 2;
+* :func:`greedy_balance_adversarial` -- the Theorem 8 block family
+  (Figure 5) driving GreedyBalance to ratio 2 - 1/m, together with
+  :func:`greedy_balance_witness_schedule`, an explicit near-optimal
+  schedule exploiting the construction's unit diagonals.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.instance import Instance
+from ..core.numerics import ONE, ZERO, to_frac
+from ..core.schedule import Schedule
+
+__all__ = [
+    "fig1_instance",
+    "fig2_instance",
+    "fig2_nested_schedule",
+    "fig2_unnested_schedule",
+    "round_robin_adversarial",
+    "round_robin_optimal_schedule",
+    "greedy_balance_adversarial",
+    "greedy_balance_witness_schedule",
+    "max_blocks",
+]
+
+
+# ----------------------------------------------------------------------
+# Figures 1 and 2: worked examples
+# ----------------------------------------------------------------------
+def fig1_instance() -> Instance:
+    """The 3-processor example of Figure 1 (labels in percent)."""
+    return Instance.from_percent(
+        [
+            [20, 10, 10, 10],
+            [50, 55, 90, 55, 10],
+            [50, 40, 95],
+        ]
+    )
+
+
+def fig2_instance() -> Instance:
+    """The Figure 2 input: four 50% jobs against two 100% jobs."""
+    return Instance.from_percent([[50, 50, 50, 50], [100], [100]])
+
+
+def fig2_nested_schedule() -> Schedule:
+    """Figure 2b: the nested schedule (p1's job completes before p2's
+    starts)."""
+    h = Fraction(1, 2)
+    rows = [
+        (h, h, ZERO),
+        (h, h, ZERO),
+        (h, ZERO, h),
+        (h, ZERO, h),
+    ]
+    return Schedule(fig2_instance(), rows)
+
+
+def fig2_unnested_schedule() -> Schedule:
+    """Figure 2c: non-wasting and progressive, but p1's job is still
+    running when p2's starts and completes first -- not nested."""
+    h = Fraction(1, 2)
+    rows = [
+        (h, h, ZERO),
+        (h, ZERO, h),
+        (h, h, ZERO),
+        (h, ZERO, h),
+    ]
+    return Schedule(fig2_instance(), rows)
+
+
+# ----------------------------------------------------------------------
+# Figure 3 / Theorem 3: RoundRobin worst case
+# ----------------------------------------------------------------------
+def round_robin_adversarial(n: int) -> Instance:
+    """The Theorem 3 lower-bound family on two processors.
+
+    With ``eps = 1/n``: ``r_{1j} = j*eps`` and ``r_{2j} = 1+eps-r_{1j}``.
+    Every phase total is ``1 + eps``, so RoundRobin needs two steps per
+    phase (``2n`` total), while pairing ``(1,j)`` with ``(2,j+1)``
+    yields exactly-full steps and an optimal makespan of ``n + 1``.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    eps = Fraction(1, n)
+    row1 = [j * eps for j in range(1, n + 1)]
+    row2 = [ONE + eps - r for r in row1]
+    return Instance.from_requirements([row1, row2])
+
+
+def round_robin_optimal_schedule(n: int) -> Schedule:
+    """The (n+1)-step optimal schedule of Figure 3a.
+
+    Step 1 runs ``(2,1)`` alone (requirement exactly 1); step ``t`` for
+    ``t = 2..n`` pairs ``(1,t-1)`` with ``(2,t)`` (requirements sum to
+    exactly 1); step ``n+1`` runs ``(1,n)`` alone (requirement 1).
+    """
+    inst = round_robin_adversarial(n)
+    rows = [(ZERO, inst.requirement(1, 0))]
+    for j in range(1, n):
+        rows.append((inst.requirement(0, j - 1), inst.requirement(1, j)))
+    rows.append((inst.requirement(0, n - 1), ZERO))
+    return Schedule(inst, rows)
+
+
+# ----------------------------------------------------------------------
+# Figure 5 / Theorem 8: GreedyBalance worst case
+# ----------------------------------------------------------------------
+def max_blocks(m: int, epsilon: Fraction) -> int:
+    """How many complete blocks the Theorem 8 construction supports
+    before a requirement would leave ``[0, 1]``.
+
+    Per block, the bottom-left requirement drops by ``m(m-1)*eps`` (and
+    the top second-column one rises by the same amount), starting from
+    ``1 - m*eps`` (block 1's lowest) -- we generate while everything
+    stays within bounds.
+    """
+    if m < 2:
+        raise ValueError("the construction needs m >= 2")
+    blocks = 1
+    while True:
+        drop = blocks * m * (m - 1) * epsilon
+        # Bottom value of the next block's first column and top value
+        # of its second column must stay in [0, 1].
+        if ONE - (m - 1) * epsilon - drop < ZERO:
+            return blocks
+        if (m * (m - 1) + 1) * epsilon + drop > ONE:
+            return blocks
+        blocks += 1
+
+
+def greedy_balance_adversarial(
+    m: int, blocks: int, epsilon: Fraction | None = None
+) -> Instance:
+    """The Theorem 8 block construction (Figure 5 for m=3, eps=1/100).
+
+    Each block spans ``m`` columns:
+
+    * block 1, column 1: ``r_{i,1} = 1 - i*eps``;
+    * every later block's column 1: ``r = 1 - (m-1)*eps`` for rows
+      ``1..m-1`` and the bottom row completes the up-left diagonal
+      (through the previous block's tail) to exactly 1;
+    * every block's column 2, row 1: the column-1 deficits plus eps
+      (``sum_i (1 - r_{i,1}) + eps``); rows ``2..m`` get ``eps``;
+    * remaining columns: all ``eps``.
+
+    GreedyBalance spends ``m`` steps clearing each block's first column
+    (balancing forbids running ahead) and one step per remaining
+    column: ``2m - 1`` steps per block.  An optimal schedule rides the
+    unit diagonals and needs essentially ``m`` steps per block
+    (:func:`greedy_balance_witness_schedule`), so the ratio approaches
+    ``2 - 1/m``.
+
+    Note: the journal listing's column-2 formula reads
+    ``1 - sum(1 - r) + eps``; the figure's values (7/13/19 percent for
+    m=3) match ``sum(1 - r) + eps``, which is also what makes the
+    diagonals sum to exactly 1 -- we implement the latter.
+
+    Raises:
+        ValueError: if the requested number of blocks does not fit the
+            epsilon (see :func:`max_blocks`).
+    """
+    if m < 2:
+        raise ValueError("the construction needs m >= 2")
+    if blocks < 1:
+        raise ValueError("need at least one block")
+    if epsilon is None:
+        # Small enough for the requested number of blocks.
+        epsilon = Fraction(1, m * (m - 1) * (blocks + 1) + m + 1)
+    eps = to_frac(epsilon)
+    if not (ZERO < eps):
+        raise ValueError("epsilon must be positive")
+    if blocks > max_blocks(m, eps):
+        raise ValueError(
+            f"{blocks} blocks need a smaller epsilon "
+            f"(max {max_blocks(m, eps)} at eps={eps})"
+        )
+
+    cols: list[list[Fraction]] = []  # cols[j][i] = requirement of (i, j)
+
+    def add_block_tail(first_col: list[Fraction]) -> None:
+        """Columns 2..m of a block, given its first column."""
+        deficit = sum((ONE - r for r in first_col), ZERO)
+        second = [deficit + eps] + [eps] * (m - 1)
+        cols.append(second)
+        for _ in range(m - 2):
+            cols.append([eps] * m)
+
+    # Block 1.
+    first = [ONE - (i + 1) * eps for i in range(m)]
+    cols.append(first)
+    add_block_tail(first)
+
+    # Blocks 2..blocks.
+    for _ in range(blocks - 1):
+        j = len(cols)  # 0-based index of the new block's first column
+        col = [ONE - (m - 1) * eps for _ in range(m - 1)]
+        # Bottom row: complete the up-left diagonal to exactly 1.
+        diag = sum((cols[j - k][m - 1 - k] for k in range(1, m)), ZERO)
+        col.append(ONE - diag)
+        cols.append(col)
+        add_block_tail(col)
+
+    rows = [[cols[j][i] for j in range(len(cols))] for i in range(m)]
+    for row in rows:
+        for r in row:
+            if not (ZERO <= r <= ONE):  # pragma: no cover - guarded above
+                raise ValueError(f"construction produced requirement {r}")
+    return Instance.from_requirements(rows)
+
+
+def greedy_balance_witness_schedule(instance: Instance, m: int) -> Schedule:
+    """A near-optimal diagonal schedule for the Theorem 8 construction.
+
+    Step ``s`` (0-based) processes the up-left diagonal ending in the
+    bottom row at column ``s``: job ``(m-1-k, s-k)`` for each valid
+    ``k``.  All interior diagonals sum to exactly 1 by construction and
+    tail diagonals are under-full; the early *boundary* diagonals,
+    which climb through block 1's first column, carry
+    ``1 + (2s - m) * eps`` -- over-full for ``s > m/2``.  Each overflow
+    is repaired by prepaying the surplus of the diagonal's top job
+    (that processor's *first* job, so it may legally receive resource
+    in any earlier step, where its processor idles and the earliest
+    diagonals have matching slack).  Total length: ``n + m - 1`` steps
+    for ``n`` columns.
+    """
+    n = instance.max_jobs
+    rows: list[list[Fraction]] = []
+    for step in range(n + m - 1):
+        row = [ZERO] * m
+        for k in range(m):
+            i = m - 1 - k  # 0-based processor (bottom row is m-1)
+            j = step - k  # 0-based column
+            if 0 <= j < n:
+                row[i] = instance.requirement(i, j)
+        rows.append(row)
+    # Boundary repair, earliest overflowing diagonal first.  At step s
+    # (< m) the top member is job (m-1-s, 0) -- the first job of a
+    # processor that idles at all earlier steps.
+    for s in range(1, m):
+        excess = sum(rows[s], ZERO) - ONE
+        if excess <= ZERO:
+            continue
+        top = m - 1 - s
+        for t in range(s):
+            if excess <= ZERO:
+                break
+            slack = ONE - sum(rows[t], ZERO)
+            if slack > ZERO and rows[t][top] == ZERO:
+                pay = min(slack, excess)
+                rows[t][top] = pay
+                rows[s][top] -= pay
+                excess -= pay
+        if excess > ZERO:  # pragma: no cover - slack always suffices
+            raise ValueError("witness repair ran out of slack")
+    return Schedule(instance, rows, validate=True, trim=True)

@@ -1,0 +1,23 @@
+"""Lossless (de)serialization of instances and schedules."""
+
+from .serialization import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_schedule,
+    save_instance,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "instance_from_dict",
+    "instance_to_dict",
+    "load_instance",
+    "load_schedule",
+    "save_instance",
+    "save_schedule",
+    "schedule_from_dict",
+    "schedule_to_dict",
+]

@@ -1,0 +1,128 @@
+"""Exact JSON serialization for instances and schedules.
+
+Rationals are serialized as ``"p/q"`` strings (integers stay bare), so
+round-trips are lossless -- a requirement for reproducing experiments
+byte-for-byte.  The schema carries a version tag for forward
+compatibility.
+
+Schema (instance)::
+
+    {"format": "crsharing-instance", "version": 1,
+     "processors": [[{"r": "1/2", "p": 1}, ...], ...]}
+
+Schema (schedule)::
+
+    {"format": "crsharing-schedule", "version": 1,
+     "instance": {...}, "shares": [["1/2", "0", ...], ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Any
+
+from ..core.instance import Instance
+from ..core.job import Job
+from ..core.schedule import Schedule
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_instance",
+    "load_instance",
+    "save_schedule",
+    "load_schedule",
+]
+
+_INSTANCE_FORMAT = "crsharing-instance"
+_SCHEDULE_FORMAT = "crsharing-schedule"
+_VERSION = 1
+
+
+def _frac_out(x: Fraction) -> str | int:
+    if x.denominator == 1:
+        return int(x)
+    return f"{x.numerator}/{x.denominator}"
+
+
+def _frac_in(x: str | int | float) -> Fraction:
+    if isinstance(x, bool):
+        raise ValueError("booleans are not valid rationals")
+    if isinstance(x, int):
+        return Fraction(x)
+    if isinstance(x, str):
+        return Fraction(x)
+    raise ValueError(f"expected int or 'p/q' string, got {x!r}")
+
+
+def instance_to_dict(instance: Instance) -> dict[str, Any]:
+    """Lossless dict form of an instance."""
+    return {
+        "format": _INSTANCE_FORMAT,
+        "version": _VERSION,
+        "processors": [
+            [{"r": _frac_out(job.requirement), "p": _frac_out(job.size)} for job in queue]
+            for queue in instance.queues
+        ],
+    }
+
+
+def instance_from_dict(data: dict[str, Any]) -> Instance:
+    """Inverse of :func:`instance_to_dict`.
+
+    Raises:
+        ValueError: on schema mismatch.
+    """
+    if data.get("format") != _INSTANCE_FORMAT:
+        raise ValueError(f"not a CRSharing instance document: {data.get('format')!r}")
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    return Instance(
+        [
+            [Job(_frac_in(job["r"]), _frac_in(job["p"])) for job in queue]
+            for queue in data["processors"]
+        ]
+    )
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """Lossless dict form of a schedule (instance embedded)."""
+    return {
+        "format": _SCHEDULE_FORMAT,
+        "version": _VERSION,
+        "instance": instance_to_dict(schedule.instance),
+        "shares": [
+            [_frac_out(x) for x in step.shares] for step in schedule.steps
+        ],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> Schedule:
+    """Inverse of :func:`schedule_to_dict` (re-validates on load)."""
+    if data.get("format") != _SCHEDULE_FORMAT:
+        raise ValueError(f"not a CRSharing schedule document: {data.get('format')!r}")
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    instance = instance_from_dict(data["instance"])
+    rows = [[_frac_in(x) for x in row] for row in data["shares"]]
+    return Schedule(instance, rows)
+
+
+def save_instance(instance: Instance, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(instance_to_dict(instance), indent=2))
+
+
+def load_instance(path: str | Path) -> Instance:
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_schedule(schedule: Schedule, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+
+
+def load_schedule(path: str | Path) -> Schedule:
+    return schedule_from_dict(json.loads(Path(path).read_text()))

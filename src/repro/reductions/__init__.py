@@ -1,0 +1,29 @@
+"""NP-hardness machinery: Partition and the Theorem 4 reduction."""
+
+from .partition import (
+    PartitionInstance,
+    random_no_instance,
+    random_yes_instance,
+    solve_partition_bruteforce,
+    solve_partition_dp,
+)
+from .reduction import (
+    INAPPROXIMABILITY_GAP,
+    default_epsilon,
+    reduction_instance,
+    verify_reduction,
+    yes_witness_schedule,
+)
+
+__all__ = [
+    "INAPPROXIMABILITY_GAP",
+    "PartitionInstance",
+    "default_epsilon",
+    "random_no_instance",
+    "random_yes_instance",
+    "reduction_instance",
+    "solve_partition_bruteforce",
+    "solve_partition_dp",
+    "verify_reduction",
+    "yes_witness_schedule",
+]

@@ -1,0 +1,181 @@
+"""The Partition problem (substrate for the Theorem 4 reduction).
+
+Partition: given positive integers ``a_1..a_n`` with even total ``2A``,
+decide whether some subset sums to exactly ``A``.  NP-complete; the
+paper reduces it to CRSharing with unit-size jobs to prove Theorem 4.
+
+This module provides the problem type, two solvers (exhaustive and the
+classic pseudo-polynomial bitset DP -- cross-checked against each other
+in the tests), and generators for planted YES and guaranteed NO
+instances used by the FIG4 benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import combinations
+
+__all__ = [
+    "PartitionInstance",
+    "solve_partition_bruteforce",
+    "solve_partition_dp",
+    "random_yes_instance",
+    "random_no_instance",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionInstance:
+    """A Partition instance: positive integer values.
+
+    Attributes:
+        values: the multiset ``a_1..a_n``.
+    """
+
+    values: tuple[int, ...]
+
+    def __init__(self, values) -> None:
+        vals = tuple(int(v) for v in values)
+        if not vals:
+            raise ValueError("Partition instance needs at least one value")
+        if any(v <= 0 for v in vals):
+            raise ValueError(f"Partition values must be positive, got {vals}")
+        object.__setattr__(self, "values", vals)
+
+    @property
+    def total(self) -> int:
+        return sum(self.values)
+
+    @property
+    def half(self) -> int:
+        """The target ``A`` (only meaningful when the total is even)."""
+        return self.total // 2
+
+    @property
+    def is_balanced_total(self) -> bool:
+        """True iff the total is even (otherwise trivially a NO-instance)."""
+        return self.total % 2 == 0
+
+
+def solve_partition_bruteforce(instance: PartitionInstance) -> tuple[int, ...] | None:
+    """Exhaustive subset search.
+
+    Returns the indices of a subset summing to ``A``, or ``None`` for a
+    NO-instance.  Exponential; fine for the reduction experiments
+    (``n <= ~20``).
+    """
+    if not instance.is_balanced_total:
+        return None
+    target = instance.half
+    n = len(instance.values)
+    for size in range(0, n + 1):
+        for subset in combinations(range(n), size):
+            if sum(instance.values[i] for i in subset) == target:
+                return subset
+    return None
+
+
+def solve_partition_dp(instance: PartitionInstance) -> tuple[int, ...] | None:
+    """Pseudo-polynomial subset-sum DP with witness reconstruction.
+
+    Bitset over achievable sums; ``O(n * A)`` time via Python big-int
+    shifts.  Returns a witness subset (indices) or ``None``.
+    """
+    if not instance.is_balanced_total:
+        return None
+    target = instance.half
+    values = instance.values
+    # reachable[k] = bitmask of sums achievable with the first k values.
+    reachable = [1]
+    for v in values:
+        reachable.append(reachable[-1] | (reachable[-1] << v))
+    if not (reachable[-1] >> target) & 1:
+        return None
+    # Walk backwards: value k-1 is used iff the sum is unreachable
+    # without it.
+    chosen: list[int] = []
+    remaining = target
+    for k in range(len(values), 0, -1):
+        if (reachable[k - 1] >> remaining) & 1:
+            continue
+        chosen.append(k - 1)
+        remaining -= values[k - 1]
+    assert remaining == 0, "DP witness reconstruction failed"
+    return tuple(sorted(chosen))
+
+
+def random_yes_instance(
+    n: int, *, max_value: int = 50, seed: int | None = None
+) -> tuple[PartitionInstance, tuple[int, ...]]:
+    """A planted YES-instance with *exactly* ``n`` values and a witness.
+
+    The first ``k = n // 2`` values form the planted subset with sum
+    ``A``; the remaining ``n - k`` values are drawn to sum to ``A`` as
+    well (the last one balances the books), retrying until every value
+    is positive.
+    """
+    if n < 2:
+        raise ValueError("need at least two values")
+    rng = random.Random(seed)
+    k = max(1, n // 2)
+    for _ in range(10_000):
+        left = [rng.randint(1, max_value) for _ in range(k)]
+        target = sum(left)
+        rest = n - k
+        if target < rest:  # cannot fill with positive integers
+            continue
+        right: list[int] = []
+        budget = target
+        feasible = True
+        for slot in range(rest - 1):
+            slots_after = rest - slot - 1
+            hi = min(max_value, budget - slots_after)
+            if hi < 1:
+                feasible = False
+                break
+            v = rng.randint(1, hi)
+            right.append(v)
+            budget -= v
+        if not feasible or not (1 <= budget <= max_value):
+            continue
+        right.append(budget)
+        values = left + right
+        inst = PartitionInstance(values)
+        witness = tuple(range(k))
+        assert sum(values[i] for i in witness) == inst.half
+        return inst, witness
+    raise RuntimeError("failed to plant a YES-instance")  # pragma: no cover
+
+
+def random_no_instance(
+    n: int, *, max_value: int = 50, seed: int | None = None
+) -> PartitionInstance:
+    """A guaranteed *non-trivial* NO-instance.
+
+    Rejection-samples instances with an even total and every value at
+    most half the total (so the Theorem 4 gadget's requirements stay in
+    ``[0, 1]`` -- the reduction needs ``a_i <= A``), verifying NO with
+    the DP solver.  Such instances are plentiful for small ``n``.
+
+    Raises:
+        RuntimeError: if sampling fails repeatedly (practically
+            impossible for small ``n``).
+    """
+    if n < 2:
+        raise ValueError("need at least two values")
+    rng = random.Random(seed)
+    for _ in range(100_000):
+        values = [rng.randint(1, max_value) for _ in range(n)]
+        total = sum(values)
+        if total % 2 == 1:
+            # Nudge one value to make the total even, staying in range.
+            idx = rng.randrange(n)
+            values[idx] += 1 if values[idx] < max_value else -1
+            total = sum(values)
+        if max(values) > total // 2:
+            continue
+        candidate = PartitionInstance(values)
+        if solve_partition_dp(candidate) is None:
+            return candidate
+    raise RuntimeError("failed to sample a NO-instance")  # pragma: no cover

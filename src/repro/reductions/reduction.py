@@ -1,0 +1,163 @@
+"""The Theorem 4 reduction: Partition -> CRSharing with unit-size jobs.
+
+Given a Partition instance ``a_1..a_n`` with total ``2A``, pick
+``eps in (0, 1/n)`` and ``delta = n * eps < 1``, and build a CRSharing
+instance on ``n`` processors with three unit jobs each:
+
+* first and third jobs: ``a~_i = a_i / (A + delta)``,
+* middle job: ``eps~ = eps / (A + delta)``.
+
+The first column cannot finish in one step (its total is
+``2A/(A+delta) > 1``), so with three jobs per processor any schedule
+needs at least 4 steps.  The paper shows makespan 4 is achievable iff
+the Partition instance is a YES-instance, and that NO-instances force
+makespan >= 5 -- hence NP-hardness and (Corollary 1) a 5/4
+inapproximability bound.
+
+This module builds the gadget, the explicit 4-step witness schedule of
+Figure 4a for YES-instances, and helpers that verify the biconditional
+with an exact solver.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.instance import Instance
+from ..core.numerics import ONE, ZERO
+from ..core.schedule import Schedule
+from .partition import PartitionInstance, solve_partition_dp
+
+__all__ = [
+    "reduction_instance",
+    "default_epsilon",
+    "yes_witness_schedule",
+    "verify_reduction",
+    "INAPPROXIMABILITY_GAP",
+]
+
+#: Corollary 1: distinguishing makespan 4 from 5 is NP-hard.
+INAPPROXIMABILITY_GAP = Fraction(5, 4)
+
+
+def default_epsilon(partition: PartitionInstance) -> Fraction:
+    """A valid ``eps``: the paper requires ``eps in (0, 1/n)``; we take
+    ``1/(2n)``, making ``delta = 1/2``."""
+    return Fraction(1, 2 * len(partition.values))
+
+
+def reduction_instance(
+    partition: PartitionInstance, epsilon: Fraction | None = None
+) -> Instance:
+    """The CRSharing gadget for a Partition instance.
+
+    Raises:
+        ValueError: if the Partition total is odd (the reduction is
+            defined for even totals; odd totals are trivial NOs) or if
+            *epsilon* is outside ``(0, 1/n)``.
+    """
+    if not partition.is_balanced_total:
+        raise ValueError(
+            "the Theorem 4 reduction expects an even total (odd totals "
+            "are trivially NO-instances)"
+        )
+    if max(partition.values) > partition.half:
+        raise ValueError(
+            "the reduction needs every value <= A = total/2, otherwise "
+            "a_i/(A+delta) exceeds 1 (such instances are trivially NO "
+            "anyway: the outlier cannot be balanced)"
+        )
+    n = len(partition.values)
+    eps = default_epsilon(partition) if epsilon is None else epsilon
+    if not (ZERO < eps < Fraction(1, n)):
+        raise ValueError(f"epsilon must lie in (0, 1/{n}), got {eps}")
+    a_total = partition.half
+    delta = n * eps
+    denom = a_total + delta
+    rows = []
+    for a in partition.values:
+        a_tilde = Fraction(a) / denom
+        eps_tilde = eps / denom
+        rows.append([a_tilde, eps_tilde, a_tilde])
+    return Instance.from_requirements(rows)
+
+
+def yes_witness_schedule(
+    partition: PartitionInstance,
+    subset: tuple[int, ...],
+    epsilon: Fraction | None = None,
+) -> Schedule:
+    """The explicit 4-step schedule of Figure 4a for a YES-instance.
+
+    Steps (S = the witness subset, S' = its complement):
+
+    1. first jobs of S            (total ``A/(A+delta) < 1``);
+    2. first jobs of S' + middle jobs of S;
+    3. third jobs of S + middle jobs of S';
+    4. third jobs of S'.
+
+    Raises:
+        ValueError: if *subset* does not sum to ``A``.
+    """
+    if sum(partition.values[i] for i in subset) != partition.half:
+        raise ValueError("subset is not a valid Partition witness")
+    inst = reduction_instance(partition, epsilon)
+    n = len(partition.values)
+    in_s = [False] * n
+    for i in subset:
+        in_s[i] = True
+
+    def row(assign: dict[int, Fraction]) -> list[Fraction]:
+        out = [ZERO] * n
+        for i, v in assign.items():
+            out[i] = v
+        return out
+
+    first = {i: inst.requirement(i, 0) for i in range(n)}
+    mid = {i: inst.requirement(i, 1) for i in range(n)}
+    third = {i: inst.requirement(i, 2) for i in range(n)}
+
+    rows = [
+        row({i: first[i] for i in range(n) if in_s[i]}),
+        row(
+            {i: first[i] for i in range(n) if not in_s[i]}
+            | {i: mid[i] for i in range(n) if in_s[i]}
+        ),
+        row(
+            {i: third[i] for i in range(n) if in_s[i]}
+            | {i: mid[i] for i in range(n) if not in_s[i]}
+        ),
+        row({i: third[i] for i in range(n) if not in_s[i]}),
+    ]
+    return Schedule(inst, rows, validate=True, trim=True)
+
+
+def verify_reduction(
+    partition: PartitionInstance,
+    epsilon: Fraction | None = None,
+    *,
+    optimal_makespan,
+) -> dict:
+    """Check the Theorem 4 biconditional on one Partition instance.
+
+    Args:
+        partition: the Partition instance.
+        epsilon: gadget parameter (default :func:`default_epsilon`).
+        optimal_makespan: a callable ``Instance -> int`` computing the
+            exact optimum (brute force / MILP / fixed-m search); kept
+            injectable so the benchmark can choose the cheapest oracle.
+
+    Returns:
+        dict with keys ``is_yes`` (Partition answer via the DP solver),
+        ``opt`` (exact CRSharing optimum of the gadget), and
+        ``consistent`` (True iff ``opt == 4`` exactly for YES and
+        ``opt >= 5`` for NO).
+    """
+    witness = solve_partition_dp(partition)
+    inst = reduction_instance(partition, epsilon)
+    opt = optimal_makespan(inst)
+    if witness is not None:
+        consistent = opt == 4
+    else:
+        consistent = opt >= 5
+    return {"is_yes": witness is not None, "opt": opt, "consistent": consistent}

@@ -1,0 +1,17 @@
+"""Many-core shared-bandwidth simulation substrate (Section 1's
+motivating system, built synthetically per the reproduction rules)."""
+
+from .engine import ManyCoreEngine, run_workload
+from .machine import Core, ManyCoreSystem, SharedResource
+from .traces import CoreSummary, RunTrace, StepRecord
+
+__all__ = [
+    "Core",
+    "CoreSummary",
+    "ManyCoreEngine",
+    "ManyCoreSystem",
+    "RunTrace",
+    "SharedResource",
+    "StepRecord",
+    "run_workload",
+]

@@ -1,0 +1,112 @@
+"""The simulated many-core system (the paper's Section 1 setting).
+
+A :class:`ManyCoreSystem` is ``m`` identical fixed-speed cores behind a
+single continuously divisible :class:`SharedResource` (the data bus).
+This is the physical story behind the abstract CRSharing model: the
+engine (:mod:`repro.simulation.engine`) moves data over the bus
+according to a policy's per-step allocation and the cores progress at
+the rate they are fed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from ..core.numerics import Num, ONE, ZERO, to_frac
+
+__all__ = ["SharedResource", "Core", "ManyCoreSystem"]
+
+
+@dataclass(slots=True)
+class SharedResource:
+    """A continuously divisible resource with per-step capacity.
+
+    Tracks cumulative grants so utilization statistics can be derived;
+    the engine resets the per-step ledger each tick.
+
+    Attributes:
+        name: human-readable label ("bus", "memory-bandwidth", ...).
+        capacity: per-step capacity (the paper normalizes to 1).
+    """
+
+    name: str = "bus"
+    capacity: Fraction = ONE
+    _granted_this_step: Fraction = field(default=ZERO, repr=False)
+    _granted_total: Fraction = field(default=ZERO, repr=False)
+    _steps: int = field(default=0, repr=False)
+
+    def begin_step(self) -> None:
+        self._granted_this_step = ZERO
+        self._steps += 1
+
+    def grant(self, amount: Num) -> Fraction:
+        """Reserve *amount* of this step's capacity.
+
+        Raises:
+            ValueError: if the grant would exceed capacity or is
+                negative.
+        """
+        amt = to_frac(amount)
+        if amt < ZERO:
+            raise ValueError(f"negative grant {amt}")
+        if self._granted_this_step + amt > self.capacity:
+            raise ValueError(
+                f"{self.name}: grant of {amt} exceeds remaining capacity "
+                f"{self.capacity - self._granted_this_step}"
+            )
+        self._granted_this_step += amt
+        self._granted_total += amt
+        return amt
+
+    @property
+    def granted_this_step(self) -> Fraction:
+        return self._granted_this_step
+
+    @property
+    def mean_utilization(self) -> Fraction:
+        """Average granted share over all steps so far."""
+        if self._steps == 0:
+            return ZERO
+        return self._granted_total / (self._steps * self.capacity)
+
+
+@dataclass(slots=True)
+class Core:
+    """One core: executes its pinned task's phases in order.
+
+    Attributes:
+        index: core id.
+        busy_steps: steps in which the core made progress.
+        stall_steps: steps in which the core had work but received no
+            bandwidth (the "data cannot be provided" stalls from the
+            paper's introduction).
+    """
+
+    index: int
+    busy_steps: int = 0
+    stall_steps: int = 0
+
+    def record(self, *, had_work: bool, progressed: bool) -> None:
+        if not had_work:
+            return
+        if progressed:
+            self.busy_steps += 1
+        else:
+            self.stall_steps += 1
+
+
+class ManyCoreSystem:
+    """``m`` cores sharing one resource."""
+
+    __slots__ = ("cores", "resource")
+
+    def __init__(self, num_cores: int, *, resource: SharedResource | None = None) -> None:
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        self.cores = [Core(i) for i in range(num_cores)]
+        self.resource = resource if resource is not None else SharedResource()
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)

@@ -1,0 +1,79 @@
+"""Execution traces and summaries for many-core simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from ..core.numerics import as_float
+
+__all__ = ["StepRecord", "RunTrace", "CoreSummary"]
+
+
+@dataclass(frozen=True, slots=True)
+class StepRecord:
+    """One engine tick.
+
+    Attributes:
+        t: step index.
+        grants: bandwidth share granted per core.
+        progress: work processed per core.
+        completed: task phases finishing this step, as
+            ``(core, phase_index)``.
+    """
+
+    t: int
+    grants: tuple[Fraction, ...]
+    progress: tuple[Fraction, ...]
+    completed: tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class CoreSummary:
+    """Per-core aggregate for a finished run."""
+
+    core: int
+    task: str
+    phases: int
+    completion_step: int
+    busy_steps: int
+    stall_steps: int
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "core": self.core,
+            "task": self.task,
+            "phases": self.phases,
+            "finished_at": self.completion_step + 1,
+            "busy": self.busy_steps,
+            "stalled": self.stall_steps,
+        }
+
+
+@dataclass(slots=True)
+class RunTrace:
+    """Full record of one simulation run."""
+
+    policy: str
+    steps: list[StepRecord] = field(default_factory=list)
+    core_summaries: list[CoreSummary] = field(default_factory=list)
+    bus_utilization: Fraction = Fraction(0)
+
+    @property
+    def makespan(self) -> int:
+        return len(self.steps)
+
+    def summary_table(self) -> str:
+        """Plain-text per-core summary."""
+        lines = [
+            f"policy={self.policy}  makespan={self.makespan}  "
+            f"bus-utilization={as_float(self.bus_utilization) * 100:.1f}%"
+        ]
+        header = f"{'core':>4}  {'task':<14} {'phases':>6} {'done@':>6} {'busy':>5} {'stall':>5}"
+        lines.append(header)
+        for cs in self.core_summaries:
+            lines.append(
+                f"{cs.core:>4}  {cs.task:<14} {cs.phases:>6} "
+                f"{cs.completion_step + 1:>6} {cs.busy_steps:>5} {cs.stall_steps:>5}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Rendering: ASCII for terminals, hand-rolled SVG for figures."""
+
+from .ascii_art import (
+    render_components,
+    render_instance,
+    render_schedule,
+    render_utilization,
+)
+from .svg import hypergraph_svg, schedule_svg, series_svg
+
+__all__ = [
+    "hypergraph_svg",
+    "render_components",
+    "render_instance",
+    "render_schedule",
+    "render_utilization",
+    "schedule_svg",
+    "series_svg",
+]

@@ -1,0 +1,99 @@
+"""ASCII rendering of instances, schedules and hypergraphs.
+
+Mirrors the paper's figure conventions: one row per processor, node
+labels are resource requirements in percent, schedule time runs left
+to right.  Useful in terminals, doctests and the CLI; the SVG module
+produces the publication-style counterparts.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.hypergraph import SchedulingGraph
+from ..core.instance import Instance
+from ..core.numerics import ZERO, as_float, format_frac
+from ..core.schedule import Schedule
+
+__all__ = ["render_instance", "render_schedule", "render_components", "render_utilization"]
+
+
+def _pct(x: Fraction) -> str:
+    """A requirement as a compact percent label (the paper's style)."""
+    value = x * 100  # exact
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"{as_float(value):.1f}"
+
+
+def render_instance(instance: Instance) -> str:
+    """Job grid with percent labels, one line per processor.
+
+    Example (Figure 1's instance)::
+
+        p0 | 20 10 10 10
+        p1 | 50 55 90 55 10
+        p2 | 50 40 95
+    """
+    lines = []
+    for i, queue in enumerate(instance.queues):
+        labels = " ".join(_pct(job.requirement) for job in queue)
+        lines.append(f"p{i} | {labels}")
+    return "\n".join(lines)
+
+
+def render_schedule(schedule: Schedule, *, max_width: int = 120) -> str:
+    """Gantt-style chart: per step, which job each processor works on
+    and the share it receives (percent).
+
+    ``.`` marks an idle-but-active processor (zero share), blank marks
+    a finished one.  Columns are time steps (0-based header).
+    """
+    inst = schedule.instance
+    m = inst.num_processors
+    t_end = schedule.makespan
+    cells: list[list[str]] = [[] for _ in range(m)]
+    for t in range(t_end):
+        step = schedule.step(t)
+        for i in range(m):
+            j = step.active[i]
+            if j is None:
+                cells[i].append("")
+            elif step.shares[i] == ZERO:
+                cells[i].append(".")
+            else:
+                cells[i].append(f"j{j}:{_pct(step.shares[i])}")
+    width = max(5, max((len(c) for row in cells for c in row), default=5)) + 1
+    header = "t    " + "".join(f"{t:<{width}}" for t in range(t_end))
+    lines = [header[:max_width]]
+    for i in range(m):
+        row = f"p{i}   " + "".join(f"{c:<{width}}" for c in cells[i])
+        lines.append(row[:max_width])
+    lines.append(f"makespan = {t_end}")
+    return "\n".join(lines)
+
+
+def render_components(graph: SchedulingGraph) -> str:
+    """Component summary in the paper's notation: per component its
+    class ``q_k``, edge count ``#_k``, node count ``|C_k|`` and step
+    range."""
+    lines = [
+        f"N = {graph.num_components} components, "
+        f"#_avg = {format_frac(graph.mean_edges_per_component())}"
+    ]
+    for comp in graph.components:
+        lines.append(
+            f"C{comp.index + 1}: steps {comp.first_step}..{comp.last_step}  "
+            f"q={comp.klass}  #edges={comp.num_edges}  |C|={comp.num_nodes}"
+        )
+    return "\n".join(lines)
+
+
+def render_utilization(schedule: Schedule, *, width: int = 50) -> str:
+    """A per-step utilization bar chart (useful work per step)."""
+    lines = []
+    for t in range(schedule.makespan):
+        frac = as_float(schedule.step(t).useful)
+        bar = "#" * round(frac * width)
+        lines.append(f"t={t:<4d} |{bar:<{width}}| {frac * 100:5.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Dependency-free SVG rendering of schedules and hypergraphs.
+
+matplotlib is not available in the offline environment, so the figure
+reproductions write plain SVG (XML) directly.  Two renderers:
+
+* :func:`schedule_svg` -- a Gantt chart: one lane per processor, one
+  box per (job, step) with opacity proportional to the share granted;
+  completed-job boundaries drawn as heavy ticks.
+* :func:`hypergraph_svg` -- the paper's Figure 1 style: job nodes laid
+  out in a processor x position grid with percent labels, hyperedge
+  hulls drawn as rounded outlines per time step, components colored.
+
+Both return the SVG document as a string; callers write it to disk.
+"""
+
+from __future__ import annotations
+
+import html
+from fractions import Fraction
+
+from ..core.hypergraph import SchedulingGraph
+from ..core.numerics import ZERO, as_float
+from ..core.schedule import Schedule
+
+__all__ = ["schedule_svg", "hypergraph_svg", "series_svg"]
+
+_COMPONENT_COLORS = [
+    "#4e79a7",
+    "#f28e2b",
+    "#59a14f",
+    "#e15759",
+    "#b07aa1",
+    "#76b7b2",
+    "#edc948",
+    "#ff9da7",
+]
+
+
+def _doc(width: int, height: int, body: list[str]) -> str:
+    head = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="Helvetica, Arial, sans-serif">'
+    )
+    return "\n".join([head, *body, "</svg>"])
+
+
+def schedule_svg(
+    schedule: Schedule,
+    *,
+    cell: int = 46,
+    lane: int = 34,
+    title: str | None = None,
+) -> str:
+    """Render a schedule as a Gantt chart (one lane per processor)."""
+    inst = schedule.instance
+    m = inst.num_processors
+    T = schedule.makespan
+    top = 42 if title else 22
+    width = 60 + T * cell + 10
+    height = top + m * lane + 26
+    body: list[str] = []
+    if title:
+        body.append(
+            f'<text x="10" y="20" font-size="15" font-weight="bold">'
+            f"{html.escape(title)}</text>"
+        )
+    for t in range(T):
+        x = 60 + t * cell
+        body.append(
+            f'<text x="{x + cell / 2:.1f}" y="{top - 6}" font-size="10" '
+            f'text-anchor="middle" fill="#666">{t}</text>'
+        )
+    for i in range(m):
+        y = top + i * lane
+        body.append(
+            f'<text x="8" y="{y + lane / 2 + 4:.1f}" font-size="12">p{i}</text>'
+        )
+        for t in range(T):
+            step = schedule.step(t)
+            x = 60 + t * cell
+            j = step.active[i]
+            if j is None:
+                continue
+            share = as_float(step.shares[i])
+            opacity = 0.15 + 0.85 * min(1.0, share)
+            color = _COMPONENT_COLORS[j % len(_COMPONENT_COLORS)]
+            body.append(
+                f'<rect x="{x}" y="{y}" width="{cell - 2}" height="{lane - 4}" '
+                f'rx="3" fill="{color}" fill-opacity="{opacity:.2f}" '
+                f'stroke="#333" stroke-width="0.5"/>'
+            )
+            label = f"j{j}" if share == 0 else f"j{j}:{share * 100:.0f}"
+            body.append(
+                f'<text x="{x + (cell - 2) / 2:.1f}" y="{y + lane / 2 + 3:.1f}" '
+                f'font-size="9" text-anchor="middle">{label}</text>'
+            )
+            if schedule.completion_step(i, j) == t:
+                body.append(
+                    f'<line x1="{x + cell - 2}" y1="{y - 1}" '
+                    f'x2="{x + cell - 2}" y2="{y + lane - 3}" '
+                    f'stroke="#000" stroke-width="2"/>'
+                )
+    body.append(
+        f'<text x="60" y="{height - 8}" font-size="11" fill="#444">'
+        f"makespan = {T}</text>"
+    )
+    return _doc(width, height, body)
+
+
+def hypergraph_svg(graph: SchedulingGraph, *, cell: int = 56, lane: int = 48) -> str:
+    """Render the scheduling hypergraph in the paper's Figure 1 style."""
+    sched = graph.schedule
+    inst = sched.instance
+    m = inst.num_processors
+    n = inst.max_jobs
+    width = 40 + n * cell + 20
+    height = 30 + m * lane + 30
+    body: list[str] = []
+
+    def center(i: int, j: int) -> tuple[float, float]:
+        return 40 + j * cell + cell / 2, 30 + i * lane + lane / 2
+
+    # Hyperedges first (under the nodes): a rounded outline spanning
+    # the jobs active in each step.
+    for t, edge in enumerate(graph.edges):
+        color = "#999"
+        xs, ys = zip(*(center(i, j) for i, j in edge))
+        x0, x1 = min(xs) - 18, max(xs) + 18
+        y0, y1 = min(ys) - 16, max(ys) + 16
+        body.append(
+            f'<rect x="{x0:.1f}" y="{y0:.1f}" width="{x1 - x0:.1f}" '
+            f'height="{y1 - y0:.1f}" rx="16" fill="none" stroke="{color}" '
+            f'stroke-dasharray="4 3" stroke-width="1"/>'
+        )
+        body.append(
+            f'<text x="{x0 + 4:.1f}" y="{y0 + 11:.1f}" font-size="8" '
+            f'fill="#777">e{t + 1}</text>'
+        )
+    for (i, j), job in inst.jobs():
+        comp = graph.component_of((i, j))
+        color = _COMPONENT_COLORS[comp.index % len(_COMPONENT_COLORS)]
+        x, y = center(i, j)
+        body.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="14" fill="{color}" '
+            f'fill-opacity="0.85" stroke="#222" stroke-width="0.7"/>'
+        )
+        pct = as_float(job.requirement) * 100
+        label = f"{pct:.0f}" if pct == round(pct) else f"{pct:.1f}"
+        body.append(
+            f'<text x="{x:.1f}" y="{y + 3:.1f}" font-size="9" fill="#fff" '
+            f'text-anchor="middle">{label}</text>'
+        )
+    for i in range(m):
+        _, y = center(i, 0)
+        body.append(f'<text x="8" y="{y + 3:.1f}" font-size="11">p{i}</text>')
+    body.append(
+        f'<text x="40" y="{height - 8}" font-size="10" fill="#444">'
+        f"{graph.num_components} components, {len(graph.edges)} edges</text>"
+    )
+    return _doc(width, height, body)
+
+
+def series_svg(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    width: int = 520,
+    height: int = 320,
+) -> str:
+    """A minimal multi-series line plot (for the figure benchmarks).
+
+    Args:
+        series: name -> list of (x, y) points (sorted by x).
+    """
+    pad_l, pad_r, pad_t, pad_b = 56, 16, 34, 40
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    if not xs:
+        raise ValueError("empty series")
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1
+    if y1 == y0:
+        y1 = y0 + 1
+    # A little headroom.
+    y_pad = (y1 - y0) * 0.08
+    y0, y1 = y0 - y_pad, y1 + y_pad
+
+    def px(x: float) -> float:
+        return pad_l + (x - x0) / (x1 - x0) * (width - pad_l - pad_r)
+
+    def py(y: float) -> float:
+        return height - pad_b - (y - y0) / (y1 - y0) * (height - pad_t - pad_b)
+
+    body = [
+        f'<rect x="0" y="0" width="{width}" height="{height}" fill="#fff"/>',
+        f'<text x="{width / 2:.0f}" y="20" font-size="14" text-anchor="middle" '
+        f'font-weight="bold">{html.escape(title)}</text>',
+        f'<line x1="{pad_l}" y1="{height - pad_b}" x2="{width - pad_r}" '
+        f'y2="{height - pad_b}" stroke="#000"/>',
+        f'<line x1="{pad_l}" y1="{pad_t}" x2="{pad_l}" y2="{height - pad_b}" '
+        f'stroke="#000"/>',
+        f'<text x="{width / 2:.0f}" y="{height - 8}" font-size="11" '
+        f'text-anchor="middle">{html.escape(xlabel)}</text>',
+        f'<text x="14" y="{height / 2:.0f}" font-size="11" text-anchor="middle" '
+        f'transform="rotate(-90 14 {height / 2:.0f})">{html.escape(ylabel)}</text>',
+    ]
+    # Axis ticks (4 each).
+    for k in range(5):
+        xv = x0 + (x1 - x0) * k / 4
+        yv = y0 + (y1 - y0) * k / 4
+        body.append(
+            f'<text x="{px(xv):.1f}" y="{height - pad_b + 14}" font-size="9" '
+            f'text-anchor="middle">{xv:g}</text>'
+        )
+        body.append(
+            f'<text x="{pad_l - 6}" y="{py(yv) + 3:.1f}" font-size="9" '
+            f'text-anchor="end">{yv:.3g}</text>'
+        )
+    for idx, (name, pts) in enumerate(series.items()):
+        color = _COMPONENT_COLORS[idx % len(_COMPONENT_COLORS)]
+        path = " ".join(
+            f"{'M' if k == 0 else 'L'} {px(x):.1f} {py(y):.1f}"
+            for k, (x, y) in enumerate(pts)
+        )
+        body.append(f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>')
+        for x, y in pts:
+            body.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="2.5" fill="{color}"/>'
+            )
+        body.append(
+            f'<text x="{width - pad_r - 4}" y="{pad_t + 14 + idx * 14}" '
+            f'font-size="10" text-anchor="end" fill="{color}">'
+            f"{html.escape(name)}</text>"
+        )
+    return _doc(width, height, body)

@@ -1,0 +1,79 @@
+"""Unit tests for the policy base machinery."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import available_policies, get_policy, water_fill
+from repro.algorithms.base import Policy
+from repro.core import ExecState, Instance
+
+
+class TestWaterFill:
+    @pytest.fixture
+    def state(self) -> ExecState:
+        inst = Instance.from_requirements([["1/2"], ["3/4"], ["1/4"]])
+        return ExecState(inst)
+
+    def test_priority_order_respected(self, state):
+        shares = water_fill(state, [1, 0, 2])
+        assert shares == [Fraction(1, 4), Fraction(3, 4), Fraction(0)]
+
+    def test_full_capacity_used_when_needed(self, state):
+        shares = water_fill(state, [0, 1, 2])
+        assert sum(shares) == 1
+
+    def test_stops_when_capacity_exhausted(self, state):
+        shares = water_fill(state, [1, 0], capacity=Fraction(3, 4))
+        assert shares == [Fraction(0), Fraction(3, 4), Fraction(0)]
+
+    def test_skips_inactive(self, state):
+        state.apply([Fraction(1, 2), Fraction(0), Fraction(0)])  # p0 done
+        shares = water_fill(state, [0, 1, 2])
+        assert shares[0] == 0
+        assert shares[1] == Fraction(3, 4)
+
+    def test_rejects_negative_capacity(self, state):
+        with pytest.raises(ValueError):
+            water_fill(state, [0], capacity=Fraction(-1))
+
+    def test_at_most_one_partial_grant(self, state):
+        # Progressive by construction: all fully-served jobs finish.
+        shares = water_fill(state, [0, 1, 2])
+        partials = [
+            i
+            for i, s in enumerate(shares)
+            if 0 < s < state.remaining_work(i)
+        ]
+        assert len(partials) <= 1
+
+
+class TestRegistry:
+    def test_known_policies_registered(self):
+        names = available_policies()
+        for expected in (
+            "round-robin",
+            "greedy-balance",
+            "greedy-finish-jobs",
+            "largest-requirement-first",
+            "fewest-remaining-jobs-first",
+            "proportional-share",
+        ):
+            assert expected in names
+
+    def test_get_policy_instantiates(self):
+        policy = get_policy("greedy-balance")
+        assert isinstance(policy, Policy)
+        assert policy.name == "greedy-balance"
+
+    def test_get_policy_unknown(self):
+        with pytest.raises(KeyError, match="unknown policy"):
+            get_policy("does-not-exist")
+
+    def test_policy_run_helper(self, two_proc_instance):
+        schedule = get_policy("greedy-balance").run(two_proc_instance)
+        assert schedule.makespan > 0
+
+    def test_shares_is_abstract(self, two_proc_instance):
+        with pytest.raises(NotImplementedError):
+            Policy().shares(ExecState(two_proc_instance))

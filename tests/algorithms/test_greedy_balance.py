@@ -1,0 +1,103 @@
+"""Unit tests for GreedyBalance (Section 8.3, Theorems 7 and 8)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import GreedyBalance, opt_res_assignment
+from repro.core import SchedulingGraph, theorem7_reference
+from repro.core.properties import is_balanced, is_non_wasting, is_progressive
+from repro.generators import (
+    greedy_balance_adversarial,
+    greedy_balance_witness_schedule,
+    ragged_instance,
+    uniform_instance,
+)
+
+
+class TestInvariantsByConstruction:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("m", [2, 3, 5])
+    def test_balanced_non_wasting_progressive(self, m, seed):
+        inst = uniform_instance(m, 4, seed=seed)
+        sched = GreedyBalance().run(inst)
+        assert is_balanced(sched)
+        assert is_non_wasting(sched)
+        assert is_progressive(sched)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ragged_queues_keep_invariants(self, seed):
+        inst = ragged_instance(4, (1, 6), seed=seed)
+        sched = GreedyBalance().run(inst)
+        assert is_balanced(sched)
+        assert is_non_wasting(sched)
+        assert is_progressive(sched)
+
+
+class TestPriorityOrder:
+    def test_more_jobs_first(self):
+        from repro.core import ExecState, Instance
+
+        inst = Instance.from_requirements([["9/10"], ["9/10", "9/10"]])
+        shares = GreedyBalance().shares(ExecState(inst))
+        # p1 has more remaining jobs: served fully first.
+        assert shares[1] == Fraction(9, 10)
+        assert shares[0] == Fraction(1, 10)
+
+    def test_tie_break_larger_requirement(self):
+        from repro.core import ExecState, Instance
+
+        inst = Instance.from_requirements([["1/2"], ["3/4"]])
+        shares = GreedyBalance().shares(ExecState(inst))
+        assert shares[1] == Fraction(3, 4)
+        assert shares[0] == Fraction(1, 4)
+
+    def test_final_tie_break_by_index(self):
+        from repro.core import ExecState, Instance
+
+        inst = Instance.from_requirements([["3/4"], ["3/4"]])
+        shares = GreedyBalance().shares(ExecState(inst))
+        assert shares[0] == Fraction(3, 4)
+        assert shares[1] == Fraction(1, 4)
+
+
+class TestTheorem8WorstCase:
+    @pytest.mark.parametrize("m,blocks", [(2, 3), (3, 3), (4, 2), (5, 2)])
+    def test_block_makespans(self, m, blocks):
+        inst = greedy_balance_adversarial(m, blocks)
+        gb = GreedyBalance().run(inst)
+        witness = greedy_balance_witness_schedule(inst, m)
+        assert gb.makespan == (2 * m - 1) * blocks
+        assert witness.makespan == inst.max_jobs + m - 1
+
+    def test_figure5_values(self):
+        """The exact percent labels of Figure 5 (m=3, eps=1/100)."""
+        inst = greedy_balance_adversarial(3, 3, Fraction(1, 100))
+        rows = [[int(r * 100) for r in inst.requirements(i)] for i in range(3)]
+        assert rows[0] == [99, 7, 1, 98, 13, 1, 98, 19, 1]
+        assert rows[1] == [98, 1, 1, 98, 1, 1, 98, 1, 1]
+        assert rows[2] == [97, 1, 1, 92, 1, 1, 86, 1, 1]
+
+    def test_ratio_below_guarantee(self):
+        for m in (2, 3, 4):
+            inst = greedy_balance_adversarial(m, 4)
+            gb = GreedyBalance().run(inst)
+            witness = greedy_balance_witness_schedule(inst, m)
+            assert Fraction(gb.makespan, witness.makespan) < 2 - Fraction(1, m)
+
+
+class TestTheorem7Guarantee:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_vs_exact_optimum_m2(self, seed):
+        inst = uniform_instance(2, 5, seed=seed)
+        gb = GreedyBalance().run(inst)
+        opt = opt_res_assignment(inst).makespan
+        assert Fraction(gb.makespan, opt) <= Fraction(3, 2)
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_vs_theorem7_reference(self, m, seed):
+        inst = uniform_instance(m, 5, seed=seed)
+        gb = GreedyBalance().run(inst)
+        graph = SchedulingGraph(gb)
+        assert gb.makespan <= (2 - Fraction(1, m)) * theorem7_reference(graph)

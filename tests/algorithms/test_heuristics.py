@@ -1,0 +1,86 @@
+"""Unit tests for the baseline heuristic policies."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import (
+    FewestRemainingJobsFirst,
+    GreedyFinishJobs,
+    LargestRequirementFirst,
+    ProportionalShare,
+)
+from repro.core import ExecState, Instance
+from repro.core.properties import is_non_wasting, is_progressive
+from repro.generators import uniform_instance
+
+ALL = [
+    GreedyFinishJobs(),
+    LargestRequirementFirst(),
+    FewestRemainingJobsFirst(),
+    ProportionalShare(),
+]
+
+
+class TestAllHeuristicsComplete:
+    @pytest.mark.parametrize("policy", ALL, ids=lambda p: p.name)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_terminates_with_valid_schedule(self, policy, seed):
+        inst = uniform_instance(3, 3, grid=8, seed=seed)
+        sched = policy.run(inst)
+        assert sched.makespan >= inst.max_jobs
+
+    @pytest.mark.parametrize("policy", ALL, ids=lambda p: p.name)
+    def test_general_sizes_supported(self, policy):
+        from repro.generators import general_size_instance
+
+        inst = general_size_instance(2, 2, grid=8, max_size=2, seed=3)
+        sched = policy.run(inst)
+        assert sched.makespan > 0
+
+
+class TestGreedyFinishJobs:
+    def test_prefers_cheap_jobs(self):
+        inst = Instance.from_requirements([["9/10"], ["1/10"], ["2/10"]])
+        shares = GreedyFinishJobs().shares(ExecState(inst))
+        assert shares[1] == Fraction(1, 10)
+        assert shares[2] == Fraction(2, 10)
+        assert shares[0] == Fraction(7, 10)  # leftover, partial
+
+    def test_water_fill_properties(self):
+        inst = uniform_instance(3, 3, seed=4)
+        sched = GreedyFinishJobs().run(inst)
+        assert is_non_wasting(sched)
+        assert is_progressive(sched)
+
+
+class TestLargestRequirementFirst:
+    def test_prefers_heavy_jobs(self):
+        inst = Instance.from_requirements([["9/10"], ["1/10"]])
+        shares = LargestRequirementFirst().shares(ExecState(inst))
+        assert shares[0] == Fraction(9, 10)
+        assert shares[1] == Fraction(1, 10)
+
+
+class TestFewestRemainingJobsFirst:
+    def test_inverts_greedy_balance(self):
+        inst = Instance.from_requirements([["1/2"], ["1/2", "1/2"]])
+        shares = FewestRemainingJobsFirst().shares(ExecState(inst))
+        assert shares[0] == Fraction(1, 2)  # fewer jobs served first
+
+
+class TestProportionalShare:
+    def test_splits_proportionally(self):
+        inst = Instance.from_requirements([["3/4"], ["3/4"]])
+        shares = ProportionalShare().shares(ExecState(inst))
+        assert shares == [Fraction(1, 2), Fraction(1, 2)]
+
+    def test_grants_everything_when_it_fits(self):
+        inst = Instance.from_requirements([["1/4"], ["1/4"]])
+        shares = ProportionalShare().shares(ExecState(inst))
+        assert shares == [Fraction(1, 4), Fraction(1, 4)]
+
+    def test_not_progressive_in_general(self):
+        inst = Instance.from_requirements([["3/4", "1/4"], ["3/4", "1/4"]])
+        sched = ProportionalShare().run(inst)
+        assert not is_progressive(sched)

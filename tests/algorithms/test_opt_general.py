@@ -1,0 +1,81 @@
+"""Unit tests for the fixed-m configuration search (Theorem 6)."""
+
+import pytest
+
+from repro.algorithms import (
+    GreedyBalance,
+    brute_force_makespan,
+    opt_res_assignment,
+    opt_res_assignment_general,
+)
+from repro.core import Instance
+from repro.exceptions import SolverError, UnitSizeRequiredError
+from repro.generators import ragged_instance, uniform_instance
+
+
+class TestBasics:
+    def test_single_processor(self):
+        inst = Instance.from_requirements([["1/2", "1", "1/4"]])
+        result = opt_res_assignment_general(inst)
+        assert result.makespan == 3  # one job per step regardless
+
+    def test_all_fit_one_step(self):
+        inst = Instance.from_requirements([["1/4"], ["1/4"], ["1/4"]])
+        assert opt_res_assignment_general(inst).makespan == 1
+
+    def test_schedule_matches_value(self):
+        inst = uniform_instance(3, 3, seed=2)
+        result = opt_res_assignment_general(inst)
+        assert result.schedule.makespan == result.makespan
+
+    def test_stats_recorded(self):
+        inst = uniform_instance(3, 2, seed=0)
+        result = opt_res_assignment_general(inst)
+        assert result.stats[0] == 1  # the initial configuration
+        assert result.total_configurations >= len(result.stats)
+
+    def test_rejects_general_sizes(self):
+        from repro.core import Job
+
+        inst = Instance([[Job("1/2", 2)]])
+        with pytest.raises(UnitSizeRequiredError):
+            opt_res_assignment_general(inst)
+
+    def test_state_cap(self):
+        inst = uniform_instance(4, 4, seed=0)
+        with pytest.raises(SolverError, match="exceeded"):
+            opt_res_assignment_general(inst, max_configurations=5)
+
+
+class TestAgainstOracles:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_brute_force_m3(self, seed):
+        inst = uniform_instance(3, 2, grid=10, seed=seed)
+        assert (
+            opt_res_assignment_general(inst).makespan
+            == brute_force_makespan(inst)
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_dp_on_m2(self, seed):
+        inst = uniform_instance(2, 5, seed=seed)
+        assert (
+            opt_res_assignment_general(inst).makespan
+            == opt_res_assignment(inst).makespan
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ragged_matches_brute_force(self, seed):
+        inst = ragged_instance(3, (1, 3), grid=8, seed=seed)
+        assert (
+            opt_res_assignment_general(inst).makespan
+            == brute_force_makespan(inst)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_above_greedy(self, seed):
+        inst = uniform_instance(3, 3, seed=seed)
+        assert (
+            opt_res_assignment_general(inst).makespan
+            <= GreedyBalance().run(inst).makespan
+        )

@@ -1,0 +1,113 @@
+"""Unit tests for the m=2 exact dynamic program (Theorem 5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import (
+    GreedyBalance,
+    brute_force_makespan,
+    opt_res_assignment,
+    opt_res_assignment_pq,
+)
+from repro.core import Instance
+from repro.core.properties import is_non_wasting
+from repro.exceptions import SolverError, UnitSizeRequiredError
+from repro.generators import round_robin_adversarial, uniform_instance
+
+
+class TestBasics:
+    def test_single_jobs(self):
+        inst = Instance.from_requirements([["1/2"], ["1/2"]])
+        result = opt_res_assignment(inst)
+        assert result.makespan == 1
+
+    def test_pairing_beats_greedy(self):
+        # (0.9, 0.1) pairs across processors: OPT=2, any same-step
+        # pairing of the heavy jobs needs 3.
+        inst = Instance.from_requirements([["9/10", "1/10"], ["1/10", "9/10"]])
+        assert opt_res_assignment(inst).makespan == 2
+
+    def test_heavy_chain(self):
+        inst = Instance.from_requirements([["1", "1"], ["1", "1"]])
+        assert opt_res_assignment(inst).makespan == 4
+
+    def test_schedule_is_valid_and_matches_value(self):
+        inst = uniform_instance(2, 6, seed=5)
+        result = opt_res_assignment(inst)
+        assert result.schedule.makespan == result.makespan
+        assert result.schedule.instance == inst
+
+    def test_rejects_wrong_processor_count(self, three_proc_instance):
+        with pytest.raises(SolverError, match="exactly 2"):
+            opt_res_assignment(three_proc_instance)
+
+    def test_rejects_general_sizes(self):
+        from repro.core import Job
+
+        inst = Instance([[Job("1/2", 2)], [Job("1/2")]])
+        with pytest.raises(UnitSizeRequiredError):
+            opt_res_assignment(inst)
+
+    def test_unequal_queue_lengths(self):
+        inst = Instance.from_requirements([["1/2"], ["1/2", "1/2", "1/2"]])
+        result = opt_res_assignment(inst)
+        assert result.makespan == 3
+        assert brute_force_makespan(inst) == 3
+
+
+class TestAgainstOracles:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_brute_force(self, seed):
+        inst = uniform_instance(2, 4, grid=10, seed=seed)
+        assert opt_res_assignment(inst).makespan == brute_force_makespan(inst)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_pq_variant_agrees(self, seed):
+        inst = uniform_instance(2, 6, seed=seed)
+        table = opt_res_assignment(inst)
+        pq = opt_res_assignment_pq(inst)
+        assert table.makespan == pq.makespan
+
+    def test_pq_expands_no_more_cells(self):
+        # Both variants only touch reachable cells; the PQ variant
+        # additionally settles the final cell (hence the +1).
+        inst = round_robin_adversarial(20)
+        table = opt_res_assignment(inst)
+        pq = opt_res_assignment_pq(inst)
+        assert pq.cells_expanded <= table.cells_expanded + 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_never_above_greedy(self, seed):
+        inst = uniform_instance(2, 6, seed=seed)
+        opt = opt_res_assignment(inst).makespan
+        gb = GreedyBalance().run(inst).makespan
+        assert opt <= gb
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_never_below_lower_bounds(self, seed):
+        from repro.core import best_lower_bound
+
+        inst = uniform_instance(2, 6, seed=seed)
+        assert opt_res_assignment(inst).makespan >= best_lower_bound(inst)
+
+
+class TestAdversarialFamily:
+    @pytest.mark.parametrize("n", [3, 8, 15])
+    def test_fig3_optimum(self, n):
+        inst = round_robin_adversarial(n)
+        result = opt_res_assignment(inst)
+        assert result.makespan == n + 1
+        # The reconstructed schedule is non-wasting on this family
+        # except possibly boundary steps; at minimum it is valid and
+        # wastes less than RoundRobin.
+        assert result.schedule.total_waste() < Fraction(n, 2)
+
+
+class TestComplexity:
+    def test_cells_quadratic(self):
+        # Table variant touches every cell: (n1+1)(n2+1).
+        inst = uniform_instance(2, 10, seed=0)
+        result = opt_res_assignment(inst)
+        assert result.cells_expanded <= 11 * 11
+        assert result.cells_expanded >= 11  # at least one diagonal

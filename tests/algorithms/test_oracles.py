@@ -1,0 +1,88 @@
+"""Unit tests for the brute-force and MILP oracles, and the
+four-way cross-validation that anchors every optimality claim."""
+
+import pytest
+
+from repro.algorithms import (
+    brute_force_makespan,
+    milp_feasible,
+    milp_makespan,
+    opt_res_assignment,
+    opt_res_assignment_general,
+)
+from repro.core import Instance
+from repro.exceptions import SolverError, UnitSizeRequiredError
+from repro.generators import uniform_instance
+
+
+class TestBruteForce:
+    def test_trivial(self):
+        inst = Instance.from_requirements([["1/2"]])
+        assert brute_force_makespan(inst) == 1
+
+    def test_forced_sequential(self):
+        inst = Instance.from_requirements([["1"], ["1"]])
+        assert brute_force_makespan(inst) == 2
+
+    def test_exploits_pairing(self):
+        inst = Instance.from_requirements([["9/10", "1/10"], ["1/10", "9/10"]])
+        assert brute_force_makespan(inst) == 2
+
+    def test_state_cap(self):
+        inst = uniform_instance(3, 3, grid=97, seed=1)
+        with pytest.raises(SolverError, match="states"):
+            brute_force_makespan(inst, max_states=3)
+
+    def test_rejects_general_sizes(self):
+        from repro.core import Job
+
+        with pytest.raises(UnitSizeRequiredError):
+            brute_force_makespan(Instance([[Job("1/2", 2)]]))
+
+
+class TestMilp:
+    def test_feasibility_monotone(self):
+        inst = uniform_instance(2, 3, seed=0)
+        opt = milp_makespan(inst)
+        assert not milp_feasible(inst, opt - 1)
+        assert milp_feasible(inst, opt)
+        assert milp_feasible(inst, opt + 1)
+
+    def test_zero_horizon_infeasible(self):
+        inst = Instance.from_requirements([["1/2"]])
+        assert not milp_feasible(inst, 0)
+
+    def test_general_sizes_supported(self):
+        from repro.core import Job
+
+        # One job of size 2 at requirement 1/2: work 1, speed cap 1/2
+        # forces two steps.
+        inst = Instance([[Job("1/2", 2)]])
+        assert milp_makespan(inst, upper=4) == 2
+
+    def test_respects_sequencing(self):
+        # Two jobs on one processor can never finish in one step.
+        inst = Instance.from_requirements([["1/4", "1/4"]])
+        assert milp_makespan(inst, upper=3) == 2
+
+
+class TestFourWayCrossValidation:
+    """The anchor of all optimality claims: four independent solvers
+    must agree on random instances."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_m2(self, seed):
+        inst = uniform_instance(2, 3, grid=12, seed=seed)
+        dp = opt_res_assignment(inst).makespan
+        search = opt_res_assignment_general(inst).makespan
+        bf = brute_force_makespan(inst)
+        milp = milp_makespan(inst, upper=dp + 2)
+        assert dp == search == bf == milp
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_m3(self, seed):
+        inst = uniform_instance(3, 2, grid=12, seed=seed)
+        search = opt_res_assignment_general(inst).makespan
+        bf = brute_force_makespan(inst)
+        milp = milp_makespan(inst, upper=search + 2)
+        assert search == bf == milp

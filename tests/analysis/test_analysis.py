@@ -1,0 +1,113 @@
+"""Unit tests for metrics, verification and ratio studies."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import GreedyBalance, RoundRobin, opt_res_assignment
+from repro.analysis import (
+    approximation_ratio,
+    compute_metrics,
+    run_ratio_study,
+    verify_schedule,
+)
+from repro.core import Instance, Schedule
+from repro.generators import round_robin_adversarial, uniform_instance
+
+
+class TestMetrics:
+    def test_basic_fields(self, two_proc_instance):
+        sched = GreedyBalance().run(two_proc_instance)
+        metrics = compute_metrics(sched)
+        assert metrics.makespan == sched.makespan
+        assert metrics.total_work == two_proc_instance.total_work()
+        assert 0 < metrics.utilization <= 1
+        assert metrics.lower_bound >= 1
+        assert metrics.ratio_vs_lower_bound >= 1
+
+    def test_perfect_schedule_ratio_one(self):
+        inst = round_robin_adversarial(5)
+        opt = opt_res_assignment(inst).schedule
+        metrics = compute_metrics(opt)
+        assert metrics.ratio_vs_lower_bound == 1  # work bound is tight
+
+    def test_as_row_is_flat(self, two_proc_instance):
+        row = compute_metrics(GreedyBalance().run(two_proc_instance)).as_row()
+        assert set(row) == {
+            "makespan",
+            "total_work",
+            "utilization",
+            "waste",
+            "lower_bound",
+            "ratio_vs_lb",
+        }
+
+    def test_approximation_ratio(self, two_proc_instance):
+        sched = GreedyBalance().run(two_proc_instance)
+        assert approximation_ratio(sched, sched.makespan) == 1
+        with pytest.raises(ValueError):
+            approximation_ratio(sched, 0)
+
+    def test_completion_time_objectives(self):
+        from fractions import Fraction as F
+
+        from repro.analysis import mean_completion_time, total_completion_time
+
+        inst = Instance.from_requirements([["1/2", "1/2"], ["1/2", "1/2"]])
+        # All four jobs pack two per step: completions at steps 1, 2.
+        sched = Schedule(inst, [[F(1, 2), F(1, 2)], [F(1, 2), F(1, 2)]])
+        assert total_completion_time(sched) == 1 + 1 + 2 + 2
+        assert mean_completion_time(sched) == F(3, 2)
+
+
+class TestVerification:
+    def test_valid_schedule_passes(self, two_proc_instance):
+        report = verify_schedule(GreedyBalance().run(two_proc_instance))
+        assert report.ok
+        assert not report.problems
+
+    def test_completion_agreement(self, two_proc_instance):
+        sched = RoundRobin().run(two_proc_instance)
+        report = verify_schedule(sched)
+        assert report.completion_steps == dict(sched.completion_steps)
+
+    def test_incomplete_schedule_flagged(self):
+        inst = Instance.from_requirements([["1/2", "1/2"]])
+        sched = Schedule(inst, [[Fraction(1, 2)]], validate=False)
+        report = verify_schedule(sched)
+        assert not report.ok
+        assert any("unfinished" in p for p in report.problems)
+
+
+class TestRatioStudy:
+    def test_with_exact_oracle(self):
+        instances = [(s, uniform_instance(2, 4, seed=s)) for s in range(4)]
+        study = run_ratio_study(
+            instances,
+            [GreedyBalance(), RoundRobin()],
+            optimal=lambda inst: opt_res_assignment(inst).makespan,
+        )
+        assert study.exact_reference
+        by_name = {s.policy: s for s in study.stats}
+        assert by_name["greedy-balance"].max_ratio <= Fraction(3, 2)
+        assert by_name["round-robin"].max_ratio <= 2
+        assert study.best().mean_ratio <= by_name["round-robin"].mean_ratio
+
+    def test_with_lower_bound_reference(self):
+        instances = [(s, uniform_instance(3, 4, seed=s)) for s in range(3)]
+        study = run_ratio_study(instances, [GreedyBalance()])
+        assert not study.exact_reference
+        stat = study.stats[0]
+        assert stat.count == 3
+        assert stat.max_ratio >= 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            run_ratio_study([], [GreedyBalance()])
+
+    def test_rows_render(self):
+        instances = [(0, uniform_instance(2, 3, seed=0))]
+        study = run_ratio_study(instances, [GreedyBalance()])
+        row = study.stats[0].as_row()
+        assert row["policy"] == "greedy-balance"
+        assert row["instances"] == 1

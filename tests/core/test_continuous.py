@@ -1,0 +1,92 @@
+"""Unit tests for the continuous-time variant (Section 9 outlook)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import GreedyBalance, opt_res_assignment
+from repro.core import (
+    Instance,
+    Job,
+    continuous_greedy_balance,
+    continuous_lower_bound,
+)
+from repro.generators import round_robin_adversarial, uniform_instance
+
+
+class TestLowerBound:
+    def test_work_dominates(self):
+        inst = Instance.from_requirements([["3/4"], ["3/4"]])
+        assert continuous_lower_bound(inst) == Fraction(3, 2)
+
+    def test_chain_dominates(self):
+        # One long chain of cheap jobs: length bound without rounding.
+        inst = Instance([[Job("1/10", 2)] * 3, [Job("1/10")]])
+        assert continuous_lower_bound(inst) == 6  # sum of sizes
+
+    def test_never_above_discrete_opt(self):
+        for seed in range(6):
+            inst = uniform_instance(2, 4, seed=seed)
+            lb = continuous_lower_bound(inst)
+            assert lb <= opt_res_assignment(inst).makespan
+
+
+class TestFluidGreedyBalance:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_valid_and_above_bound(self, seed):
+        inst = uniform_instance(3, 4, seed=seed)
+        fluid = continuous_greedy_balance(inst)
+        fluid.validate()
+        assert fluid.makespan >= continuous_lower_bound(inst)
+
+    def test_event_count_bounded_by_jobs(self):
+        inst = uniform_instance(3, 4, seed=0)
+        fluid = continuous_greedy_balance(inst)
+        # Each piece ends with at least one completion.
+        assert len(fluid.pieces) <= inst.total_jobs
+
+    def test_all_completions_recorded(self):
+        inst = uniform_instance(2, 3, seed=1)
+        fluid = continuous_greedy_balance(inst)
+        assert set(fluid.completion_times) == {
+            (i, j) for (i, j), _ in inst.jobs()
+        }
+
+    def test_fig3_family_meets_bound_exactly(self):
+        inst = round_robin_adversarial(8)
+        fluid = continuous_greedy_balance(inst)
+        fluid.validate()
+        assert fluid.makespan == continuous_lower_bound(inst) == 9
+
+    def test_forced_idle_chains(self):
+        """Cap-constrained prefixes force idle capacity: the fluid
+        greedy needs 3 while the lower bound says 2.2 -- continuous
+        time does not dissolve the problem's difficulty."""
+        inst = Instance.from_requirements([["1/10", "1"], ["1/10", "1"]])
+        fluid = continuous_greedy_balance(inst)
+        fluid.validate()
+        assert continuous_lower_bound(inst) == Fraction(11, 5)
+        assert fluid.makespan == 3
+
+    def test_zero_requirement_jobs(self):
+        inst = Instance.from_requirements([[0, "1/2"]])
+        fluid = continuous_greedy_balance(inst)
+        # The zero job completes instantly; the 1/2-job carries work
+        # 1/2 at speed cap 1/2 -> exactly one time unit.
+        assert fluid.completion_times[(0, 0)] == 0
+        assert fluid.makespan == 1
+
+    def test_single_processor_runs_at_cap(self):
+        inst = Instance([[Job("1/2", 2), Job("1/4", 4)]])
+        fluid = continuous_greedy_balance(inst)
+        fluid.validate()
+        # 1 work at speed 1/2, then 1 work at speed 1/4: 2 + 4.
+        assert fluid.makespan == 6
+
+    def test_general_sizes(self):
+        from repro.generators import general_size_instance
+
+        inst = general_size_instance(3, 2, max_size=3, seed=2)
+        fluid = continuous_greedy_balance(inst)
+        fluid.validate()
+        assert fluid.makespan >= continuous_lower_bound(inst)

@@ -1,0 +1,105 @@
+"""Unit tests for the scheduling hypergraph (Section 3.2)."""
+
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import GreedyBalance, GreedyFinishJobs
+from repro.core import Instance, Job, Schedule, SchedulingGraph
+from repro.exceptions import UnitSizeRequiredError
+from repro.generators import fig1_instance
+
+
+@pytest.fixture
+def fig1_graph() -> SchedulingGraph:
+    schedule = GreedyFinishJobs().run(fig1_instance())
+    return SchedulingGraph(schedule)
+
+
+class TestFig1Structure:
+    """The exact structure of Figure 1b."""
+
+    def test_six_edges(self, fig1_graph):
+        assert len(fig1_graph.edges) == 6
+
+    def test_three_components_left_to_right(self, fig1_graph):
+        assert fig1_graph.num_components == 3
+        firsts = [c.first_step for c in fig1_graph.components]
+        assert firsts == sorted(firsts)
+
+    def test_component_shapes(self, fig1_graph):
+        shapes = [
+            (c.klass, c.num_edges, c.num_nodes) for c in fig1_graph.components
+        ]
+        assert shapes == [(3, 2, 5), (3, 3, 6), (1, 1, 1)]
+
+    def test_edges_match_figure(self, fig1_graph):
+        assert fig1_graph.edges[0] == ((0, 0), (1, 0), (2, 0))
+        assert fig1_graph.edges[5] == ((1, 4),)
+
+    def test_component_membership(self, fig1_graph):
+        assert fig1_graph.component_of((0, 0)).index == 0
+        assert fig1_graph.component_of((2, 2)).index == 1
+        assert fig1_graph.component_of((1, 4)).index == 2
+
+    def test_node_weight(self, fig1_graph):
+        assert fig1_graph.node_weight((1, 2)) == Fraction(9, 10)
+
+
+class TestStructuralChecks:
+    def test_observation_2(self, fig1_graph):
+        assert fig1_graph.check_observation_2()
+
+    def test_classes_decreasing(self, fig1_graph):
+        assert fig1_graph.check_classes_decreasing()
+
+    def test_lemma_2_on_balanced_schedule(self, three_proc_instance):
+        sched = GreedyBalance().run(three_proc_instance)
+        graph = SchedulingGraph(sched)
+        assert graph.check_lemma_2()
+        assert graph.check_observation_2()
+
+    def test_mean_edges(self, fig1_graph):
+        assert fig1_graph.mean_edges_per_component() == Fraction(6, 3)
+
+
+class TestEdgeCases:
+    def test_single_processor_single_component(self):
+        inst = Instance.from_requirements([["1/2", "1/2"]])
+        sched = GreedyBalance().run(inst)
+        graph = SchedulingGraph(sched)
+        assert graph.num_components == 2  # each job alone: edge size 1
+        assert all(c.klass == 1 for c in graph.components)
+
+    def test_one_big_component(self):
+        # Jobs that never finish together chain into one component.
+        inst = Instance.from_requirements([["3/4", "3/4"], ["3/4", "3/4"]])
+        sched = GreedyBalance().run(inst)
+        graph = SchedulingGraph(sched)
+        assert graph.num_components == 1
+        assert graph.components[0].num_nodes == 4
+
+    def test_rejects_general_sizes(self):
+        inst = Instance([[Job("1/2", 2)]])
+        sched = Schedule(inst, [[Fraction(1, 2)], [Fraction(1, 2)]])
+        with pytest.raises(UnitSizeRequiredError):
+            SchedulingGraph(sched)
+
+
+class TestNetworkxExport:
+    def test_clique_expansion_connectivity_agrees(self, fig1_graph):
+        g = fig1_graph.to_networkx()
+        nx_components = list(nx.connected_components(g))
+        ours = [set(c.nodes) for c in fig1_graph.components]
+        assert sorted(map(frozenset, nx_components)) == sorted(map(frozenset, ours))
+
+    def test_node_attributes(self, fig1_graph):
+        g = fig1_graph.to_networkx()
+        assert g.nodes[(1, 2)]["weight"] == Fraction(9, 10)
+        assert g.nodes[(1, 4)]["component"] == 2
+
+    def test_edge_steps_attribute(self, fig1_graph):
+        g = fig1_graph.to_networkx()
+        # (0,0) and (1,0) are both in the first hyperedge (t=0).
+        assert 0 in g.edges[(0, 0), (1, 0)]["steps"]

@@ -1,0 +1,137 @@
+"""Unit tests for Job and Instance."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import Instance, Job
+from repro.exceptions import InvalidInstanceError, UnitSizeRequiredError
+
+
+class TestJob:
+    def test_basic(self):
+        job = Job("1/2")
+        assert job.requirement == Fraction(1, 2)
+        assert job.size == 1
+        assert job.is_unit
+        assert job.work == Fraction(1, 2)
+
+    def test_general_size_work(self):
+        job = Job("1/4", 3)
+        assert job.work == Fraction(3, 4)
+        assert not job.is_unit
+        assert job.steps_at_full_speed() == 3
+
+    def test_fractional_size_steps(self):
+        assert Job("1/2", "5/2").steps_at_full_speed() == 3
+
+    def test_requirement_bounds(self):
+        Job(0)
+        Job(1)
+        with pytest.raises(InvalidInstanceError):
+            Job("3/2")
+        with pytest.raises(InvalidInstanceError):
+            Job(-1)
+
+    def test_size_positive(self):
+        with pytest.raises(InvalidInstanceError):
+            Job("1/2", 0)
+
+    def test_immutable(self):
+        job = Job("1/2")
+        with pytest.raises(AttributeError):
+            job.requirement = Fraction(1)  # type: ignore[misc]
+
+    def test_equality_and_hash(self):
+        assert Job("1/2") == Job("0.5") == Job(Fraction(1, 2))
+        assert hash(Job("1/2")) == hash(Job("0.5"))
+
+
+class TestInstanceConstruction:
+    def test_from_numbers(self):
+        inst = Instance([[0.5, "1/4"], [1]])
+        assert inst.num_processors == 2
+        assert inst.requirement(0, 1) == Fraction(1, 4)
+
+    def test_from_percent(self):
+        inst = Instance.from_percent([[50], [100]])
+        assert inst.requirement(0, 0) == Fraction(1, 2)
+        assert inst.requirement(1, 0) == 1
+
+    def test_rejects_empty_system(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance([])
+
+    def test_rejects_empty_queue(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance([[0.5], []])
+
+    def test_equality_hash(self):
+        a = Instance.from_requirements([["1/2"], ["1/3"]])
+        b = Instance.from_requirements([[Fraction(1, 2)], [Fraction(1, 3)]])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestInstanceDerived:
+    @pytest.fixture
+    def inst(self) -> Instance:
+        return Instance.from_requirements(
+            [["1/2", "1/4", "1/4"], ["1/3"], ["1/2", "1/2"]]
+        )
+
+    def test_shape(self, inst):
+        assert inst.m == 3
+        assert inst.max_jobs == 3
+        assert inst.total_jobs == 6
+        assert [inst.num_jobs(i) for i in range(3)] == [3, 1, 2]
+
+    def test_m_j_sets(self, inst):
+        assert inst.processors_with_at_least(1) == (0, 1, 2)
+        assert inst.processors_with_at_least(2) == (0, 2)
+        assert inst.processors_with_at_least(3) == (0,)
+        assert inst.processors_with_at_least(4) == ()
+
+    def test_m_j_rejects_zero(self, inst):
+        with pytest.raises(ValueError):
+            inst.processors_with_at_least(0)
+
+    def test_total_work(self, inst):
+        assert inst.total_work() == Fraction(1, 2) + Fraction(1, 4) * 2 + Fraction(
+            1, 3
+        ) + Fraction(1, 2) * 2
+
+    def test_work_lower_bound_is_ceil(self, inst):
+        assert inst.work_lower_bound() == 3  # total = 2 + 1/3
+
+    def test_jobs_iteration_order(self, inst):
+        ids = [jid for jid, _ in inst.jobs()]
+        assert ids == [(0, 0), (0, 1), (0, 2), (1, 0), (2, 0), (2, 1)]
+
+    def test_unit_size_detection(self, inst):
+        assert inst.is_unit_size
+        general = Instance([[Job("1/2", 2)]])
+        assert not general.is_unit_size
+        with pytest.raises(UnitSizeRequiredError):
+            general.require_unit_size("test")
+
+    def test_integer_grid(self, inst):
+        units, den = inst.to_integer_grid()
+        assert den == 12
+        assert units[0] == [6, 3, 3]
+        assert units[1] == [4]
+
+    def test_restrict_to_suffix(self, inst):
+        sub = inst.restrict_to_suffix([1, 1, 0])
+        assert sub.num_processors == 2  # processor 1 dropped entirely
+        assert sub.requirements(0) == (Fraction(1, 4), Fraction(1, 4))
+        assert sub.requirements(1) == (Fraction(1, 2), Fraction(1, 2))
+
+    def test_restrict_rejects_bad_counts(self, inst):
+        with pytest.raises(ValueError):
+            inst.restrict_to_suffix([4, 0, 0])
+        with pytest.raises(ValueError):
+            inst.restrict_to_suffix([0, 0])
+
+    def test_restrict_all_done_rejected(self, inst):
+        with pytest.raises(InvalidInstanceError):
+            inst.restrict_to_suffix([3, 1, 2])

@@ -1,0 +1,93 @@
+"""Unit tests for the lower-bound certificates."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import GreedyBalance, opt_res_assignment
+from repro.core import (
+    Instance,
+    Job,
+    SchedulingGraph,
+    best_lower_bound,
+    lemma5_bound,
+    lemma6_bound,
+    length_bound,
+    theorem7_reference,
+    work_bound,
+)
+from repro.generators import round_robin_adversarial, uniform_instance
+
+
+class TestWorkBound:
+    def test_observation_1(self):
+        inst = Instance.from_requirements([["1/2", "1/2"], ["3/4"]])
+        assert work_bound(inst) == 2  # ceil(7/4)
+
+    def test_general_sizes(self):
+        inst = Instance([[Job("1/2", 3)]])  # work 3/2
+        assert work_bound(inst) == 2
+
+
+class TestLengthBound:
+    def test_unit_case_is_n(self):
+        inst = Instance.from_requirements([["1/10"] * 5, ["1/10"]])
+        assert length_bound(inst) == 5
+
+    def test_general_sizes_sum_ceil(self):
+        inst = Instance([[Job("1/2", 2), Job("1/2", "3/2")]])
+        assert length_bound(inst) == 4  # 2 + ceil(3/2)
+
+
+class TestCertificates:
+    def test_lemma5_on_adversarial_family(self):
+        inst = round_robin_adversarial(8)
+        gb = GreedyBalance().run(inst)
+        graph = SchedulingGraph(gb)
+        opt = opt_res_assignment(inst).makespan
+        assert lemma5_bound(graph) <= opt
+
+    def test_lemma6_on_adversarial_family(self):
+        inst = round_robin_adversarial(8)
+        gb = GreedyBalance().run(inst)
+        graph = SchedulingGraph(gb)
+        opt = opt_res_assignment(inst).makespan
+        assert lemma6_bound(graph) <= opt
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bounds_below_opt_random(self, seed):
+        inst = uniform_instance(2, 5, seed=seed)
+        gb = GreedyBalance().run(inst)
+        graph = SchedulingGraph(gb)
+        opt = opt_res_assignment(inst).makespan
+        assert lemma5_bound(graph) <= opt
+        assert lemma6_bound(graph) <= opt
+        assert best_lower_bound(inst, gb) <= opt
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_theorem7_reference_bound(self, seed):
+        """S <= (2 - 1/m) * max(LB5, LB6+1, n) for balanced schedules."""
+        for m in (2, 3, 4):
+            inst = uniform_instance(m, 4, seed=seed)
+            gb = GreedyBalance().run(inst)
+            graph = SchedulingGraph(gb)
+            guarantee = 2 - Fraction(1, m)
+            assert gb.makespan <= guarantee * theorem7_reference(graph)
+
+
+class TestBestLowerBound:
+    def test_without_schedule(self):
+        inst = Instance.from_requirements([["1/2"] * 4, ["1/2"]])
+        assert best_lower_bound(inst) == 4  # n dominates work=ceil(2.5)=3
+
+    def test_with_schedule_at_least_as_strong(self, three_proc_instance):
+        gb = GreedyBalance().run(three_proc_instance)
+        with_cert = best_lower_bound(three_proc_instance, gb)
+        without = best_lower_bound(three_proc_instance)
+        assert with_cert >= without
+
+    def test_exactness_on_tight_instance(self):
+        # Fig 3 family: OPT = n+1 and the work bound is exactly n+1.
+        inst = round_robin_adversarial(6)
+        assert best_lower_bound(inst) == 7
+        assert opt_res_assignment(inst).makespan == 7

@@ -1,0 +1,116 @@
+"""Unit tests for the Section 4.1 schedule properties."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import Instance, Schedule
+from repro.core.properties import (
+    balance_violations,
+    check_proposition_1,
+    check_proposition_2,
+    is_balanced,
+    is_nested,
+    is_nice,
+    is_non_wasting,
+    is_progressive,
+    nested_violations,
+)
+from repro.generators import fig2_nested_schedule, fig2_unnested_schedule
+
+H = Fraction(1, 2)
+Q = Fraction(1, 4)
+
+
+class TestNonWasting:
+    def test_full_usage_is_non_wasting(self):
+        inst = Instance.from_requirements([["1/2"], ["1/2"]])
+        assert is_non_wasting(Schedule(inst, [[H, H]]))
+
+    def test_partial_usage_finishing_all_is_non_wasting(self):
+        inst = Instance.from_requirements([["1/4"], ["1/4"]])
+        assert is_non_wasting(Schedule(inst, [[Q, Q]]))
+
+    def test_partial_usage_leaving_work_is_wasting(self):
+        inst = Instance.from_requirements([["1/2"], ["1/2"]])
+        sched = Schedule(inst, [[H, Q], [0, Q]])
+        assert not is_non_wasting(sched)
+
+
+class TestProgressive:
+    def test_one_partial_ok(self):
+        inst = Instance.from_requirements([["1/2"], ["3/4"]])
+        sched = Schedule(inst, [[H, H], [0, Q]])
+        assert is_progressive(sched)
+
+    def test_two_partials_not_progressive(self):
+        inst = Instance.from_requirements([["3/4"], ["3/4"]])
+        sched = Schedule(inst, [[H, H], [Q, Q]])
+        assert not is_progressive(sched)
+
+    def test_zero_share_partials_ignored(self):
+        # A job that is partially processed but receives nothing this
+        # step does not count against progressiveness.
+        inst = Instance.from_requirements([["3/4"], ["3/4"]])
+        sched = Schedule(inst, [[H, 0], [Q, "3/4"], [0, 0]], validate=False)
+        assert is_progressive(Schedule(inst, [[H, 0], [Q, "3/4"]]))
+
+
+class TestNested:
+    def test_fig2_examples(self):
+        assert is_nested(fig2_nested_schedule())
+        violations = nested_violations(fig2_unnested_schedule())
+        assert violations
+        # The witness: p1's job (started first) runs at t=2 while p2's
+        # job (started at t=1) is in progress.
+        assert ((1, 0), (2, 0), 2) in violations
+
+    def test_nice_combines_all_three(self):
+        assert is_nice(fig2_nested_schedule())
+        assert not is_nice(fig2_unnested_schedule())
+
+
+class TestBalanced:
+    def test_balanced_schedule(self):
+        # Both processors have 1 job; either may finish first.
+        inst = Instance.from_requirements([["1/2"], ["1/2"]])
+        assert is_balanced(Schedule(inst, [[H, H]]))
+
+    def test_unbalanced_witness(self):
+        # Processor 1 has more jobs but processor 0 finishes alone.
+        inst = Instance.from_requirements([["1/2"], ["1/2", "1/2"]])
+        sched = Schedule(inst, [[H, Q], [0, Q], [0, H]])
+        violations = balance_violations(sched)
+        assert (0, 0, 1) in violations
+        assert not is_balanced(sched)
+
+    def test_greedy_balance_always_balanced(self, three_proc_instance):
+        from repro.algorithms import GreedyBalance
+
+        sched = GreedyBalance().run(three_proc_instance)
+        assert is_balanced(sched)
+        assert check_proposition_1(sched)
+        assert check_proposition_2(sched)
+
+
+class TestPropositions:
+    def test_equal_queue_head_start_is_still_balanced(self):
+        # With equal remaining counts, one processor may run ahead:
+        # Definition 5 only constrains *strictly more loaded* peers.
+        inst = Instance.from_requirements([["1/4", "1/4", "1/4"], ["1/4"]])
+        sched = Schedule(inst, [[Q, 0], [Q, 0], [Q, Q]])
+        assert is_balanced(sched)
+
+    def test_proposition_1_detects_imbalance(self):
+        # Drain p0 completely while p1 (equally loaded) waits: at t=1
+        # p1 holds strictly more jobs and does not finish -> unbalanced,
+        # and n_0(t) = 0 < n_1(t) - 1 violates Proposition 1(a).
+        inst = Instance.from_requirements(
+            [["1/4", "1/4", "1/4"], ["1/4", "1/4", "1/4"]]
+        )
+        sched = Schedule(
+            inst,
+            [[Q, 0], [Q, 0], [Q, Q], [0, Q], [0, Q]],
+        )
+        assert not is_balanced(sched)
+        assert not check_proposition_1(sched)

@@ -1,0 +1,162 @@
+"""Unit tests for Schedule execution semantics."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import Instance, Job, Schedule
+from repro.exceptions import InvalidScheduleError
+
+H = Fraction(1, 2)
+Q = Fraction(1, 4)
+
+
+class TestBasicExecution:
+    def test_single_job_single_step(self):
+        inst = Instance.from_requirements([["1/2"]])
+        sched = Schedule(inst, [[H]])
+        assert sched.makespan == 1
+        assert sched.completion_step(0, 0) == 0
+        assert sched.start_step(0, 0) == 0
+
+    def test_partial_then_finish(self):
+        inst = Instance.from_requirements([["1/2"]])
+        sched = Schedule(inst, [[Q], [Q]])
+        assert sched.makespan == 2
+        assert sched.start_step(0, 0) == 0
+        assert sched.completion_step(0, 0) == 1
+
+    def test_two_processors_parallel(self):
+        inst = Instance.from_requirements([["1/2"], ["1/2"]])
+        sched = Schedule(inst, [[H, H]])
+        assert sched.makespan == 1
+        assert sched.completion_steps == {(0, 0): 0, (1, 0): 0}
+
+    def test_sequential_jobs_one_per_step(self):
+        inst = Instance.from_requirements([["1/4", "1/4"]])
+        # Even with capacity to spare, the second job cannot start in
+        # the first step (one job per processor per step).
+        sched = Schedule(inst, [[1], [Q]])
+        assert sched.makespan == 2
+        assert sched.step(0).processed[0] == Q  # capped by remaining work
+        assert sched.completion_step(0, 1) == 1
+
+    def test_speed_cap_wastes_excess_share(self):
+        inst = Instance.from_requirements([["1/4", "3/4"]])
+        sched = Schedule(inst, [[1], ["3/4"]])
+        # Step 0: share 1 but requirement 1/4 -> only 1/4 work done.
+        assert sched.step(0).processed[0] == Q
+        assert sched.step(0).waste == 1 - Q
+        assert sched.makespan == 2
+
+
+class TestValidation:
+    def test_overuse_rejected(self):
+        inst = Instance.from_requirements([["1/2"], ["1/2"]])
+        with pytest.raises(InvalidScheduleError, match="overused"):
+            Schedule(inst, [["3/4", "1/2"]])
+
+    def test_negative_share_rejected(self):
+        inst = Instance.from_requirements([["1/2"]])
+        with pytest.raises(InvalidScheduleError, match="outside"):
+            Schedule(inst, [["-1/4"]])
+
+    def test_wrong_width_rejected(self):
+        inst = Instance.from_requirements([["1/2"], ["1/2"]])
+        with pytest.raises(InvalidScheduleError, match="entries"):
+            Schedule(inst, [[H]])
+
+    def test_incomplete_rejected(self):
+        inst = Instance.from_requirements([["1/2", "1/2"]])
+        with pytest.raises(InvalidScheduleError, match="unfinished"):
+            Schedule(inst, [[H]])
+
+    def test_validate_false_allows_incomplete(self):
+        inst = Instance.from_requirements([["1/2", "1/2"]])
+        sched = Schedule(inst, [[H]], validate=False)
+        assert sched.makespan == 1
+
+
+class TestTrim:
+    def test_trailing_idle_steps_trimmed(self):
+        inst = Instance.from_requirements([["1/2"]])
+        sched = Schedule(inst, [[H], [0], [0]])
+        assert sched.makespan == 1
+
+    def test_mid_schedule_idle_steps_kept(self):
+        inst = Instance.from_requirements([["1/4", "1/4"]])
+        sched = Schedule(inst, [[Q], [0], [Q]])
+        assert sched.makespan == 3
+
+    def test_trim_disabled(self):
+        inst = Instance.from_requirements([["1/2"]])
+        sched = Schedule(inst, [[H], [0]], trim=False)
+        assert sched.makespan == 2
+
+
+class TestPaperNotation:
+    @pytest.fixture
+    def sched(self) -> Schedule:
+        inst = Instance.from_requirements([["1/2", "1/2"], ["3/4"]])
+        return Schedule(inst, [[H, Q], [H, H]])
+
+    def test_jobs_remaining(self, sched):
+        assert sched.jobs_remaining(0, 0) == 2  # n_0(t=0) = 2
+        assert sched.jobs_remaining(1, 0) == 1
+        assert sched.jobs_remaining(1, 1) == 1  # 3/4-job not done yet
+        assert sched.jobs_remaining(2, 0) == 0  # after the end
+
+    def test_active_jobs_edges(self, sched):
+        assert sched.active_jobs(0) == ((0, 0), (1, 0))
+        assert sched.active_jobs(1) == ((0, 1), (1, 0))
+
+    def test_finishes_job_at(self, sched):
+        assert set(sched.finishes_job_at(0)) == {(0, 0)}
+        assert set(sched.finishes_job_at(1)) == {(0, 1), (1, 0)}
+
+    def test_resource_given(self, sched):
+        assert sched.resource_given(1, 0) == Fraction(3, 4)
+
+
+class TestGeneralSizes:
+    def test_multi_step_job(self):
+        inst = Instance([[Job("1/2", 3)]])  # work = 3/2
+        sched = Schedule(inst, [[H], [H], [H]])
+        assert sched.makespan == 3
+        assert sched.completion_step(0, 0) == 2
+
+    def test_speed_cap_binds_for_general_sizes(self):
+        inst = Instance([[Job("1/2", 2)]])  # work = 1
+        # Granting the full resource only processes at speed 1/2.
+        sched = Schedule(inst, [[1], [1]])
+        assert sched.step(0).processed[0] == H
+        assert sched.makespan == 2
+
+
+class TestZeroRequirementJobs:
+    def test_zero_job_occupies_one_step(self):
+        inst = Instance.from_requirements([[0, 0]])
+        sched = Schedule(inst, [[0], [0]])
+        assert sched.makespan == 2
+        assert sched.completion_step(0, 0) == 0
+        assert sched.completion_step(0, 1) == 1
+
+    def test_zero_job_completion_steps_not_trimmed(self):
+        inst = Instance.from_requirements([["1/2", 0]])
+        sched = Schedule(inst, [[H], [0]])
+        assert sched.makespan == 2
+
+
+class TestAggregates:
+    def test_utilization_and_waste(self):
+        inst = Instance.from_requirements([["1/2", "1/2"]])
+        sched = Schedule(inst, [[H], [H]])
+        assert sched.utilization() == H
+        assert sched.total_waste() == 1
+
+    def test_equality(self, two_proc_instance):
+        from repro.algorithms import GreedyBalance
+
+        a = GreedyBalance().run(two_proc_instance)
+        b = GreedyBalance().run(two_proc_instance)
+        assert a == b

@@ -1,0 +1,92 @@
+"""Unit tests for the step simulator and ExecState."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import ExecState, Instance, simulate
+from repro.core.simulator import default_step_limit
+from repro.exceptions import InfeasibleAssignmentError, SimulationLimitError
+
+
+class TestExecState:
+    def test_initial_state(self, two_proc_instance):
+        state = ExecState(two_proc_instance)
+        assert state.t == 0
+        assert state.active_processors() == [0, 1]
+        assert state.jobs_remaining(0) == 4
+        assert state.remaining_work(0) == Fraction(9, 10)
+        assert not state.all_done
+
+    def test_apply_advances(self, two_proc_instance):
+        state = ExecState(two_proc_instance)
+        outcome = state.apply([Fraction(9, 10), Fraction(1, 10)])
+        assert outcome.completed == ((0, 0),)
+        assert state.done == [1, 0]
+        assert state.remaining_work(1) == Fraction(2, 5)
+        assert state.t == 1
+
+    def test_started_reported_once(self):
+        inst = Instance.from_requirements([["1/2"]])
+        state = ExecState(inst)
+        first = state.apply([Fraction(1, 4)])
+        second = state.apply([Fraction(1, 4)])
+        assert first.started == ((0, 0),)
+        assert second.started == ()
+        assert second.completed == ((0, 0),)
+
+    def test_inactive_processor_untouched(self):
+        inst = Instance.from_requirements([["1/4"], ["1/4", "1/4"]])
+        state = ExecState(inst)
+        state.apply([Fraction(1, 4), Fraction(1, 4)])
+        outcome = state.apply([Fraction(1), Fraction(0)])
+        assert outcome.active[0] is None
+        assert outcome.processed[0] == 0
+
+
+class TestSimulate:
+    def test_runs_policy_to_completion(self, two_proc_instance):
+        calls = []
+
+        def policy(state):
+            calls.append(state.t)
+            shares = [0] * state.num_processors
+            for i in state.active_processors():
+                shares[i] = min(state.remaining_work(i), 1 - sum(shares))
+            return shares
+
+        sched = simulate(two_proc_instance, policy)
+        assert sched.makespan == len(calls)
+        assert sched.instance is two_proc_instance
+
+    def test_rejects_overuse(self, two_proc_instance):
+        with pytest.raises(InfeasibleAssignmentError, match="overused"):
+            simulate(two_proc_instance, lambda s: [1, 1])
+
+    def test_rejects_wrong_width(self, two_proc_instance):
+        with pytest.raises(InfeasibleAssignmentError, match="shares"):
+            simulate(two_proc_instance, lambda s: [1])
+
+    def test_rejects_negative(self, two_proc_instance):
+        with pytest.raises(InfeasibleAssignmentError, match="outside"):
+            simulate(two_proc_instance, lambda s: [-1, 0])
+
+    def test_stall_detection(self, two_proc_instance):
+        with pytest.raises(SimulationLimitError, match="no progress"):
+            simulate(two_proc_instance, lambda s: [0, 0])
+
+    def test_max_steps(self, two_proc_instance):
+        # A slow but progressing policy hits the explicit step limit.
+        def dribble(state):
+            shares = [Fraction(0)] * state.num_processors
+            i = state.active_processors()[0]
+            shares[i] = min(Fraction(1, 100), state.remaining_work(i))
+            return shares
+
+        with pytest.raises(SimulationLimitError, match="did not finish"):
+            simulate(two_proc_instance, dribble, max_steps=3)
+
+    def test_default_step_limit_scales(self, two_proc_instance):
+        assert default_step_limit(two_proc_instance) >= (
+            two_proc_instance.total_jobs + two_proc_instance.work_lower_bound()
+        )

@@ -1,0 +1,74 @@
+"""Unit tests for the speed-scaling interpretation (Section 3.1).
+
+The key assertion: completion times derived through Eq. (1) (volume
+fractions at speed ``min(R/r, 1)``) equal those derived through Eq. (2)
+(work units at speed ``min(R, r)``) -- the paper's claimed equivalence
+of the two model readings.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import GreedyBalance, ProportionalShare, RoundRobin
+from repro.core import (
+    Instance,
+    Job,
+    Schedule,
+    completion_times_eq1,
+    to_speed_scaling,
+)
+from repro.exceptions import InvalidScheduleError
+
+
+class TestConversion:
+    def test_unit_jobs(self):
+        inst = Instance.from_requirements([["1/2", "3/4"]])
+        view = to_speed_scaling(inst)
+        assert view[0][0].work == Fraction(1, 2)
+        assert view[0][0].max_speed == Fraction(1, 2)
+        assert view[0][0].min_steps == 1  # unit: processable in one step
+
+    def test_general_sizes(self):
+        inst = Instance([[Job("1/2", 3)]])
+        job = to_speed_scaling(inst)[0][0]
+        assert job.work == Fraction(3, 2)
+        assert job.max_speed == Fraction(1, 2)
+        assert job.min_steps == 3
+
+    def test_zero_requirement(self):
+        job = to_speed_scaling(Instance.from_requirements([[0]]))[0][0]
+        assert job.min_steps == 1
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "policy", [GreedyBalance(), RoundRobin(), ProportionalShare()],
+        ids=lambda p: p.name,
+    )
+    @pytest.mark.parametrize("seed", range(4))
+    def test_eq1_matches_eq2_unit(self, policy, seed):
+        from repro.generators import uniform_instance
+
+        inst = uniform_instance(3, 3, grid=12, seed=seed)
+        sched = policy.run(inst)
+        assert completion_times_eq1(inst, sched) == dict(sched.completion_steps)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_eq1_matches_eq2_general_sizes(self, seed):
+        from repro.generators import general_size_instance
+
+        inst = general_size_instance(2, 3, grid=8, max_size=3, seed=seed)
+        sched = GreedyBalance().run(inst)
+        assert completion_times_eq1(inst, sched) == dict(sched.completion_steps)
+
+    def test_zero_requirement_jobs_agree(self):
+        inst = Instance.from_requirements([[0, "1/2"]])
+        sched = Schedule(inst, [[0], [Fraction(1, 2)]])
+        assert completion_times_eq1(inst, sched) == dict(sched.completion_steps)
+
+    def test_incomplete_replay_rejected(self):
+        inst = Instance.from_requirements([["1/2", "1/2"]])
+        sched = Schedule(inst, [[Fraction(1, 2)]], validate=False)
+        with pytest.raises(InvalidScheduleError, match="unfinished"):
+            completion_times_eq1(inst, sched)

@@ -1,0 +1,88 @@
+"""Unit tests for the Lemma 1 transformation passes."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import Instance, Job, Schedule, make_nice, make_non_wasting
+from repro.core.properties import is_nested, is_nice, is_non_wasting, is_progressive
+from repro.exceptions import UnitSizeRequiredError
+from repro.generators import fig2_unnested_schedule
+
+H = Fraction(1, 2)
+Q = Fraction(1, 4)
+
+
+class TestMakeNonWasting:
+    def test_pulls_work_earlier(self):
+        inst = Instance.from_requirements([["1/2"], ["1/2"]])
+        # Wasteful: each job dribbled over two steps.
+        wasteful = Schedule(inst, [[Q, Q], [Q, Q]])
+        assert not is_non_wasting(wasteful)
+        fixed = make_non_wasting(wasteful)
+        assert is_non_wasting(fixed)
+        assert fixed.makespan <= wasteful.makespan
+        assert fixed.makespan == 1
+
+    def test_already_non_wasting_unchanged_makespan(self):
+        inst = Instance.from_requirements([["1/2"], ["1/2"]])
+        good = Schedule(inst, [[H, H]])
+        assert make_non_wasting(good).makespan == 1
+
+    def test_rejects_general_sizes(self):
+        inst = Instance([[Job("1/2", 2)]])
+        sched = Schedule(inst, [[H], [H]])
+        with pytest.raises(UnitSizeRequiredError):
+            make_non_wasting(sched)
+
+
+class TestMakeNice:
+    def test_fig2_unnested_repaired(self):
+        repaired = make_nice(fig2_unnested_schedule())
+        assert is_nice(repaired)
+        assert repaired.makespan <= 4
+
+    def test_idempotent_on_nice_schedules(self, two_proc_instance):
+        from repro.algorithms import GreedyBalance
+
+        nice = GreedyBalance().run(two_proc_instance)
+        assert is_nice(nice)
+        again = make_nice(nice)
+        assert again.makespan == nice.makespan
+        assert is_nice(again)
+
+    def test_wasteful_crossing_schedule(self):
+        # Three processors, all jobs partially processed in step 0 --
+        # neither progressive nor nested as written.
+        inst = Instance.from_requirements([["1/2", "1/2"], ["3/4"], ["3/4"]])
+        messy = Schedule(
+            inst,
+            [
+                [Q, Q, H],
+                [Q, H, Q],
+                [H, 0, 0],
+                [H, 0, 0],
+            ],
+        )
+        fixed = make_nice(messy)
+        assert is_nice(fixed)
+        assert fixed.makespan <= messy.makespan
+
+    def test_preserves_makespan_bound_on_random_messy_schedules(self):
+        # A deterministic "dribble" policy creating many partials.
+        inst = Instance.from_requirements(
+            [["2/5", "3/5"], ["4/5", "1/5"]]
+        )
+        rows = [
+            ["1/5", "2/5"],
+            ["1/5", "2/5"],
+            ["1/5", 0],
+            ["1/5", "1/5"],
+            ["2/5", 0],
+        ]
+        messy = Schedule(inst, rows)
+        fixed = make_nice(messy)
+        assert is_nice(fixed)
+        assert fixed.makespan <= messy.makespan
+        # Work is conserved: same instance completes.
+        assert fixed.instance == inst

@@ -1,0 +1,62 @@
+"""Integration tests for the extension experiments (GEN, ABL, CONT)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment
+
+
+class TestRegistered:
+    def test_extensions_registered(self):
+        for eid in ("GEN", "ABL", "CONT"):
+            assert eid in EXPERIMENTS
+
+
+class TestGen:
+    def test_general_sizes_guarantees_hold(self):
+        result = get_experiment("GEN").run(
+            configs=((2, 2), (3, 2)), seeds=(0, 1)
+        )
+        assert result.verdict
+        for row in result.rows:
+            assert row["worst_GB/OPT"] <= row["GB_guarantee"]
+            assert row["worst_RR/OPT"] <= row["RR_guarantee"]
+
+
+class TestAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return get_experiment("ABL").run(ms=(2, 3), blocks=4, seeds=(0, 1))
+
+    def test_verdict(self, result):
+        assert result.verdict
+
+    def test_balanced_variants_stay_balanced(self, result):
+        for row in result.rows:
+            if row["policy"] in ("greedy-balance", "gb-small-tie"):
+                assert row["always_balanced"]
+                assert row["within_guarantee"]
+
+    def test_some_unbalanced_variant_detected(self, result):
+        unbalanced = [
+            row
+            for row in result.rows
+            if row["policy"] not in ("greedy-balance", "gb-small-tie")
+        ]
+        assert any(not row["always_balanced"] for row in unbalanced)
+
+
+class TestCont:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return get_experiment("CONT").run(configs=((2, 3), (3, 3)), seeds=(0, 1))
+
+    def test_verdict(self, result):
+        assert result.verdict
+
+    def test_bounds_respected(self, result):
+        for row in result.rows:
+            assert row["fluid_GB"] >= row["cont_LB"] - 1e-9
+
+    def test_hard_instance_row_present(self, result):
+        rows = [r for r in result.rows if r["family"] == "forced-idle chains"]
+        assert rows and rows[0]["fluid_GB"] == 3.0

@@ -1,0 +1,103 @@
+"""Unit tests for random instance generators and workload models."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.generators import (
+    Phase,
+    TaskSpec,
+    bimodal_instance,
+    general_size_instance,
+    heavy_tail_instance,
+    make_io_workload,
+    ragged_instance,
+    tasks_to_instance,
+    uniform_instance,
+)
+
+
+class TestUniform:
+    def test_shape_and_bounds(self):
+        inst = uniform_instance(3, 5, seed=0)
+        assert inst.num_processors == 3
+        assert all(inst.num_jobs(i) == 5 for i in range(3))
+        for _, job in inst.jobs():
+            assert 0 < job.requirement <= 1
+
+    def test_seed_reproducibility(self):
+        assert uniform_instance(2, 4, seed=9) == uniform_instance(2, 4, seed=9)
+        assert uniform_instance(2, 4, seed=9) != uniform_instance(2, 4, seed=10)
+
+    def test_grid_denominators(self):
+        inst = uniform_instance(2, 10, grid=8, seed=1)
+        assert inst.resource_denominator() in (1, 2, 4, 8)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            uniform_instance(2, 2, low=50, high=10)
+
+
+class TestOtherFamilies:
+    def test_bimodal_modes(self):
+        inst = bimodal_instance(4, 50, heavy_prob=0.5, seed=3)
+        values = [float(job.requirement) for _, job in inst.jobs()]
+        assert any(v >= 0.7 for v in values)
+        assert any(v <= 0.1 for v in values)
+        assert not any(0.1 < v < 0.7 for v in values)
+
+    def test_ragged_lengths_in_range(self):
+        inst = ragged_instance(5, (2, 6), seed=4)
+        for i in range(5):
+            assert 2 <= inst.num_jobs(i) <= 6
+
+    def test_heavy_tail_in_bounds(self):
+        inst = heavy_tail_instance(3, 30, seed=5)
+        for _, job in inst.jobs():
+            assert Fraction(0) < job.requirement <= 1
+
+    def test_general_sizes(self):
+        inst = general_size_instance(2, 4, max_size=3, seed=6)
+        assert not inst.is_unit_size
+        for _, job in inst.jobs():
+            assert 1 <= job.size <= 3
+
+
+class TestWorkloads:
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            Phase("1/2", 0)
+
+    def test_task_requires_phases(self):
+        with pytest.raises(ValueError):
+            TaskSpec("empty", [])
+
+    def test_tasks_to_instance_unit_split(self):
+        tasks = [TaskSpec("t", [Phase("1/2", 3), Phase("1/4", 1)])]
+        inst = tasks_to_instance(tasks, unit_split=True)
+        assert inst.num_jobs(0) == 4
+        assert inst.is_unit_size
+        assert inst.requirements(0)[:3] == (Fraction(1, 2),) * 3
+
+    def test_tasks_to_instance_whole_phases(self):
+        tasks = [TaskSpec("t", [Phase("1/2", 3)])]
+        inst = tasks_to_instance(tasks, unit_split=False)
+        assert inst.num_jobs(0) == 1
+        assert inst.job(0, 0).size == 3
+        assert not inst.is_unit_size
+
+    def test_workload_mix(self):
+        tasks = make_io_workload(10, seed=0)
+        assert len(tasks) == 10
+        kinds = {t.name.split("-")[0] for t in tasks}
+        assert kinds == {"stream", "bursty", "compute"}
+
+    def test_workload_volume_conservation(self):
+        tasks = make_io_workload(6, seed=1)
+        inst = tasks_to_instance(tasks, unit_split=True)
+        assert inst.total_jobs == sum(t.total_volume for t in tasks)
+
+    def test_workload_seeded(self):
+        a = make_io_workload(5, seed=2)
+        b = make_io_workload(5, seed=2)
+        assert [t.phases for t in a] == [t.phases for t in b]

@@ -1,0 +1,120 @@
+"""Unit tests for the canonical and adversarial instance generators."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import frac_sum
+from repro.generators import (
+    fig1_instance,
+    fig2_instance,
+    fig2_nested_schedule,
+    fig2_unnested_schedule,
+    greedy_balance_adversarial,
+    greedy_balance_witness_schedule,
+    max_blocks,
+    round_robin_adversarial,
+    round_robin_optimal_schedule,
+)
+
+
+class TestFigureInstances:
+    def test_fig1_values(self):
+        inst = fig1_instance()
+        assert inst.num_processors == 3
+        assert [inst.num_jobs(i) for i in range(3)] == [4, 5, 3]
+        assert inst.requirement(1, 2) == Fraction(9, 10)
+
+    def test_fig2_values(self):
+        inst = fig2_instance()
+        assert inst.requirements(0) == (Fraction(1, 2),) * 4
+        assert inst.requirement(1, 0) == 1
+        assert inst.requirement(2, 0) == 1
+
+    def test_fig2_schedules_as_captioned(self):
+        from repro.core.properties import is_nested, is_non_wasting, is_progressive
+
+        for sched in (fig2_nested_schedule(), fig2_unnested_schedule()):
+            assert sched.makespan == 4
+            assert is_non_wasting(sched)
+            assert is_progressive(sched)
+        assert is_nested(fig2_nested_schedule())
+        assert not is_nested(fig2_unnested_schedule())
+
+
+class TestRoundRobinAdversarial:
+    @pytest.mark.parametrize("n", [1, 2, 7, 50])
+    def test_requirement_structure(self, n):
+        inst = round_robin_adversarial(n)
+        eps = Fraction(1, n)
+        for j in range(n):
+            assert inst.requirement(0, j) == (j + 1) * eps
+            assert inst.requirement(0, j) + inst.requirement(1, j) == 1 + eps
+
+    def test_phases_need_two_steps(self):
+        inst = round_robin_adversarial(10)
+        for j in range(10):
+            total = inst.requirement(0, j) + inst.requirement(1, j)
+            assert 1 < total <= 2
+
+    def test_diagonals_fit_exactly(self):
+        inst = round_robin_adversarial(10)
+        for j in range(1, 10):
+            assert inst.requirement(0, j - 1) + inst.requirement(1, j) == 1
+
+    @pytest.mark.parametrize("n", [1, 5, 20])
+    def test_optimal_witness_schedule(self, n):
+        assert round_robin_optimal_schedule(n).makespan == n + 1
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            round_robin_adversarial(0)
+
+
+class TestGreedyBalanceAdversarial:
+    def test_figure5_shape(self):
+        inst = greedy_balance_adversarial(3, 3, Fraction(1, 100))
+        assert inst.num_processors == 3
+        assert inst.max_jobs == 9
+
+    def test_interior_diagonals_sum_to_one(self):
+        for m in (2, 3, 4, 5):
+            inst = greedy_balance_adversarial(m, 3)
+            n = inst.max_jobs
+            # Diagonal ending in the bottom row at column s.
+            for s in range(m, n):
+                total = frac_sum(
+                    inst.requirement(m - 1 - k, s - k) for k in range(m)
+                )
+                assert total == 1, (m, s)
+
+    def test_requirements_in_bounds(self):
+        for m in (2, 3, 4, 6):
+            inst = greedy_balance_adversarial(m, 4)
+            for _, job in inst.jobs():
+                assert 0 <= job.requirement <= 1
+
+    def test_max_blocks_guard(self):
+        eps = Fraction(1, 100)
+        limit = max_blocks(3, eps)
+        greedy_balance_adversarial(3, limit, eps)  # fits
+        with pytest.raises(ValueError, match="smaller epsilon"):
+            greedy_balance_adversarial(3, limit + 1, eps)
+
+    def test_default_epsilon_always_fits(self):
+        for m in (2, 3, 5):
+            for blocks in (1, 2, 10, 25):
+                inst = greedy_balance_adversarial(m, blocks)
+                assert inst.max_jobs == m * blocks
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            greedy_balance_adversarial(1, 2)
+        with pytest.raises(ValueError):
+            greedy_balance_adversarial(3, 0)
+
+    @pytest.mark.parametrize("m", [2, 3, 4, 5, 6])
+    def test_witness_schedule_length(self, m):
+        inst = greedy_balance_adversarial(m, 2)
+        witness = greedy_balance_witness_schedule(inst, m)
+        assert witness.makespan == inst.max_jobs + m - 1

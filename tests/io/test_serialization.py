@@ -1,0 +1,80 @@
+"""Unit tests for exact JSON serialization."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import GreedyBalance
+from repro.core import Instance, Job
+from repro.generators import uniform_instance
+from repro.io import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_schedule,
+    save_instance,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+
+class TestInstanceRoundTrip:
+    def test_unit_instance(self, two_proc_instance):
+        data = instance_to_dict(two_proc_instance)
+        assert data["format"] == "crsharing-instance"
+        assert instance_from_dict(data) == two_proc_instance
+
+    def test_general_sizes(self):
+        inst = Instance([[Job("1/3", "5/2")], [Job(1)]])
+        assert instance_from_dict(instance_to_dict(inst)) == inst
+
+    def test_exactness_of_thirds(self):
+        # 1/3 has no finite decimal/binary representation; the round
+        # trip must still be exact.
+        inst = Instance.from_requirements([["1/3", "2/3"]])
+        back = instance_from_dict(instance_to_dict(inst))
+        assert back.requirement(0, 0) == Fraction(1, 3)
+
+    def test_integers_stay_bare(self):
+        data = instance_to_dict(Instance.from_requirements([[1]]))
+        assert data["processors"][0][0]["r"] == 1
+
+    def test_format_checks(self):
+        with pytest.raises(ValueError, match="not a CRSharing instance"):
+            instance_from_dict({"format": "bogus"})
+        data = instance_to_dict(Instance.from_requirements([[1]]))
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            instance_from_dict(data)
+
+    def test_file_round_trip(self, tmp_path, two_proc_instance):
+        path = tmp_path / "instance.json"
+        save_instance(two_proc_instance, path)
+        assert load_instance(path) == two_proc_instance
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip(self, two_proc_instance):
+        sched = GreedyBalance().run(two_proc_instance)
+        back = schedule_from_dict(schedule_to_dict(sched))
+        assert back == sched
+        assert back.makespan == sched.makespan
+
+    def test_revalidates_on_load(self, two_proc_instance):
+        sched = GreedyBalance().run(two_proc_instance)
+        data = schedule_to_dict(sched)
+        data["shares"][0] = ["1", "1"]  # corrupt: overuse
+        with pytest.raises(Exception):
+            schedule_from_dict(data)
+
+    def test_file_round_trip(self, tmp_path):
+        inst = uniform_instance(3, 3, seed=1)
+        sched = GreedyBalance().run(inst)
+        path = tmp_path / "schedule.json"
+        save_schedule(sched, path)
+        assert load_schedule(path) == sched
+
+    def test_format_check(self):
+        with pytest.raises(ValueError, match="not a CRSharing schedule"):
+            schedule_from_dict({"format": "bogus"})

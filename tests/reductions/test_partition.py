@@ -1,0 +1,94 @@
+"""Unit tests for the Partition substrate."""
+
+import pytest
+
+from repro.reductions import (
+    PartitionInstance,
+    random_no_instance,
+    random_yes_instance,
+    solve_partition_bruteforce,
+    solve_partition_dp,
+)
+
+
+class TestPartitionInstance:
+    def test_basic(self):
+        inst = PartitionInstance([3, 5, 2])
+        assert inst.total == 10
+        assert inst.half == 5
+        assert inst.is_balanced_total
+
+    def test_odd_total(self):
+        assert not PartitionInstance([1, 2]).is_balanced_total
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PartitionInstance([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PartitionInstance([1, 0])
+        with pytest.raises(ValueError):
+            PartitionInstance([-3])
+
+
+class TestSolvers:
+    def test_yes_case(self):
+        inst = PartitionInstance([3, 5, 2])
+        for solver in (solve_partition_bruteforce, solve_partition_dp):
+            witness = solver(inst)
+            assert witness is not None
+            assert sum(inst.values[i] for i in witness) == 5
+
+    def test_no_case(self):
+        inst = PartitionInstance([7, 1, 2])  # even total, no split
+        assert solve_partition_bruteforce(inst) is None
+        assert solve_partition_dp(inst) is None
+
+    def test_odd_total_is_no(self):
+        inst = PartitionInstance([1, 2, 4])
+        assert solve_partition_dp(inst) is None
+
+    def test_singleton_no(self):
+        assert solve_partition_dp(PartitionInstance([4])) is None
+
+    def test_pair_yes(self):
+        witness = solve_partition_dp(PartitionInstance([4, 4]))
+        assert witness is not None and len(witness) == 1
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_solvers_agree_on_random_inputs(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        values = [rng.randint(1, 12) for _ in range(rng.randint(2, 9))]
+        inst = PartitionInstance(values)
+        bf = solve_partition_bruteforce(inst)
+        dp = solve_partition_dp(inst)
+        assert (bf is None) == (dp is None)
+        if dp is not None:
+            assert sum(inst.values[i] for i in dp) == inst.half
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_yes_instances_are_yes_with_exact_n(self, n, seed):
+        inst, witness = random_yes_instance(n, seed=seed)
+        assert len(inst.values) == n
+        assert sum(inst.values[i] for i in witness) == inst.half
+        assert solve_partition_dp(inst) is not None
+
+    @pytest.mark.parametrize("n", [3, 4, 6])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_no_instances_are_nontrivial_no(self, n, seed):
+        inst = random_no_instance(n, seed=seed)
+        assert len(inst.values) == n
+        assert inst.is_balanced_total  # non-trivial: even total
+        assert max(inst.values) <= inst.half  # gadget-compatible
+        assert solve_partition_dp(inst) is None
+
+    def test_seeded_reproducibility(self):
+        a, _ = random_yes_instance(5, seed=3)
+        b, _ = random_yes_instance(5, seed=3)
+        assert a == b

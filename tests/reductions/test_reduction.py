@@ -1,0 +1,95 @@
+"""Unit tests for the Theorem 4 reduction."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import brute_force_makespan, opt_res_assignment_general
+from repro.core import frac_sum
+from repro.reductions import (
+    INAPPROXIMABILITY_GAP,
+    PartitionInstance,
+    default_epsilon,
+    reduction_instance,
+    verify_reduction,
+    yes_witness_schedule,
+)
+
+YES = PartitionInstance([3, 5, 2])
+YES_WITNESS = (0, 2)  # 3 + 2 = 5
+# Non-trivial NO: even total (10), every value <= A = 5, no subset
+# sums to 5.
+NO = PartitionInstance([3, 3, 3, 1])
+
+
+class TestGadgetConstruction:
+    def test_shape(self):
+        inst = reduction_instance(YES)
+        assert inst.num_processors == 3
+        assert all(inst.num_jobs(i) == 3 for i in range(3))
+
+    def test_values(self):
+        eps = default_epsilon(YES)  # 1/6
+        delta = 3 * eps  # 1/2
+        denom = 5 + delta  # A + delta = 11/2
+        inst = reduction_instance(YES)
+        assert inst.requirement(0, 0) == Fraction(3) / denom
+        assert inst.requirement(0, 1) == eps / denom
+        assert inst.requirement(0, 2) == inst.requirement(0, 0)
+
+    def test_first_column_does_not_fit_one_step(self):
+        inst = reduction_instance(YES)
+        total = frac_sum(inst.requirement(i, 0) for i in range(3))
+        assert total > 1
+
+    def test_custom_epsilon_bounds(self):
+        reduction_instance(YES, Fraction(1, 100))
+        with pytest.raises(ValueError, match="epsilon"):
+            reduction_instance(YES, Fraction(1, 2))  # >= 1/n
+        with pytest.raises(ValueError, match="epsilon"):
+            reduction_instance(YES, Fraction(0))
+
+    def test_rejects_odd_total(self):
+        with pytest.raises(ValueError, match="even total"):
+            reduction_instance(PartitionInstance([1, 2]))
+
+    def test_rejects_oversized_value(self):
+        # 7 > A = 5: the gadget requirement would exceed 1.
+        with pytest.raises(ValueError, match="<= A"):
+            reduction_instance(PartitionInstance([7, 1, 2]))
+
+
+class TestBiconditional:
+    def test_yes_witness_is_four_steps(self):
+        schedule = yes_witness_schedule(YES, YES_WITNESS)
+        assert schedule.makespan == 4
+
+    def test_yes_witness_rejects_bad_subset(self):
+        with pytest.raises(ValueError, match="witness"):
+            yes_witness_schedule(YES, (0,))
+
+    def test_yes_opt_is_exactly_four(self):
+        inst = reduction_instance(YES)
+        assert brute_force_makespan(inst) == 4
+
+    def test_no_opt_is_at_least_five(self):
+        inst = reduction_instance(NO)
+        assert brute_force_makespan(inst) >= 5
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_verify_reduction_on_random(self, seed):
+        from repro.reductions import random_no_instance, random_yes_instance
+
+        def oracle(instance) -> int:
+            return opt_res_assignment_general(instance).makespan
+
+        yes, _ = random_yes_instance(4, seed=seed)
+        result = verify_reduction(yes, optimal_makespan=oracle)
+        assert result["is_yes"] and result["opt"] == 4 and result["consistent"]
+
+        no = random_no_instance(4, seed=seed)
+        result = verify_reduction(no, optimal_makespan=oracle)
+        assert not result["is_yes"] and result["opt"] >= 5 and result["consistent"]
+
+    def test_gap_constant(self):
+        assert INAPPROXIMABILITY_GAP == Fraction(5, 4)

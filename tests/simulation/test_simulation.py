@@ -1,0 +1,104 @@
+"""Unit tests for the many-core simulation substrate."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import GreedyBalance
+from repro.core import simulate
+from repro.generators import Phase, TaskSpec, make_io_workload, tasks_to_instance
+from repro.simulation import (
+    ManyCoreEngine,
+    ManyCoreSystem,
+    SharedResource,
+    run_workload,
+)
+
+
+class TestSharedResource:
+    def test_grant_accounting(self):
+        bus = SharedResource()
+        bus.begin_step()
+        bus.grant("1/2")
+        assert bus.granted_this_step == Fraction(1, 2)
+        bus.grant("1/2")
+        with pytest.raises(ValueError, match="exceeds"):
+            bus.grant("1/10")
+
+    def test_negative_grant_rejected(self):
+        bus = SharedResource()
+        bus.begin_step()
+        with pytest.raises(ValueError, match="negative"):
+            bus.grant(-1)
+
+    def test_mean_utilization(self):
+        bus = SharedResource()
+        for amount in ("1/2", "1"):
+            bus.begin_step()
+            bus.grant(amount)
+        assert bus.mean_utilization == Fraction(3, 4)
+
+    def test_empty_utilization(self):
+        assert SharedResource().mean_utilization == 0
+
+
+class TestManyCoreSystem:
+    def test_construction(self):
+        system = ManyCoreSystem(4)
+        assert system.num_cores == 4
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            ManyCoreSystem(0)
+
+
+class TestEngine:
+    @pytest.fixture
+    def tasks(self) -> list[TaskSpec]:
+        return [
+            TaskSpec("stream", [Phase("1/2", 2)]),
+            TaskSpec("burst", [Phase("1/10", 1), Phase("9/10", 1)]),
+        ]
+
+    def test_trace_matches_abstract_simulator(self, tasks):
+        """The physical engine and the abstract simulator must agree
+        step for step (same policy, same instance)."""
+        policy = GreedyBalance()
+        trace = run_workload(tasks, policy, unit_split=True)
+        instance = tasks_to_instance(tasks, unit_split=True)
+        abstract = simulate(instance, policy)
+        assert trace.makespan == abstract.makespan
+        for t, record in enumerate(trace.steps):
+            assert record.grants == abstract.step(t).shares
+
+    def test_core_summaries(self, tasks):
+        trace = run_workload(tasks, GreedyBalance(), unit_split=True)
+        assert len(trace.core_summaries) == 2
+        for cs in trace.core_summaries:
+            assert cs.busy_steps + cs.stall_steps >= cs.phases or cs.busy_steps > 0
+            assert 0 <= cs.completion_step < trace.makespan
+
+    def test_bus_utilization_in_range(self, tasks):
+        trace = run_workload(tasks, GreedyBalance(), unit_split=True)
+        assert 0 < trace.bus_utilization <= 1
+
+    def test_general_sizes_supported(self, tasks):
+        trace = run_workload(tasks, GreedyBalance(), unit_split=False)
+        assert trace.makespan >= 2
+
+    def test_summary_table_renders(self, tasks):
+        trace = run_workload(tasks, GreedyBalance(), unit_split=True)
+        text = trace.summary_table()
+        assert "greedy-balance" in text
+        assert "stream" in text
+
+    def test_engine_requires_tasks(self):
+        with pytest.raises(ValueError):
+            ManyCoreEngine([])
+
+    def test_full_workload_end_to_end(self):
+        tasks = make_io_workload(6, seed=0)
+        trace = run_workload(tasks, GreedyBalance(), unit_split=True)
+        instance = tasks_to_instance(tasks, unit_split=True)
+        # Nothing finishes before the work bound.
+        assert trace.makespan >= instance.work_lower_bound()

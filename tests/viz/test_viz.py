@@ -1,0 +1,92 @@
+"""Unit tests for ASCII and SVG rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.algorithms import GreedyBalance, GreedyFinishJobs
+from repro.core import SchedulingGraph
+from repro.generators import fig1_instance
+from repro.viz import (
+    hypergraph_svg,
+    render_components,
+    render_instance,
+    render_schedule,
+    render_utilization,
+    schedule_svg,
+    series_svg,
+)
+
+
+@pytest.fixture
+def fig1_schedule():
+    return GreedyFinishJobs().run(fig1_instance())
+
+
+class TestAscii:
+    def test_instance_grid(self):
+        text = render_instance(fig1_instance())
+        assert "p0 | 20 10 10 10" in text
+        assert "p1 | 50 55 90 55 10" in text
+        assert "p2 | 50 40 95" in text
+
+    def test_schedule_contains_makespan(self, fig1_schedule):
+        text = render_schedule(fig1_schedule, max_width=200)
+        assert f"makespan = {fig1_schedule.makespan}" in text
+        assert text.startswith("t")
+
+    def test_components_summary(self, fig1_schedule):
+        graph = SchedulingGraph(fig1_schedule)
+        text = render_components(graph)
+        assert "N = 3 components" in text
+        assert "C1:" in text and "C3:" in text
+
+    def test_utilization_bars(self, fig1_schedule):
+        text = render_utilization(fig1_schedule)
+        assert text.count("t=") == fig1_schedule.makespan
+        assert "100.0%" in text  # the full steps
+
+
+class TestSvg:
+    def _parse(self, svg: str) -> ET.Element:
+        return ET.fromstring(svg)
+
+    def test_schedule_svg_is_valid_xml(self, fig1_schedule):
+        root = self._parse(schedule_svg(fig1_schedule, title="test"))
+        assert root.tag.endswith("svg")
+
+    def test_schedule_svg_has_a_rect_per_active_cell(self, fig1_schedule):
+        svg = schedule_svg(fig1_schedule)
+        active_cells = sum(
+            1
+            for t in range(fig1_schedule.makespan)
+            for i in range(3)
+            if fig1_schedule.step(t).active[i] is not None
+        )
+        assert svg.count("<rect") == active_cells
+
+    def test_hypergraph_svg_nodes(self, fig1_schedule):
+        graph = SchedulingGraph(fig1_schedule)
+        svg = hypergraph_svg(graph)
+        self._parse(svg)
+        assert svg.count("<circle") == fig1_schedule.instance.total_jobs
+        # One dashed hull per time step.
+        assert svg.count("stroke-dasharray") == fig1_schedule.makespan
+
+    def test_series_svg(self):
+        svg = series_svg(
+            {"a": [(1, 1.0), (2, 1.5)], "b": [(1, 2.0), (2, 2.0)]},
+            title="t",
+            xlabel="x",
+            ylabel="y",
+        )
+        self._parse(svg)
+        assert svg.count("<path") == 2
+
+    def test_series_svg_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series_svg({})
+
+    def test_series_svg_degenerate_ranges(self):
+        svg = series_svg({"a": [(1, 1.0)]})
+        self._parse(svg)
