@@ -1,0 +1,74 @@
+"""SPEEDUP bench: exact vs vector backend throughput across m.
+
+Records the throughput of both backends on uniform random instances
+at m in {8, 64, 256} and the resulting speedup factor into
+``benchmarks/results/BENCH_backend_speedup.json``, so the perf
+trajectory of the float path is tracked across PRs.  The acceptance
+gate asserts the vector backend is at least 20x faster at m=256.
+
+The exact backend is timed on a *smaller* step budget per run (one
+run) because a single Fraction simulation at m=256 already takes
+seconds; the vector backend is timed over several runs and averaged.
+Both figures are steps-per-second, so the ratio is scale-free.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.algorithms import GreedyBalance
+from repro.backends import ExactBackend, VectorBackend
+from repro.generators import uniform_instance
+
+RESULTS = Path(__file__).parent / "results"
+
+#: (m, jobs per processor) -- constant total steps per processor so
+#: exact stays timeable at m=256 while vector gets enough steps to
+#: amortize startup.
+CASES = [(8, 32), (64, 12), (256, 6)]
+
+
+def _time_once(backend, instance, policy):
+    t0 = time.perf_counter()
+    result = backend.run(instance, policy, record_shares=False)
+    return result.makespan, time.perf_counter() - t0
+
+
+def _steps_per_second(backend, instance, policy, *, repeats):
+    makespan, best = _time_once(backend, instance, policy)
+    for _ in range(repeats - 1):
+        _, elapsed = _time_once(backend, instance, policy)
+        best = min(best, elapsed)
+    return makespan, makespan / best
+
+
+def test_backend_speedup(results_dir):
+    policy = GreedyBalance()
+    exact = ExactBackend()
+    vector = VectorBackend()
+    rows = []
+    for m, n in CASES:
+        instance = uniform_instance(m, n, seed=0)
+        exact_makespan, exact_sps = _steps_per_second(
+            exact, instance, policy, repeats=1
+        )
+        vector_makespan, vector_sps = _steps_per_second(
+            vector, instance, policy, repeats=3
+        )
+        assert vector_makespan == exact_makespan
+        rows.append(
+            {
+                "m": m,
+                "n": n,
+                "makespan": exact_makespan,
+                "exact_steps_per_s": round(exact_sps, 1),
+                "vector_steps_per_s": round(vector_sps, 1),
+                "speedup": round(vector_sps / exact_sps, 1),
+            }
+        )
+    (results_dir / "BENCH_backend_speedup.json").write_text(
+        json.dumps({"benchmark": "backend_speedup", "rows": rows}, indent=2)
+        + "\n"
+    )
+    at_256 = next(row for row in rows if row["m"] == 256)
+    assert at_256["speedup"] >= 20, rows

@@ -20,3 +20,17 @@ def test_simulator_throughput(benchmark, record_result):
         return run_workload(tasks, policy, unit_split=True).makespan
 
     assert benchmark(run) > 0
+
+
+def test_simulator_throughput_vector_backend(benchmark):
+    """Same workload through the NumPy float64 backend."""
+    tasks = make_io_workload(16, seed=13)
+    policy = GreedyBalance()
+    expected = run_workload(tasks, policy, unit_split=True).makespan
+
+    def run() -> int:
+        return run_workload(
+            tasks, policy, unit_split=True, backend="vector"
+        ).makespan
+
+    assert benchmark(run) == expected

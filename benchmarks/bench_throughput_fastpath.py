@@ -8,6 +8,7 @@ fast path buys on a bulk-sweep-sized instance; the tests in
 """
 
 from repro.algorithms import GreedyBalance, greedy_balance_makespan
+from repro.backends import VectorBackend
 from repro.generators import uniform_instance
 
 INSTANCE = uniform_instance(8, 120, seed=0)
@@ -28,5 +29,18 @@ def test_integer_grid_fastpath(benchmark):
 
     def run() -> int:
         return greedy_balance_makespan(INSTANCE)
+
+    assert benchmark(run) == expected
+
+
+def test_vector_backend_path(benchmark):
+    """The float64 backend on the same sweep-sized instance (general
+    alternative to the policy-specific integer fast path)."""
+    policy = GreedyBalance()
+    backend = VectorBackend()
+    expected = greedy_balance_makespan(INSTANCE)
+
+    def run() -> int:
+        return backend.run(INSTANCE, policy, record_shares=False).makespan
 
     assert benchmark(run) == expected

@@ -34,6 +34,14 @@ Package map (see DESIGN.md for the full inventory):
 """
 
 from ._version import __version__
+from .backends import (
+    BatchRunner,
+    ExactBackend,
+    VectorBackend,
+    available_backends,
+    cross_validate,
+    get_backend,
+)
 from .algorithms import (
     GreedyBalance,
     Policy,
@@ -70,6 +78,8 @@ from .exceptions import (
 )
 
 __all__ = [
+    "BatchRunner",
+    "ExactBackend",
     "GreedyBalance",
     "Instance",
     "InfeasibleAssignmentError",
@@ -84,8 +94,12 @@ __all__ = [
     "SimulationLimitError",
     "SolverError",
     "UnitSizeRequiredError",
+    "VectorBackend",
     "__version__",
+    "available_backends",
     "available_policies",
+    "cross_validate",
+    "get_backend",
     "best_lower_bound",
     "brute_force_makespan",
     "get_policy",

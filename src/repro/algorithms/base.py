@@ -24,15 +24,30 @@ receives a partial grant).
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+import numpy as np
 
 from ..core.instance import Instance
 from ..core.numerics import ONE, ZERO
 from ..core.schedule import Schedule
 from ..core.simulator import simulate
 from ..core.state import ExecState
+from ..exceptions import VectorizationUnsupportedError
 
-__all__ = ["Policy", "water_fill", "register_policy", "get_policy", "available_policies"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..backends.base import BackendResult
+    from ..backends.vector import VectorState
+
+__all__ = [
+    "Policy",
+    "water_fill",
+    "water_fill_array",
+    "sort_key",
+    "register_policy",
+    "get_policy",
+    "available_policies",
+]
 
 
 class Policy:
@@ -53,12 +68,49 @@ class Policy:
         """Return the per-processor share vector for the current step."""
         raise NotImplementedError
 
+    def shares_array(self, state: "VectorState") -> np.ndarray:
+        """Vectorized variant of :meth:`shares` for the float backend.
+
+        Receives a :class:`repro.backends.vector.VectorState` (NumPy
+        float64 view of the execution state) and returns one float64
+        share per processor.  Must implement the *same* rule as
+        :meth:`shares` so the backends agree; the cross-validation
+        suite enforces agreement within tolerance.
+
+        The default raises -- policies without a vectorized path can
+        only run on the exact backend.
+        """
+        raise VectorizationUnsupportedError(
+            f"policy {self.name!r} has no vectorized shares_array path; "
+            "run it on the exact backend"
+        )
+
+    @property
+    def supports_vector(self) -> bool:
+        """True iff this policy overrides :meth:`shares_array`."""
+        return type(self).shares_array is not Policy.shares_array
+
     def __call__(self, state: ExecState) -> Sequence[Fraction]:
         return self.shares(state)
 
     def run(self, instance: Instance, **kwargs) -> Schedule:
-        """Simulate this policy on *instance* and return the schedule."""
+        """Simulate this policy on *instance* and return the schedule
+        (always exact arithmetic; see :meth:`run_backend` for the
+        pluggable-backend entry point)."""
         return simulate(instance, self, **kwargs)
+
+    def run_backend(
+        self, instance: Instance, backend: str = "vector", **kwargs
+    ) -> "BackendResult":
+        """Run this policy through a named simulation backend.
+
+        ``backend="exact"`` reproduces :meth:`run` semantics (the
+        result carries the validated :class:`Schedule`);
+        ``backend="vector"`` runs the NumPy float64 engine.
+        """
+        from ..backends import get_backend  # local: avoid import cycle
+
+        return get_backend(backend).run(instance, self, **kwargs)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -97,6 +149,46 @@ def water_fill(
         if useful > ZERO:
             shares[i] = useful
             left -= useful
+    return shares
+
+
+def sort_key(values: np.ndarray, *, decimals: int = 9) -> np.ndarray:
+    """Quantize a float key for priority sorting.
+
+    Partial water-fill grants leave ~1e-16 residue on remaining-work
+    values, which would break exact ties (values equal as rationals)
+    inconsistently with the exact path's value-then-index order.
+    Rounding to the backend tolerance restores those ties; instances on
+    a requirement grid coarser than ``10**-decimals`` sort identically
+    to exact arithmetic.
+    """
+    return np.round(values, decimals)
+
+
+def water_fill_array(
+    state: "VectorState",
+    order: np.ndarray,
+    *,
+    capacity: float = 1.0,
+) -> np.ndarray:
+    """Vectorized :func:`water_fill` over a float64 state.
+
+    *order* is an array of processor indices in priority order (it may
+    include inactive processors -- their useful share is zero, so they
+    neither receive nor consume capacity).  The grant rule is identical
+    to the exact path: each processor gets
+    ``min(remaining_work, requirement, capacity_left)``, realized as a
+    prefix-sum followed by a clip, so the whole fill is O(m) NumPy work
+    with no Python loop.
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    useful = np.minimum(state.remaining, state.active_requirements)
+    u = useful[order]
+    taken_before = np.cumsum(u) - u
+    grants = np.clip(capacity - taken_before, 0.0, u)
+    shares = np.zeros(state.num_processors, dtype=np.float64)
+    shares[order] = grants
     return shares
 
 

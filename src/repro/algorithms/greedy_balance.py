@@ -29,8 +29,10 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Sequence
 
+import numpy as np
+
 from ..core.state import ExecState
-from .base import Policy, register_policy, water_fill
+from .base import Policy, register_policy, sort_key, water_fill, water_fill_array
 
 __all__ = ["GreedyBalance"]
 
@@ -51,3 +53,11 @@ class GreedyBalance(Policy):
             ),
         )
         return water_fill(state, order)
+
+    def shares_array(self, state) -> np.ndarray:
+        # Same priority as `shares`: more remaining jobs first, then
+        # larger remaining work, then index (lexsort's stability gives
+        # the index tie-break; finished processors sort last with zero
+        # useful share, so including them is harmless).
+        order = np.lexsort((-sort_key(state.remaining), -state.jobs_remaining))
+        return water_fill_array(state, order)

@@ -12,9 +12,11 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Sequence
 
+import numpy as np
+
 from ..core.numerics import ONE, ZERO, frac_sum
 from ..core.state import ExecState
-from .base import Policy, register_policy, water_fill
+from .base import Policy, register_policy, sort_key, water_fill, water_fill_array
 
 __all__ = [
     "GreedyFinishJobs",
@@ -43,6 +45,13 @@ class GreedyFinishJobs(Policy):
         )
         return water_fill(state, order)
 
+    def shares_array(self, state) -> np.ndarray:
+        # Cheapest remaining work first; finished processors sort first
+        # with zero useful share, which water-filling ignores.
+        return water_fill_array(
+            state, np.argsort(sort_key(state.remaining), kind="stable")
+        )
+
 
 @register_policy
 class LargestRequirementFirst(Policy):
@@ -60,6 +69,11 @@ class LargestRequirementFirst(Policy):
             key=lambda i: (-state.remaining_work(i), i),
         )
         return water_fill(state, order)
+
+    def shares_array(self, state) -> np.ndarray:
+        return water_fill_array(
+            state, np.argsort(-sort_key(state.remaining), kind="stable")
+        )
 
 
 @register_policy
@@ -80,6 +94,10 @@ class FewestRemainingJobsFirst(Policy):
         )
         return water_fill(state, order)
 
+    def shares_array(self, state) -> np.ndarray:
+        order = np.lexsort((-sort_key(state.remaining), state.jobs_remaining))
+        return water_fill_array(state, order)
+
 
 @register_policy
 class ProportionalShare(Policy):
@@ -98,6 +116,14 @@ class ProportionalShare(Policy):
     """
 
     name = "proportional-share"
+
+    def shares_array(self, state) -> np.ndarray:
+        total = float(state.remaining.sum())
+        if total == 0.0:
+            return np.zeros(state.num_processors, dtype=np.float64)
+        if total <= 1.0:
+            return state.remaining.copy()
+        return state.remaining / total
 
     def shares(self, state: ExecState) -> Sequence[Fraction]:
         active = state.active_processors()

@@ -23,9 +23,11 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Sequence
 
+import numpy as np
+
 from ..core.numerics import frac_ceil, frac_sum
 from ..core.state import ExecState
-from .base import Policy, register_policy, water_fill
+from .base import Policy, register_policy, water_fill, water_fill_array
 
 __all__ = ["RoundRobin", "round_robin_phase", "round_robin_makespan_formula"]
 
@@ -66,6 +68,17 @@ class RoundRobin(Policy):
             if state.instance.num_jobs(i) >= phase and state.done[i] == phase - 1
         ]
         return water_fill(state, eligible)
+
+    def shares_array(self, state) -> np.ndarray:
+        # The current phase is 1 + min completed count over active
+        # processors (an active processor with minimal `done` witnesses
+        # exactly the smallest j of `round_robin_phase`).  Eligible
+        # processors are the active ones still in that phase; the fill
+        # order is processor index, as in the exact path.
+        active = state.active_mask
+        min_done = state.done[active].min()
+        eligible = np.flatnonzero(active & (state.done == min_done))
+        return water_fill_array(state, eligible)
 
 
 def round_robin_makespan_formula(instance) -> int:

@@ -8,7 +8,7 @@ from .metrics import (
     total_completion_time,
 )
 from .ratios import PolicyStats, RatioStudy, run_ratio_study
-from .verification import VerificationReport, verify_schedule
+from .verification import VerificationReport, verify_schedule, verify_share_rows
 
 __all__ = [
     "PolicyStats",
@@ -21,4 +21,5 @@ __all__ = [
     "run_ratio_study",
     "total_completion_time",
     "verify_schedule",
+    "verify_share_rows",
 ]

@@ -5,17 +5,29 @@ construction; this module re-derives everything from the raw share
 rows with a *separate* implementation so tests can assert that the
 two agree (defense against bugs in the canonical executor), and
 produces a structured report usable in error messages.
+
+Two entry points:
+
+* :func:`verify_schedule` -- exact re-execution of a validated
+  :class:`Schedule` (Fraction arithmetic, zero tolerance);
+* :func:`verify_share_rows` -- epsilon-tolerant re-execution of *raw*
+  share rows in float64, for auditing the output of
+  :class:`~repro.backends.vector.VectorBackend` (whose schedules are
+  correct only up to its completion tolerance and therefore cannot
+  pass the exact validator).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
+from typing import Sequence
 
+from ..core.instance import Instance
 from ..core.numerics import ONE, ZERO, format_frac
 from ..core.schedule import Schedule
 
-__all__ = ["VerificationReport", "verify_schedule"]
+__all__ = ["VerificationReport", "verify_schedule", "verify_share_rows"]
 
 
 @dataclass(slots=True)
@@ -93,5 +105,63 @@ def verify_schedule(schedule: Schedule) -> VerificationReport:
             report.fail(
                 f"processor {i}: {inst.num_jobs(i) - current[i]} job(s) "
                 f"unfinished at the end"
+            )
+    return report
+
+
+def verify_share_rows(
+    instance: Instance,
+    rows: Sequence[Sequence[float]],
+    *,
+    atol: float = 1e-9,
+) -> VerificationReport:
+    """Epsilon-tolerant re-execution of raw float share rows.
+
+    Checks every model rule of Section 3.1 with an absolute tolerance
+    *atol*: shares may stray outside ``[0, 1]`` and per-step totals
+    above 1 by at most *atol*, and a job counts as complete once its
+    remaining work drops to ``<= atol``.  This is the independent
+    auditor for :class:`~repro.backends.vector.VectorBackend` output;
+    pass ``atol`` matching the backend's completion tolerance.
+
+    The report's ``completion_steps`` are derived exactly as in
+    :func:`verify_schedule`, so the two can be compared job by job
+    when cross-validating backends.
+    """
+    report = VerificationReport()
+    m = instance.num_processors
+    current = [0] * m
+    left = [float(instance.job(i, 0).work) for i in range(m)]
+    requirement = [float(instance.job(i, 0).requirement) for i in range(m)]
+
+    for t, row in enumerate(rows):
+        if len(row) != m:
+            report.fail(f"step {t}: share row has {len(row)} entries, expected {m}")
+            return report
+        total = 0.0
+        for i in range(m):
+            share = float(row[i])
+            total += share
+            if share < -atol or share > 1.0 + atol:
+                report.fail(f"step {t}: share {share} out of [0,1] (+/- {atol})")
+        if total > 1.0 + atol:
+            report.fail(f"step {t}: capacity overused ({total})")
+        for i in range(m):
+            if current[i] >= instance.num_jobs(i):
+                continue
+            progress = min(max(float(row[i]), 0.0), requirement[i], left[i])
+            left[i] -= progress
+            if left[i] <= atol:
+                report.completion_steps[(i, current[i])] = t
+                current[i] += 1
+                if current[i] < instance.num_jobs(i):
+                    left[i] = float(instance.job(i, current[i]).work)
+                    requirement[i] = float(instance.job(i, current[i]).requirement)
+
+    for i in range(m):
+        if current[i] < instance.num_jobs(i):
+            report.fail(
+                f"processor {i}: {instance.num_jobs(i) - current[i]} job(s) "
+                f"unfinished at the end (remaining ~ {left[i]})"
             )
     return report

@@ -1,0 +1,107 @@
+"""The :class:`Backend` protocol and its result container.
+
+A *backend* is an execution engine for online policies: it repeatedly
+asks the policy for a share vector, applies the model's step semantics
+(Section 3.1 of the paper), and reports the makespan plus optional
+telemetry.  All backends implement the same contract so callers --
+:meth:`repro.algorithms.base.Policy.run_backend`, the CLI's
+``--backend`` flag, :class:`~repro.backends.batch.BatchRunner` -- can
+swap engines without touching policy or analysis code.
+
+Contract (what every backend guarantees):
+
+* ``run(instance, policy)`` executes until all jobs complete or a
+  safety limit triggers (:class:`~repro.exceptions.SimulationLimitError`);
+* infeasible policy output (share outside ``[0,1]`` or overused
+  capacity, beyond the backend's tolerance) raises
+  :class:`~repro.exceptions.InfeasibleAssignmentError`;
+* the returned :class:`BackendResult` reports the same makespan the
+  exact simulator would (within the backend's documented tolerance --
+  exactly for :class:`~repro.backends.exact.ExactBackend`, within
+  float64 rounding for :class:`~repro.backends.vector.VectorBackend`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..core.instance import Instance
+    from ..core.schedule import Schedule
+
+__all__ = ["Backend", "BackendResult"]
+
+
+@dataclass(slots=True)
+class BackendResult:
+    """Outcome of one backend run.
+
+    Attributes:
+        backend: name of the backend that produced this result.
+        makespan: number of time steps until all jobs finished.
+        shares: per-step share rows (``makespan x m``) when the run was
+            recorded; ``None`` when recording was disabled to save
+            memory on bulk sweeps.  Exact backends store ``Fraction``
+            rows, the vector backend float64 rows.
+        processed: per-step work actually processed (same shape and
+            recording rule as ``shares``).
+        completion_steps: 0-based completion step per job id ``(i, j)``.
+        schedule: the validated exact :class:`Schedule` artifact
+            (exact backend only; ``None`` for float backends).
+    """
+
+    backend: str
+    makespan: int
+    shares: Sequence[Sequence[Any]] | None = None
+    processed: Sequence[Sequence[Any]] | None = None
+    completion_steps: dict[tuple[int, int], int] = field(default_factory=dict)
+    schedule: "Schedule | None" = None
+
+    def share_rows(self) -> list[tuple[Any, ...]]:
+        """The recorded share matrix as a list of row tuples.
+
+        Raises:
+            ValueError: if the run was executed with
+                ``record_shares=False``.
+        """
+        if self.shares is None:
+            raise ValueError(
+                "share rows were not recorded (run with record_shares=True)"
+            )
+        return [tuple(row) for row in self.shares]
+
+
+class Backend(ABC):
+    """Abstract simulation backend (see the module docstring for the
+    full contract)."""
+
+    #: Registry / CLI identifier.
+    name: str = "backend"
+
+    @abstractmethod
+    def run(
+        self,
+        instance: "Instance",
+        policy,
+        *,
+        max_steps: int | None = None,
+        record_shares: bool = True,
+    ) -> BackendResult:
+        """Execute *policy* on *instance* until completion.
+
+        Args:
+            instance: the CRSharing instance.
+            policy: a :class:`~repro.algorithms.base.Policy` (backends
+                may require specific capabilities, e.g. the vector
+                backend needs ``shares_array``).
+            max_steps: hard safety limit (default:
+                :func:`repro.core.simulator.default_step_limit`).
+            record_shares: keep per-step share/progress rows on the
+                result.  Disable for bulk campaigns where only the
+                makespan matters.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,213 @@
+"""Batch campaign runner: many instances, many workers, one result store.
+
+Related work evaluates bandwidth-contention schedulers over thousands
+of randomized instances; :class:`BatchRunner` is that harness.  It
+shards a list of instances across ``multiprocessing`` workers (each
+worker re-instantiates the policy and backend from their registry
+names, so only plain instance data crosses process boundaries),
+runs each instance through the selected backend, and aggregates the
+per-instance makespans and lower-bound ratios into a
+:class:`BatchResult`.
+
+Determinism: results are keyed to the input order (``Pool.map``
+preserves it) and every backend is deterministic, so a campaign over
+seeded instances produces identical results for any worker count --
+the test-suite pins this down.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from ..core.instance import Instance
+
+__all__ = ["BatchResult", "BatchRunner", "make_campaign_instances"]
+
+
+def _run_one(payload: tuple) -> dict[str, Any]:
+    """Worker entry point (module-level so it pickles under fork/spawn)."""
+    from ..algorithms import get_policy
+    from . import get_backend
+
+    instance, policy_name, backend_name, max_steps = payload
+    policy = get_policy(policy_name)
+    backend = get_backend(backend_name)
+    t0 = time.perf_counter()
+    result = backend.run(
+        instance, policy, max_steps=max_steps, record_shares=False
+    )
+    elapsed = time.perf_counter() - t0
+    lower = instance.work_lower_bound()
+    return {
+        "m": instance.num_processors,
+        "total_jobs": instance.total_jobs,
+        "makespan": result.makespan,
+        "lower_bound": lower,
+        "ratio": result.makespan / lower if lower else 1.0,
+        "seconds": elapsed,
+    }
+
+
+@dataclass(slots=True)
+class BatchResult:
+    """Aggregated outcome of one campaign.
+
+    Attributes:
+        policy: registry name of the policy that ran.
+        backend: registry name of the backend that ran.
+        workers: worker processes used (1 = in-process serial).
+        rows: one dict per instance, in input order (``m``,
+            ``total_jobs``, ``makespan``, ``lower_bound``, ``ratio``,
+            ``seconds``).
+        wall_seconds: end-to-end campaign wall time.
+    """
+
+    policy: str
+    backend: str
+    workers: int
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def makespans(self) -> list[int]:
+        return [row["makespan"] for row in self.rows]
+
+    @property
+    def ratios(self) -> list[float]:
+        return [row["ratio"] for row in self.rows]
+
+    def summary(self) -> dict[str, Any]:
+        """Campaign-level aggregates (the numbers a sweep reports)."""
+        count = len(self.rows)
+        if not count:
+            return {
+                "instances": 0,
+                "policy": self.policy,
+                "backend": self.backend,
+                "workers": self.workers,
+            }
+        ratios = self.ratios
+        return {
+            "instances": count,
+            "policy": self.policy,
+            "backend": self.backend,
+            "workers": self.workers,
+            "mean_makespan": sum(self.makespans) / count,
+            "mean_ratio": sum(ratios) / count,
+            "max_ratio": max(ratios),
+            "total_steps": sum(self.makespans),
+            "wall_seconds": self.wall_seconds,
+            "steps_per_second": (
+                sum(self.makespans) / self.wall_seconds
+                if self.wall_seconds > 0
+                else None
+            ),
+        }
+
+    def to_json(self, path: str | Path) -> None:
+        """Persist summary + rows as JSON (the campaign result store)."""
+        Path(path).write_text(
+            json.dumps(
+                {"summary": self.summary(), "rows": self.rows}, indent=2
+            )
+            + "\n"
+        )
+
+
+class BatchRunner:
+    """Run one policy/backend combination over a list of instances.
+
+    Args:
+        policy: registry name (see
+            :func:`repro.algorithms.available_policies`).
+        backend: registry name (see
+            :func:`repro.backends.available_backends`).
+        workers: worker processes; ``None`` picks ``min(cpu, 8)``,
+            ``0``/``1`` runs serially in-process (no multiprocessing
+            -- useful under restricted environments and for
+            determinism baselines).
+        max_steps: per-instance safety limit forwarded to the backend.
+    """
+
+    def __init__(
+        self,
+        policy: str = "greedy-balance",
+        backend: str = "vector",
+        *,
+        workers: int | None = None,
+        max_steps: int | None = None,
+    ) -> None:
+        # Fail fast on unknown names (workers resolve them again).
+        from ..algorithms import get_policy
+        from . import get_backend
+
+        get_policy(policy)
+        get_backend(backend)
+        if workers is None:
+            workers = min(os.cpu_count() or 1, 8)
+        self.policy = policy
+        self.backend = backend
+        self.workers = max(1, int(workers))
+        self.max_steps = max_steps
+
+    def run(self, instances: Iterable[Instance]) -> BatchResult:
+        """Execute the campaign; rows come back in input order."""
+        payloads = [
+            (inst, self.policy, self.backend, self.max_steps)
+            for inst in instances
+        ]
+        t0 = time.perf_counter()
+        if self.workers == 1 or len(payloads) <= 1:
+            rows = [_run_one(p) for p in payloads]
+        else:
+            # Platform-default start method: fork on Linux, spawn on
+            # macOS/Windows (the worker and payloads are picklable
+            # either way).
+            ctx = multiprocessing.get_context()
+            chunk = max(1, len(payloads) // (self.workers * 4))
+            with ctx.Pool(processes=self.workers) as pool:
+                rows = pool.map(_run_one, payloads, chunksize=chunk)
+        return BatchResult(
+            policy=self.policy,
+            backend=self.backend,
+            workers=self.workers,
+            rows=rows,
+            wall_seconds=time.perf_counter() - t0,
+        )
+
+
+def make_campaign_instances(
+    count: int,
+    m: int,
+    n: int,
+    *,
+    family: str = "uniform",
+    grid: int = 100,
+    seed: int = 0,
+) -> list[Instance]:
+    """Deterministic list of seeded random instances for a campaign.
+
+    Instance ``k`` uses seed ``seed + k``, so a campaign is fully
+    reproducible from ``(family, count, m, n, grid, seed)``.
+    """
+    from ..generators import random_instances as gen
+
+    families = {
+        "uniform": lambda s: gen.uniform_instance(m, n, grid=grid, seed=s),
+        "bimodal": lambda s: gen.bimodal_instance(m, n, grid=grid, seed=s),
+        "heavy-tail": lambda s: gen.heavy_tail_instance(m, n, grid=grid, seed=s),
+        "general": lambda s: gen.general_size_instance(m, n, grid=grid, seed=s),
+    }
+    try:
+        build = families[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown family {family!r}; available: {sorted(families)}"
+        ) from None
+    return [build(seed + k) for k in range(count)]

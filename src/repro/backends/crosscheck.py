@@ -1,0 +1,92 @@
+"""Exact-vs-vector cross-validation on a single instance.
+
+The float backend earns its place by agreeing with the exact one;
+:func:`cross_validate` runs both on the same instance and policy and
+reports makespan agreement (relative error) plus the largest per-step
+share deviation.  The test-suite runs this over hundreds of random
+instances; the CLI exposes it as ``crsharing crosscheck`` so any
+suspicious campaign result can be audited in one command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import Instance
+from .exact import ExactBackend
+from .vector import VectorBackend
+
+__all__ = ["CrossCheckResult", "cross_validate"]
+
+
+@dataclass(slots=True)
+class CrossCheckResult:
+    """Agreement report between the exact and vector backends.
+
+    Attributes:
+        exact_makespan: makespan from the exact backend.
+        vector_makespan: makespan from the vector backend.
+        makespan_rel_error: ``|vector - exact| / exact``.
+        max_share_deviation: largest absolute per-step, per-processor
+            share difference over the steps both runs executed
+            (``None`` when shares were not compared).
+        ok: True iff the makespans agree within the requested relative
+            tolerance.
+    """
+
+    exact_makespan: int
+    vector_makespan: int
+    makespan_rel_error: float
+    max_share_deviation: float | None
+    ok: bool
+
+
+def cross_validate(
+    instance: Instance,
+    policy,
+    *,
+    rtol: float = 1e-9,
+    tol: float = 1e-9,
+    compare_shares: bool = True,
+) -> CrossCheckResult:
+    """Run *policy* on *instance* through both backends and compare.
+
+    Args:
+        instance: the instance to audit.
+        policy: a policy with a vectorized path.
+        rtol: allowed relative makespan error (makespans are integers,
+            so any ``rtol < 1/makespan`` demands exact equality).
+        tol: completion tolerance for the vector backend.
+        compare_shares: also compute the max per-step share deviation
+            (needs both runs recorded; skip for bulk audits).
+    """
+    exact = ExactBackend().run(
+        instance, policy, record_shares=compare_shares
+    )
+    vector = VectorBackend(tol=tol).run(
+        instance, policy, record_shares=compare_shares
+    )
+    rel = (
+        abs(vector.makespan - exact.makespan) / exact.makespan
+        if exact.makespan
+        else 0.0
+    )
+    deviation: float | None = None
+    if compare_shares:
+        steps = min(exact.makespan, vector.makespan)
+        exact_rows = np.array(
+            [[float(x) for x in row] for row in exact.shares[:steps]]
+        )
+        vector_rows = np.asarray(vector.shares)[:steps]
+        deviation = (
+            float(np.abs(exact_rows - vector_rows).max()) if steps else 0.0
+        )
+    return CrossCheckResult(
+        exact_makespan=exact.makespan,
+        vector_makespan=vector.makespan,
+        makespan_rel_error=rel,
+        max_share_deviation=deviation,
+        ok=rel <= rtol,
+    )

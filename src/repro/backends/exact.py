@@ -1,0 +1,46 @@
+"""The exact-arithmetic backend (the reference implementation).
+
+Wraps :func:`repro.core.simulator.simulate` unchanged: every share is
+a :class:`fractions.Fraction`, every comparison is exact, and the
+result carries the fully validated :class:`~repro.core.schedule.Schedule`
+artifact.  This backend is the source of truth the fast float backend
+is cross-validated against -- it is never bypassed for correctness
+claims, only for bulk throughput.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import Instance
+from ..core.simulator import simulate
+from .base import Backend, BackendResult
+
+__all__ = ["ExactBackend"]
+
+
+class ExactBackend(Backend):
+    """Exact ``Fraction`` execution via the canonical simulator."""
+
+    name = "exact"
+
+    def run(
+        self,
+        instance: Instance,
+        policy,
+        *,
+        max_steps: int | None = None,
+        record_shares: bool = True,
+    ) -> BackendResult:
+        schedule = simulate(instance, policy, max_steps=max_steps)
+        shares = None
+        processed = None
+        if record_shares:
+            shares = schedule.share_rows()
+            processed = [list(step.processed) for step in schedule.steps]
+        return BackendResult(
+            backend=self.name,
+            makespan=schedule.makespan,
+            shares=shares,
+            processed=processed,
+            completion_steps=dict(schedule.completion_steps),
+            schedule=schedule,
+        )

@@ -1,0 +1,225 @@
+"""Vectorized float64 backend (NumPy).
+
+The exact simulator pays for its correctness guarantees with
+``Fraction`` arithmetic: every share, comparison, and subtraction
+allocates and normalizes big-int pairs, which caps throughput far
+below what large-``m`` campaigns need.  This backend re-implements the
+*same* step semantics (Section 3.1 / Eq. (1)-(2)) on flat NumPy
+arrays:
+
+* remaining work, active-job requirements, and share vectors are
+  float64 arrays of length ``m``;
+* water-filling policies produce a whole share vector with one
+  ``argsort`` + ``cumsum`` + ``clip`` (no Python loop over
+  processors, see :func:`repro.algorithms.base.water_fill_array`);
+* completion tests are *tolerance-aware*: a job finishes when its
+  remaining work drops to ``<= tol`` (default ``1e-9``), absorbing
+  float rounding without changing which step a job completes in for
+  any instance whose requirement grid is coarser than the tolerance.
+
+The float path is validated, not trusted: the cross-validation suite
+(``tests/backends``) checks makespan and per-step shares against
+:class:`~repro.backends.exact.ExactBackend` on hundreds of random
+instances, and :func:`repro.analysis.verification.verify_share_rows`
+re-executes float rows independently with the same tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.simulator import default_step_limit
+from ..exceptions import (
+    InfeasibleAssignmentError,
+    SimulationLimitError,
+    VectorizationUnsupportedError,
+)
+from .base import Backend, BackendResult
+
+__all__ = ["VectorState", "VectorBackend"]
+
+
+class VectorState:
+    """Float64 view of the execution state, consumed by
+    ``Policy.shares_array``.
+
+    Mirrors the read API of :class:`~repro.core.state.ExecState` in
+    array form; policies must treat every array as read-only (the
+    backend owns the mutation).
+
+    Attributes:
+        instance: the originating instance.
+        t: 0-based current step.
+        num_jobs: per processor, total job count (``n_i``).
+        done: per processor, completed job count (``j_i(t)``).
+        remaining: per processor, remaining work of the active job
+            (0.0 once the processor has finished everything).
+        active_requirements: per processor, the requirement ``r_ij`` of
+            the active job (0.0 once finished) -- the speed cap of
+            Eq. (1).
+    """
+
+    __slots__ = (
+        "instance",
+        "t",
+        "num_jobs",
+        "done",
+        "remaining",
+        "active_requirements",
+        "_req",
+        "_work",
+    )
+
+    def __init__(self, instance: Instance) -> None:
+        m = instance.num_processors
+        nmax = instance.max_jobs
+        self.instance = instance
+        self.t = 0
+        self.num_jobs = np.array(
+            [instance.num_jobs(i) for i in range(m)], dtype=np.int64
+        )
+        self.done = np.zeros(m, dtype=np.int64)
+        # Requirements / work padded to a rectangle; the padding is
+        # never read (done is bounded by num_jobs).
+        self._req = np.zeros((m, nmax), dtype=np.float64)
+        self._work = np.zeros((m, nmax), dtype=np.float64)
+        for i, queue in enumerate(instance.queues):
+            for j, job in enumerate(queue):
+                self._req[i, j] = float(job.requirement)
+                self._work[i, j] = float(job.work)
+        self.remaining = self._work[:, 0].copy()
+        self.active_requirements = self._req[:, 0].copy()
+
+    @property
+    def num_processors(self) -> int:
+        return int(self.num_jobs.shape[0])
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        """Boolean mask of processors with unfinished jobs."""
+        return self.done < self.num_jobs
+
+    @property
+    def jobs_remaining(self) -> np.ndarray:
+        """``n_i(t)`` for every processor, as an int64 array."""
+        return self.num_jobs - self.done
+
+    @property
+    def all_done(self) -> bool:
+        return bool((self.done >= self.num_jobs).all())
+
+    def advance(self, finished: np.ndarray) -> None:
+        """Complete the active job on every processor in *finished*
+        (an index array) and load the successor job."""
+        self.done[finished] += 1
+        has_next = finished[self.done[finished] < self.num_jobs[finished]]
+        self.remaining[has_next] = self._work[has_next, self.done[has_next]]
+        self.active_requirements[has_next] = self._req[
+            has_next, self.done[has_next]
+        ]
+        exhausted = finished[self.done[finished] >= self.num_jobs[finished]]
+        self.remaining[exhausted] = 0.0
+        self.active_requirements[exhausted] = 0.0
+
+
+class VectorBackend(Backend):
+    """NumPy float64 execution engine.
+
+    Args:
+        tol: completion / feasibility tolerance.  A job is complete
+            when its remaining work is ``<= tol``; shares may exceed
+            the exact bounds by up to ``tol`` before the backend calls
+            them infeasible.  Must be far below the instance's
+            requirement grid (the default ``1e-9`` is safe for grids
+            down to ``1e-6``).
+    """
+
+    name = "vector"
+
+    def __init__(self, *, tol: float = 1e-9) -> None:
+        if tol <= 0:
+            raise ValueError("tol must be positive")
+        self.tol = float(tol)
+
+    def run(
+        self,
+        instance: Instance,
+        policy,
+        *,
+        max_steps: int | None = None,
+        record_shares: bool = True,
+        stall_limit: int = 3,
+    ) -> BackendResult:
+        if not getattr(policy, "supports_vector", False):
+            raise VectorizationUnsupportedError(
+                f"policy {getattr(policy, 'name', policy)!r} does not "
+                "implement shares_array; use backend='exact'"
+            )
+        tol = self.tol
+        limit = default_step_limit(instance) if max_steps is None else max_steps
+        state = VectorState(instance)
+        m = state.num_processors
+        share_rows: list[np.ndarray] = []
+        processed_rows: list[np.ndarray] = []
+        completion_steps: dict[tuple[int, int], int] = {}
+        stalled = 0
+
+        while not state.all_done:
+            if state.t >= limit:
+                raise SimulationLimitError(
+                    f"policy did not finish within {limit} steps "
+                    f"(vector backend, done={state.done.tolist()})"
+                )
+            shares = np.asarray(policy.shares_array(state), dtype=np.float64)
+            if shares.shape != (m,):
+                raise InfeasibleAssignmentError(
+                    f"policy returned shape {shares.shape} shares for "
+                    f"{m} processors at step {state.t}"
+                )
+            if (shares < -tol).any() or (shares > 1.0 + tol).any():
+                raise InfeasibleAssignmentError(
+                    f"step {state.t}: share outside [0, 1] "
+                    f"(min={shares.min()}, max={shares.max()})"
+                )
+            total = float(shares.sum())
+            if total > 1.0 + tol:
+                raise InfeasibleAssignmentError(
+                    f"step {state.t}: resource overused (sum of shares = "
+                    f"{total} > 1)"
+                )
+            # Eq. (1)/(2): the requirement caps useful speed; a job
+            # cannot absorb more than its remaining work in one step.
+            speed = np.minimum(shares, state.active_requirements)
+            work = np.minimum(speed, state.remaining)
+            np.maximum(work, 0.0, out=work)
+            state.remaining -= work
+            finished = np.flatnonzero(
+                state.active_mask & (state.remaining <= tol)
+            )
+            if record_shares:
+                share_rows.append(shares.copy())
+                processed_rows.append(work.copy())
+            if finished.size:
+                for i in finished:
+                    completion_steps[(int(i), int(state.done[i]))] = state.t
+                state.advance(finished)
+                stalled = 0
+            elif float(work.sum()) <= tol:
+                stalled += 1
+                if stalled >= stall_limit:
+                    raise SimulationLimitError(
+                        f"policy made no progress for {stalled} consecutive "
+                        f"steps (t={state.t}); aborting"
+                    )
+            else:
+                stalled = 0
+            state.t += 1
+
+        return BackendResult(
+            backend=self.name,
+            makespan=state.t,
+            shares=np.array(share_rows) if record_shares else None,
+            processed=np.array(processed_rows) if record_shares else None,
+            completion_steps=completion_steps,
+        )

@@ -4,10 +4,14 @@ Subcommands:
 
 * ``experiment <ID>`` -- run a paper experiment and print its table
   (optionally write CSV/SVG);
-* ``list`` -- list experiments and policies;
+* ``list`` -- list experiments, policies, and backends;
 * ``solve <instance.json>`` -- exact optimum of an instance file;
-* ``schedule <instance.json> --policy NAME`` -- run a policy and
-  render the schedule (ASCII, optionally SVG/JSON);
+* ``schedule <instance.json> --policy NAME --backend {exact,vector}``
+  -- run a policy and render the schedule;
+* ``batch`` -- run a seeded campaign of random instances through a
+  backend, sharded over worker processes;
+* ``crosscheck`` -- audit the vector backend against the exact one on
+  random instances;
 * ``demo`` -- a quick end-to-end tour on the Figure 1 instance.
 """
 
@@ -24,8 +28,10 @@ from .algorithms import (
     opt_res_assignment_general,
 )
 from .analysis import compute_metrics
+from .backends import available_backends
 from .core.hypergraph import SchedulingGraph
 from .experiments import EXPERIMENTS, get_experiment
+from .experiments.runner import run_experiment
 from .io import load_instance, save_schedule
 from .viz import (
     hypergraph_svg,
@@ -53,6 +59,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
     p_exp.add_argument("id", help=f"experiment id, one of {sorted(EXPERIMENTS)}")
     p_exp.add_argument("--csv", type=Path, help="write the rows as CSV")
+    p_exp.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="simulation backend (experiments that simulate accept it; "
+        "exact-claim experiments reject non-exact backends)",
+    )
 
     p_solve = sub.add_parser("solve", help="exact optimum of an instance file")
     p_solve.add_argument("instance", type=Path)
@@ -64,8 +77,45 @@ def build_parser() -> argparse.ArgumentParser:
         default="greedy-balance",
         help=f"one of {available_policies()}",
     )
+    p_sched.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="exact",
+        help="simulation engine: exact Fractions or vectorized float64",
+    )
     p_sched.add_argument("--svg", type=Path, help="write a Gantt SVG")
     p_sched.add_argument("--json", type=Path, help="write the schedule as JSON")
+
+    p_batch = sub.add_parser(
+        "batch", help="run a campaign of random instances through a backend"
+    )
+    p_batch.add_argument("--policy", default="greedy-balance")
+    p_batch.add_argument("--backend", choices=available_backends(), default="vector")
+    p_batch.add_argument(
+        "--family",
+        default="uniform",
+        choices=["uniform", "bimodal", "heavy-tail", "general"],
+    )
+    p_batch.add_argument("--count", type=int, default=100, help="instances to run")
+    p_batch.add_argument("--m", type=int, default=16, help="processors per instance")
+    p_batch.add_argument("--n", type=int, default=10, help="jobs per processor")
+    p_batch.add_argument("--grid", type=int, default=100, help="requirement grid")
+    p_batch.add_argument("--seed", type=int, default=0, help="base seed")
+    p_batch.add_argument(
+        "--workers", type=int, default=None, help="worker processes (1 = serial)"
+    )
+    p_batch.add_argument("--json", type=Path, help="write the result store as JSON")
+
+    p_cross = sub.add_parser(
+        "crosscheck", help="audit vector-backend agreement with the exact backend"
+    )
+    p_cross.add_argument("--policy", default="greedy-balance")
+    p_cross.add_argument("--count", type=int, default=50)
+    p_cross.add_argument("--m", type=int, default=4)
+    p_cross.add_argument("--n", type=int, default=6)
+    p_cross.add_argument("--grid", type=int, default=100)
+    p_cross.add_argument("--seed", type=int, default=0)
+    p_cross.add_argument("--rtol", type=float, default=1e-9)
 
     p_verify = sub.add_parser(
         "verify", help="validate a schedule file and report its properties"
@@ -83,12 +133,15 @@ def _cmd_list() -> int:
     print("policies:")
     for name in available_policies():
         print(f"  {name}")
+    print("backends:")
+    for name in available_backends():
+        print(f"  {name}")
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     exp = get_experiment(args.id)
-    result = exp.run()
+    result = run_experiment(exp, backend=args.backend)
     print(result.to_text())
     if args.csv:
         result.to_csv(args.csv)
@@ -111,6 +164,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 def _cmd_schedule(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
     policy = get_policy(args.policy)
+    if args.backend != "exact":
+        return _cmd_schedule_backend(args, instance, policy)
     schedule = policy.run(instance)
     print(render_instance(instance))
     print()
@@ -124,6 +179,104 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         save_schedule(schedule, args.json)
         print(f"JSON written to {args.json}")
     return 0
+
+
+def _cmd_schedule_backend(args: argparse.Namespace, instance, policy) -> int:
+    """Non-exact schedule run: report makespan + tolerant audit (the
+    float backends produce no exact Schedule artifact to render)."""
+    from .analysis import verify_share_rows
+    from .core.simulator import run_policy
+
+    result = run_policy(instance, policy, backend=args.backend)
+    print(render_instance(instance))
+    print()
+    print(f"backend: {result.backend}")
+    print(f"makespan: {result.makespan}")
+    report = verify_share_rows(instance, result.shares)
+    print(f"feasible (tolerance 1e-9): {report.ok}")
+    for problem in report.problems:
+        print(f"  problem: {problem}")
+    if args.svg or args.json:
+        print(
+            "note: --svg/--json need the exact schedule artifact; "
+            "re-run with --backend exact"
+        )
+    return 0 if report.ok else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .backends import BatchRunner, make_campaign_instances
+
+    instances = make_campaign_instances(
+        args.count,
+        args.m,
+        args.n,
+        family=args.family,
+        grid=args.grid,
+        seed=args.seed,
+    )
+    runner = BatchRunner(
+        policy=args.policy, backend=args.backend, workers=args.workers
+    )
+    result = runner.run(instances)
+    summary = result.summary()
+    print(
+        f"campaign: {args.count} x {args.family}(m={args.m}, n={args.n}, "
+        f"grid={args.grid}) seed={args.seed}"
+    )
+    for key in (
+        "policy",
+        "backend",
+        "workers",
+        "mean_makespan",
+        "mean_ratio",
+        "max_ratio",
+        "total_steps",
+        "wall_seconds",
+        "steps_per_second",
+    ):
+        if key not in summary:
+            continue
+        value = summary[key]
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        print(f"  {key}: {value}")
+    if args.json:
+        result.to_json(args.json)
+        print(f"result store written to {args.json}")
+    return 0
+
+
+def _cmd_crosscheck(args: argparse.Namespace) -> int:
+    from .backends import cross_validate
+    from .backends.batch import make_campaign_instances
+
+    policy = get_policy(args.policy)
+    instances = make_campaign_instances(
+        args.count, args.m, args.n, grid=args.grid, seed=args.seed
+    )
+    worst_rel = 0.0
+    worst_dev = 0.0
+    failures = 0
+    for k, instance in enumerate(instances):
+        check = cross_validate(instance, policy, rtol=args.rtol)
+        worst_rel = max(worst_rel, check.makespan_rel_error)
+        if check.max_share_deviation is not None:
+            worst_dev = max(worst_dev, check.max_share_deviation)
+        if not check.ok:
+            failures += 1
+            print(
+                f"  MISMATCH seed={args.seed + k}: exact={check.exact_makespan} "
+                f"vector={check.vector_makespan}"
+            )
+    print(
+        f"crosscheck: {args.count} instances, policy={args.policy}, "
+        f"m={args.m}, n={args.n}"
+    )
+    print(f"  max relative makespan error: {worst_rel:.3g} (rtol {args.rtol:.3g})")
+    print(f"  max per-step share deviation: {worst_dev:.3g}")
+    print(f"  result: {'OK' if failures == 0 else f'{failures} FAILURES'}")
+    return 0 if failures == 0 else 1
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -173,6 +326,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_solve(args)
     if args.command == "schedule":
         return _cmd_schedule(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
+    if args.command == "crosscheck":
+        return _cmd_crosscheck(args)
     if args.command == "verify":
         return _cmd_verify(args)
     if args.command == "demo":

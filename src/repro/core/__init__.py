@@ -48,7 +48,7 @@ from .properties import (
     nested_violations,
 )
 from .schedule import Schedule, StepExecution
-from .simulator import PolicyFn, default_step_limit, simulate
+from .simulator import PolicyFn, default_step_limit, run_policy, simulate
 from .state import Configuration, ExecState, StepOutcome
 from .transforms import make_nice, make_non_wasting
 
@@ -95,6 +95,7 @@ __all__ = [
     "make_non_wasting",
     "nested_violations",
     "parse_frac",
+    "run_policy",
     "simulate",
     "theorem7_reference",
     "to_frac",

@@ -16,7 +16,7 @@ is the live :class:`ExecState` (treated as read-only by convention;
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..exceptions import InfeasibleAssignmentError, SimulationLimitError
 from .instance import Instance
@@ -24,7 +24,16 @@ from .numerics import Num, ONE, ZERO, format_frac, frac_sum, to_frac
 from .schedule import Schedule
 from .state import ExecState
 
-__all__ = ["simulate", "default_step_limit", "PolicyFn"]
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..backends.base import BackendResult
+
+__all__ = [
+    "simulate",
+    "run_policy",
+    "check_share_vector",
+    "default_step_limit",
+    "PolicyFn",
+]
 
 #: A policy maps the execution state to a per-processor share vector.
 PolicyFn = Callable[[ExecState], Sequence[Num]]
@@ -38,6 +47,53 @@ def default_step_limit(instance: Instance) -> int:
     double that and pad, so only genuinely stuck policies hit the limit.
     """
     return 2 * (instance.total_jobs + instance.work_lower_bound()) + 16
+
+
+def check_share_vector(
+    instance: Instance, t: int, shares: Sequence[Fraction]
+) -> None:
+    """Exact feasibility check of one share vector (model Section 3.1).
+
+    Raises:
+        InfeasibleAssignmentError: wrong arity, share outside
+            ``[0, 1]``, or resource overuse.
+    """
+    if len(shares) != instance.num_processors:
+        raise InfeasibleAssignmentError(
+            f"policy returned {len(shares)} shares for "
+            f"{instance.num_processors} processors at step {t}"
+        )
+    for i, x in enumerate(shares):
+        if x < ZERO or x > ONE:
+            raise InfeasibleAssignmentError(
+                f"step {t}: share {format_frac(x)} for processor "
+                f"{i} outside [0, 1]"
+            )
+    total = frac_sum(shares)
+    if total > ONE:
+        raise InfeasibleAssignmentError(
+            f"step {t}: resource overused "
+            f"(sum of shares = {format_frac(total)} > 1)"
+        )
+
+
+def run_policy(
+    instance: Instance,
+    policy: PolicyFn,
+    *,
+    backend: str = "exact",
+    **kwargs,
+) -> "BackendResult":
+    """Run *policy* through a named simulation backend.
+
+    The backend-agnostic entry point behind the CLI's ``--backend``
+    flag: ``backend="exact"`` wraps :func:`simulate` (the result
+    carries the validated :class:`Schedule`), ``backend="vector"``
+    runs the NumPy float64 engine.  See :mod:`repro.backends`.
+    """
+    from ..backends import get_backend  # local: backends build on this module
+
+    return get_backend(backend).run(instance, policy, **kwargs)
 
 
 def simulate(
@@ -79,23 +135,7 @@ def simulate(
             )
         raw = policy(state)
         shares = tuple(to_frac(x) for x in raw)
-        if len(shares) != instance.num_processors:
-            raise InfeasibleAssignmentError(
-                f"policy returned {len(shares)} shares for "
-                f"{instance.num_processors} processors at step {state.t}"
-            )
-        for i, x in enumerate(shares):
-            if x < ZERO or x > ONE:
-                raise InfeasibleAssignmentError(
-                    f"step {state.t}: share {format_frac(x)} for processor "
-                    f"{i} outside [0, 1]"
-                )
-        total = frac_sum(shares)
-        if total > ONE:
-            raise InfeasibleAssignmentError(
-                f"step {state.t}: resource overused "
-                f"(sum of shares = {format_frac(total)} > 1)"
-            )
+        check_share_vector(instance, state.t, shares)
         outcome = state.apply(shares)
         rows.append(shares)
         if not outcome.completed and all(p == ZERO for p in outcome.processed):

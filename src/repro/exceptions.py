@@ -16,6 +16,8 @@ __all__ = [
     "UnitSizeRequiredError",
     "SimulationLimitError",
     "SolverError",
+    "BackendError",
+    "VectorizationUnsupportedError",
 ]
 
 
@@ -57,3 +59,15 @@ class SimulationLimitError(ReproError):
 class SolverError(ReproError):
     """An exact solver (DP / configuration search / MILP) failed to
     produce a certified-optimal solution."""
+
+
+class BackendError(ReproError):
+    """A simulation backend (:mod:`repro.backends`) was misused:
+    unknown backend name, or a backend-specific precondition failed."""
+
+
+class VectorizationUnsupportedError(BackendError):
+    """A policy without a vectorized ``shares_array`` path was handed
+    to :class:`~repro.backends.VectorBackend`.  Implement
+    :meth:`repro.algorithms.base.Policy.shares_array` or run the policy
+    on the exact backend."""

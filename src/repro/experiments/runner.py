@@ -10,11 +10,12 @@ consume these.
 from __future__ import annotations
 
 import csv
+import inspect
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
-__all__ = ["ExperimentResult", "Experiment", "format_table"]
+__all__ = ["ExperimentResult", "Experiment", "format_table", "run_experiment"]
 
 
 def format_table(columns: list[str], rows: list[dict[str, Any]]) -> str:
@@ -96,3 +97,29 @@ class Experiment:
     id: str
     title: str
     run: Callable[..., ExperimentResult]
+
+
+def run_experiment(
+    experiment: Experiment,
+    *,
+    backend: str | None = None,
+    **params: Any,
+) -> ExperimentResult:
+    """Invoke an experiment, forwarding the backend choice when the
+    experiment supports one.
+
+    Paper-figure experiments verify exact claims and ignore the flag;
+    simulation-scale experiments (e.g. ``SIM``) declare a ``backend``
+    parameter and are dispatched onto the selected engine.  Requesting
+    a non-exact backend for an exact-only experiment is an error --
+    silently running the exact path would misreport what was measured.
+    """
+    accepts = "backend" in inspect.signature(experiment.run).parameters
+    if backend is not None and backend != "exact" and not accepts:
+        raise ValueError(
+            f"experiment {experiment.id} runs exact arithmetic only and "
+            f"does not accept backend={backend!r}"
+        )
+    if backend is not None and accepts:
+        params["backend"] = backend
+    return experiment.run(**params)

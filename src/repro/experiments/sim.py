@@ -28,6 +28,7 @@ def run(
     num_cores: int = 8,
     seeds: tuple[int, ...] = (0, 1, 2),
     unit_split: bool = True,
+    backend: str = "exact",
 ) -> ExperimentResult:
     policies = [
         GreedyBalance(),
@@ -40,7 +41,7 @@ def run(
     for seed in seeds:
         tasks = make_io_workload(num_cores, seed=seed)
         for policy in policies:
-            trace = run_workload(tasks, policy, unit_split=unit_split)
+            trace = run_workload(tasks, policy, unit_split=unit_split, backend=backend)
             stalls = sum(cs.stall_steps for cs in trace.core_summaries)
             totals[policy.name].append(
                 (trace.makespan, as_float(trace.bus_utilization), stalls)
@@ -65,7 +66,12 @@ def run(
             "bandwidth distribution is the decisive scheduling factor "
             "for I/O-bound many-core workloads (Section 1)"
         ),
-        params={"num_cores": num_cores, "seeds": list(seeds), "unit_split": unit_split},
+        params={
+            "num_cores": num_cores,
+            "seeds": list(seeds),
+            "unit_split": unit_split,
+            "backend": backend,
+        },
         columns=["policy", "mean_makespan", "mean_bus_util", "mean_core_stalls"],
         rows=rows,
         verdict=verdict,

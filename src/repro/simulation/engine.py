@@ -46,13 +46,31 @@ class ManyCoreEngine:
         self.instance: Instance = tasks_to_instance(self.tasks, unit_split=unit_split)
         self.system = ManyCoreSystem(len(tasks))
 
-    def run(self, policy: PolicyFn, *, max_steps: int | None = None) -> RunTrace:
+    def run(
+        self,
+        policy: PolicyFn,
+        *,
+        max_steps: int | None = None,
+        backend: str = "exact",
+    ) -> RunTrace:
         """Execute the workload; returns the full trace.
+
+        Args:
+            policy: the resource-assignment policy.
+            max_steps: hard safety limit.
+            backend: ``"exact"`` drives the live machine model in
+                Fraction arithmetic (the default, bit-exact);
+                ``"vector"`` runs the NumPy float64 backend and
+                reconstructs the trace from its recorded rows --
+                same step semantics, float tolerance, much faster for
+                wide machines.
 
         Raises:
             SimulationLimitError: if the policy exceeds the step limit.
             ValueError: if the policy over-grants the bus.
         """
+        if backend != "exact":
+            return self._run_backend(policy, backend, max_steps=max_steps)
         instance = self.instance
         limit = default_step_limit(instance) if max_steps is None else max_steps
         state = ExecState(instance)
@@ -107,6 +125,70 @@ class ManyCoreEngine:
         trace.bus_utilization = self.system.resource.mean_utilization
         return trace
 
+    def _run_backend(
+        self, policy: PolicyFn, backend: str, *, max_steps: int | None
+    ) -> RunTrace:
+        """Run via a pluggable backend and rebuild the trace from its
+        recorded share/progress rows (float tolerance applies)."""
+        from ..core.simulator import run_policy
+
+        result = run_policy(
+            self.instance,
+            policy,
+            backend=backend,
+            max_steps=max_steps,
+            record_shares=True,
+        )
+        policy_name = getattr(policy, "name", type(policy).__name__)
+        trace = RunTrace(policy=str(policy_name))
+        m = self.instance.num_processors
+        completed_at: dict[int, list[tuple[int, int]]] = {}
+        # A core has work until the step its last job completes
+        # (inclusive); it progresses when it processes work or
+        # completes a (possibly zero-work) job.
+        last_step = [0] * m
+        for (i, j), t in result.completion_steps.items():
+            completed_at.setdefault(t, []).append((i, j))
+            if t > last_step[i]:
+                last_step[i] = t
+        busy = [0] * m
+        stall = [0] * m
+        granted_total = 0.0
+        for t in range(result.makespan):
+            grants = tuple(result.shares[t])
+            progress = tuple(result.processed[t])
+            completions = tuple(completed_at.get(t, ()))
+            granted_total += float(sum(grants))
+            trace.steps.append(
+                StepRecord(
+                    t=t, grants=grants, progress=progress, completed=completions
+                )
+            )
+            finishing = {i for i, _ in completions}
+            for core in range(m):
+                if t > last_step[core]:
+                    continue
+                if progress[core] > 0.0 or core in finishing:
+                    busy[core] += 1
+                else:
+                    stall[core] += 1
+        for core in range(m):
+            task = self.tasks[core]
+            trace.core_summaries.append(
+                CoreSummary(
+                    core=core,
+                    task=task.name,
+                    phases=len(task.phases),
+                    completion_step=last_step[core],
+                    busy_steps=busy[core],
+                    stall_steps=stall[core],
+                )
+            )
+        trace.bus_utilization = (
+            granted_total / result.makespan if result.makespan else 0.0
+        )
+        return trace
+
 
 def run_workload(
     tasks: list[TaskSpec],
@@ -114,6 +196,9 @@ def run_workload(
     *,
     unit_split: bool = False,
     max_steps: int | None = None,
+    backend: str = "exact",
 ) -> RunTrace:
     """One-shot convenience wrapper around :class:`ManyCoreEngine`."""
-    return ManyCoreEngine(tasks, unit_split=unit_split).run(policy, max_steps=max_steps)
+    return ManyCoreEngine(tasks, unit_split=unit_split).run(
+        policy, max_steps=max_steps, backend=backend
+    )

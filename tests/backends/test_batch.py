@@ -1,0 +1,88 @@
+"""BatchRunner: campaign sharding, aggregation, and determinism."""
+
+import json
+
+import pytest
+
+from repro.backends import (
+    BatchRunner,
+    cross_validate,
+    make_campaign_instances,
+)
+from repro.exceptions import BackendError
+
+
+def strip_timing(rows):
+    return [{k: v for k, v in row.items() if k != "seconds"} for row in rows]
+
+
+class TestCampaignInstances:
+    def test_deterministic_from_seed(self):
+        a = make_campaign_instances(10, 4, 5, seed=7)
+        b = make_campaign_instances(10, 4, 5, seed=7)
+        assert a == b
+
+    def test_distinct_seeds_distinct_instances(self):
+        instances = make_campaign_instances(10, 4, 5, seed=0)
+        assert len(set(instances)) == 10
+
+    def test_families(self):
+        for family in ("uniform", "bimodal", "heavy-tail", "general"):
+            (inst,) = make_campaign_instances(1, 3, 4, family=family, seed=1)
+            assert inst.num_processors == 3
+        with pytest.raises(ValueError):
+            make_campaign_instances(1, 3, 4, family="nope")
+
+
+class TestBatchRunner:
+    def test_serial_campaign(self):
+        instances = make_campaign_instances(8, 4, 5, seed=0)
+        result = BatchRunner(workers=1).run(instances)
+        assert len(result.rows) == 8
+        assert result.workers == 1
+        assert all(row["makespan"] >= row["lower_bound"] for row in result.rows)
+        assert all(row["ratio"] >= 1.0 for row in result.rows)
+        summary = result.summary()
+        assert summary["instances"] == 8
+        assert summary["max_ratio"] >= summary["mean_ratio"] >= 1.0
+
+    def test_deterministic_across_runs_and_worker_counts(self):
+        instances = make_campaign_instances(12, 4, 5, seed=3)
+        serial = BatchRunner(workers=1).run(instances)
+        again = BatchRunner(workers=1).run(instances)
+        sharded = BatchRunner(workers=3).run(instances)
+        assert strip_timing(serial.rows) == strip_timing(again.rows)
+        assert strip_timing(serial.rows) == strip_timing(sharded.rows)
+
+    def test_backends_agree_on_campaign(self):
+        instances = make_campaign_instances(6, 3, 4, seed=5)
+        vector = BatchRunner(backend="vector", workers=1).run(instances)
+        exact = BatchRunner(backend="exact", workers=1).run(instances)
+        assert vector.makespans == exact.makespans
+
+    def test_empty_campaign(self):
+        result = BatchRunner(workers=1).run([])
+        summary = result.summary()
+        assert summary["instances"] == 0
+        assert summary["policy"] == "greedy-balance"
+
+    def test_unknown_names_fail_fast(self):
+        with pytest.raises(KeyError):
+            BatchRunner(policy="nope")
+        with pytest.raises(BackendError):
+            BatchRunner(backend="nope")
+
+    def test_json_store_roundtrip(self, tmp_path):
+        instances = make_campaign_instances(4, 3, 4, seed=2)
+        result = BatchRunner(workers=1).run(instances)
+        path = tmp_path / "campaign.json"
+        result.to_json(path)
+        data = json.loads(path.read_text())
+        assert data["summary"]["instances"] == 4
+        assert strip_timing(data["rows"]) == strip_timing(result.rows)
+
+    def test_general_family_campaign_cross_validates(self):
+        from repro.algorithms import GreedyBalance
+
+        for inst in make_campaign_instances(5, 3, 3, family="general", seed=9):
+            assert cross_validate(inst, GreedyBalance()).ok
