@@ -1,0 +1,120 @@
+"""OVERHEAD bench: unified kernel vs the frozen pre-refactor loop.
+
+The kernel refactor replaced three hand-inlined step loops with one
+observer-driven kernel (``repro.core.kernel``).  Abstraction must not
+cost throughput: this bench times the kernel-based
+:func:`repro.core.simulate` against ``_legacy_simulate`` -- a frozen,
+byte-faithful copy of the pre-refactor exact loop -- on the same
+instances, and gates that the kernel is within 10% (the acceptance
+bound of the refactor issue).
+
+It also guards ``BENCH_backend_speedup.json``: the recorded vector
+speedup at m=256 must still clear the 20x gate, so the kernel's
+per-step dispatch cannot silently erode the float path either (CI
+regenerates that file immediately before this bench runs).
+"""
+
+import json
+import time
+from fractions import Fraction
+from pathlib import Path
+
+from repro.algorithms import GreedyBalance
+from repro.core import Schedule, simulate
+from repro.core.simulator import default_step_limit
+from repro.core.state import ExecState
+from repro.exceptions import SimulationLimitError
+from repro.generators import uniform_instance
+
+RESULTS = Path(__file__).parent / "results"
+
+#: Moderate sizes: large enough that per-step dispatch overhead would
+#: show, small enough that Fraction arithmetic doesn't drown the
+#: signal entirely.
+CASES = [(4, 40), (16, 20), (64, 8)]
+
+#: Allowed kernel slowdown vs the frozen loop (the issue's 10% gate)
+#: plus a small timing-noise allowance on top of best-of-N timing.
+GATE = 0.90
+REPEATS = 5
+
+
+def _legacy_simulate(instance, policy, *, max_steps=None, stall_limit=3):
+    """Frozen copy of the pre-kernel ``simulate`` (seed revision).
+
+    Do not modernize: this is the measurement baseline.
+    """
+    from repro.core.numerics import ZERO, to_frac
+    from repro.core.simulator import check_share_vector
+
+    limit = default_step_limit(instance) if max_steps is None else max_steps
+    state = ExecState(instance)
+    rows: list[tuple[Fraction, ...]] = []
+    stalled = 0
+
+    while not state.all_done:
+        if state.t >= limit:
+            raise SimulationLimitError("legacy loop exceeded limit")
+        raw = policy(state)
+        shares = tuple(to_frac(x) for x in raw)
+        check_share_vector(instance, state.t, shares)
+        outcome = state.apply(shares)
+        rows.append(shares)
+        if not outcome.completed and all(p == ZERO for p in outcome.processed):
+            stalled += 1
+            if stalled >= stall_limit:
+                raise SimulationLimitError("legacy loop stalled")
+        else:
+            stalled = 0
+    return Schedule(instance, rows, validate=True, trim=True)
+
+
+def _best_steps_per_second(fn, instance, policy):
+    best = float("inf")
+    makespan = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        schedule = fn(instance, policy)
+        elapsed = time.perf_counter() - t0
+        best = min(best, elapsed)
+        makespan = schedule.makespan
+    return makespan, makespan / best
+
+
+def test_kernel_overhead(results_dir):
+    policy = GreedyBalance()
+    rows = []
+    for m, n in CASES:
+        instance = uniform_instance(m, n, seed=7)
+        legacy_makespan, legacy_sps = _best_steps_per_second(
+            _legacy_simulate, instance, policy
+        )
+        kernel_makespan, kernel_sps = _best_steps_per_second(
+            simulate, instance, policy
+        )
+        assert kernel_makespan == legacy_makespan
+        rows.append(
+            {
+                "m": m,
+                "n": n,
+                "makespan": kernel_makespan,
+                "legacy_steps_per_s": round(legacy_sps, 1),
+                "kernel_steps_per_s": round(kernel_sps, 1),
+                "kernel_vs_legacy": round(kernel_sps / legacy_sps, 3),
+            }
+        )
+    (results_dir / "BENCH_kernel_overhead.json").write_text(
+        json.dumps({"benchmark": "kernel_overhead", "rows": rows}, indent=2)
+        + "\n"
+    )
+    worst = min(row["kernel_vs_legacy"] for row in rows)
+    assert worst >= GATE, rows
+
+
+def test_backend_speedup_not_regressed(results_dir):
+    """The recorded vector-backend speedup must still clear its gate
+    (CI runs bench_backend_speedup.py first, refreshing the file)."""
+    path = results_dir / "BENCH_backend_speedup.json"
+    data = json.loads(path.read_text())
+    at_256 = next(row for row in data["rows"] if row["m"] == 256)
+    assert at_256["speedup"] >= 20, data["rows"]

@@ -1,9 +1,11 @@
-"""Setup shim.
+"""Minimal editable-install shim -- metadata lives in ``pyproject.toml``.
 
-The offline environment ships setuptools but not ``wheel``, so PEP 660
-editable installs (which build a wheel) are unavailable; this shim lets
-``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
-All metadata lives in ``pyproject.toml``.
+Offline environments that ship setuptools without ``wheel`` have no
+PEP 660 editable path (``build_editable`` needs to build a wheel);
+this shim keeps ``pip install -e .`` working there via the legacy
+``setup.py develop`` fallback.  It declares nothing: every field,
+including ``requires-python`` and the classifiers, is defined once in
+``pyproject.toml``.
 """
 
 from setuptools import setup

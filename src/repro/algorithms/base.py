@@ -75,7 +75,9 @@ class Policy:
         float64 view of the execution state) and returns one float64
         share per processor.  Must implement the *same* rule as
         :meth:`shares` so the backends agree; the cross-validation
-        suite enforces agreement within tolerance.
+        suite enforces agreement within tolerance.  The returned array
+        must be freshly allocated (never a view of the state's arrays):
+        the kernel records it as the step's share row.
 
         The default raises -- policies without a vectorized path can
         only run on the exact backend.

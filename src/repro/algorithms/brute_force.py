@@ -42,6 +42,7 @@ def brute_force_makespan(instance: Instance, *, max_states: int = 500_000) -> in
         UnitSizeRequiredError: for non-unit-size jobs.
     """
     instance.require_unit_size("brute_force_makespan")
+    instance.require_static("brute_force_makespan")
     m = instance.num_processors
     n_jobs = [instance.num_jobs(i) for i in range(m)]
     memo: dict[_State, int] = {}

@@ -35,8 +35,11 @@ def greedy_balance_makespan(instance: Instance) -> int:
 
     Raises:
         UnitSizeRequiredError: for non-unit-size jobs.
+        InvalidInstanceError: for instances with release times (the
+            integer fast path models the static workload only).
     """
     instance.require_unit_size("greedy_balance_makespan (fast path)")
+    instance.require_static("greedy_balance_makespan (fast path)")
     units, capacity = instance.to_integer_grid()
     m = instance.num_processors
     n_jobs = [len(row) for row in units]
@@ -76,6 +79,7 @@ def round_robin_makespan(instance: Instance) -> int:
     closed form from the Theorem 3 proof, in grid units).
     """
     instance.require_unit_size("round_robin_makespan (fast path)")
+    instance.require_static("round_robin_makespan (fast path)")
     units, capacity = instance.to_integer_grid()
     n = instance.max_jobs
     total = 0

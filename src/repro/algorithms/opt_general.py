@@ -186,6 +186,7 @@ def opt_res_assignment_general(
         UnitSizeRequiredError: for non-unit-size jobs.
     """
     instance.require_unit_size("OptResAssignment2")
+    instance.require_static("OptResAssignment2")
     m = instance.num_processors
     initial_done = (0,) * m
     initial: _Key = (initial_done, _fresh_remaining(instance, initial_done))

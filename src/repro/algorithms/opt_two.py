@@ -74,6 +74,7 @@ class OptTwoResult:
 
 def _requirements(instance: Instance) -> tuple[list[Fraction], list[Fraction]]:
     instance.require_unit_size("OptResAssignment")
+    instance.require_static("OptResAssignment")
     if instance.num_processors != 2:
         raise SolverError(
             f"OptResAssignment handles exactly 2 processors, got "

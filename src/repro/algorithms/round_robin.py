@@ -70,14 +70,16 @@ class RoundRobin(Policy):
         return water_fill(state, eligible)
 
     def shares_array(self, state) -> np.ndarray:
-        # The current phase is 1 + min completed count over active
-        # processors (an active processor with minimal `done` witnesses
-        # exactly the smallest j of `round_robin_phase`).  Eligible
-        # processors are the active ones still in that phase; the fill
-        # order is processor index, as in the exact path.
-        active = state.active_mask
-        min_done = state.done[active].min()
-        eligible = np.flatnonzero(active & (state.done == min_done))
+        # The current phase is 1 + min completed count over *pending*
+        # processors (a pending processor with minimal `done` witnesses
+        # exactly the smallest j of `round_robin_phase`).  Pending --
+        # not merely active -- so that, as in the exact path, a phase
+        # held open by a not-yet-released processor blocks later
+        # phases; unreleased eligibles have zero useful share, so the
+        # water-fill skips them.  The fill order is processor index.
+        pending = state.pending_mask
+        min_done = state.done[pending].min()
+        eligible = np.flatnonzero(pending & (state.done == min_done))
         return water_fill_array(state, eligible)
 
 
@@ -86,10 +88,11 @@ def round_robin_makespan_formula(instance) -> int:
     :math:`\\sum_{j=1}^{n} \\lceil \\sum_{i \\in M_j} r_{ij} \\rceil`
     (proof of Theorem 3).
 
-    Valid for unit-size jobs; the simulated policy must match this
-    exactly, which the test-suite asserts.
+    Valid for unit-size jobs in the static model; the simulated policy
+    must match this exactly, which the test-suite asserts.
     """
     instance.require_unit_size("round_robin_makespan_formula")
+    instance.require_static("round_robin_makespan_formula")
     total = 0
     for j in range(1, instance.max_jobs + 1):
         phase_work = frac_sum(

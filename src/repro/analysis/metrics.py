@@ -10,7 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 
-from ..core.instance import Instance
 from ..core.lower_bounds import best_lower_bound
 from ..core.numerics import as_float
 from ..core.schedule import Schedule

@@ -20,7 +20,6 @@ Two entry points:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from fractions import Fraction
 from typing import Sequence
 
 from ..core.instance import Instance
@@ -77,6 +76,15 @@ def verify_schedule(schedule: Schedule) -> VerificationReport:
             report.fail(f"step {t}: capacity overused ({format_frac(total)})")
         for i in range(m):
             if current[i] >= inst.num_jobs(i):
+                continue
+            if t < inst.release(i):
+                # Not yet released: any granted share is wasted.
+                if step.processed[i] != ZERO:
+                    report.fail(
+                        f"step {t}, processor {i}: recorded progress "
+                        f"{format_frac(step.processed[i])} before its "
+                        f"release time {inst.release(i)}"
+                    )
                 continue
             job = inst.job(i, current[i])
             progress = min(step.shares[i], job.requirement, left[i])
@@ -149,6 +157,8 @@ def verify_share_rows(
         for i in range(m):
             if current[i] >= instance.num_jobs(i):
                 continue
+            if t < instance.release(i):
+                continue  # not yet released: granted shares are wasted
             progress = min(max(float(row[i]), 0.0), requirement[i], left[i])
             left[i] -= progress
             if left[i] <= atol:

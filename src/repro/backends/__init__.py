@@ -58,7 +58,7 @@ from .base import Backend, BackendResult
 from .batch import BatchResult, BatchRunner, make_campaign_instances
 from .crosscheck import CrossCheckResult, cross_validate
 from .exact import ExactBackend
-from .vector import VectorBackend, VectorState
+from .vector import VectorBackend, VectorRuntime, VectorState
 
 __all__ = [
     "Backend",
@@ -68,6 +68,7 @@ __all__ = [
     "CrossCheckResult",
     "ExactBackend",
     "VectorBackend",
+    "VectorRuntime",
     "VectorState",
     "available_backends",
     "cross_validate",

@@ -27,8 +27,11 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
+from ..exceptions import BackendError
+
 if TYPE_CHECKING:  # pragma: no cover - types only
     from ..core.instance import Instance
+    from ..core.kernel import KernelRuntime
     from ..core.schedule import Schedule
 
 __all__ = ["Backend", "BackendResult"]
@@ -102,6 +105,21 @@ class Backend(ABC):
                 result.  Disable for bulk campaigns where only the
                 makespan matters.
         """
+
+    def make_runtime(self, instance: "Instance", policy) -> "KernelRuntime":
+        """The kernel runtime this backend contributes.
+
+        Callers that need custom telemetry (e.g. the many-core engine's
+        :class:`~repro.simulation.traces.RunTrace` observer) obtain the
+        backend's runtime and drive :func:`repro.core.kernel.run_kernel`
+        themselves, so every execution path shares the one step loop.
+
+        Raises:
+            BackendError: if the backend has no kernel runtime.
+        """
+        raise BackendError(
+            f"backend {self.name!r} does not expose a kernel runtime"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"

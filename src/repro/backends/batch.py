@@ -23,7 +23,7 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable
 
 from ..core.instance import Instance
 
@@ -43,10 +43,13 @@ def _run_one(payload: tuple) -> dict[str, Any]:
         instance, policy, max_steps=max_steps, record_shares=False
     )
     elapsed = time.perf_counter() - t0
-    lower = instance.work_lower_bound()
+    # Release-aware bound; identical to Observation 1's work bound for
+    # static instances, so static campaign rows are unchanged.
+    lower = instance.makespan_lower_bound()
     return {
         "m": instance.num_processors,
         "total_jobs": instance.total_jobs,
+        "max_release": instance.max_release,
         "makespan": result.makespan,
         "lower_bound": lower,
         "ratio": result.makespan / lower if lower else 1.0,
@@ -182,6 +185,12 @@ class BatchRunner:
         )
 
 
+#: Offset decorrelating the arrival-sampler seeds from the requirement
+#: seeds (both streams are plain ``random.Random``; reusing ``seed+k``
+#: for both would couple release times to the first requirement draws).
+_ARRIVAL_SEED_OFFSET = 0x5F3759DF
+
+
 def make_campaign_instances(
     count: int,
     m: int,
@@ -190,11 +199,18 @@ def make_campaign_instances(
     family: str = "uniform",
     grid: int = 100,
     seed: int = 0,
+    max_release: int = 0,
+    arrival_seed: int | None = None,
 ) -> list[Instance]:
     """Deterministic list of seeded random instances for a campaign.
 
     Instance ``k`` uses seed ``seed + k``, so a campaign is fully
-    reproducible from ``(family, count, m, n, grid, seed)``.
+    reproducible from ``(family, count, m, n, grid, seed,
+    max_release, arrival_seed)``.  With ``max_release > 0`` every
+    instance receives staggered per-processor release times (the
+    online-arrival scenario axis) sampled from
+    ``(arrival_seed or seed) + k`` on a decorrelated stream; 0 keeps
+    the static model bit-identical to earlier campaigns.
     """
     from ..generators import random_instances as gen
 
@@ -210,4 +226,15 @@ def make_campaign_instances(
         raise ValueError(
             f"unknown family {family!r}; available: {sorted(families)}"
         ) from None
-    return [build(seed + k) for k in range(count)]
+    instances = [build(seed + k) for k in range(count)]
+    if max_release > 0:
+        base = seed if arrival_seed is None else arrival_seed
+        instances = [
+            gen.with_arrivals(
+                inst,
+                max_release=max_release,
+                seed=base + k + _ARRIVAL_SEED_OFFSET,
+            )
+            for k, inst in enumerate(instances)
+        ]
+    return instances

@@ -11,6 +11,7 @@ claims, only for bulk throughput.
 from __future__ import annotations
 
 from ..core.instance import Instance
+from ..core.kernel import ExactRuntime
 from ..core.simulator import simulate
 from .base import Backend, BackendResult
 
@@ -18,9 +19,13 @@ __all__ = ["ExactBackend"]
 
 
 class ExactBackend(Backend):
-    """Exact ``Fraction`` execution via the canonical simulator."""
+    """Exact ``Fraction`` execution via the canonical simulator (which
+    is itself a thin configuration of the unified stepping kernel)."""
 
     name = "exact"
+
+    def make_runtime(self, instance: Instance, policy) -> ExactRuntime:
+        return ExactRuntime(instance)
 
     def run(
         self,

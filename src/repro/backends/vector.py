@@ -3,9 +3,10 @@
 The exact simulator pays for its correctness guarantees with
 ``Fraction`` arithmetic: every share, comparison, and subtraction
 allocates and normalizes big-int pairs, which caps throughput far
-below what large-``m`` campaigns need.  This backend re-implements the
+below what large-``m`` campaigns need.  This backend implements the
 *same* step semantics (Section 3.1 / Eq. (1)-(2)) on flat NumPy
-arrays:
+arrays, as a :class:`VectorRuntime` plugged into the unified stepping
+kernel (:func:`repro.core.kernel.run_kernel`):
 
 * remaining work, active-job requirements, and share vectors are
   float64 arrays of length ``m``;
@@ -15,13 +16,17 @@ arrays:
 * completion tests are *tolerance-aware*: a job finishes when its
   remaining work drops to ``<= tol`` (default ``1e-9``), absorbing
   float rounding without changing which step a job completes in for
-  any instance whose requirement grid is coarser than the tolerance.
+  any instance whose requirement grid is coarser than the tolerance;
+* processors with non-zero release times stay masked (zero remaining
+  work and requirement) until their release step, so water-filling
+  policies skip them for free.
 
 The float path is validated, not trusted: the cross-validation suite
 (``tests/backends``) checks makespan and per-step shares against
 :class:`~repro.backends.exact.ExactBackend` on hundreds of random
-instances, and :func:`repro.analysis.verification.verify_share_rows`
-re-executes float rows independently with the same tolerance.
+instances (static and arrival), and
+:func:`repro.analysis.verification.verify_share_rows` re-executes
+float rows independently with the same tolerance.
 """
 
 from __future__ import annotations
@@ -29,15 +34,20 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.instance import Instance
-from ..core.simulator import default_step_limit
+from ..core.kernel import (
+    CompletionRecorder,
+    KernelRuntime,
+    ShareRecorder,
+    StepEvent,
+    run_kernel,
+)
 from ..exceptions import (
     InfeasibleAssignmentError,
-    SimulationLimitError,
     VectorizationUnsupportedError,
 )
 from .base import Backend, BackendResult
 
-__all__ = ["VectorState", "VectorBackend"]
+__all__ = ["VectorState", "VectorRuntime", "VectorBackend"]
 
 
 class VectorState:
@@ -54,10 +64,12 @@ class VectorState:
         num_jobs: per processor, total job count (``n_i``).
         done: per processor, completed job count (``j_i(t)``).
         remaining: per processor, remaining work of the active job
-            (0.0 once the processor has finished everything).
+            (0.0 once the processor has finished everything, and 0.0
+            *before* a processor's release time -- unreleased work is
+            invisible to policies).
         active_requirements: per processor, the requirement ``r_ij`` of
-            the active job (0.0 once finished) -- the speed cap of
-            Eq. (1).
+            the active job (0.0 once finished or before release) -- the
+            speed cap of Eq. (1).
     """
 
     __slots__ = (
@@ -69,6 +81,9 @@ class VectorState:
         "active_requirements",
         "_req",
         "_work",
+        "_release",
+        "_released",
+        "_all_released",
     )
 
     def __init__(self, instance: Instance) -> None:
@@ -88,8 +103,14 @@ class VectorState:
             for j, job in enumerate(queue):
                 self._req[i, j] = float(job.requirement)
                 self._work[i, j] = float(job.work)
-        self.remaining = self._work[:, 0].copy()
-        self.active_requirements = self._req[:, 0].copy()
+        self._release = np.array(instance.releases, dtype=np.int64)
+        self._released = self._release <= 0
+        self._all_released = bool(self._released.all())
+        # Unreleased processors are masked to zero until they arrive.
+        self.remaining = np.where(self._released, self._work[:, 0], 0.0)
+        self.active_requirements = np.where(
+            self._released, self._req[:, 0], 0.0
+        )
 
     @property
     def num_processors(self) -> int:
@@ -97,8 +118,21 @@ class VectorState:
 
     @property
     def active_mask(self) -> np.ndarray:
-        """Boolean mask of processors with unfinished jobs."""
+        """Boolean mask of released processors with unfinished jobs."""
+        if self._all_released:
+            return self.done < self.num_jobs
+        return self._released & (self.done < self.num_jobs)
+
+    @property
+    def pending_mask(self) -> np.ndarray:
+        """Boolean mask of processors with unfinished jobs, released or
+        not (arrival-aware policies reason about future work too)."""
         return self.done < self.num_jobs
+
+    @property
+    def released_mask(self) -> np.ndarray:
+        """Boolean mask of processors whose release time has arrived."""
+        return self._released.copy()
 
     @property
     def jobs_remaining(self) -> np.ndarray:
@@ -108,6 +142,24 @@ class VectorState:
     @property
     def all_done(self) -> bool:
         return bool((self.done >= self.num_jobs).all())
+
+    @property
+    def waiting(self) -> bool:
+        """True iff some processor has not been released yet (its jobs
+        are pending by construction)."""
+        return not self._all_released
+
+    def begin_step(self) -> None:
+        """Unmask processors whose release time has arrived."""
+        if self._all_released:
+            return
+        newly = ~self._released & (self._release <= self.t)
+        if newly.any():
+            idx = np.flatnonzero(newly)
+            self.remaining[idx] = self._work[idx, self.done[idx]]
+            self.active_requirements[idx] = self._req[idx, self.done[idx]]
+            self._released |= newly
+            self._all_released = bool(self._released.all())
 
     def advance(self, finished: np.ndarray) -> None:
         """Complete the active job on every processor in *finished*
@@ -123,8 +175,96 @@ class VectorState:
         self.active_requirements[exhausted] = 0.0
 
 
+class VectorRuntime(KernelRuntime):
+    """Float64 arithmetic adapter over :class:`VectorState`.
+
+    Args:
+        instance: the CRSharing instance.
+        tol: completion / feasibility tolerance (see
+            :class:`VectorBackend`).
+    """
+
+    __slots__ = ("instance", "state", "tol", "_m")
+
+    def __init__(self, instance: Instance, *, tol: float = 1e-9) -> None:
+        self.instance = instance
+        self.state = VectorState(instance)
+        self.tol = float(tol)
+        self._m = instance.num_processors
+
+    @property
+    def t(self) -> int:
+        return self.state.t
+
+    @property
+    def all_done(self) -> bool:
+        return self.state.all_done
+
+    @property
+    def waiting(self) -> bool:
+        return self.state.waiting
+
+    def begin_step(self) -> None:
+        self.state.begin_step()
+
+    def query(self, policy) -> np.ndarray:
+        return np.asarray(policy.shares_array(self.state), dtype=np.float64)
+
+    def check(self, shares: np.ndarray) -> None:
+        tol = self.tol
+        t = self.state.t
+        if shares.shape != (self._m,):
+            raise InfeasibleAssignmentError(
+                f"policy returned shape {shares.shape} shares for "
+                f"{self._m} processors at step {t}"
+            )
+        if (shares < -tol).any() or (shares > 1.0 + tol).any():
+            raise InfeasibleAssignmentError(
+                f"step {t}: share outside [0, 1] "
+                f"(min={shares.min()}, max={shares.max()})"
+            )
+        total = float(shares.sum())
+        if total > 1.0 + tol:
+            raise InfeasibleAssignmentError(
+                f"step {t}: resource overused (sum of shares = "
+                f"{total} > 1)"
+            )
+
+    def apply(self, shares: np.ndarray) -> StepEvent:
+        state = self.state
+        tol = self.tol
+        had_work = state.active_mask
+        # Eq. (1)/(2): the requirement caps useful speed; a job cannot
+        # absorb more than its remaining work in one step.
+        speed = np.minimum(shares, state.active_requirements)
+        work = np.minimum(speed, state.remaining)
+        np.maximum(work, 0.0, out=work)
+        state.remaining -= work
+        finished = np.flatnonzero(had_work & (state.remaining <= tol))
+        completed: tuple[tuple[int, int], ...] = ()
+        if finished.size:
+            completed = tuple(
+                (int(i), int(state.done[i])) for i in finished
+            )
+            state.advance(finished)
+        progressed = bool(finished.size) or float(work.sum()) > tol
+        t = state.t
+        state.t += 1
+        return StepEvent(
+            t=t,
+            shares=shares,
+            processed=work,
+            completed=completed,
+            had_work=had_work,
+            progressed=progressed,
+        )
+
+    def describe_progress(self) -> str:
+        return f"vector backend, done={self.state.done.tolist()}"
+
+
 class VectorBackend(Backend):
-    """NumPy float64 execution engine.
+    """NumPy float64 execution engine (a kernel configuration).
 
     Args:
         tol: completion / feasibility tolerance.  A job is complete
@@ -142,6 +282,16 @@ class VectorBackend(Backend):
             raise ValueError("tol must be positive")
         self.tol = float(tol)
 
+    def make_runtime(self, instance: Instance, policy) -> VectorRuntime:
+        """The kernel runtime this backend contributes (shared with
+        :class:`~repro.simulation.engine.ManyCoreEngine`)."""
+        if not getattr(policy, "supports_vector", False):
+            raise VectorizationUnsupportedError(
+                f"policy {getattr(policy, 'name', policy)!r} does not "
+                "implement shares_array; use backend='exact'"
+            )
+        return VectorRuntime(instance, tol=self.tol)
+
     def run(
         self,
         instance: Instance,
@@ -151,75 +301,26 @@ class VectorBackend(Backend):
         record_shares: bool = True,
         stall_limit: int = 3,
     ) -> BackendResult:
-        if not getattr(policy, "supports_vector", False):
-            raise VectorizationUnsupportedError(
-                f"policy {getattr(policy, 'name', policy)!r} does not "
-                "implement shares_array; use backend='exact'"
-            )
-        tol = self.tol
-        limit = default_step_limit(instance) if max_steps is None else max_steps
-        state = VectorState(instance)
-        m = state.num_processors
-        share_rows: list[np.ndarray] = []
-        processed_rows: list[np.ndarray] = []
-        completion_steps: dict[tuple[int, int], int] = {}
-        stalled = 0
-
-        while not state.all_done:
-            if state.t >= limit:
-                raise SimulationLimitError(
-                    f"policy did not finish within {limit} steps "
-                    f"(vector backend, done={state.done.tolist()})"
-                )
-            shares = np.asarray(policy.shares_array(state), dtype=np.float64)
-            if shares.shape != (m,):
-                raise InfeasibleAssignmentError(
-                    f"policy returned shape {shares.shape} shares for "
-                    f"{m} processors at step {state.t}"
-                )
-            if (shares < -tol).any() or (shares > 1.0 + tol).any():
-                raise InfeasibleAssignmentError(
-                    f"step {state.t}: share outside [0, 1] "
-                    f"(min={shares.min()}, max={shares.max()})"
-                )
-            total = float(shares.sum())
-            if total > 1.0 + tol:
-                raise InfeasibleAssignmentError(
-                    f"step {state.t}: resource overused (sum of shares = "
-                    f"{total} > 1)"
-                )
-            # Eq. (1)/(2): the requirement caps useful speed; a job
-            # cannot absorb more than its remaining work in one step.
-            speed = np.minimum(shares, state.active_requirements)
-            work = np.minimum(speed, state.remaining)
-            np.maximum(work, 0.0, out=work)
-            state.remaining -= work
-            finished = np.flatnonzero(
-                state.active_mask & (state.remaining <= tol)
-            )
-            if record_shares:
-                share_rows.append(shares.copy())
-                processed_rows.append(work.copy())
-            if finished.size:
-                for i in finished:
-                    completion_steps[(int(i), int(state.done[i]))] = state.t
-                state.advance(finished)
-                stalled = 0
-            elif float(work.sum()) <= tol:
-                stalled += 1
-                if stalled >= stall_limit:
-                    raise SimulationLimitError(
-                        f"policy made no progress for {stalled} consecutive "
-                        f"steps (t={state.t}); aborting"
-                    )
-            else:
-                stalled = 0
-            state.t += 1
-
+        runtime = self.make_runtime(instance, policy)
+        completions = CompletionRecorder()
+        observers: list = [completions]
+        recorder: ShareRecorder | None = None
+        if record_shares:
+            recorder = ShareRecorder()
+            observers.append(recorder)
+        makespan = run_kernel(
+            runtime,
+            policy,
+            observers,
+            max_steps=max_steps,
+            stall_limit=stall_limit,
+        )
         return BackendResult(
             backend=self.name,
-            makespan=state.t,
-            shares=np.array(share_rows) if record_shares else None,
-            processed=np.array(processed_rows) if record_shares else None,
-            completion_steps=completion_steps,
+            makespan=makespan,
+            shares=np.array(recorder.shares) if recorder is not None else None,
+            processed=(
+                np.array(recorder.processed) if recorder is not None else None
+            ),
+            completion_steps=completions.completion_steps,
         )

@@ -6,13 +6,19 @@ Subcommands:
   (optionally write CSV/SVG);
 * ``list`` -- list experiments, policies, and backends;
 * ``solve <instance.json>`` -- exact optimum of an instance file;
-* ``schedule <instance.json> --policy NAME --backend {exact,vector}``
-  -- run a policy and render the schedule;
+* ``run`` / ``schedule <instance.json> --policy NAME --backend
+  {exact,vector}`` -- run a policy and render the schedule (``run`` is
+  the canonical name, ``schedule`` the historical alias);
 * ``batch`` -- run a seeded campaign of random instances through a
   backend, sharded over worker processes;
 * ``crosscheck`` -- audit the vector backend against the exact one on
   random instances;
 * ``demo`` -- a quick end-to-end tour on the Figure 1 instance.
+
+``run``/``schedule``, ``batch`` and ``crosscheck`` all accept
+``--arrivals MAX`` (with ``--arrival-seed``) to sample staggered
+per-processor release times on ``0..MAX`` -- the online-arrival
+scenario axis; 0 (the default) is the paper's static model.
 """
 
 from __future__ import annotations
@@ -34,7 +40,6 @@ from .experiments import EXPERIMENTS, get_experiment
 from .experiments.runner import run_experiment
 from .io import load_instance, save_schedule
 from .viz import (
-    hypergraph_svg,
     render_components,
     render_instance,
     render_schedule,
@@ -42,6 +47,24 @@ from .viz import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_arrival_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--arrivals",
+        type=int,
+        default=0,
+        metavar="MAX",
+        help="sample per-processor release times on 0..MAX "
+        "(0 = static model, the default)",
+    )
+    parser.add_argument(
+        "--arrival-seed",
+        type=int,
+        default=None,
+        help="seed for the arrival sampler (default: derived from the "
+        "instance seed on a decorrelated stream)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,21 +93,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve = sub.add_parser("solve", help="exact optimum of an instance file")
     p_solve.add_argument("instance", type=Path)
 
-    p_sched = sub.add_parser("schedule", help="run a policy on an instance file")
-    p_sched.add_argument("instance", type=Path)
-    p_sched.add_argument(
-        "--policy",
-        default="greedy-balance",
-        help=f"one of {available_policies()}",
-    )
-    p_sched.add_argument(
-        "--backend",
-        choices=available_backends(),
-        default="exact",
-        help="simulation engine: exact Fractions or vectorized float64",
-    )
-    p_sched.add_argument("--svg", type=Path, help="write a Gantt SVG")
-    p_sched.add_argument("--json", type=Path, help="write the schedule as JSON")
+    for cmd, help_text in (
+        ("run", "run a policy on an instance file"),
+        ("schedule", "alias of `run` (historical name)"),
+    ):
+        p_sched = sub.add_parser(cmd, help=help_text)
+        p_sched.add_argument("instance", type=Path)
+        p_sched.add_argument(
+            "--policy",
+            default="greedy-balance",
+            help=f"one of {available_policies()}",
+        )
+        p_sched.add_argument(
+            "--backend",
+            choices=available_backends(),
+            default="exact",
+            help="simulation engine: exact Fractions or vectorized float64",
+        )
+        _add_arrival_args(p_sched)
+        p_sched.add_argument("--svg", type=Path, help="write a Gantt SVG")
+        p_sched.add_argument("--json", type=Path, help="write the schedule as JSON")
 
     p_batch = sub.add_parser(
         "batch", help="run a campaign of random instances through a backend"
@@ -104,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "--workers", type=int, default=None, help="worker processes (1 = serial)"
     )
+    _add_arrival_args(p_batch)
     p_batch.add_argument("--json", type=Path, help="write the result store as JSON")
 
     p_cross = sub.add_parser(
@@ -116,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cross.add_argument("--grid", type=int, default=100)
     p_cross.add_argument("--seed", type=int, default=0)
     p_cross.add_argument("--rtol", type=float, default=1e-9)
+    _add_arrival_args(p_cross)
 
     p_verify = sub.add_parser(
         "verify", help="validate a schedule file and report its properties"
@@ -162,7 +192,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
+    from .generators import with_arrivals
+
     instance = load_instance(args.instance)
+    if args.arrivals:
+        arrival_seed = 0 if args.arrival_seed is None else args.arrival_seed
+        instance = with_arrivals(
+            instance, max_release=args.arrivals, seed=arrival_seed
+        )
+        print(
+            f"arrivals: releases={list(instance.releases)} "
+            f"(max {args.arrivals}, seed {arrival_seed})"
+        )
     policy = get_policy(args.policy)
     if args.backend != "exact":
         return _cmd_schedule_backend(args, instance, policy)
@@ -214,6 +255,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         family=args.family,
         grid=args.grid,
         seed=args.seed,
+        max_release=args.arrivals,
+        arrival_seed=args.arrival_seed,
     )
     runner = BatchRunner(
         policy=args.policy, backend=args.backend, workers=args.workers
@@ -222,7 +265,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     summary = result.summary()
     print(
         f"campaign: {args.count} x {args.family}(m={args.m}, n={args.n}, "
-        f"grid={args.grid}) seed={args.seed}"
+        f"grid={args.grid}) seed={args.seed} arrivals={args.arrivals}"
     )
     for key in (
         "policy",
@@ -253,7 +296,13 @@ def _cmd_crosscheck(args: argparse.Namespace) -> int:
 
     policy = get_policy(args.policy)
     instances = make_campaign_instances(
-        args.count, args.m, args.n, grid=args.grid, seed=args.seed
+        args.count,
+        args.m,
+        args.n,
+        grid=args.grid,
+        seed=args.seed,
+        max_release=args.arrivals,
+        arrival_seed=args.arrival_seed,
     )
     worst_rel = 0.0
     worst_dev = 0.0
@@ -271,7 +320,7 @@ def _cmd_crosscheck(args: argparse.Namespace) -> int:
             )
     print(
         f"crosscheck: {args.count} instances, policy={args.policy}, "
-        f"m={args.m}, n={args.n}"
+        f"m={args.m}, n={args.n}, arrivals={args.arrivals}"
     )
     print(f"  max relative makespan error: {worst_rel:.3g} (rtol {args.rtol:.3g})")
     print(f"  max per-step share deviation: {worst_dev:.3g}")
@@ -324,7 +373,7 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "solve":
         return _cmd_solve(args)
-    if args.command == "schedule":
+    if args.command in ("run", "schedule"):
         return _cmd_schedule(args)
     if args.command == "batch":
         return _cmd_batch(args)

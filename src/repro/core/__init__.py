@@ -16,6 +16,16 @@ from .continuous import (
 from .hypergraph import Component, SchedulingGraph, build_scheduling_graph
 from .instance import Instance
 from .job import Job, JobId
+from .kernel import (
+    CompletionRecorder,
+    ExactRuntime,
+    KernelRuntime,
+    ShareRecorder,
+    StepEvent,
+    StepObserver,
+    check_share_vector,
+    run_kernel,
+)
 from .speed_scaling import SpeedScalingJob, completion_times_eq1, to_speed_scaling
 from .lower_bounds import (
     best_lower_bound,
@@ -53,9 +63,17 @@ from .state import Configuration, ExecState, StepOutcome
 from .transforms import make_nice, make_non_wasting
 
 __all__ = [
+    "CompletionRecorder",
     "Component",
     "Configuration",
+    "ExactRuntime",
     "ExecState",
+    "KernelRuntime",
+    "ShareRecorder",
+    "StepEvent",
+    "StepObserver",
+    "check_share_vector",
+    "run_kernel",
     "FluidPiece",
     "FluidSchedule",
     "Instance",

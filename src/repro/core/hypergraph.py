@@ -107,6 +107,8 @@ class SchedulingGraph:
 
         for (jid, _job) in self.schedule.instance.jobs():
             parent[jid] = jid
+        # Steps with no active job (possible only while waiting for an
+        # arrival in the release-time extension) contribute no edge.
         for edge in self.edges:
             for other in edge[1:]:
                 union(edge[0], other)
@@ -115,6 +117,8 @@ class SchedulingGraph:
         root_first_step: dict[JobId, int] = {}
         root_edges: dict[JobId, int] = {}
         for t, edge in enumerate(self.edges):
+            if not edge:
+                continue
             root = find(edge[0])
             root_first_step.setdefault(root, t)
             root_edges[root] = root_edges.get(root, 0) + 0 + 1

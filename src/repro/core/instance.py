@@ -13,6 +13,18 @@ The class carries the derived quantities used throughout the paper:
   (:meth:`Instance.processors_with_at_least`),
 * the total work :math:`\\sum_{i,j} r_{ij} p_{ij}` behind
   Observation 1 (:meth:`Instance.total_work`).
+
+Online-arrival extension
+========================
+
+Beyond the paper's static model, an instance may carry per-processor
+integer *release times*: processor ``i``'s queue only becomes
+available at step ``releases[i]`` (inactive-until-released, in the
+spirit of the dynamic generalizations studied by Maack et al.'s
+*Scheduling with Many Shared Resources*).  The default of all zeros
+reproduces the paper's static model bit-for-bit; the exact algorithms
+of Sections 5-8 analyze the static model only and reject instances
+with non-zero release times via :meth:`Instance.require_static`.
 """
 
 from __future__ import annotations
@@ -24,8 +36,6 @@ from ..exceptions import InvalidInstanceError, UnitSizeRequiredError
 from .job import Job, JobId
 from .numerics import (
     Num,
-    ONE,
-    ZERO,
     common_denominator,
     frac_ceil,
     frac_sum,
@@ -43,18 +53,27 @@ class Instance:
             :class:`Job` objects or bare numbers (interpreted as
             unit-size requirements), so
             ``Instance([[0.5, 0.5], [1, "1/3"]])`` works.
+        releases: optional per-processor integer release times (step at
+            which the processor's queue becomes available).  ``None``
+            (the default) means all zeros -- the paper's static model.
 
     Raises:
-        InvalidInstanceError: if there are no processors, or any
-            processor has an empty job sequence.  (The paper allows
-            ``n_i >= 1`` implicitly; an idle processor adds nothing to
-            the problem and would break several notational conventions,
-            so we reject it at construction.)
+        InvalidInstanceError: if there are no processors, any processor
+            has an empty job sequence, or a release time is negative or
+            mis-shaped.  (The paper allows ``n_i >= 1`` implicitly; an
+            idle processor adds nothing to the problem and would break
+            several notational conventions, so we reject it at
+            construction.)
     """
 
-    __slots__ = ("_queues", "_hash")
+    __slots__ = ("_queues", "_releases", "_hash")
 
-    def __init__(self, queues: Iterable[Iterable[Job | Num]]) -> None:
+    def __init__(
+        self,
+        queues: Iterable[Iterable[Job | Num]],
+        *,
+        releases: Sequence[int] | None = None,
+    ) -> None:
         built: list[tuple[Job, ...]] = []
         for qi, queue in enumerate(queues):
             jobs: list[Job] = []
@@ -66,6 +85,19 @@ class Instance:
         if not built:
             raise InvalidInstanceError("an instance needs at least one processor")
         self._queues: tuple[tuple[Job, ...], ...] = tuple(built)
+        if releases is None:
+            self._releases: tuple[int, ...] = (0,) * len(built)
+        else:
+            rel = tuple(int(r) for r in releases)
+            if len(rel) != len(built):
+                raise InvalidInstanceError(
+                    f"releases has {len(rel)} entries for {len(built)} processors"
+                )
+            if any(r < 0 for r in rel):
+                raise InvalidInstanceError(
+                    f"release times must be non-negative, got {rel}"
+                )
+            self._releases = rel
         self._hash: int | None = None
 
     # ------------------------------------------------------------------
@@ -119,6 +151,44 @@ class Instance:
         return tuple(job.requirement for job in self._queues[processor])
 
     # ------------------------------------------------------------------
+    # Release times (online-arrival extension)
+    # ------------------------------------------------------------------
+    @property
+    def releases(self) -> tuple[int, ...]:
+        """Per-processor release times (all zero in the static model)."""
+        return self._releases
+
+    def release(self, processor: int) -> int:
+        """Release time of *processor*'s queue (0 in the static model)."""
+        return self._releases[processor]
+
+    @property
+    def has_releases(self) -> bool:
+        """True iff any processor arrives after step 0."""
+        return any(r != 0 for r in self._releases)
+
+    @property
+    def max_release(self) -> int:
+        """The latest release time (0 for static instances)."""
+        return max(self._releases)
+
+    def with_releases(self, releases: Sequence[int] | None) -> "Instance":
+        """A copy of this instance with the given release times."""
+        return Instance(self._queues, releases=releases)
+
+    def require_static(self, algorithm: str) -> None:
+        """Raise :class:`InvalidInstanceError` if any release time is
+        non-zero.  The exact offline algorithms and closed-form makespan
+        formulas (Sections 4-8) analyze the static model only."""
+        if self.has_releases:
+            raise InvalidInstanceError(
+                f"{algorithm} assumes the paper's static model (all "
+                f"release times 0); this instance has releases "
+                f"{self._releases} -- use the simulator/backends for "
+                "online arrivals"
+            )
+
+    # ------------------------------------------------------------------
     # Paper quantities
     # ------------------------------------------------------------------
     def processors_with_at_least(self, j: int) -> tuple[int, ...]:
@@ -142,6 +212,24 @@ class Instance:
     def work_lower_bound(self) -> int:
         """Observation 1: ``ceil(total work)`` as an integer step count."""
         return frac_ceil(self.total_work())
+
+    def makespan_lower_bound(self) -> int:
+        """A makespan lower bound that accounts for release times.
+
+        For static instances this is exactly :meth:`work_lower_bound`
+        (Observation 1, the paper's canonical bound).  With arrivals it
+        additionally uses that (a) the resource is unusable before the
+        earliest release, and (b) each processor needs at least
+        ``sum_j ceil(p_ij)`` steps after its own release (a job cannot
+        finish faster than its volume even at full speed).
+        """
+        if not self.has_releases:
+            return self.work_lower_bound()
+        bound = min(self._releases) + self.work_lower_bound()
+        for i, queue in enumerate(self._queues):
+            steps = sum(job.steps_at_full_speed() for job in queue)
+            bound = max(bound, self._releases[i] + steps)
+        return bound
 
     @property
     def is_unit_size(self) -> bool:
@@ -182,9 +270,16 @@ class Instance:
     # Convenience constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_requirements(cls, requirements: Sequence[Sequence[Num]]) -> "Instance":
+    def from_requirements(
+        cls,
+        requirements: Sequence[Sequence[Num]],
+        *,
+        releases: Sequence[int] | None = None,
+    ) -> "Instance":
         """Build a unit-size instance from raw requirement values."""
-        return cls([[Job(r) for r in row] for row in requirements])
+        return cls(
+            [[Job(r) for r in row] for row in requirements], releases=releases
+        )
 
     @classmethod
     def from_percent(cls, percents: Sequence[Sequence[Num]]) -> "Instance":
@@ -196,6 +291,10 @@ class Instance:
     def restrict_to_suffix(self, completed: Sequence[int]) -> "Instance":
         """Sub-instance with the first ``completed[i]`` jobs of each
         processor removed (processors that become empty are dropped).
+
+        The suffix models a *residual* workload observed mid-schedule,
+        after every processor has arrived, so release times are dropped
+        (the result is always static).
 
         Used by the Case-2 analysis of Theorem 7 and by tests that
         recurse on residual workloads.
@@ -221,15 +320,17 @@ class Instance:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Instance):
             return NotImplemented
-        return self._queues == other._queues
+        return self._queues == other._queues and self._releases == other._releases
 
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash(self._queues)
+            self._hash = hash((self._queues, self._releases))
         return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         rows = ", ".join(
             "[" + ", ".join(repr(j) for j in queue) + "]" for queue in self._queues
         )
+        if self.has_releases:
+            return f"Instance([{rows}], releases={list(self._releases)})"
         return f"Instance([{rows}])"

@@ -1,0 +1,344 @@
+"""The unified stepping kernel (the one step loop in the codebase).
+
+Before this module existed, the paper's step dynamics (Eq. (1)/(2),
+Section 3.1) were implemented three times -- in the exact simulator,
+the many-core engine, and the vectorized backend -- and every scenario
+or metric had to be added to each copy.  The kernel collapses them:
+
+:func:`run_kernel`
+    owns the loop -- policy query, feasibility check, state advance,
+    stall and step-limit handling, arrival releases -- and knows
+    nothing about arithmetic or telemetry.
+
+:class:`KernelRuntime`
+    the arithmetic adapter.  :class:`ExactRuntime` (here) drives the
+    exact :class:`~repro.core.state.ExecState` in ``Fraction``
+    arithmetic; :class:`~repro.backends.vector.VectorRuntime` drives
+    the float64 NumPy state.  A runtime translates between the
+    policy's native share representation and the shared step
+    semantics, and reports each executed step as a :class:`StepEvent`.
+
+:class:`StepObserver`
+    the telemetry adapter.  Share recording, completion bookkeeping,
+    :class:`~repro.simulation.traces.RunTrace` construction, and
+    busy/stall accounting are all observers subscribed to the kernel,
+    so new metrics compose instead of being inlined into loop bodies.
+
+``simulate``, ``ManyCoreEngine.run``, ``ExactBackend`` and
+``VectorBackend`` are thin configurations of this kernel; golden-output
+tests pin that release-time-0 instances execute bit-identically to the
+pre-kernel implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from ..exceptions import InfeasibleAssignmentError, SimulationLimitError
+from .instance import Instance
+from .numerics import ONE, ZERO, format_frac, frac_sum, to_frac
+from .state import ExecState
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .job import JobId
+
+__all__ = [
+    "StepEvent",
+    "StepObserver",
+    "ShareRecorder",
+    "CompletionRecorder",
+    "KernelRuntime",
+    "ExactRuntime",
+    "check_share_vector",
+    "run_kernel",
+]
+
+
+def check_share_vector(
+    instance: Instance, t: int, shares: Sequence[Fraction]
+) -> None:
+    """Exact feasibility check of one share vector (model Section 3.1).
+
+    This is the single over-grant check every exact layer shares: the
+    simulator, the many-core engine, and the exact backend all report
+    infeasibility through it.
+
+    Raises:
+        InfeasibleAssignmentError: wrong arity, share outside
+            ``[0, 1]``, or resource overuse.
+    """
+    if len(shares) != instance.num_processors:
+        raise InfeasibleAssignmentError(
+            f"policy returned {len(shares)} shares for "
+            f"{instance.num_processors} processors at step {t}"
+        )
+    for i, x in enumerate(shares):
+        if x < ZERO or x > ONE:
+            raise InfeasibleAssignmentError(
+                f"step {t}: share {format_frac(x)} for processor "
+                f"{i} outside [0, 1]"
+            )
+    total = frac_sum(shares)
+    if total > ONE:
+        raise InfeasibleAssignmentError(
+            f"step {t}: resource overused "
+            f"(sum of shares = {format_frac(total)} > 1)"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class StepEvent:
+    """One executed kernel step, in the runtime's native arithmetic.
+
+    Attributes:
+        t: 0-based index of the step that just executed.
+        shares: the share vector the policy produced (``Fraction``
+            tuples for the exact runtime, a float64 array for the
+            vector runtime).
+        processed: work processed per processor this step.
+        completed: jobs that finished during this step.
+        had_work: per processor, whether it was *active* (released and
+            with unfinished jobs) when the step began -- the basis of
+            busy/stall accounting.
+        progressed: True iff the step completed a job or processed a
+            measurable amount of work (the runtime's tolerance
+            decides "measurable").
+    """
+
+    t: int
+    shares: Sequence[Any]
+    processed: Sequence[Any]
+    completed: tuple["JobId", ...]
+    had_work: Sequence[Any]
+    progressed: bool
+
+
+class StepObserver:
+    """Composable telemetry hook; all callbacks default to no-ops.
+
+    Observers receive every executed step (:meth:`on_step`), every job
+    completion (:meth:`on_complete`, called once per finished job after
+    the step's :meth:`on_step`), and the final makespan
+    (:meth:`on_finish`).  They must not mutate the runtime state.
+    """
+
+    def on_step(self, event: StepEvent) -> None:
+        """Called after every executed step."""
+
+    def on_complete(self, job: "JobId", t: int) -> None:
+        """Called once per job completion (after that step's on_step)."""
+
+    def on_finish(self, makespan: int) -> None:
+        """Called once, after the last step."""
+
+
+class ShareRecorder(StepObserver):
+    """Record per-step share and progress rows (memory permitting).
+
+    Mutable rows (NumPy arrays) are copied at record time, so a policy
+    that reuses an output buffer cannot retroactively corrupt earlier
+    rows; immutable rows (the exact runtime's tuples) are stored as-is.
+    """
+
+    __slots__ = ("shares", "processed")
+
+    def __init__(self) -> None:
+        self.shares: list[Sequence[Any]] = []
+        self.processed: list[Sequence[Any]] = []
+
+    @staticmethod
+    def _freeze(row: Sequence[Any]) -> Sequence[Any]:
+        copy = getattr(row, "copy", None)
+        return copy() if copy is not None else row
+
+    def on_step(self, event: StepEvent) -> None:
+        self.shares.append(self._freeze(event.shares))
+        self.processed.append(self._freeze(event.processed))
+
+
+class CompletionRecorder(StepObserver):
+    """Record the 0-based completion step of every job."""
+
+    __slots__ = ("completion_steps",)
+
+    def __init__(self) -> None:
+        self.completion_steps: dict["JobId", int] = {}
+
+    def on_complete(self, job: "JobId", t: int) -> None:
+        self.completion_steps[job] = t
+
+
+class KernelRuntime:
+    """Arithmetic adapter contract consumed by :func:`run_kernel`.
+
+    A runtime owns the mutable execution state and translates the
+    shared loop skeleton into one arithmetic model:
+
+    * :attr:`t` / :attr:`all_done` / :attr:`waiting` expose progress;
+    * :meth:`begin_step` activates processors whose release time has
+      arrived (a no-op for the static model);
+    * :meth:`query` asks the policy for shares in native form;
+    * :meth:`check` raises
+      :class:`~repro.exceptions.InfeasibleAssignmentError` on invalid
+      shares (within the runtime's tolerance);
+    * :meth:`apply` advances the state one step and reports it.
+    """
+
+    instance: Instance
+
+    @property
+    def t(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def all_done(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def waiting(self) -> bool:
+        """True iff some processor still has jobs but is not yet
+        released -- zero-progress steps are then legitimate waiting,
+        not a stalled policy."""
+        raise NotImplementedError
+
+    def begin_step(self) -> None:
+        """Activate processors whose release time has arrived."""
+
+    def query(self, policy) -> Sequence[Any]:
+        raise NotImplementedError
+
+    def check(self, shares: Sequence[Any]) -> None:
+        raise NotImplementedError
+
+    def apply(self, shares: Sequence[Any]) -> StepEvent:
+        raise NotImplementedError
+
+    def describe_progress(self) -> str:
+        """Short state description used in limit-error messages."""
+        return ""
+
+
+class ExactRuntime(KernelRuntime):
+    """Exact ``Fraction`` arithmetic over :class:`ExecState` (the
+    reference runtime; bit-identical to the pre-kernel simulator)."""
+
+    __slots__ = ("instance", "state", "_m")
+
+    def __init__(self, instance: Instance) -> None:
+        self.instance = instance
+        self.state = ExecState(instance)
+        self._m = instance.num_processors
+
+    @property
+    def t(self) -> int:
+        return self.state.t
+
+    @property
+    def all_done(self) -> bool:
+        return self.state.all_done
+
+    @property
+    def waiting(self) -> bool:
+        return self.state.waiting
+
+    def query(self, policy) -> tuple[Fraction, ...]:
+        return tuple(to_frac(x) for x in policy(self.state))
+
+    def check(self, shares: Sequence[Fraction]) -> None:
+        check_share_vector(self.instance, self.state.t, shares)
+
+    def apply(self, shares: Sequence[Fraction]) -> StepEvent:
+        state = self.state
+        had_work = tuple(state.is_active(i) for i in range(self._m))
+        outcome = state.apply(shares)
+        progressed = bool(outcome.completed) or any(
+            p > ZERO for p in outcome.processed
+        )
+        return StepEvent(
+            t=state.t - 1,
+            shares=shares,
+            processed=outcome.processed,
+            completed=outcome.completed,
+            had_work=had_work,
+            progressed=progressed,
+        )
+
+    def describe_progress(self) -> str:
+        return f"done={self.state.done}"
+
+
+def run_kernel(
+    runtime: KernelRuntime,
+    policy,
+    observers: Iterable[StepObserver] = (),
+    *,
+    max_steps: int | None = None,
+    stall_limit: int = 3,
+    label: str = "policy",
+) -> int:
+    """Drive *policy* through *runtime* until every job is finished.
+
+    Args:
+        runtime: the arithmetic adapter owning the execution state.
+        policy: the resource-assignment policy (queried via
+            ``runtime.query``, so exact runtimes call ``policy(state)``
+            and the vector runtime calls ``policy.shares_array``).
+        observers: telemetry hooks, notified in the given order.
+        max_steps: hard safety limit (default
+            :func:`~repro.core.simulator.default_step_limit` of the
+            runtime's instance, which accounts for release times).
+        stall_limit: abort after this many *consecutive* steps with no
+            progress while no processor is waiting on a release -- the
+            signature of a policy that will never terminate.
+        label: subject of error messages ("policy", "workload").
+
+    Returns:
+        The makespan (number of executed steps).
+
+    Raises:
+        InfeasibleAssignmentError: if the policy emits an invalid
+            share vector (via ``runtime.check``).
+        SimulationLimitError: if a limit is exceeded.
+    """
+    if max_steps is None:
+        from .simulator import default_step_limit  # circular-free: lazy
+
+        limit = default_step_limit(runtime.instance)
+    else:
+        limit = max_steps
+    observers = tuple(observers)
+    stalled = 0
+
+    while not runtime.all_done:
+        if runtime.t >= limit:
+            detail = runtime.describe_progress()
+            raise SimulationLimitError(
+                f"{label} did not finish within {limit} steps"
+                + (f" ({detail})" if detail else "")
+            )
+        runtime.begin_step()
+        shares = runtime.query(policy)
+        runtime.check(shares)
+        event = runtime.apply(shares)
+        for observer in observers:
+            observer.on_step(event)
+        if event.completed:
+            for job in event.completed:
+                for observer in observers:
+                    observer.on_complete(job, event.t)
+        if event.progressed or runtime.waiting:
+            stalled = 0
+        else:
+            stalled += 1
+            if stalled >= stall_limit:
+                raise SimulationLimitError(
+                    f"{label} made no progress for {stalled} consecutive "
+                    f"steps (t={runtime.t}); aborting"
+                )
+
+    makespan = runtime.t
+    for observer in observers:
+        observer.on_finish(makespan)
+    return makespan

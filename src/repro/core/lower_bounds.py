@@ -115,8 +115,14 @@ def best_lower_bound(instance: Instance, schedule: Schedule | None = None) -> in
     as GreedyBalance's output on a unit-size instance) the Lemma 5 and
     Lemma 6 certificates are added.
     """
-    bound = max(work_bound(instance), length_bound(instance))
-    if schedule is not None and instance.is_unit_size:
+    bound = max(
+        work_bound(instance),
+        length_bound(instance),
+        instance.makespan_lower_bound(),
+    )
+    # Lemma 5/6 certify static schedules; their waste accounting does
+    # not transfer to runs with waiting windows before arrivals.
+    if schedule is not None and instance.is_unit_size and not instance.has_releases:
         graph = SchedulingGraph(schedule)
         bound = max(bound, lemma5_bound(graph), frac_ceil(lemma6_bound(graph)))
     return bound

@@ -17,7 +17,6 @@ has started (first resource at or before ``t``) but completes after
 
 from __future__ import annotations
 
-from fractions import Fraction
 
 from .job import JobId
 from .numerics import ONE, ZERO, frac_sum

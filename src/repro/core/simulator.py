@@ -3,9 +3,11 @@
 The simulator is the bridge between *policies* (state-feedback rules
 such as RoundRobin and GreedyBalance, Sections 4.2 / 8.3) and the
 offline :class:`~repro.core.schedule.Schedule` artifact all analysis
-operates on.  Each step it asks the policy for a share vector, checks
-feasibility, advances the shared :class:`~repro.core.state.ExecState`,
-and finally wraps the recorded share rows in a validated
+operates on.  Since the kernel refactor, :func:`simulate` is a thin
+configuration of :func:`repro.core.kernel.run_kernel`: an
+:class:`~repro.core.kernel.ExactRuntime` supplies the Fraction
+arithmetic, a :class:`~repro.core.kernel.ShareRecorder` observer
+collects the rows, and the recorded rows are wrapped in a validated
 :class:`Schedule`.
 
 Policies are plain callables ``policy(state) -> shares`` where *state*
@@ -18,9 +20,9 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import TYPE_CHECKING, Callable, Sequence
 
-from ..exceptions import InfeasibleAssignmentError, SimulationLimitError
 from .instance import Instance
-from .numerics import Num, ONE, ZERO, format_frac, frac_sum, to_frac
+from .kernel import ExactRuntime, ShareRecorder, check_share_vector, run_kernel
+from .numerics import Num
 from .schedule import Schedule
 from .state import ExecState
 
@@ -44,37 +46,13 @@ def default_step_limit(instance: Instance) -> int:
 
     Any schedule that each step either finishes a job or uses the full
     resource takes at most ``total_jobs + ceil(total_work)`` steps; we
-    double that and pad, so only genuinely stuck policies hit the limit.
+    double that and pad, so only genuinely stuck policies hit the
+    limit.  Release times shift every deadline by at most the latest
+    arrival, so that is added on top.
     """
-    return 2 * (instance.total_jobs + instance.work_lower_bound()) + 16
-
-
-def check_share_vector(
-    instance: Instance, t: int, shares: Sequence[Fraction]
-) -> None:
-    """Exact feasibility check of one share vector (model Section 3.1).
-
-    Raises:
-        InfeasibleAssignmentError: wrong arity, share outside
-            ``[0, 1]``, or resource overuse.
-    """
-    if len(shares) != instance.num_processors:
-        raise InfeasibleAssignmentError(
-            f"policy returned {len(shares)} shares for "
-            f"{instance.num_processors} processors at step {t}"
-        )
-    for i, x in enumerate(shares):
-        if x < ZERO or x > ONE:
-            raise InfeasibleAssignmentError(
-                f"step {t}: share {format_frac(x)} for processor "
-                f"{i} outside [0, 1]"
-            )
-    total = frac_sum(shares)
-    if total > ONE:
-        raise InfeasibleAssignmentError(
-            f"step {t}: resource overused "
-            f"(sum of shares = {format_frac(total)} > 1)"
-        )
+    return 2 * (instance.total_jobs + instance.work_lower_bound()) + 16 + (
+        instance.max_release
+    )
 
 
 def run_policy(
@@ -106,13 +84,15 @@ def simulate(
     """Run *policy* on *instance* until every job is finished.
 
     Args:
-        instance: the CRSharing instance (unit or general job sizes).
+        instance: the CRSharing instance (unit or general job sizes,
+            with or without release times).
         policy: callable producing one share vector per step.
         max_steps: hard safety limit (default
             :func:`default_step_limit`).
         stall_limit: abort after this many *consecutive* steps in which
-            nothing changed (no work processed, no job completed) --
-            the signature of a policy that will never terminate.
+            nothing changed (no work processed, no job completed) while
+            no processor was waiting on a release -- the signature of a
+            policy that will never terminate.
 
     Returns:
         A validated :class:`Schedule`.
@@ -122,33 +102,16 @@ def simulate(
             or emits an invalid share.
         SimulationLimitError: if the limits are exceeded.
     """
-    limit = default_step_limit(instance) if max_steps is None else max_steps
-    state = ExecState(instance)
-    rows: list[tuple[Fraction, ...]] = []
-    stalled = 0
-
-    while not state.all_done:
-        if state.t >= limit:
-            raise SimulationLimitError(
-                f"policy did not finish within {limit} steps "
-                f"(done={state.done})"
-            )
-        raw = policy(state)
-        shares = tuple(to_frac(x) for x in raw)
-        check_share_vector(instance, state.t, shares)
-        outcome = state.apply(shares)
-        rows.append(shares)
-        if not outcome.completed and all(p == ZERO for p in outcome.processed):
-            stalled += 1
-            if stalled >= stall_limit:
-                raise SimulationLimitError(
-                    f"policy made no progress for {stalled} consecutive "
-                    f"steps (t={state.t}); aborting"
-                )
-        else:
-            stalled = 0
-
+    recorder = ShareRecorder()
+    run_kernel(
+        ExactRuntime(instance),
+        policy,
+        (recorder,),
+        max_steps=max_steps,
+        stall_limit=stall_limit,
+    )
     # The rows were produced against live state; Schedule re-executes
     # them through the same ExecState semantics, guaranteeing the
     # returned artifact is internally consistent.
+    rows: list[tuple[Fraction, ...]] = list(recorder.shares)
     return Schedule(instance, rows, validate=True, trim=True)

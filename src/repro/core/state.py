@@ -25,7 +25,7 @@ from typing import Sequence
 
 from .instance import Instance
 from .job import JobId
-from .numerics import ONE, ZERO
+from .numerics import ZERO
 
 __all__ = ["ExecState", "StepOutcome", "Configuration"]
 
@@ -60,10 +60,14 @@ class ExecState:
       caps the useful speed (granting more than ``r_ij`` does not help)
       and a processor cannot start its next job within the same step;
     * a job whose remaining work reaches zero completes in that step;
-      the successor job becomes active at the *next* step.
+      the successor job becomes active at the *next* step;
+    * a processor with a non-zero release time is *inactive* until its
+      release step: it cannot be worked on, and shares granted to it
+      are wasted.  With all release times 0 (the paper's static model)
+      this clause never triggers.
     """
 
-    __slots__ = ("instance", "t", "done", "remaining", "_started")
+    __slots__ = ("instance", "t", "done", "remaining", "_started", "_releases")
 
     def __init__(self, instance: Instance) -> None:
         self.instance = instance
@@ -71,6 +75,8 @@ class ExecState:
         self.done = [0] * instance.num_processors
         self.remaining = [instance.job(i, 0).work for i in range(instance.num_processors)]
         self._started: set[JobId] = set()
+        # None for static instances keeps the hot-path checks cheap.
+        self._releases = instance.releases if instance.has_releases else None
 
     # ------------------------------------------------------------------
     # Read-only views used by policies
@@ -84,10 +90,31 @@ class ExecState:
         return self.instance.num_jobs(processor) - self.done[processor]
 
     def is_active(self, processor: int) -> bool:
+        """Released and with unfinished jobs (workable this step)."""
+        if self._releases is not None and self.t < self._releases[processor]:
+            return False
         return self.done[processor] < self.instance.num_jobs(processor)
+
+    def is_released(self, processor: int) -> bool:
+        """True once *processor*'s release time has arrived (always
+        True in the static model)."""
+        return self._releases is None or self.t >= self._releases[processor]
 
     def active_processors(self) -> list[int]:
         return [i for i in range(self.num_processors) if self.is_active(i)]
+
+    @property
+    def waiting(self) -> bool:
+        """True iff some processor still has jobs but has not been
+        released yet -- global zero-progress steps are then legitimate
+        (time advances toward the next arrival)."""
+        if self._releases is None:
+            return False
+        return any(
+            self.t < self._releases[i]
+            and self.done[i] < self.instance.num_jobs(i)
+            for i in range(self.num_processors)
+        )
 
     def active_job(self, processor: int) -> int | None:
         if not self.is_active(processor):
@@ -109,7 +136,12 @@ class ExecState:
 
     @property
     def all_done(self) -> bool:
-        return all(not self.is_active(i) for i in range(self.num_processors))
+        """Every job on every processor finished (an unreleased
+        processor with pending jobs is *not* done, merely inactive)."""
+        inst = self.instance
+        return all(
+            self.done[i] >= inst.num_jobs(i) for i in range(self.num_processors)
+        )
 
     def snapshot(self) -> tuple[int, tuple[int, ...], tuple[Fraction, ...]]:
         """Hashable progress snapshot (used for stall detection)."""
@@ -131,10 +163,13 @@ class ExecState:
         processed: list[Fraction] = [ZERO] * m
         completed: list[JobId] = []
         started: list[JobId] = []
+        releases = self._releases
         for i in range(m):
             j = self.done[i]
             if j >= inst.num_jobs(i):
                 continue
+            if releases is not None and self.t < releases[i]:
+                continue  # not yet released: granted shares are wasted
             active[i] = j
             job = inst.job(i, j)
             speed = min(shares[i], job.requirement)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from . import (
     ablation,
+    arrivals,
     cont,
     fig1,
     fig2,
@@ -39,6 +40,7 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("GEN", "Arbitrary job sizes (Section 9 conjecture)", gen.run),
         Experiment("ABL", "GreedyBalance ablation: balance vs tie-break", ablation.run),
         Experiment("CONT", "Continuous-time variant (Section 9 outlook)", cont.run),
+        Experiment("ARR", "Online arrivals: policies under staggered releases", arrivals.run),
     ]
 }
 

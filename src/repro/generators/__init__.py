@@ -6,7 +6,9 @@ from .random_instances import (
     general_size_instance,
     heavy_tail_instance,
     ragged_instance,
+    sample_arrivals,
     uniform_instance,
+    with_arrivals,
 )
 from .workloads import Phase, TaskSpec, make_io_workload, tasks_to_instance
 from .worst_case import (
@@ -38,6 +40,8 @@ __all__ = [
     "ragged_instance",
     "round_robin_adversarial",
     "round_robin_optimal_schedule",
+    "sample_arrivals",
     "tasks_to_instance",
     "uniform_instance",
+    "with_arrivals",
 ]

@@ -20,11 +20,68 @@ __all__ = [
     "ragged_instance",
     "heavy_tail_instance",
     "general_size_instance",
+    "sample_arrivals",
+    "with_arrivals",
 ]
 
 
 def _rng(seed: int | None) -> random.Random:
     return random.Random(seed)
+
+
+def sample_arrivals(
+    m: int,
+    *,
+    max_release: int,
+    seed: int | None = None,
+    pin_first: bool = True,
+) -> tuple[int, ...]:
+    """Sample per-processor release times uniformly on ``0..max_release``.
+
+    Args:
+        m: number of processors.
+        max_release: the arrival spread (0 yields the static model).
+        seed: RNG seed.  The sampler owns its own
+            :class:`random.Random`; to keep release times statistically
+            independent of a requirement stream, pass a seed
+            decorrelated from the one that generated the requirements
+            (as :func:`repro.backends.batch.make_campaign_instances`
+            does).
+        pin_first: force at least one processor to release at step 0
+            (default), so the schedule never starts with a dead window
+            that every policy waits through identically.
+    """
+    if max_release < 0:
+        raise ValueError(f"max_release must be >= 0, got {max_release}")
+    if max_release == 0:
+        return (0,) * m
+    rng = _rng(seed)
+    releases = [rng.randint(0, max_release) for _ in range(m)]
+    if pin_first and min(releases) > 0:
+        releases[rng.randrange(m)] = 0
+    return tuple(releases)
+
+
+def with_arrivals(
+    instance: Instance,
+    *,
+    max_release: int,
+    seed: int | None = None,
+) -> Instance:
+    """Attach sampled release times to an existing instance.
+
+    The arrival axis composes with every instance family: requirements
+    come from the family's own seeded stream, release times from
+    :func:`sample_arrivals`.  ``max_release=0`` returns the instance
+    unchanged (bit-identical static model).
+    """
+    if max_release == 0:
+        return instance
+    return instance.with_releases(
+        sample_arrivals(
+            instance.num_processors, max_release=max_release, seed=seed
+        )
+    )
 
 
 def uniform_instance(

@@ -53,16 +53,28 @@ class Phase:
 
 @dataclass(frozen=True, slots=True)
 class TaskSpec:
-    """A named task: an ordered sequence of phases pinned to one core."""
+    """A named task: an ordered sequence of phases pinned to one core.
+
+    Attributes:
+        name: human-readable task label.
+        phases: the ordered phases.
+        start: step at which the task arrives on its core (its release
+            time in the CRSharing instance).  Default 0 -- the paper's
+            static model where every task is present from the start.
+    """
 
     name: str
     phases: tuple[Phase, ...]
+    start: int
 
-    def __init__(self, name: str, phases) -> None:
+    def __init__(self, name: str, phases, start: int = 0) -> None:
         object.__setattr__(self, "name", str(name))
         object.__setattr__(self, "phases", tuple(phases))
         if not self.phases:
             raise ValueError(f"task {name!r} has no phases")
+        if start < 0:
+            raise ValueError(f"task {name!r} has negative start {start}")
+        object.__setattr__(self, "start", int(start))
 
     @property
     def total_volume(self) -> int:
@@ -71,6 +83,9 @@ class TaskSpec:
 
 def tasks_to_instance(tasks: list[TaskSpec], *, unit_split: bool = True) -> Instance:
     """Convert one task per core into a CRSharing instance.
+
+    Task start offsets become the instance's per-processor release
+    times (all zero for the static model).
 
     Args:
         tasks: one task per processor, in core order.
@@ -88,7 +103,8 @@ def tasks_to_instance(tasks: list[TaskSpec], *, unit_split: bool = True) -> Inst
             else:
                 row.append(Job(phase.bandwidth, phase.duration))
         rows.append(row)
-    return Instance(rows)
+    releases = [task.start for task in tasks]
+    return Instance(rows, releases=releases if any(releases) else None)
 
 
 def make_io_workload(
@@ -98,6 +114,7 @@ def make_io_workload(
     streaming_fraction: float = 0.3,
     bursty_fraction: float = 0.4,
     grid: int = 100,
+    max_start: int = 0,
     seed: int | None = None,
 ) -> list[TaskSpec]:
     """A mixed many-core workload: streaming, bursty and compute tasks.
@@ -108,11 +125,19 @@ def make_io_workload(
       (e.g. iterative solvers with snapshot output);
     * **compute**: low demand throughout (5-20%).
 
-    Fractions are over cores; the remainder are compute tasks.
+    Fractions are over cores; the remainder are compute tasks.  With
+    ``max_start > 0`` each task additionally receives a uniform random
+    start offset in ``0..max_start`` (phased online arrivals); the
+    default of 0 keeps the static workload and the random stream of
+    existing seeds unchanged.
     """
     if num_cores < 1:
         raise ValueError("need at least one core")
     rng = random.Random(seed)
+    # Starts come from a separate stream so a given seed produces the
+    # same phases at every arrival spread (and none is drawn at all
+    # for the static default, keeping pre-arrival seeds byte-stable).
+    start_rng = random.Random(None if seed is None else seed + 0x9E3779B9)
     tasks: list[TaskSpec] = []
     n_stream = round(num_cores * streaming_fraction)
     n_bursty = round(num_cores * bursty_fraction)
@@ -142,5 +167,6 @@ def make_io_workload(
                 Phase(bw(5, 20), rng.randint(1, 3)) for _ in range(n_phases())
             ]
             kind = "compute"
-        tasks.append(TaskSpec(f"{kind}-{c}", phases))
+        start = start_rng.randint(0, max_start) if max_start > 0 else 0
+        tasks.append(TaskSpec(f"{kind}-{c}", phases, start=start))
     return tasks

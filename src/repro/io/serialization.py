@@ -8,7 +8,8 @@ compatibility.
 Schema (instance)::
 
     {"format": "crsharing-instance", "version": 1,
-     "processors": [[{"r": "1/2", "p": 1}, ...], ...]}
+     "processors": [[{"r": "1/2", "p": 1}, ...], ...],
+     "releases": [0, 3, ...]}          # optional; omitted when all 0
 
 Schema (schedule)::
 
@@ -60,8 +61,12 @@ def _frac_in(x: str | int | float) -> Fraction:
 
 
 def instance_to_dict(instance: Instance) -> dict[str, Any]:
-    """Lossless dict form of an instance."""
-    return {
+    """Lossless dict form of an instance.
+
+    The ``releases`` key is emitted only for arrival instances, so
+    static documents stay byte-compatible with version-1 readers.
+    """
+    data: dict[str, Any] = {
         "format": _INSTANCE_FORMAT,
         "version": _VERSION,
         "processors": [
@@ -69,6 +74,9 @@ def instance_to_dict(instance: Instance) -> dict[str, Any]:
             for queue in instance.queues
         ],
     }
+    if instance.has_releases:
+        data["releases"] = list(instance.releases)
+    return data
 
 
 def instance_from_dict(data: dict[str, Any]) -> Instance:
@@ -85,7 +93,8 @@ def instance_from_dict(data: dict[str, Any]) -> Instance:
         [
             [Job(_frac_in(job["r"]), _frac_in(job["p"])) for job in queue]
             for queue in data["processors"]
-        ]
+        ],
+        releases=data.get("releases"),
     )
 
 

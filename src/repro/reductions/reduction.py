@@ -24,7 +24,7 @@ from __future__ import annotations
 from fractions import Fraction
 
 from ..core.instance import Instance
-from ..core.numerics import ONE, ZERO
+from ..core.numerics import ZERO
 from ..core.schedule import Schedule
 from .partition import PartitionInstance, solve_partition_dp
 

@@ -7,11 +7,20 @@ abstract :func:`repro.core.simulator.simulate` computes: phases map to
 jobs, bus grants map to resource shares, and the per-core progress
 rule is Eq. (1)/(2) of the paper.
 
-The engine supports arbitrary phase volumes (the paper's general
-model), records full :class:`~repro.simulation.traces.RunTrace`
-telemetry (per-core busy/stall accounting, bus utilization), and
-cross-checks its final makespan against the abstract simulator --
-the two views must agree step for step.
+Since the kernel refactor the engine is a thin configuration of
+:func:`repro.core.kernel.run_kernel`: the selected backend contributes
+the arithmetic runtime (exact Fractions or vectorized float64) and the
+engine contributes :class:`TraceObserver`, the *single* place where
+:class:`~repro.simulation.traces.RunTrace` telemetry (per-core
+busy/stall accounting, bus utilization, completion steps) is built --
+both arithmetic paths share it, so the trace semantics cannot drift
+apart.  Infeasible assignments (e.g. over-granting the bus) raise
+:class:`~repro.exceptions.InfeasibleAssignmentError` through the
+kernel's shared feasibility check, uniformly across all layers.
+
+Tasks may declare *start offsets* (``TaskSpec.start``), which map to
+the instance's per-processor release times: a core whose task has not
+started yet is inactive and earns neither busy nor stall steps.
 """
 
 from __future__ import annotations
@@ -19,22 +28,118 @@ from __future__ import annotations
 from fractions import Fraction
 
 from ..core.instance import Instance
-from ..core.numerics import ONE, ZERO, frac_sum
-from ..core.simulator import PolicyFn, default_step_limit
-from ..core.state import ExecState
-from ..exceptions import SimulationLimitError
+from ..core.kernel import ExactRuntime, StepEvent, StepObserver, run_kernel
+from ..core.simulator import PolicyFn
 from ..generators.workloads import TaskSpec, tasks_to_instance
 from .machine import ManyCoreSystem
 from .traces import CoreSummary, RunTrace, StepRecord
 
-__all__ = ["ManyCoreEngine", "run_workload"]
+__all__ = ["ManyCoreEngine", "TraceObserver", "run_workload"]
+
+
+class TraceObserver(StepObserver):
+    """Build a :class:`RunTrace` from kernel step events.
+
+    The one shared trace builder: the exact and vector runtimes feed
+    it the same :class:`~repro.core.kernel.StepEvent` stream, so
+    busy/stall accounting and bus utilization are computed by one
+    implementation regardless of arithmetic.  A core is *busy* in a
+    step when it was active (released, with unfinished jobs) and
+    processed work or completed a job; it *stalls* when it was active
+    but received no useful bandwidth.
+    """
+
+    __slots__ = ("instance", "tasks", "trace", "_busy", "_stall", "_finish", "_granted")
+
+    def __init__(
+        self, instance: Instance, tasks: list[TaskSpec], policy_name: str
+    ) -> None:
+        self.instance = instance
+        self.tasks = tasks
+        self.trace = RunTrace(policy=policy_name)
+        m = instance.num_processors
+        self._busy = [0] * m
+        self._stall = [0] * m
+        self._finish: dict[int, int] = {}
+        self._granted = 0  # Fraction or float, depending on the runtime
+
+    def on_step(self, event: StepEvent) -> None:
+        grants = tuple(event.shares)
+        progress = tuple(event.processed)
+        self._granted += sum(event.shares)
+        self.trace.steps.append(
+            StepRecord(
+                t=event.t,
+                grants=grants,
+                progress=progress,
+                completed=tuple(event.completed),
+            )
+        )
+        finishing = {i for i, _ in event.completed}
+        for i in range(self.instance.num_processors):
+            if not event.had_work[i]:
+                continue
+            if progress[i] > 0 or i in finishing:
+                self._busy[i] += 1
+            else:
+                self._stall[i] += 1
+
+    def on_complete(self, job, t: int) -> None:
+        i, j = job
+        if j == self.instance.num_jobs(i) - 1:
+            self._finish[i] = t
+
+    def on_finish(self, makespan: int) -> None:
+        for core, task in enumerate(self.tasks):
+            self.trace.core_summaries.append(
+                CoreSummary(
+                    core=core,
+                    task=task.name,
+                    phases=len(task.phases),
+                    completion_step=self._finish[core],
+                    busy_steps=self._busy[core],
+                    stall_steps=self._stall[core],
+                )
+            )
+        if makespan:
+            utilization = self._granted / makespan
+            # Exact runs keep the Fraction; float runs normalize the
+            # accumulated numpy scalar to a plain Python float.
+            if not isinstance(utilization, Fraction):
+                utilization = float(utilization)
+            self.trace.bus_utilization = utilization
+        else:
+            self.trace.bus_utilization = 0.0
+
+
+class _MachineObserver(StepObserver):
+    """Drive the live :class:`ManyCoreSystem` ledger (exact runs only:
+    the bus ledger is exact Fraction bookkeeping)."""
+
+    __slots__ = ("system",)
+
+    def __init__(self, system: ManyCoreSystem) -> None:
+        self.system = system
+
+    def on_step(self, event: StepEvent) -> None:
+        resource = self.system.resource
+        resource.begin_step()
+        for share in event.shares:
+            resource.grant(share)
+        finishing = {i for i, _ in event.completed}
+        for core in self.system.cores:
+            i = core.index
+            core.record(
+                had_work=bool(event.had_work[i]),
+                progressed=event.processed[i] > 0 or i in finishing,
+            )
 
 
 class ManyCoreEngine:
     """Drives one workload to completion under a policy.
 
     Args:
-        tasks: one task per core.
+        tasks: one task per core (start offsets become release times).
         unit_split: split phases into unit jobs (to compare against the
             exact algorithms) or keep them whole (general model).
     """
@@ -52,142 +157,45 @@ class ManyCoreEngine:
         *,
         max_steps: int | None = None,
         backend: str = "exact",
+        stall_limit: int = 3,
     ) -> RunTrace:
         """Execute the workload; returns the full trace.
 
         Args:
             policy: the resource-assignment policy.
             max_steps: hard safety limit.
-            backend: ``"exact"`` drives the live machine model in
-                Fraction arithmetic (the default, bit-exact);
-                ``"vector"`` runs the NumPy float64 backend and
-                reconstructs the trace from its recorded rows --
-                same step semantics, float tolerance, much faster for
-                wide machines.
+            backend: ``"exact"`` runs the kernel in Fraction arithmetic
+                and keeps the live machine ledger exact (the default);
+                ``"vector"`` plugs the NumPy float64 runtime into the
+                same kernel and the same trace observer -- identical
+                step semantics, float tolerance, much faster for wide
+                machines.
+            stall_limit: abort after this many consecutive
+                zero-progress steps with no pending arrival.
 
         Raises:
             SimulationLimitError: if the policy exceeds the step limit.
-            ValueError: if the policy over-grants the bus.
+            InfeasibleAssignmentError: if the policy over-grants the
+                shared bus (checked by the kernel's shared feasibility
+                check, uniformly across backends).
         """
-        if backend != "exact":
-            return self._run_backend(policy, backend, max_steps=max_steps)
-        instance = self.instance
-        limit = default_step_limit(instance) if max_steps is None else max_steps
-        state = ExecState(instance)
+        from ..backends import get_backend  # local: backends build on core
+
+        runtime = get_backend(backend).make_runtime(self.instance, policy)
         policy_name = getattr(policy, "name", type(policy).__name__)
-        trace = RunTrace(policy=str(policy_name))
-        finish_step: dict[int, int] = {}
-
-        while not state.all_done:
-            if state.t >= limit:
-                raise SimulationLimitError(
-                    f"workload did not finish within {limit} steps"
-                )
-            shares = [Fraction(x) if not isinstance(x, Fraction) else x
-                      for x in policy(state)]
-            if frac_sum(shares) > ONE:
-                raise ValueError("policy over-granted the shared bus")
-            self.system.resource.begin_step()
-            for x in shares:
-                self.system.resource.grant(x)
-            had_work = [state.is_active(i) for i in range(state.num_processors)]
-            outcome = state.apply(shares)
-            for core in self.system.cores:
-                core.record(
-                    had_work=had_work[core.index],
-                    progressed=outcome.processed[core.index] > ZERO
-                    or any(c[0] == core.index for c in outcome.completed),
-                )
-            trace.steps.append(
-                StepRecord(
-                    t=state.t - 1,
-                    grants=tuple(shares),
-                    progress=outcome.processed,
-                    completed=outcome.completed,
-                )
-            )
-            for (i, j) in outcome.completed:
-                if j == instance.num_jobs(i) - 1:
-                    finish_step[i] = state.t - 1
-
-        for core in self.system.cores:
-            task = self.tasks[core.index]
-            trace.core_summaries.append(
-                CoreSummary(
-                    core=core.index,
-                    task=task.name,
-                    phases=len(task.phases),
-                    completion_step=finish_step[core.index],
-                    busy_steps=core.busy_steps,
-                    stall_steps=core.stall_steps,
-                )
-            )
-        trace.bus_utilization = self.system.resource.mean_utilization
-        return trace
-
-    def _run_backend(
-        self, policy: PolicyFn, backend: str, *, max_steps: int | None
-    ) -> RunTrace:
-        """Run via a pluggable backend and rebuild the trace from its
-        recorded share/progress rows (float tolerance applies)."""
-        from ..core.simulator import run_policy
-
-        result = run_policy(
-            self.instance,
+        tracer = TraceObserver(self.instance, self.tasks, str(policy_name))
+        observers: list[StepObserver] = [tracer]
+        if isinstance(runtime, ExactRuntime):
+            observers.append(_MachineObserver(self.system))
+        run_kernel(
+            runtime,
             policy,
-            backend=backend,
+            observers,
             max_steps=max_steps,
-            record_shares=True,
+            stall_limit=stall_limit,
+            label="workload",
         )
-        policy_name = getattr(policy, "name", type(policy).__name__)
-        trace = RunTrace(policy=str(policy_name))
-        m = self.instance.num_processors
-        completed_at: dict[int, list[tuple[int, int]]] = {}
-        # A core has work until the step its last job completes
-        # (inclusive); it progresses when it processes work or
-        # completes a (possibly zero-work) job.
-        last_step = [0] * m
-        for (i, j), t in result.completion_steps.items():
-            completed_at.setdefault(t, []).append((i, j))
-            if t > last_step[i]:
-                last_step[i] = t
-        busy = [0] * m
-        stall = [0] * m
-        granted_total = 0.0
-        for t in range(result.makespan):
-            grants = tuple(result.shares[t])
-            progress = tuple(result.processed[t])
-            completions = tuple(completed_at.get(t, ()))
-            granted_total += float(sum(grants))
-            trace.steps.append(
-                StepRecord(
-                    t=t, grants=grants, progress=progress, completed=completions
-                )
-            )
-            finishing = {i for i, _ in completions}
-            for core in range(m):
-                if t > last_step[core]:
-                    continue
-                if progress[core] > 0.0 or core in finishing:
-                    busy[core] += 1
-                else:
-                    stall[core] += 1
-        for core in range(m):
-            task = self.tasks[core]
-            trace.core_summaries.append(
-                CoreSummary(
-                    core=core,
-                    task=task.name,
-                    phases=len(task.phases),
-                    completion_step=last_step[core],
-                    busy_steps=busy[core],
-                    stall_steps=stall[core],
-                )
-            )
-        trace.bus_utilization = (
-            granted_total / result.makespan if result.makespan else 0.0
-        )
-        return trace
+        return tracer.trace
 
 
 def run_workload(

@@ -36,9 +36,11 @@ def render_instance(instance: Instance) -> str:
         p2 | 50 40 95
     """
     lines = []
+    show_releases = instance.has_releases
     for i, queue in enumerate(instance.queues):
         labels = " ".join(_pct(job.requirement) for job in queue)
-        lines.append(f"p{i} | {labels}")
+        suffix = f"  (arrives t={instance.release(i)})" if show_releases else ""
+        lines.append(f"p{i} | {labels}{suffix}")
     return "\n".join(lines)
 
 

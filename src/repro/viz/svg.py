@@ -16,7 +16,6 @@ Both return the SVG document as a string; callers write it to disk.
 from __future__ import annotations
 
 import html
-from fractions import Fraction
 
 from ..core.hypergraph import SchedulingGraph
 from ..core.numerics import ZERO, as_float

@@ -11,7 +11,6 @@ from repro.algorithms import (
     opt_res_assignment_pq,
 )
 from repro.core import Instance
-from repro.core.properties import is_non_wasting
 from repro.exceptions import SolverError, UnitSizeRequiredError
 from repro.generators import round_robin_adversarial, uniform_instance
 

@@ -1,0 +1,55 @@
+"""Exact-vs-vector cross-validation on arrival (release-time) instances.
+
+The refactor issue's acceptance bar: >= 100 seeded arrival instances
+agree between the exact and vector kernels within 1e-9 relative
+makespan error.  Shares are compared too on a subset (they should be
+bit-close, not merely the makespans).
+"""
+
+import pytest
+
+from repro.algorithms import get_policy
+from repro.backends import cross_validate
+from repro.generators import uniform_instance, with_arrivals
+
+#: (policy, #instances) -- 120 instances total, three policy shapes.
+_PLAN = [
+    ("greedy-balance", 50),
+    ("round-robin", 40),
+    ("greedy-finish-jobs", 30),
+]
+
+
+def _arrival_instance(seed: int):
+    """Seeded arrival instance: requirements and releases both derive
+    deterministically from the seed."""
+    spread = 2 + (seed % 9)  # spreads 2..10
+    return with_arrivals(
+        uniform_instance(4, 5, grid=100, seed=seed),
+        max_release=spread,
+        seed=seed + 7_777,
+    )
+
+
+@pytest.mark.parametrize("policy_name,count", _PLAN)
+def test_arrival_crosscheck_campaign(policy_name, count):
+    policy = get_policy(policy_name)
+    base = {"greedy-balance": 0, "round-robin": 10_000, "greedy-finish-jobs": 20_000}[
+        policy_name
+    ]
+    for k in range(count):
+        seed = base + k
+        instance = _arrival_instance(seed)
+        check = cross_validate(
+            instance, policy, rtol=1e-9, compare_shares=(k % 5 == 0)
+        )
+        assert check.ok, (
+            f"seed {seed}: exact={check.exact_makespan} "
+            f"vector={check.vector_makespan}"
+        )
+        if check.max_share_deviation is not None:
+            assert check.max_share_deviation < 1e-7, seed
+
+
+def test_plan_covers_at_least_100_instances():
+    assert sum(count for _, count in _PLAN) >= 100

@@ -6,7 +6,6 @@ match within tolerance for the analyzed policies (RoundRobin,
 GreedyBalance).
 """
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 

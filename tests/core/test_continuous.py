@@ -4,7 +4,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.algorithms import GreedyBalance, opt_res_assignment
+from repro.algorithms import opt_res_assignment
 from repro.core import (
     Instance,
     Job,

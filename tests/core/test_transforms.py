@@ -5,7 +5,7 @@ from fractions import Fraction
 import pytest
 
 from repro.core import Instance, Job, Schedule, make_nice, make_non_wasting
-from repro.core.properties import is_nested, is_nice, is_non_wasting, is_progressive
+from repro.core.properties import is_nice, is_non_wasting
 from repro.exceptions import UnitSizeRequiredError
 from repro.generators import fig2_unnested_schedule
 

@@ -29,6 +29,7 @@ class TestRegistry:
             "GEN",
             "ABL",
             "CONT",
+            "ARR",
         }
 
     def test_lookup_case_insensitive(self):

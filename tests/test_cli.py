@@ -79,6 +79,103 @@ class TestSchedule:
         assert data["format"] == "crsharing-schedule"
 
 
+class TestRunAliasAndArrivals:
+    def test_run_is_an_alias_of_schedule(self, instance_file, capsys):
+        assert main(["run", str(instance_file)]) == 0
+        run_out = capsys.readouterr().out
+        assert main(["schedule", str(instance_file)]) == 0
+        sched_out = capsys.readouterr().out
+        assert run_out == sched_out
+        assert "makespan" in run_out
+
+    def test_run_with_arrivals_exact(self, instance_file, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    str(instance_file),
+                    "--arrivals",
+                    "4",
+                    "--arrival-seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "arrivals: releases=" in out
+        assert "makespan" in out
+
+    def test_run_with_arrivals_vector(self, instance_file, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    str(instance_file),
+                    "--arrivals",
+                    "4",
+                    "--arrival-seed",
+                    "1",
+                    "--backend",
+                    "vector",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "feasible (tolerance 1e-9): True" in out
+
+    def test_batch_with_arrivals(self, capsys):
+        assert (
+            main(
+                [
+                    "batch",
+                    "--count",
+                    "4",
+                    "--m",
+                    "3",
+                    "--n",
+                    "3",
+                    "--arrivals",
+                    "5",
+                    "--arrival-seed",
+                    "2",
+                    "--workers",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "arrivals=5" in out
+        assert "mean_ratio" in out
+
+    def test_crosscheck_with_arrivals(self, capsys):
+        assert (
+            main(
+                [
+                    "crosscheck",
+                    "--count",
+                    "5",
+                    "--m",
+                    "3",
+                    "--n",
+                    "3",
+                    "--arrivals",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "arrivals=5" in out
+        assert "result: OK" in out
+
+    def test_arr_experiment_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "ARR" in capsys.readouterr().out
+
+
 class TestVerify:
     def test_valid_schedule(self, instance_file, tmp_path, capsys):
         js = tmp_path / "sched.json"

@@ -11,7 +11,6 @@ import pytest
 
 from repro import (
     GreedyBalance,
-    RoundRobin,
     best_lower_bound,
     opt_res_assignment_general,
 )

@@ -7,7 +7,6 @@ counterexamples over random exact-rational instances.
 
 from fractions import Fraction
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.algorithms import (

@@ -4,7 +4,7 @@ import xml.etree.ElementTree as ET
 
 import pytest
 
-from repro.algorithms import GreedyBalance, GreedyFinishJobs
+from repro.algorithms import GreedyFinishJobs
 from repro.core import SchedulingGraph
 from repro.generators import fig1_instance
 from repro.viz import (
