@@ -1,0 +1,91 @@
+"""Walkthrough: two shared resources (bus + memory bandwidth).
+
+The paper's model has ``m`` cores sharing *one* continuously divisible
+resource.  Real many-cores contend for several at once -- the data bus
+AND the memory controller, say -- which is the multi-resource
+extension (after *Scheduling with Many Shared Resources*, Maack et
+al.): every job carries a requirement vector ``r in [0,1]^k``, each
+resource has capacity 1 per step, and a job's speed is set by its
+*bottleneck* resource (``min_l s_l / r_l``).
+
+This demo builds a small k=2 workload where the two resources are
+anti-correlated (bus-heavy phases barely touch memory and vice
+versa), runs GreedyBalance through the exact backend, renders an
+ASCII share plot per resource, and cross-validates the vectorized
+(k, m) float path against the exact run.
+
+Run from the repo root::
+
+    PYTHONPATH=src python examples/multi_resource_demo.py
+"""
+
+from repro.algorithms import get_policy
+from repro.analysis import verify_share_rows
+from repro.backends import cross_validate
+from repro.core import Instance, Job
+from repro.viz import render_instance
+
+#: Four cores, phases labeled (bus%, memory%): streaming cores hammer
+#: the bus, the stencil cores hammer memory, and the mixed core needs
+#: a bit of both -- so no single resource tells the whole story.
+WORKLOAD = Instance(
+    [
+        [Job(["9/10", "1/10"]), Job(["8/10", "1/10"]), Job(["1/10", "2/10"])],
+        [Job(["1/10", "9/10"]), Job(["2/10", "8/10"]), Job(["1/10", "7/10"])],
+        [Job(["5/10", "5/10"]), Job(["4/10", "6/10"])],
+        [Job(["7/10", "2/10"]), Job(["1/10", "8/10"])],
+    ]
+)
+
+RESOURCE_NAMES = ("bus", "mem")
+
+
+def share_bar(value: float, width: int = 20) -> str:
+    """Render one share in [0, 1] as a fixed-width ASCII bar."""
+    filled = round(value * width)
+    return "#" * filled + "." * (width - filled)
+
+
+def ascii_share_plot(result, resource: int) -> str:
+    """Per-step total utilization of one resource, as bar rows."""
+    lines = [f"resource {resource} ({RESOURCE_NAMES[resource]}):"]
+    for t, matrix in enumerate(result.shares):
+        total = float(sum(matrix[resource]))
+        lines.append(f"  t={t}  |{share_bar(total)}| {total:.2f}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("k=2 workload (labels are bus%/mem% per phase):")
+    print(render_instance(WORKLOAD))
+    print()
+    print(f"resources: k={WORKLOAD.num_resources}")
+    for lane, name in enumerate(RESOURCE_NAMES):
+        print(
+            f"  congestion W_{lane} ({name}) = "
+            f"{float(WORKLOAD.resource_work(lane)):.2f}"
+        )
+    print(f"lower bound (max_l ceil(W_l)): {WORKLOAD.makespan_lower_bound()}")
+    print()
+
+    policy = get_policy("greedy-balance")
+    result = policy.run_backend(WORKLOAD, backend="exact")
+    print(f"GreedyBalance makespan (exact backend): {result.makespan}")
+    print()
+    for lane in range(WORKLOAD.num_resources):
+        print(ascii_share_plot(result, lane))
+        print()
+
+    report = verify_share_rows(WORKLOAD, result.shares)
+    print(f"independent verifier accepts the run: {report.ok}")
+
+    check = cross_validate(WORKLOAD, policy)
+    print(
+        f"exact vs vector (k, m) path: makespans {check.exact_makespan} / "
+        f"{check.vector_makespan}, max share deviation "
+        f"{check.max_share_deviation:.2e}, ok={check.ok}"
+    )
+
+
+if __name__ == "__main__":
+    main()

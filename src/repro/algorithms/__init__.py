@@ -18,7 +18,14 @@ Offline exact algorithms:
   independent optimality oracles for cross-validation.
 """
 
-from .base import Policy, available_policies, get_policy, register_policy, water_fill
+from .base import (
+    Policy,
+    available_policies,
+    get_policy,
+    register_policy,
+    water_fill,
+    water_fill_multi,
+)
 from .brute_force import brute_force_makespan
 from .fastpath import greedy_balance_makespan, round_robin_makespan
 from .greedy_balance import GreedyBalance
@@ -57,4 +64,5 @@ __all__ = [
     "round_robin_makespan_formula",
     "round_robin_phase",
     "water_fill",
+    "water_fill_multi",
 ]

@@ -42,7 +42,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 __all__ = [
     "Policy",
     "water_fill",
+    "water_fill_multi",
     "water_fill_array",
+    "water_fill_array_multi",
     "sort_key",
     "register_policy",
     "get_policy",
@@ -59,6 +61,13 @@ class Policy:
     Policies must be stateless with respect to the run (the full
     execution state arrives each step), so one policy object can be
     reused across instances and runs.
+
+    Example:
+        >>> from repro.core import Instance
+        >>> from repro.algorithms import get_policy
+        >>> policy = get_policy("greedy-balance")
+        >>> policy.run(Instance.from_percent([[60, 40], [80, 20]])).makespan
+        3
     """
 
     #: Short identifier used by the registry/CLI.
@@ -135,7 +144,13 @@ def water_fill(
     so every fully-served processor finishes its job; at most one
     processor receives a partial grant.  This is the mechanism behind
     the *progressive* property of all our greedy policies.
+
+    Multi-resource instances dispatch to :func:`water_fill_multi` (the
+    bottleneck-resource generalization of the same rule), so every
+    water-filling policy supports ``k > 1`` through its usual order.
     """
+    if state.instance.num_resources != 1:
+        return water_fill_multi(state, order, capacity=capacity)
     shares = [ZERO] * state.num_processors
     left = capacity
     if left < ZERO:
@@ -152,6 +167,54 @@ def water_fill(
             shares[i] = useful
             left -= useful
     return shares
+
+
+def water_fill_multi(
+    state: ExecState,
+    order: Iterable[int],
+    *,
+    capacity: Fraction = ONE,
+) -> list[list[Fraction]]:
+    """Bottleneck water-filling over ``k`` shared resources.
+
+    The multi-resource generalization of :func:`water_fill`: visit
+    processors in priority order and grant each the largest *speed
+    fraction* ``f`` its active job can still use --
+    ``f = min(1, remaining / r*, min_l capacity_left_l / r_l)`` over
+    the resources it needs -- then charge ``f * r_l`` against every
+    resource ``l``.  For ``k == 1`` this reduces exactly to the
+    scalar rule (``min(remaining, r, capacity_left)``).
+
+    Returns ``k`` share rows (one per resource), each of length ``m``.
+    """
+    if capacity < ZERO:
+        raise ValueError("capacity must be non-negative")
+    inst = state.instance
+    k = inst.num_resources
+    m = state.num_processors
+    rows: list[list[Fraction]] = [[ZERO] * m for _ in range(k)]
+    left: list[Fraction] = [capacity] * k
+    for i in order:
+        if not state.is_active(i):
+            continue
+        job = inst.job(i, state.active_job(i))
+        rstar = job.requirement
+        if rstar == ZERO:
+            continue  # zero-requirement job: completes without resource
+        fraction = min(ONE, state.remaining_work(i) / rstar)
+        for lane, req in enumerate(job.requirements):
+            if req > ZERO:
+                afford = left[lane] / req
+                if afford < fraction:
+                    fraction = afford
+        if fraction <= ZERO:
+            continue
+        for lane, req in enumerate(job.requirements):
+            if req > ZERO:
+                grant = fraction * req
+                rows[lane][i] = grant
+                left[lane] -= grant
+    return rows
 
 
 def sort_key(values: np.ndarray, *, decimals: int = 9) -> np.ndarray:
@@ -182,7 +245,12 @@ def water_fill_array(
     ``min(remaining_work, requirement, capacity_left)``, realized as a
     prefix-sum followed by a clip, so the whole fill is O(m) NumPy work
     with no Python loop.
+
+    Multi-resource states dispatch to :func:`water_fill_array_multi`
+    and return a ``(k, m)`` share matrix instead of a flat vector.
     """
+    if state.num_resources != 1:
+        return water_fill_array_multi(state, order, capacity=capacity)
     if capacity < 0:
         raise ValueError("capacity must be non-negative")
     useful = np.minimum(state.remaining, state.active_requirements)
@@ -191,6 +259,84 @@ def water_fill_array(
     grants = np.clip(capacity - taken_before, 0.0, u)
     shares = np.zeros(state.num_processors, dtype=np.float64)
     shares[order] = grants
+    return shares
+
+
+#: Slack absorbing float rounding when deciding whether a prefix of
+#: grants over-commits a resource; far below the backend tolerance, so
+#: boundary cases (a row summing to exactly 1) grant fully, as the
+#: exact path does.
+_FILL_EPS = 1e-15
+
+
+def water_fill_array_multi(
+    state: "VectorState",
+    order: np.ndarray,
+    *,
+    capacity: float = 1.0,
+) -> np.ndarray:
+    """Vectorized :func:`water_fill_multi` over a ``(k, m)`` state.
+
+    Implements the same sequential grant rule as the exact path --
+    each processor in *order* gets speed fraction
+    ``min(1, remaining / r*, min_l left_l / r_l)`` -- in depletion
+    *rounds*: optimistically cumsum full grants along the order, find
+    the first processor whose grant would over-commit some resource,
+    grant everything before it in one shot plus a partial grant there,
+    then continue with the survivors.  Each round retires at least one
+    processor, and in the common case one round grants everyone, so
+    the fill stays NumPy-vectorized.
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    k = state.num_resources
+    m = state.num_processors
+    req_matrix = state.active_req_matrix  # (k, m); zero when inactive
+    rstar = state.active_requirements
+    shares = np.zeros((k, m), dtype=np.float64)
+    fraction_cap = np.zeros(m, dtype=np.float64)
+    positive = rstar > 0.0
+    fraction_cap[positive] = np.minimum(
+        1.0, state.remaining[positive] / rstar[positive]
+    )
+    left = np.full(k, float(capacity), dtype=np.float64)
+    pending = np.asarray(order, dtype=np.int64)
+    pending = pending[fraction_cap[pending] > 0.0]
+    while pending.size:
+        fc = fraction_cap[pending]
+        consume = fc[None, :] * req_matrix[:, pending]  # (k, p) full grants
+        over = (
+            np.cumsum(consume, axis=1) > left[:, None] + _FILL_EPS
+        ).any(axis=0)
+        if not over.any():
+            shares[:, pending] = consume
+            break
+        first = int(np.argmax(over))
+        fully = pending[:first]
+        if fully.size:
+            grants = consume[:, :first]
+            shares[:, fully] = grants
+            left -= grants.sum(axis=1)
+        # Partial grant at the first over-committing processor: the
+        # binding resource caps its speed fraction.
+        i = int(pending[first])
+        needs = req_matrix[:, i]
+        needed = needs > 0.0
+        fraction = min(
+            float(fraction_cap[i]), float((left[needed] / needs[needed]).min())
+        )
+        if fraction > 0.0:
+            grant = fraction * needs
+            shares[:, i] = grant
+            left -= grant
+        np.maximum(left, 0.0, out=left)
+        pending = pending[first + 1 :]
+        if pending.size:
+            # Retire processors whose needed resources are exhausted.
+            blocked = (
+                (req_matrix[:, pending] > 0.0) & (left[:, None] <= _FILL_EPS)
+            ).any(axis=0)
+            pending = pending[~blocked]
     return shares
 
 

@@ -41,6 +41,7 @@ def brute_force_makespan(instance: Instance, *, max_states: int = 500_000) -> in
         SolverError: if more than *max_states* distinct states appear.
         UnitSizeRequiredError: for non-unit-size jobs.
     """
+    instance.require_single_resource("brute_force_makespan")
     instance.require_unit_size("brute_force_makespan")
     instance.require_static("brute_force_makespan")
     m = instance.num_processors

@@ -38,6 +38,7 @@ def greedy_balance_makespan(instance: Instance) -> int:
         InvalidInstanceError: for instances with release times (the
             integer fast path models the static workload only).
     """
+    instance.require_single_resource("greedy_balance_makespan (fast path)")
     instance.require_unit_size("greedy_balance_makespan (fast path)")
     instance.require_static("greedy_balance_makespan (fast path)")
     units, capacity = instance.to_integer_grid()
@@ -78,6 +79,7 @@ def round_robin_makespan(instance: Instance) -> int:
     ``max(1, ceil(sum of phase-j units / capacity))`` steps (the
     closed form from the Theorem 3 proof, in grid units).
     """
+    instance.require_single_resource("round_robin_makespan (fast path)")
     instance.require_unit_size("round_robin_makespan (fast path)")
     instance.require_static("round_robin_makespan (fast path)")
     units, capacity = instance.to_integer_grid()

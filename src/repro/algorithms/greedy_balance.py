@@ -39,7 +39,13 @@ __all__ = ["GreedyBalance"]
 
 @register_policy
 class GreedyBalance(Policy):
-    """Balanced greedy water-filling (Section 8.3)."""
+    """Balanced greedy water-filling (Section 8.3).
+
+    Example:
+        >>> from repro.generators import fig1_instance
+        >>> GreedyBalance().run(fig1_instance()).makespan
+        6
+    """
 
     name = "greedy-balance"
 

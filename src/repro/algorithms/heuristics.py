@@ -34,6 +34,11 @@ class GreedyFinishJobs(Policy):
     jobs first maximizes the number of completions per step.  Greedy
     per-step job count is not globally optimal -- Figure 1 shows it
     fragmenting the schedule into three components.
+
+    Example:
+        >>> from repro.generators import fig1_instance
+        >>> GreedyFinishJobs().run(fig1_instance()).makespan
+        6
     """
 
     name = "greedy-finish-jobs"
@@ -59,6 +64,11 @@ class LargestRequirementFirst(Policy):
 
     The "anti-greedy": clears the heaviest active job first regardless
     of queue lengths.  Non-wasting and progressive but not balanced.
+
+    Example:
+        >>> from repro.generators import fig1_instance
+        >>> LargestRequirementFirst().run(fig1_instance()).makespan
+        7
     """
 
     name = "largest-requirement-first"
@@ -83,6 +93,11 @@ class FewestRemainingJobsFirst(Policy):
     The deliberate inversion of GreedyBalance's priority; useful as an
     ablation showing that the balance direction (not greediness per se)
     is what earns the 2 - 1/m guarantee.
+
+    Example:
+        >>> from repro.generators import fig1_instance
+        >>> FewestRemainingJobsFirst().run(fig1_instance()).makespan
+        7
     """
 
     name = "fewest-remaining-jobs-first"
@@ -113,11 +128,18 @@ class ProportionalShare(Policy):
     Note: proportional division compounds denominators step over step,
     so exact arithmetic grows quickly -- intended for small
     demonstration instances, not bulk benchmarks.
+
+    Example:
+        >>> from repro.generators import fig1_instance
+        >>> ProportionalShare().run(fig1_instance()).makespan
+        8
     """
 
     name = "proportional-share"
 
     def shares_array(self, state) -> np.ndarray:
+        if state.num_resources != 1:
+            return self._shares_array_multi(state)
         total = float(state.remaining.sum())
         if total == 0.0:
             return np.zeros(state.num_processors, dtype=np.float64)
@@ -126,6 +148,8 @@ class ProportionalShare(Policy):
         return state.remaining / total
 
     def shares(self, state: ExecState) -> Sequence[Fraction]:
+        if state.instance.num_resources != 1:
+            return self._shares_multi(state)
         active = state.active_processors()
         shares = [ZERO] * state.num_processors
         total = frac_sum(state.remaining_work(i) for i in active)
@@ -138,3 +162,51 @@ class ProportionalShare(Policy):
         for i in active:
             shares[i] = state.remaining_work(i) / total
         return shares
+
+    # The multi-resource variant scales every job's *desired speed
+    # fraction* (min(1, remaining / r*)) by one common factor theta =
+    # min(1, min_l 1 / demand_l), so all resource rows stay within
+    # capacity and every active job still progresses every step.  For
+    # unit-size single-resource jobs it reduces to the scalar rule.
+    def _shares_multi(self, state: ExecState) -> list[list[Fraction]]:
+        inst = state.instance
+        k = inst.num_resources
+        m = state.num_processors
+        rows: list[list[Fraction]] = [[ZERO] * m for _ in range(k)]
+        wanted: dict[int, tuple[Fraction, tuple[Fraction, ...]]] = {}
+        demand = [ZERO] * k
+        for i in state.active_processors():
+            job = inst.job(i, state.active_job(i))
+            rstar = job.requirement
+            if rstar == ZERO:
+                continue
+            fraction = min(ONE, state.remaining_work(i) / rstar)
+            wanted[i] = (fraction, job.requirements)
+            for lane, req in enumerate(job.requirements):
+                demand[lane] += fraction * req
+        if not wanted:
+            return rows
+        theta = ONE
+        for lane_demand in demand:
+            if lane_demand > ONE:
+                scale = ONE / lane_demand
+                if scale < theta:
+                    theta = scale
+        for i, (fraction, reqs) in wanted.items():
+            for lane, req in enumerate(reqs):
+                rows[lane][i] = theta * fraction * req
+        return rows
+
+    def _shares_array_multi(self, state) -> np.ndarray:
+        req = state.active_req_matrix  # (k, m)
+        rstar = state.active_requirements
+        positive = rstar > 0.0
+        fraction = np.zeros(state.num_processors, dtype=np.float64)
+        fraction[positive] = np.minimum(
+            1.0, state.remaining[positive] / rstar[positive]
+        )
+        consume = req * fraction[None, :]  # full-speed demand per lane
+        demand = consume.sum(axis=1)
+        over = demand > 1.0
+        theta = float((1.0 / demand[over]).min()) if over.any() else 1.0
+        return consume * theta

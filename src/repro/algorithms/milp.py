@@ -56,6 +56,7 @@ def milp_feasible(instance: Instance, horizon: int) -> bool:
         SolverError: if HiGHS reports anything other than a clean
             feasible/infeasible answer.
     """
+    instance.require_single_resource("milp_feasible")
     instance.require_static("milp_feasible")
     if horizon <= 0:
         return False

@@ -185,6 +185,7 @@ def opt_res_assignment_general(
         SolverError: if the cap is exceeded.
         UnitSizeRequiredError: for non-unit-size jobs.
     """
+    instance.require_single_resource("OptResAssignment2")
     instance.require_unit_size("OptResAssignment2")
     instance.require_static("OptResAssignment2")
     m = instance.num_processors

@@ -73,6 +73,7 @@ class OptTwoResult:
 
 
 def _requirements(instance: Instance) -> tuple[list[Fraction], list[Fraction]]:
+    instance.require_single_resource("OptResAssignment")
     instance.require_unit_size("OptResAssignment")
     instance.require_static("OptResAssignment")
     if instance.num_processors != 2:

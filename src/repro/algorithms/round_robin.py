@@ -56,6 +56,11 @@ class RoundRobin(Policy):
     it); processors that already finished the phase's job idle, so the
     policy may waste resource between phases and is in general neither
     non-wasting nor progressive.
+
+    Example:
+        >>> from repro.generators import fig1_instance
+        >>> RoundRobin().run(fig1_instance()).makespan
+        8
     """
 
     name = "round-robin"
@@ -91,6 +96,7 @@ def round_robin_makespan_formula(instance) -> int:
     Valid for unit-size jobs in the static model; the simulated policy
     must match this exactly, which the test-suite asserts.
     """
+    instance.require_single_resource("round_robin_makespan_formula")
     instance.require_unit_size("round_robin_makespan_formula")
     instance.require_static("round_robin_makespan_formula")
     total = 0

@@ -135,7 +135,15 @@ def verify_share_rows(
     The report's ``completion_steps`` are derived exactly as in
     :func:`verify_schedule`, so the two can be compared job by job
     when cross-validating backends.
+
+    Multi-resource instances are audited with the same tolerance
+    discipline: each step's row is then a ``k x m`` share matrix,
+    every resource row is checked against its unit capacity, and
+    progress follows the bottleneck rule
+    (``min_l min(s_l, r_l) / r_l`` of full speed).
     """
+    if instance.num_resources != 1:
+        return _verify_share_matrix_rows(instance, rows, atol=atol)
     report = VerificationReport()
     m = instance.num_processors
     current = [0] * m
@@ -167,6 +175,88 @@ def verify_share_rows(
                 if current[i] < instance.num_jobs(i):
                     left[i] = float(instance.job(i, current[i]).work)
                     requirement[i] = float(instance.job(i, current[i]).requirement)
+
+    for i in range(m):
+        if current[i] < instance.num_jobs(i):
+            report.fail(
+                f"processor {i}: {instance.num_jobs(i) - current[i]} job(s) "
+                f"unfinished at the end (remaining ~ {left[i]})"
+            )
+    return report
+
+
+def _verify_share_matrix_rows(
+    instance: Instance,
+    rows: Sequence[Sequence[Sequence[float]]],
+    *,
+    atol: float,
+) -> VerificationReport:
+    """Multi-resource arm of :func:`verify_share_rows`.
+
+    Each entry of *rows* is one step's ``k x m`` share matrix; the
+    model rules are re-derived independently of both runtimes (the
+    same defense-in-depth role the flat verifier plays for ``k = 1``).
+    """
+    report = VerificationReport()
+    m = instance.num_processors
+    k = instance.num_resources
+    current = [0] * m
+    left = [float(instance.job(i, 0).work) for i in range(m)]
+    reqs = [
+        [float(r) for r in instance.job(i, 0).requirements] for i in range(m)
+    ]
+
+    for t, matrix in enumerate(rows):
+        if len(matrix) != k:
+            report.fail(
+                f"step {t}: share matrix has {len(matrix)} rows, "
+                f"expected one per resource ({k})"
+            )
+            return report
+        for lane, row in enumerate(matrix):
+            if len(row) != m:
+                report.fail(
+                    f"step {t}, resource {lane}: share row has "
+                    f"{len(row)} entries, expected {m}"
+                )
+                return report
+            total = 0.0
+            for share in row:
+                share = float(share)
+                total += share
+                if share < -atol or share > 1.0 + atol:
+                    report.fail(
+                        f"step {t}, resource {lane}: share {share} out "
+                        f"of [0,1] (+/- {atol})"
+                    )
+            if total > 1.0 + atol:
+                report.fail(
+                    f"step {t}, resource {lane}: capacity overused ({total})"
+                )
+        for i in range(m):
+            if current[i] >= instance.num_jobs(i):
+                continue
+            if t < instance.release(i):
+                continue  # not yet released: granted shares are wasted
+            rstar = max(reqs[i])
+            if rstar <= 0.0:
+                progress = left[i]  # zero-requirement job: free
+            else:
+                fraction = 1.0
+                for lane in range(k):
+                    r = reqs[i][lane]
+                    if r > 0.0:
+                        granted = min(max(float(matrix[lane][i]), 0.0), r) / r
+                        fraction = min(fraction, granted)
+                progress = min(fraction * rstar, left[i])
+            left[i] -= progress
+            if left[i] <= atol:
+                report.completion_steps[(i, current[i])] = t
+                current[i] += 1
+                if current[i] < instance.num_jobs(i):
+                    nxt = instance.job(i, current[i])
+                    left[i] = float(nxt.work)
+                    reqs[i] = [float(r) for r in nxt.requirements]
 
     for i in range(m):
         if current[i] < instance.num_jobs(i):

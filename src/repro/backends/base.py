@@ -77,8 +77,18 @@ class BackendResult:
 
 
 class Backend(ABC):
-    """Abstract simulation backend (see the module docstring for the
-    full contract)."""
+    """Abstract simulation backend.
+
+    See the module docstring for the full contract.
+
+    Example:
+        >>> from repro.backends import get_backend
+        >>> from repro.core import Instance
+        >>> from repro.algorithms import GreedyBalance
+        >>> inst = Instance.from_percent([[50, 50], [50, 50]])
+        >>> get_backend("vector").run(inst, GreedyBalance()).makespan
+        2
+    """
 
     #: Registry / CLI identifier.
     name: str = "backend"

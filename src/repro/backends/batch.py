@@ -44,12 +44,14 @@ def _run_one(payload: tuple) -> dict[str, Any]:
     )
     elapsed = time.perf_counter() - t0
     # Release-aware bound; identical to Observation 1's work bound for
-    # static instances, so static campaign rows are unchanged.
+    # static instances (and the per-resource congestion maximum for
+    # multi-resource ones), so static campaign rows are unchanged.
     lower = instance.makespan_lower_bound()
     return {
         "m": instance.num_processors,
         "total_jobs": instance.total_jobs,
         "max_release": instance.max_release,
+        "resources": instance.num_resources,
         "makespan": result.makespan,
         "lower_bound": lower,
         "ratio": result.makespan / lower if lower else 1.0,
@@ -79,10 +81,12 @@ class BatchResult:
 
     @property
     def makespans(self) -> list[int]:
+        """Per-instance makespans, in input order."""
         return [row["makespan"] for row in self.rows]
 
     @property
     def ratios(self) -> list[float]:
+        """Per-instance makespan / lower-bound ratios, in input order."""
         return [row["ratio"] for row in self.rows]
 
     def summary(self) -> dict[str, Any]:
@@ -190,6 +194,11 @@ class BatchRunner:
 #: for both would couple release times to the first requirement draws).
 _ARRIVAL_SEED_OFFSET = 0x5F3759DF
 
+#: Same idea for the extra-resource sampler (a third independent
+#: stream, so multi-resource profiles decouple from both the
+#: requirements and the arrival times).
+_RESOURCE_SEED_OFFSET = 0x9E3779B9
+
 
 def make_campaign_instances(
     count: int,
@@ -201,16 +210,24 @@ def make_campaign_instances(
     seed: int = 0,
     max_release: int = 0,
     arrival_seed: int | None = None,
+    resources: int = 1,
+    resource_profile: str = "independent",
+    resource_seed: int | None = None,
 ) -> list[Instance]:
     """Deterministic list of seeded random instances for a campaign.
 
     Instance ``k`` uses seed ``seed + k``, so a campaign is fully
     reproducible from ``(family, count, m, n, grid, seed,
-    max_release, arrival_seed)``.  With ``max_release > 0`` every
-    instance receives staggered per-processor release times (the
-    online-arrival scenario axis) sampled from
-    ``(arrival_seed or seed) + k`` on a decorrelated stream; 0 keeps
-    the static model bit-identical to earlier campaigns.
+    max_release, arrival_seed, resources, resource_profile,
+    resource_seed)``.  With ``max_release > 0`` every instance
+    receives staggered per-processor release times (the online-arrival
+    scenario axis) sampled from ``(arrival_seed or seed) + k`` on a
+    decorrelated stream; 0 keeps the static model bit-identical to
+    earlier campaigns.  With ``resources > 1`` every instance is
+    lifted to that many shared resources
+    (:func:`repro.generators.with_resources` with *resource_profile*)
+    on a third decorrelated stream; 1 keeps the single-resource model
+    bit-identical.
     """
     from ..generators import random_instances as gen
 
@@ -227,6 +244,18 @@ def make_campaign_instances(
             f"unknown family {family!r}; available: {sorted(families)}"
         ) from None
     instances = [build(seed + k) for k in range(count)]
+    if resources > 1:
+        base = seed if resource_seed is None else resource_seed
+        instances = [
+            gen.with_resources(
+                inst,
+                resources,
+                profile=resource_profile,
+                grid=grid,
+                seed=base + k + _RESOURCE_SEED_OFFSET,
+            )
+            for k, inst in enumerate(instances)
+        ]
     if max_release > 0:
         base = seed if arrival_seed is None else arrival_seed
         instances = [

@@ -76,9 +76,10 @@ def cross_validate(
     deviation: float | None = None
     if compare_shares:
         steps = min(exact.makespan, vector.makespan)
-        exact_rows = np.array(
-            [[float(x) for x in row] for row in exact.shares[:steps]]
-        )
+        # Rows are flat (m,) vectors for k=1 and (k, m) matrices for
+        # multi-resource instances; numpy converts the exact Fractions
+        # elementwise either way.
+        exact_rows = np.array(exact.shares[:steps], dtype=np.float64)
         vector_rows = np.asarray(vector.shares)[:steps]
         deviation = (
             float(np.abs(exact_rows - vector_rows).max()) if steps else 0.0

@@ -11,7 +11,12 @@ claims, only for bulk throughput.
 from __future__ import annotations
 
 from ..core.instance import Instance
-from ..core.kernel import ExactRuntime
+from ..core.kernel import (
+    CompletionRecorder,
+    ExactRuntime,
+    ShareRecorder,
+    run_kernel,
+)
 from ..core.simulator import simulate
 from .base import Backend, BackendResult
 
@@ -19,12 +24,23 @@ __all__ = ["ExactBackend"]
 
 
 class ExactBackend(Backend):
-    """Exact ``Fraction`` execution via the canonical simulator (which
-    is itself a thin configuration of the unified stepping kernel)."""
+    """Exact ``Fraction`` execution via the canonical simulator.
+
+    The simulator is itself a thin configuration of the unified
+    stepping kernel.
+
+    Single-resource runs return the fully validated
+    :class:`~repro.core.schedule.Schedule` artifact; multi-resource
+    runs (``k > 1``) drive the same :class:`ExactRuntime` through the
+    kernel directly and report exact share-matrix rows without a
+    Schedule (the artifact models the paper's single-resource
+    analysis).
+    """
 
     name = "exact"
 
     def make_runtime(self, instance: Instance, policy) -> ExactRuntime:
+        """The exact kernel runtime this backend contributes."""
         return ExactRuntime(instance)
 
     def run(
@@ -35,6 +51,14 @@ class ExactBackend(Backend):
         max_steps: int | None = None,
         record_shares: bool = True,
     ) -> BackendResult:
+        """Run *policy* on *instance* in exact Fraction arithmetic."""
+        if instance.num_resources != 1:
+            return self._run_multi(
+                instance,
+                policy,
+                max_steps=max_steps,
+                record_shares=record_shares,
+            )
         schedule = simulate(instance, policy, max_steps=max_steps)
         shares = None
         processed = None
@@ -48,4 +72,33 @@ class ExactBackend(Backend):
             processed=processed,
             completion_steps=dict(schedule.completion_steps),
             schedule=schedule,
+        )
+
+    def _run_multi(
+        self,
+        instance: Instance,
+        policy,
+        *,
+        max_steps: int | None,
+        record_shares: bool,
+    ) -> BackendResult:
+        """Kernel-direct multi-resource run (no Schedule artifact)."""
+        runtime = ExactRuntime(instance)
+        completions = CompletionRecorder()
+        observers: list = [completions]
+        recorder: ShareRecorder | None = None
+        if record_shares:
+            recorder = ShareRecorder()
+            observers.append(recorder)
+        makespan = run_kernel(
+            runtime, policy, observers, max_steps=max_steps
+        )
+        return BackendResult(
+            backend=self.name,
+            makespan=makespan,
+            shares=list(recorder.shares) if recorder is not None else None,
+            processed=(
+                list(recorder.processed) if recorder is not None else None
+            ),
+            completion_steps=completions.completion_steps,
         )

@@ -51,8 +51,7 @@ __all__ = ["VectorState", "VectorRuntime", "VectorBackend"]
 
 
 class VectorState:
-    """Float64 view of the execution state, consumed by
-    ``Policy.shares_array``.
+    """Float64 view of the execution state for ``Policy.shares_array``.
 
     Mirrors the read API of :class:`~repro.core.state.ExecState` in
     array form; policies must treat every array as read-only (the
@@ -66,10 +65,17 @@ class VectorState:
         remaining: per processor, remaining work of the active job
             (0.0 once the processor has finished everything, and 0.0
             *before* a processor's release time -- unreleased work is
-            invisible to policies).
-        active_requirements: per processor, the requirement ``r_ij`` of
-            the active job (0.0 once finished or before release) -- the
-            speed cap of Eq. (1).
+            invisible to policies).  Multi-resource instances measure
+            work on the bottleneck resource.
+        active_requirements: per processor, the (bottleneck)
+            requirement ``r_ij`` of the active job (0.0 once finished
+            or before release) -- the speed cap of Eq. (1).
+        active_req_matrix: ``(k, m)`` per-resource requirements of the
+            active jobs (the single-resource state aliases it to
+            ``active_requirements`` reshaped, so the share-matrix view
+            exists for every ``k``).
+        resource_spent: ``(k,)`` cumulative resource-time consumed per
+            shared resource.
     """
 
     __slots__ = (
@@ -79,7 +85,11 @@ class VectorState:
         "done",
         "remaining",
         "active_requirements",
+        "active_req_matrix",
+        "resource_spent",
+        "num_resources",
         "_req",
+        "_reqk",
         "_work",
         "_release",
         "_released",
@@ -89,8 +99,10 @@ class VectorState:
     def __init__(self, instance: Instance) -> None:
         m = instance.num_processors
         nmax = instance.max_jobs
+        k = instance.num_resources
         self.instance = instance
         self.t = 0
+        self.num_resources = k
         self.num_jobs = np.array(
             [instance.num_jobs(i) for i in range(m)], dtype=np.int64
         )
@@ -111,9 +123,24 @@ class VectorState:
         self.active_requirements = np.where(
             self._released, self._req[:, 0], 0.0
         )
+        self.resource_spent = np.zeros(k, dtype=np.float64)
+        if k == 1:
+            # Degenerate share-matrix view; no separate bookkeeping.
+            self._reqk = None
+            self.active_req_matrix = self.active_requirements.reshape(1, m)
+        else:
+            self._reqk = np.zeros((k, m, nmax), dtype=np.float64)
+            for i, queue in enumerate(instance.queues):
+                for j, job in enumerate(queue):
+                    for lane, r in enumerate(job.requirements):
+                        self._reqk[lane, i, j] = float(r)
+            self.active_req_matrix = np.where(
+                self._released[None, :], self._reqk[:, :, 0], 0.0
+            )
 
     @property
     def num_processors(self) -> int:
+        """``m`` -- the number of processors."""
         return int(self.num_jobs.shape[0])
 
     @property
@@ -125,8 +152,11 @@ class VectorState:
 
     @property
     def pending_mask(self) -> np.ndarray:
-        """Boolean mask of processors with unfinished jobs, released or
-        not (arrival-aware policies reason about future work too)."""
+        """Boolean mask of processors with unfinished jobs.
+
+        Released or not: arrival-aware policies reason about future
+        work too.
+        """
         return self.done < self.num_jobs
 
     @property
@@ -141,12 +171,15 @@ class VectorState:
 
     @property
     def all_done(self) -> bool:
+        """True once every job on every processor has finished."""
         return bool((self.done >= self.num_jobs).all())
 
     @property
     def waiting(self) -> bool:
-        """True iff some processor has not been released yet (its jobs
-        are pending by construction)."""
+        """True iff some processor has not been released yet.
+
+        Its jobs are pending by construction.
+        """
         return not self._all_released
 
     def begin_step(self) -> None:
@@ -158,12 +191,18 @@ class VectorState:
             idx = np.flatnonzero(newly)
             self.remaining[idx] = self._work[idx, self.done[idx]]
             self.active_requirements[idx] = self._req[idx, self.done[idx]]
+            if self._reqk is not None:
+                self.active_req_matrix[:, idx] = self._reqk[
+                    :, idx, self.done[idx]
+                ]
             self._released |= newly
             self._all_released = bool(self._released.all())
 
     def advance(self, finished: np.ndarray) -> None:
-        """Complete the active job on every processor in *finished*
-        (an index array) and load the successor job."""
+        """Complete the active jobs of the *finished* index array.
+
+        Loads the successor job (or zeros the lane) on each.
+        """
         self.done[finished] += 1
         has_next = finished[self.done[finished] < self.num_jobs[finished]]
         self.remaining[has_next] = self._work[has_next, self.done[has_next]]
@@ -173,6 +212,11 @@ class VectorState:
         exhausted = finished[self.done[finished] >= self.num_jobs[finished]]
         self.remaining[exhausted] = 0.0
         self.active_requirements[exhausted] = 0.0
+        if self._reqk is not None:
+            self.active_req_matrix[:, has_next] = self._reqk[
+                :, has_next, self.done[has_next]
+            ]
+            self.active_req_matrix[:, exhausted] = 0.0
 
 
 class VectorRuntime(KernelRuntime):
@@ -184,62 +228,85 @@ class VectorRuntime(KernelRuntime):
             :class:`VectorBackend`).
     """
 
-    __slots__ = ("instance", "state", "tol", "_m")
+    __slots__ = ("instance", "state", "tol", "_m", "_k")
 
     def __init__(self, instance: Instance, *, tol: float = 1e-9) -> None:
         self.instance = instance
         self.state = VectorState(instance)
         self.tol = float(tol)
         self._m = instance.num_processors
+        self._k = instance.num_resources
 
     @property
     def t(self) -> int:
+        """0-based index of the next step to execute."""
         return self.state.t
 
     @property
     def all_done(self) -> bool:
+        """True once every job on every processor has finished."""
         return self.state.all_done
 
     @property
     def waiting(self) -> bool:
+        """True while unreleased processors still hold pending jobs."""
         return self.state.waiting
 
     def begin_step(self) -> None:
+        """Unmask processors whose release time has arrived."""
         self.state.begin_step()
 
     def query(self, policy) -> np.ndarray:
+        """Ask *policy* for a float64 share vector (or (k, m) matrix)."""
         return np.asarray(policy.shares_array(self.state), dtype=np.float64)
 
     def check(self, shares: np.ndarray) -> None:
+        """Tolerance-aware feasibility check (shape, bounds, capacity).
+
+        Expects a flat ``(m,)`` share vector for single-resource
+        instances and a ``(k, m)`` share matrix for ``k > 1``; every
+        resource row is checked against its unit capacity.
+        """
         tol = self.tol
         t = self.state.t
-        if shares.shape != (self._m,):
+        expected = (self._m,) if self._k == 1 else (self._k, self._m)
+        if shares.shape != expected:
             raise InfeasibleAssignmentError(
                 f"policy returned shape {shares.shape} shares for "
-                f"{self._m} processors at step {t}"
+                f"{self._m} processors and {self._k} resource(s) at "
+                f"step {t} (expected {expected})"
             )
         if (shares < -tol).any() or (shares > 1.0 + tol).any():
             raise InfeasibleAssignmentError(
                 f"step {t}: share outside [0, 1] "
                 f"(min={shares.min()}, max={shares.max()})"
             )
-        total = float(shares.sum())
-        if total > 1.0 + tol:
+        # Per-resource capacity: sum over processors (the flat vector
+        # is the k=1 row of the same formulation).
+        totals = shares.sum(axis=-1, keepdims=False)
+        worst = float(np.max(totals))
+        if worst > 1.0 + tol:
             raise InfeasibleAssignmentError(
                 f"step {t}: resource overused (sum of shares = "
-                f"{total} > 1)"
+                f"{worst} > 1)"
             )
 
     def apply(self, shares: np.ndarray) -> StepEvent:
+        """Advance the float64 state one step and report it."""
         state = self.state
         tol = self.tol
         had_work = state.active_mask
-        # Eq. (1)/(2): the requirement caps useful speed; a job cannot
-        # absorb more than its remaining work in one step.
-        speed = np.minimum(shares, state.active_requirements)
-        work = np.minimum(speed, state.remaining)
-        np.maximum(work, 0.0, out=work)
-        state.remaining -= work
+        if self._k == 1:
+            # Eq. (1)/(2): the requirement caps useful speed; a job
+            # cannot absorb more than its remaining work in one step.
+            speed = np.minimum(shares, state.active_requirements)
+            work = np.minimum(speed, state.remaining)
+            np.maximum(work, 0.0, out=work)
+            state.remaining -= work
+            state.resource_spent[0] += float(work.sum())
+        else:
+            work = self._multi_work(shares)
+            state.remaining -= work
         finished = np.flatnonzero(had_work & (state.remaining <= tol))
         completed: tuple[tuple[int, int], ...] = ()
         if finished.size:
@@ -259,7 +326,40 @@ class VectorRuntime(KernelRuntime):
             progressed=progressed,
         )
 
+    def _multi_work(self, shares: np.ndarray) -> np.ndarray:
+        """Per-processor work under a ``(k, m)`` share matrix.
+
+        The bottleneck rule of the multi-resource model: a job runs at
+        speed fraction ``min_l min(s_l, r_l) / r_l`` over the
+        resources it needs, progresses ``fraction * r*`` bottleneck
+        work units (capped by its remaining work), and consumes
+        ``progress_fraction * r_l`` of every resource ``l`` (tracked
+        in ``resource_spent``).
+        """
+        state = self.state
+        req = state.active_req_matrix  # (k, m)
+        rstar = state.active_requirements
+        needed = req > 0.0
+        ratio = np.divide(
+            np.minimum(shares, req),
+            req,
+            out=np.full_like(req, np.inf),
+            where=needed,
+        )
+        fraction = ratio.min(axis=0)  # inf where no resource is needed
+        positive = rstar > 0.0
+        work = np.zeros(state.num_processors, dtype=np.float64)
+        work[positive] = np.minimum(
+            fraction[positive] * rstar[positive], state.remaining[positive]
+        )
+        np.maximum(work, 0.0, out=work)
+        progress = np.zeros_like(work)
+        progress[positive] = work[positive] / rstar[positive]
+        state.resource_spent += (req * progress[None, :]).sum(axis=1)
+        return work
+
     def describe_progress(self) -> str:
+        """Completed-job counts, for limit-error messages."""
         return f"vector backend, done={self.state.done.tolist()}"
 
 
@@ -283,8 +383,10 @@ class VectorBackend(Backend):
         self.tol = float(tol)
 
     def make_runtime(self, instance: Instance, policy) -> VectorRuntime:
-        """The kernel runtime this backend contributes (shared with
-        :class:`~repro.simulation.engine.ManyCoreEngine`)."""
+        """The kernel runtime this backend contributes.
+
+        Shared with :class:`~repro.simulation.engine.ManyCoreEngine`.
+        """
         if not getattr(policy, "supports_vector", False):
             raise VectorizationUnsupportedError(
                 f"policy {getattr(policy, 'name', policy)!r} does not "
@@ -301,6 +403,7 @@ class VectorBackend(Backend):
         record_shares: bool = True,
         stall_limit: int = 3,
     ) -> BackendResult:
+        """Run *policy* on *instance* through the float64 kernel."""
         runtime = self.make_runtime(instance, policy)
         completions = CompletionRecorder()
         observers: list = [completions]

@@ -18,7 +18,11 @@ Subcommands:
 ``run``/``schedule``, ``batch`` and ``crosscheck`` all accept
 ``--arrivals MAX`` (with ``--arrival-seed``) to sample staggered
 per-processor release times on ``0..MAX`` -- the online-arrival
-scenario axis; 0 (the default) is the paper's static model.
+scenario axis; 0 (the default) is the paper's static model.  They
+likewise accept ``--resources K`` (with ``--resource-profile``) to
+run the multi-resource extension: instances are lifted to ``K``
+shared resources with per-job requirement vectors; 1 (the default)
+is the paper's single-resource model.
 """
 
 from __future__ import annotations
@@ -67,6 +71,33 @@ def _add_arrival_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resource_args(parser: argparse.ArgumentParser) -> None:
+    from .generators import RESOURCE_PROFILES
+
+    parser.add_argument(
+        "--resources",
+        type=int,
+        default=1,
+        metavar="K",
+        help="number of shared resources; instances are lifted to K "
+        "per-job requirement vectors (1 = the paper's single-resource "
+        "model, the default)",
+    )
+    parser.add_argument(
+        "--resource-profile",
+        choices=list(RESOURCE_PROFILES),
+        default="independent",
+        help="how resources 1..K-1 relate to resource 0 when lifting",
+    )
+    parser.add_argument(
+        "--resource-seed",
+        type=int,
+        default=None,
+        help="seed for the extra-resource sampler (default: derived "
+        "from the instance seed on a decorrelated stream)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="crsharing",
@@ -111,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="simulation engine: exact Fractions or vectorized float64",
         )
         _add_arrival_args(p_sched)
+        _add_resource_args(p_sched)
         p_sched.add_argument("--svg", type=Path, help="write a Gantt SVG")
         p_sched.add_argument("--json", type=Path, help="write the schedule as JSON")
 
@@ -133,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="worker processes (1 = serial)"
     )
     _add_arrival_args(p_batch)
+    _add_resource_args(p_batch)
     p_batch.add_argument("--json", type=Path, help="write the result store as JSON")
 
     p_cross = sub.add_parser(
@@ -146,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cross.add_argument("--seed", type=int, default=0)
     p_cross.add_argument("--rtol", type=float, default=1e-9)
     _add_arrival_args(p_cross)
+    _add_resource_args(p_cross)
 
     p_verify = sub.add_parser(
         "verify", help="validate a schedule file and report its properties"
@@ -157,15 +191,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list() -> int:
-    print("experiments:")
-    for exp in EXPERIMENTS.values():
-        print(f"  {exp.id:<6} {exp.title}")
-    print("policies:")
-    for name in available_policies():
+    experiments = list(EXPERIMENTS.values())
+    policies = available_policies()
+    backends = available_backends()
+    print(f"experiments ({len(experiments)}):  run with `crsharing experiment <ID>`")
+    for exp in experiments:
+        print(f"  {exp.id:<9} {exp.title}")
+    print()
+    print(f"policies ({len(policies)}):  select with `--policy <name>`")
+    for name in policies:
         print(f"  {name}")
-    print("backends:")
-    for name in available_backends():
+    print()
+    print(f"backends ({len(backends)}):  select with `--backend <name>`")
+    for name in backends:
         print(f"  {name}")
+    print()
+    print(
+        "scenario axes on run/schedule, batch, crosscheck:\n"
+        "  --arrivals MAX   staggered per-processor release times "
+        "(0 = the paper's static model)\n"
+        "  --resources K    K shared resources with per-job requirement "
+        "vectors (1 = the paper's model)"
+    )
     return 0
 
 
@@ -192,9 +239,21 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
-    from .generators import with_arrivals
+    from .generators import with_arrivals, with_resources
 
     instance = load_instance(args.instance)
+    if args.resources > 1 and instance.num_resources == 1:
+        resource_seed = 0 if args.resource_seed is None else args.resource_seed
+        instance = with_resources(
+            instance,
+            args.resources,
+            profile=args.resource_profile,
+            seed=resource_seed,
+        )
+        print(
+            f"resources: lifted to k={args.resources} "
+            f"({args.resource_profile} profile, seed {resource_seed})"
+        )
     if args.arrivals:
         arrival_seed = 0 if args.arrival_seed is None else args.arrival_seed
         instance = with_arrivals(
@@ -205,7 +264,9 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             f"(max {args.arrivals}, seed {arrival_seed})"
         )
     policy = get_policy(args.policy)
-    if args.backend != "exact":
+    if args.backend != "exact" or instance.num_resources > 1:
+        # Multi-resource runs have no exact Schedule artifact either;
+        # they report through the backend-result path.
         return _cmd_schedule_backend(args, instance, policy)
     schedule = policy.run(instance)
     print(render_instance(instance))
@@ -257,6 +318,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_release=args.arrivals,
         arrival_seed=args.arrival_seed,
+        resources=args.resources,
+        resource_profile=args.resource_profile,
+        resource_seed=args.resource_seed,
     )
     runner = BatchRunner(
         policy=args.policy, backend=args.backend, workers=args.workers
@@ -265,7 +329,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     summary = result.summary()
     print(
         f"campaign: {args.count} x {args.family}(m={args.m}, n={args.n}, "
-        f"grid={args.grid}) seed={args.seed} arrivals={args.arrivals}"
+        f"grid={args.grid}) seed={args.seed} arrivals={args.arrivals} "
+        f"resources={args.resources}"
     )
     for key in (
         "policy",
@@ -303,6 +368,9 @@ def _cmd_crosscheck(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_release=args.arrivals,
         arrival_seed=args.arrival_seed,
+        resources=args.resources,
+        resource_profile=args.resource_profile,
+        resource_seed=args.resource_seed,
     )
     worst_rel = 0.0
     worst_dev = 0.0
@@ -320,7 +388,8 @@ def _cmd_crosscheck(args: argparse.Namespace) -> int:
             )
     print(
         f"crosscheck: {args.count} instances, policy={args.policy}, "
-        f"m={args.m}, n={args.n}, arrivals={args.arrivals}"
+        f"m={args.m}, n={args.n}, arrivals={args.arrivals}, "
+        f"resources={args.resources}"
     )
     print(f"  max relative makespan error: {worst_rel:.3g} (rtol {args.rtol:.3g})")
     print(f"  max per-step share deviation: {worst_dev:.3g}")

@@ -64,6 +64,7 @@ class FluidPiece:
 
     @property
     def duration(self) -> Fraction:
+        """Length of the segment (``end - start``)."""
         return self.end - self.start
 
 
@@ -83,11 +84,14 @@ class FluidSchedule:
 
     @property
     def makespan(self) -> Fraction:
+        """End time of the last segment (0 for an empty schedule)."""
         return self.pieces[-1].end if self.pieces else ZERO
 
     def validate(self) -> None:
-        """Check feasibility: contiguous pieces, rate caps, capacity,
-        and exact work conservation per job.
+        """Check feasibility of the fluid schedule.
+
+        Contiguous pieces, rate caps, capacity, and exact work
+        conservation per job.
 
         Raises:
             AssertionError: on any violation (used by tests).
@@ -124,9 +128,12 @@ class FluidSchedule:
 
 
 def continuous_lower_bound(instance: Instance) -> Fraction:
-    """``max(total work, max_i sum_j p_ij)`` -- both Observation 1 and
+    """The continuous-time makespan lower bound.
+
+    ``max(total work, max_i sum_j p_ij)`` -- both Observation 1 and
     the full-speed chain length survive the passage to continuous time
-    (without any rounding)."""
+    (without any rounding).
+    """
     chain = max(
         frac_sum(job.size for job in queue) for queue in instance.queues
     )
@@ -158,6 +165,7 @@ def continuous_greedy_balance(
     completions: dict[JobId, Fraction] = {}
 
     def remaining_jobs(i: int) -> int:
+        """Unfinished jobs on processor *i* at the current event."""
         return instance.num_jobs(i) - done[i]
 
     events = 0

@@ -62,8 +62,10 @@ class Component:
 
     @property
     def last_step(self) -> int:
-        """Last time step whose edge lies in the component
-        (components cover consecutive steps; Observation 2)."""
+        """Last time step whose edge lies in the component.
+
+        Components cover consecutive steps (Observation 2).
+        """
         return self.first_step + self.num_edges - 1
 
 
@@ -93,6 +95,7 @@ class SchedulingGraph:
         parent: dict[JobId, JobId] = {}
 
         def find(x: JobId) -> JobId:
+            """Union-find root of *x* with path compression."""
             root = x
             while parent[root] != root:
                 root = parent[root]
@@ -101,6 +104,7 @@ class SchedulingGraph:
             return root
 
         def union(a: JobId, b: JobId) -> None:
+            """Merge the components of *a* and *b*."""
             ra, rb = find(a), find(b)
             if ra != rb:
                 parent[rb] = ra
@@ -153,6 +157,7 @@ class SchedulingGraph:
         return len(self.components)
 
     def component_of(self, job: JobId) -> Component:
+        """The connected component containing *job*."""
         return self.components[self._component_of[job]]
 
     def __iter__(self) -> Iterator[Component]:
@@ -166,11 +171,15 @@ class SchedulingGraph:
     # Structural checks (used by the test-suite)
     # ------------------------------------------------------------------
     def edges_of(self, component: Component) -> list[tuple[JobId, ...]]:
+        """The hyperedges of *component*'s consecutive step block."""
         return self.edges[component.first_step : component.last_step + 1]
 
     def check_observation_2(self) -> bool:
-        """Observation 2: every component's edges form a consecutive
-        block of time steps (and each edge lies inside one component)."""
+        """Check Observation 2 on this schedule's hypergraph.
+
+        Every component's edges form a consecutive block of time
+        steps, and each edge lies inside one component.
+        """
         for comp in self.components:
             for t in range(comp.first_step, comp.last_step + 1):
                 if not set(self.edges[t]) <= comp.nodes:
@@ -183,9 +192,12 @@ class SchedulingGraph:
         return True
 
     def check_classes_decreasing(self) -> bool:
-        """Classes ``q_k`` are non-increasing left to right, and edge
-        sizes within a component never exceed its class (stated after
-        Definition 1 for balanced schedules)."""
+        """Check the class structure stated after Definition 1.
+
+        Classes ``q_k`` are non-increasing left to right, and edge
+        sizes within a component never exceed its class (balanced
+        schedules).
+        """
         classes = [c.klass for c in self.components]
         if any(a < b for a, b in zip(classes, classes[1:])):
             return False
@@ -195,8 +207,11 @@ class SchedulingGraph:
         return True
 
     def check_lemma_2(self) -> bool:
-        """Lemma 2 for balanced (non-wasting, progressive) schedules:
-        ``|C_k| >= #_k + q_k - 1`` for ``k < N`` and ``|C_N| >= #_N``."""
+        """Check Lemma 2 for balanced schedules.
+
+        ``|C_k| >= #_k + q_k - 1`` for ``k < N`` and ``|C_N| >= #_N``
+        (non-wasting, progressive schedules).
+        """
         for comp in self.components:
             if comp.index < self.num_components - 1:
                 if comp.num_nodes < comp.num_edges + comp.klass - 1:
@@ -207,8 +222,10 @@ class SchedulingGraph:
         return True
 
     def mean_edges_per_component(self) -> Fraction:
-        """The Theorem 7 quantity ``#_∅`` -- average edge count over
-        components (equals ``makespan / N``)."""
+        """The Theorem 7 quantity ``#_∅``.
+
+        Average edge count over components (equals ``makespan / N``).
+        """
         return Fraction(self.schedule.makespan, self.num_components)
 
     # ------------------------------------------------------------------

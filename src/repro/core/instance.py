@@ -25,6 +25,20 @@ spirit of the dynamic generalizations studied by Maack et al.'s
 reproduces the paper's static model bit-for-bit; the exact algorithms
 of Sections 5-8 analyze the static model only and reject instances
 with non-zero release times via :meth:`Instance.require_static`.
+
+Multi-resource extension
+========================
+
+An instance may declare ``k >= 1`` shared resources (again after
+Maack et al.): every job carries a requirement *vector*
+:math:`r_{ij} \\in [0,1]^k`, each resource has capacity 1 per step,
+and a job's speed is dictated by its bottleneck resource
+(:math:`\\min_l s_l / r_{ijl}`).  All jobs of one instance must agree
+on ``k`` (:attr:`Instance.num_resources`); the paper's model is the
+``k = 1`` special case and executes bit-identically.  The exact
+offline algorithms and the :class:`~repro.core.schedule.Schedule`
+artifact analyze the single-resource model only and reject ``k > 1``
+via :meth:`Instance.require_single_resource`.
 """
 
 from __future__ import annotations
@@ -59,14 +73,20 @@ class Instance:
 
     Raises:
         InvalidInstanceError: if there are no processors, any processor
-            has an empty job sequence, or a release time is negative or
+            has an empty job sequence, the jobs disagree on the number
+            of shared resources, or a release time is negative or
             mis-shaped.  (The paper allows ``n_i >= 1`` implicitly; an
             idle processor adds nothing to the problem and would break
             several notational conventions, so we reject it at
             construction.)
+
+    Example:
+        >>> inst = Instance([["1/2", "1/2"], [1, "1/3"]])
+        >>> inst.m, inst.max_jobs, inst.num_resources
+        (2, 2, 1)
     """
 
-    __slots__ = ("_queues", "_releases", "_hash")
+    __slots__ = ("_queues", "_releases", "_k", "_hash")
 
     def __init__(
         self,
@@ -85,6 +105,15 @@ class Instance:
         if not built:
             raise InvalidInstanceError("an instance needs at least one processor")
         self._queues: tuple[tuple[Job, ...], ...] = tuple(built)
+        self._k = built[0][0].num_resources
+        for qi, queue in enumerate(built):
+            for job in queue:
+                if job.num_resources != self._k:
+                    raise InvalidInstanceError(
+                        f"all jobs must declare the same number of shared "
+                        f"resources: processor {qi} has a job with "
+                        f"{job.num_resources}, expected {self._k}"
+                    )
         if releases is None:
             self._releases: tuple[int, ...] = (0,) * len(built)
         else:
@@ -143,12 +172,41 @@ class Instance:
                 yield (i, j), job
 
     def requirement(self, processor: int, index: int) -> Fraction:
-        """``r_{ij}`` of job ``(processor, index)``."""
+        """``r_{ij}`` of job ``(processor, index)`` (bottleneck for ``k > 1``)."""
         return self._queues[processor][index].requirement
 
     def requirements(self, processor: int) -> tuple[Fraction, ...]:
-        """All requirements on one processor, in order."""
+        """All (bottleneck) requirements on one processor, in order."""
         return tuple(job.requirement for job in self._queues[processor])
+
+    # ------------------------------------------------------------------
+    # Shared resources (multi-resource extension)
+    # ------------------------------------------------------------------
+    @property
+    def num_resources(self) -> int:
+        """``k`` -- the number of shared resources (1 in the paper's model)."""
+        return self._k
+
+    @property
+    def is_single_resource(self) -> bool:
+        """True iff this is the paper's one-resource model (``k == 1``)."""
+        return self._k == 1
+
+    def require_single_resource(self, algorithm: str) -> None:
+        """Raise :class:`InvalidInstanceError` unless ``k == 1``.
+
+        The paper's exact offline algorithms, the
+        :class:`~repro.core.schedule.Schedule` artifact, and the
+        integer-grid fast paths analyze the single-resource model only;
+        multi-resource instances run through the kernel backends.
+        """
+        if self._k != 1:
+            raise InvalidInstanceError(
+                f"{algorithm} analyzes the paper's single-resource model "
+                f"(k=1); this instance declares {self._k} shared resources "
+                "-- use the simulator backends (run_policy / run_backend) "
+                "for the multi-resource extension"
+            )
 
     # ------------------------------------------------------------------
     # Release times (online-arrival extension)
@@ -177,9 +235,12 @@ class Instance:
         return Instance(self._queues, releases=releases)
 
     def require_static(self, algorithm: str) -> None:
-        """Raise :class:`InvalidInstanceError` if any release time is
-        non-zero.  The exact offline algorithms and closed-form makespan
-        formulas (Sections 4-8) analyze the static model only."""
+        """Reject instances with non-zero release times.
+
+        The exact offline algorithms and closed-form makespan formulas
+        (Sections 4-8) analyze the static model only; they raise
+        :class:`InvalidInstanceError` through this guard.
+        """
         if self.has_releases:
             raise InvalidInstanceError(
                 f"{algorithm} assumes the paper's static model (all "
@@ -205,19 +266,39 @@ class Instance:
         """:math:`\\sum_{i,j} r_{ij} \\cdot p_{ij}` -- total resource-time.
 
         By Observation 1, ``ceil(total_work())`` lower-bounds the
-        makespan of any feasible schedule.
+        makespan of any feasible schedule.  For ``k > 1`` this sums the
+        *bottleneck* work of every job; use :meth:`resource_work` for
+        the per-resource congestion totals.
         """
         return frac_sum(job.work for _, job in self.jobs())
 
+    def resource_work(self, resource: int) -> Fraction:
+        """Congestion :math:`W_l = \\sum_{i,j} r_{ijl} \\cdot p_{ij}` of one resource.
+
+        The resource-time demanded from shared resource *resource*;
+        ``resource_work(0) == total_work()`` for ``k == 1``.
+        """
+        return frac_sum(
+            job.requirements[resource] * job.size for _, job in self.jobs()
+        )
+
     def work_lower_bound(self) -> int:
-        """Observation 1: ``ceil(total work)`` as an integer step count."""
-        return frac_ceil(self.total_work())
+        """Observation 1, per resource: ``max_l ceil(W_l)`` steps.
+
+        Each resource has capacity 1 per step, so the most congested
+        resource lower-bounds the makespan.  For ``k == 1`` this is
+        exactly the paper's ``ceil(total work)`` bound.
+        """
+        if self._k == 1:
+            return frac_ceil(self.total_work())
+        return max(frac_ceil(self.resource_work(r)) for r in range(self._k))
 
     def makespan_lower_bound(self) -> int:
         """A makespan lower bound that accounts for release times.
 
         For static instances this is exactly :meth:`work_lower_bound`
-        (Observation 1, the paper's canonical bound).  With arrivals it
+        (Observation 1, the paper's canonical bound; the per-resource
+        congestion maximum for ``k > 1``).  With arrivals it
         additionally uses that (a) the resource is unusable before the
         earliest release, and (b) each processor needs at least
         ``sum_j ceil(p_ij)`` steps after its own release (a job cannot
@@ -237,8 +318,11 @@ class Instance:
         return all(job.is_unit for _, job in self.jobs())
 
     def require_unit_size(self, algorithm: str) -> None:
-        """Raise :class:`UnitSizeRequiredError` unless all jobs are unit
-        size.  Exact algorithms from Sections 5-8 call this."""
+        """Reject instances with non-unit job sizes.
+
+        Exact algorithms from Sections 5-8 raise
+        :class:`UnitSizeRequiredError` through this guard.
+        """
         if not self.is_unit_size:
             raise UnitSizeRequiredError(
                 f"{algorithm} is defined for unit-size jobs only "
@@ -250,8 +334,10 @@ class Instance:
     # Integer grid
     # ------------------------------------------------------------------
     def resource_denominator(self) -> int:
-        """Least common denominator of all requirements (>= 1)."""
-        return common_denominator(job.requirement for _, job in self.jobs())
+        """Least common denominator of all requirement components (>= 1)."""
+        return common_denominator(
+            r for _, job in self.jobs() for r in job.requirements
+        )
 
     def to_integer_grid(self) -> tuple[list[list[int]], int]:
         """Express all requirements as integers over a common grid.
@@ -260,8 +346,10 @@ class Instance:
         ``units[i][j] * Fraction(1, D) == r_{ij}``; the per-step
         resource capacity becomes ``D`` units.  Algorithms that only
         add and compare requirements can then run in pure integer
-        arithmetic.
+        arithmetic.  Single-resource only (the integer fast paths
+        model the paper's scalar requirements).
         """
+        self.require_single_resource("to_integer_grid")
         d = self.resource_denominator()
         units = [[int(job.requirement * d) for job in queue] for queue in self._queues]
         return units, d
@@ -276,23 +364,31 @@ class Instance:
         *,
         releases: Sequence[int] | None = None,
     ) -> "Instance":
-        """Build a unit-size instance from raw requirement values."""
+        """Build a unit-size instance from raw requirement values.
+
+        Each entry may be a bare number (single resource) or a
+        sequence of ``k`` numbers (one requirement per shared
+        resource).
+        """
         return cls(
             [[Job(r) for r in row] for row in requirements], releases=releases
         )
 
     @classmethod
     def from_percent(cls, percents: Sequence[Sequence[Num]]) -> "Instance":
-        """Build a unit-size instance from requirements given in percent
-        (the notation used by the paper's figures, e.g. node label
-        ``55`` means :math:`r = 0.55`)."""
+        """Build a unit-size instance from requirements given in percent.
+
+        The notation used by the paper's figures: node label ``55``
+        means :math:`r = 0.55`.
+        """
         return cls([[Job(to_frac(p) / 100) for p in row] for row in percents])
 
     def restrict_to_suffix(self, completed: Sequence[int]) -> "Instance":
-        """Sub-instance with the first ``completed[i]`` jobs of each
-        processor removed (processors that become empty are dropped).
+        """Sub-instance with the given per-processor job prefixes removed.
 
-        The suffix models a *residual* workload observed mid-schedule,
+        The first ``completed[i]`` jobs of each processor are dropped,
+        and processors that become empty are dropped entirely.  The
+        suffix models a *residual* workload observed mid-schedule,
         after every processor has arrived, so release times are dropped
         (the result is always static).
 

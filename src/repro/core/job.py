@@ -1,11 +1,17 @@
 """Job model for the CRSharing problem (Section 3.1 of the paper).
 
 A job ``(i, j)`` is the *j*-th phase of the task pinned to processor
-*i*.  It carries two numbers:
+*i*.  It carries a resource requirement and a processing volume:
 
-``requirement`` (:math:`r_{ij} \\in [0, 1]`)
-    The share of the common resource needed to process one unit of the
-    job's volume per time step at full speed.
+``requirements`` (:math:`r_{ij} \\in [0, 1]^k`)
+    The share of each shared resource needed to process one unit of
+    the job's volume per time step at full speed.  The paper's model
+    has exactly one resource (``k = 1``); the multi-resource extension
+    (after *Scheduling with Many Shared Resources*, Maack et al.)
+    allows ``k >= 1`` renewable resources, each with capacity 1 per
+    step.  A job granted share :math:`s_l` of resource *l* runs at
+    speed :math:`\\min_l s_l / r_l` over the resources it actually
+    needs -- the *bottleneck* resource dictates the pace.
 
 ``size`` (:math:`p_{ij} > 0`)
     The processing volume.  The paper's analysis (Sections 4-8) fixes
@@ -15,12 +21,13 @@ A job ``(i, j)`` is the *j*-th phase of the task pinned to processor
 Under the paper's *alternative interpretation* (Section 3.1, Eq. 2) a
 job is a work volume :math:`\\tilde p_{ij} = r_{ij} p_{ij}` processed
 at speed :math:`\\min(R_i(t), r_{ij})`; :attr:`Job.work` exposes that
-quantity, which is the natural unit for all bookkeeping.
+quantity -- measured on the bottleneck resource for ``k > 1`` -- which
+is the natural unit for all bookkeeping.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 
 from ..exceptions import InvalidInstanceError
@@ -35,42 +42,86 @@ JobId = tuple[int, int]
 
 @dataclass(frozen=True, slots=True)
 class Job:
-    """One job: a resource requirement in ``[0,1]`` and a positive size.
+    """One job: per-resource requirements in ``[0,1]`` and a positive size.
 
     Instances are immutable value objects; all numeric fields are exact
     :class:`~fractions.Fraction` values (see :mod:`repro.core.numerics`).
 
     Args:
         requirement: resource requirement :math:`r_{ij} \\in [0, 1]`.
+            A bare number declares the paper's single-resource model; a
+            sequence of ``k`` numbers declares one requirement per
+            shared resource (the multi-resource extension).
         size: processing volume :math:`p_{ij} > 0` (default 1 = the
             unit-size restriction analyzed in the paper).
 
     Raises:
-        InvalidInstanceError: if the requirement is outside ``[0,1]`` or
-            the size is not positive.
+        InvalidInstanceError: if any requirement is outside ``[0,1]``,
+            the requirement vector is empty, or the size is not
+            positive.
+
+    Example:
+        >>> Job("1/3")                      # single resource
+        Job(1/3)
+        >>> Job(["1/2", "1/4"]).requirement  # bottleneck of two resources
+        Fraction(1, 2)
     """
 
-    requirement: Fraction
+    requirements: tuple[Fraction, ...]
     size: Fraction
+    #: Bottleneck requirement, precomputed because the step loops read
+    #: it every step; derived from ``requirements``, so excluded from
+    #: equality/hash.
+    requirement: Fraction = field(compare=False)
 
-    def __init__(self, requirement: Num, size: Num = 1) -> None:
-        req = to_frac(requirement)
+    def __init__(
+        self, requirement: "Num | tuple[Num, ...] | list[Num]", size: Num = 1
+    ) -> None:
+        if isinstance(requirement, (tuple, list)):
+            reqs = tuple(to_frac(r) for r in requirement)
+            if not reqs:
+                raise InvalidInstanceError(
+                    "a job needs at least one resource requirement"
+                )
+        else:
+            reqs = (to_frac(requirement),)
+        for req in reqs:
+            if not (ZERO <= req <= ONE):
+                raise InvalidInstanceError(
+                    f"job requirement must be in [0, 1], got {format_frac(req)}"
+                )
         sz = to_frac(size)
-        if not (ZERO <= req <= ONE):
-            raise InvalidInstanceError(
-                f"job requirement must be in [0, 1], got {format_frac(req)}"
-            )
         if sz <= ZERO:
-            raise InvalidInstanceError(f"job size must be positive, got {format_frac(sz)}")
-        object.__setattr__(self, "requirement", req)
+            raise InvalidInstanceError(
+                f"job size must be positive, got {format_frac(sz)}"
+            )
+        object.__setattr__(self, "requirements", reqs)
         object.__setattr__(self, "size", sz)
+        object.__setattr__(self, "requirement", max(reqs))
+
+    @property
+    def num_resources(self) -> int:
+        """``k`` -- how many shared resources this job declares."""
+        return len(self.requirements)
 
     @property
     def work(self) -> Fraction:
-        """Total work :math:`\\tilde p = r \\cdot p` in the alternative
-        (variable-speed) interpretation -- the amount of resource-time
-        the job consumes over its lifetime."""
+        """Total work :math:`\\tilde p = r^* \\cdot p` (Eq. 2).
+
+        The amount of bottleneck resource-time the job consumes over
+        its lifetime in the alternative (variable-speed)
+        interpretation.
+        """
         return self.requirement * self.size
+
+    @property
+    def work_vector(self) -> tuple[Fraction, ...]:
+        """Per-resource work :math:`(r_{l} \\cdot p)_l`.
+
+        Resource-time consumed on each resource over the job's
+        lifetime.
+        """
+        return tuple(r * self.size for r in self.requirements)
 
     @property
     def is_unit(self) -> bool:
@@ -78,11 +129,17 @@ class Job:
         return self.size == ONE
 
     def steps_at_full_speed(self) -> int:
-        """Minimum number of whole time steps to finish the job when it
-        is always granted its full requirement (``ceil(size)``)."""
+        """Minimum whole steps to finish at full speed (``ceil(size)``).
+
+        Assumes the job is always granted its full requirement.
+        """
         return -((-self.size).__floor__())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if len(self.requirements) == 1:
+            req = format_frac(self.requirements[0])
+        else:
+            req = "[" + ", ".join(format_frac(r) for r in self.requirements) + "]"
         if self.is_unit:
-            return f"Job({format_frac(self.requirement)})"
-        return f"Job({format_frac(self.requirement)}, size={format_frac(self.size)})"
+            return f"Job({req})"
+        return f"Job({req}, size={format_frac(self.size)})"

@@ -59,33 +59,65 @@ __all__ = [
 def check_share_vector(
     instance: Instance, t: int, shares: Sequence[Fraction]
 ) -> None:
-    """Exact feasibility check of one share vector (model Section 3.1).
+    """Exact feasibility check of one share assignment (Section 3.1).
 
     This is the single over-grant check every exact layer shares: the
     simulator, the many-core engine, and the exact backend all report
-    infeasibility through it.
+    infeasibility through it.  For single-resource instances *shares*
+    is one value per processor; for ``k > 1`` it is ``k`` rows (one
+    per resource) and every row is checked against that resource's
+    unit capacity.
 
     Raises:
         InfeasibleAssignmentError: wrong arity, share outside
-            ``[0, 1]``, or resource overuse.
+            ``[0, 1]``, or resource overuse (on any resource).
     """
+    if instance.num_resources != 1:
+        _check_share_matrix(instance, t, shares)
+        return
+    _check_share_row(instance, t, shares, resource=None)
+
+
+def _check_share_row(
+    instance: Instance,
+    t: int,
+    shares: Sequence[Fraction],
+    *,
+    resource: int | None,
+) -> None:
+    """Check one per-processor share row against unit capacity."""
+    where = "" if resource is None else f" on resource {resource}"
     if len(shares) != instance.num_processors:
         raise InfeasibleAssignmentError(
             f"policy returned {len(shares)} shares for "
-            f"{instance.num_processors} processors at step {t}"
+            f"{instance.num_processors} processors at step {t}{where}"
         )
     for i, x in enumerate(shares):
         if x < ZERO or x > ONE:
             raise InfeasibleAssignmentError(
                 f"step {t}: share {format_frac(x)} for processor "
-                f"{i} outside [0, 1]"
+                f"{i} outside [0, 1]{where}"
             )
     total = frac_sum(shares)
     if total > ONE:
         raise InfeasibleAssignmentError(
-            f"step {t}: resource overused "
+            f"step {t}: resource overused{where} "
             f"(sum of shares = {format_frac(total)} > 1)"
         )
+
+
+def _check_share_matrix(
+    instance: Instance, t: int, rows: Sequence[Sequence[Fraction]]
+) -> None:
+    """Check a ``k x m`` share matrix row by row (capacity 1 each)."""
+    k = instance.num_resources
+    if len(rows) != k:
+        raise InfeasibleAssignmentError(
+            f"policy returned {len(rows)} share rows for {k} shared "
+            f"resources at step {t} (expected one row per resource)"
+        )
+    for lane, row in enumerate(rows):
+        _check_share_row(instance, t, row, resource=lane)
 
 
 @dataclass(frozen=True, slots=True)
@@ -122,6 +154,20 @@ class StepObserver:
     completion (:meth:`on_complete`, called once per finished job after
     the step's :meth:`on_step`), and the final makespan
     (:meth:`on_finish`).  They must not mutate the runtime state.
+
+    Example:
+        >>> from repro.core import Instance
+        >>> from repro.algorithms import GreedyBalance
+        >>> class StepCounter(StepObserver):
+        ...     steps = 0
+        ...     def on_step(self, event):
+        ...         self.steps += 1
+        >>> counter = StepCounter()
+        >>> inst = Instance.from_percent([[50, 50], [50, 50]])
+        >>> run_kernel(ExactRuntime(inst), GreedyBalance(), [counter])
+        2
+        >>> counter.steps
+        2
     """
 
     def on_step(self, event: StepEvent) -> None:
@@ -154,6 +200,7 @@ class ShareRecorder(StepObserver):
         return copy() if copy is not None else row
 
     def on_step(self, event: StepEvent) -> None:
+        """Record the step's share and progress rows."""
         self.shares.append(self._freeze(event.shares))
         self.processed.append(self._freeze(event.processed))
 
@@ -167,6 +214,7 @@ class CompletionRecorder(StepObserver):
         self.completion_steps: dict["JobId", int] = {}
 
     def on_complete(self, job: "JobId", t: int) -> None:
+        """Record that *job* completed in step *t*."""
         self.completion_steps[job] = t
 
 
@@ -190,29 +238,36 @@ class KernelRuntime:
 
     @property
     def t(self) -> int:
+        """0-based index of the next step to execute."""
         raise NotImplementedError
 
     @property
     def all_done(self) -> bool:
+        """True once every job on every processor has finished."""
         raise NotImplementedError
 
     @property
     def waiting(self) -> bool:
-        """True iff some processor still has jobs but is not yet
-        released -- zero-progress steps are then legitimate waiting,
-        not a stalled policy."""
+        """True iff some pending processor has not been released yet.
+
+        Zero-progress steps are then legitimate waiting, not a stalled
+        policy.
+        """
         raise NotImplementedError
 
     def begin_step(self) -> None:
         """Activate processors whose release time has arrived."""
 
     def query(self, policy) -> Sequence[Any]:
+        """Ask *policy* for shares in the runtime's native form."""
         raise NotImplementedError
 
     def check(self, shares: Sequence[Any]) -> None:
+        """Validate one share assignment (raise on infeasibility)."""
         raise NotImplementedError
 
     def apply(self, shares: Sequence[Any]) -> StepEvent:
+        """Advance the state one step and report what happened."""
         raise NotImplementedError
 
     def describe_progress(self) -> str:
@@ -221,35 +276,54 @@ class KernelRuntime:
 
 
 class ExactRuntime(KernelRuntime):
-    """Exact ``Fraction`` arithmetic over :class:`ExecState` (the
-    reference runtime; bit-identical to the pre-kernel simulator)."""
+    """Exact ``Fraction`` arithmetic over :class:`ExecState`.
 
-    __slots__ = ("instance", "state", "_m")
+    The reference runtime; bit-identical to the pre-kernel simulator.
+    """
+
+    __slots__ = ("instance", "state", "_m", "_k")
 
     def __init__(self, instance: Instance) -> None:
         self.instance = instance
         self.state = ExecState(instance)
         self._m = instance.num_processors
+        self._k = instance.num_resources
 
     @property
     def t(self) -> int:
+        """0-based index of the next step to execute."""
         return self.state.t
 
     @property
     def all_done(self) -> bool:
+        """True once every job on every processor has finished."""
         return self.state.all_done
 
     @property
     def waiting(self) -> bool:
+        """True while unreleased processors still hold pending jobs."""
         return self.state.waiting
 
     def query(self, policy) -> tuple[Fraction, ...]:
-        return tuple(to_frac(x) for x in policy(self.state))
+        """Ask *policy* for exact shares (a vector, or ``k`` rows)."""
+        raw = policy(self.state)
+        if self._k == 1:
+            return tuple(to_frac(x) for x in raw)
+        try:
+            return tuple(tuple(to_frac(x) for x in row) for row in raw)
+        except TypeError:
+            raise InfeasibleAssignmentError(
+                f"policy returned a flat share vector for an instance "
+                f"with {self._k} shared resources at step {self.state.t}; "
+                "expected one share row per resource"
+            ) from None
 
     def check(self, shares: Sequence[Fraction]) -> None:
+        """Exact feasibility check via :func:`check_share_vector`."""
         check_share_vector(self.instance, self.state.t, shares)
 
     def apply(self, shares: Sequence[Fraction]) -> StepEvent:
+        """Advance :class:`ExecState` one step and report it."""
         state = self.state
         had_work = tuple(state.is_active(i) for i in range(self._m))
         outcome = state.apply(shares)
@@ -266,6 +340,7 @@ class ExactRuntime(KernelRuntime):
         )
 
     def describe_progress(self) -> str:
+        """Completed-job counts, for limit-error messages."""
         return f"done={self.state.done}"
 
 
@@ -301,6 +376,13 @@ def run_kernel(
         InfeasibleAssignmentError: if the policy emits an invalid
             share vector (via ``runtime.check``).
         SimulationLimitError: if a limit is exceeded.
+
+    Example:
+        >>> from repro.core import Instance
+        >>> from repro.algorithms import RoundRobin
+        >>> inst = Instance.from_percent([[100], [100]])
+        >>> run_kernel(ExactRuntime(inst), RoundRobin())
+        2
     """
     if max_steps is None:
         from .simulator import default_step_limit  # circular-free: lazy

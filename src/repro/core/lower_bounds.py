@@ -38,8 +38,11 @@ __all__ = [
 
 
 def work_bound(instance: Instance) -> int:
-    """Observation 1: ``ceil`` of the total work
-    :math:`\\sum_{i,j} r_{ij} p_{ij}`."""
+    """Observation 1: ``ceil`` of the total work.
+
+    :math:`\\sum_{i,j} r_{ij} p_{ij}` resource-time must fit into
+    unit-capacity steps.
+    """
     return instance.work_lower_bound()
 
 
@@ -59,7 +62,9 @@ def length_bound(instance: Instance) -> int:
 
 
 def lemma5_bound(graph: SchedulingGraph) -> int:
-    """Lemma 5: ``sum_k (#_k - 1)`` over the components of a
+    """Lemma 5's component bound for nice schedules.
+
+    ``sum_k (#_k - 1)`` over the components of a
     *non-wasting* schedule's hypergraph.
 
     The caller is responsible for the non-wasting hypothesis (our
@@ -70,7 +75,9 @@ def lemma5_bound(graph: SchedulingGraph) -> int:
 
 
 def lemma6_bound(graph: SchedulingGraph) -> Fraction:
-    """Lemma 6: ``sum_{k<N} |C_k|/q_k + |C_N|/m`` for a *balanced*
+    """Lemma 6's class-size bound for balanced schedules.
+
+    ``sum_{k<N} |C_k|/q_k + |C_N|/m`` for a *balanced*
     schedule's hypergraph.  Returns the exact rational; since OPT is an
     integer, ``ceil`` of the returned value is also a valid bound.
     """

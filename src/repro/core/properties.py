@@ -36,8 +36,11 @@ __all__ = [
 
 
 def _running_jobs(schedule: Schedule, t: int) -> list[JobId]:
-    """Jobs processing positive work during step *t* (plus zero-work
-    jobs completing at *t*, which occupy their processor)."""
+    """Jobs running during step *t*.
+
+    Jobs processing positive work, plus zero-work jobs completing at
+    *t*, which occupy their processor.
+    """
     step = schedule.step(t)
     out: list[JobId] = []
     for i, j in enumerate(step.active):
@@ -49,8 +52,11 @@ def _running_jobs(schedule: Schedule, t: int) -> list[JobId]:
 
 
 def is_non_wasting(schedule: Schedule) -> bool:
-    """Definition 2: whenever a step assigns less than the full
-    resource, every active job finishes during that step."""
+    """Definition 2's *non-wasting* property.
+
+    Whenever a step assigns less than the full resource, every active
+    job finishes during that step.
+    """
     for t in range(schedule.makespan):
         step = schedule.step(t)
         if frac_sum(step.shares) < ONE:
@@ -63,9 +69,12 @@ def is_non_wasting(schedule: Schedule) -> bool:
 
 
 def is_progressive(schedule: Schedule) -> bool:
-    """Definition 3: in every step, at most one job that receives
-    resource is only partially processed (``n_i(t) == n_i(t+1)`` while
-    ``R_i(t) > 0`` for at most one processor)."""
+    """Definition 3's *progressive* property.
+
+    In every step, at most one job that receives resource is only
+    partially processed (``n_i(t) == n_i(t+1)`` while ``R_i(t) > 0``
+    for at most one processor).
+    """
     for t in range(schedule.makespan):
         step = schedule.step(t)
         partial = 0
@@ -110,16 +119,21 @@ def nested_violations(schedule: Schedule) -> list[tuple[JobId, JobId, int]]:
 
 
 def is_nested(schedule: Schedule) -> bool:
-    """Definition 4: among partially processed jobs, the latest-started
-    one is always preferred (run and completed) -- equivalently, no
-    witness found by :func:`nested_violations`."""
+    """Definition 4's *nested* property.
+
+    Among partially processed jobs, the latest-started one is always
+    preferred (run and completed) -- equivalently, no witness found
+    by :func:`nested_violations`.
+    """
     return not nested_violations(schedule)
 
 
 def balance_violations(schedule: Schedule) -> list[tuple[int, int, int]]:
-    """All witnesses ``(t, i, i')`` violating Definition 5: processor
-    ``i`` finishes a job at step ``t`` while processor ``i'`` with
-    strictly more remaining jobs does not."""
+    """All witnesses ``(t, i, i')`` violating Definition 5.
+
+    A witness: processor ``i`` finishes a job at step ``t`` while
+    processor ``i'`` with strictly more remaining jobs does not.
+    """
     inst = schedule.instance
     m = inst.num_processors
     violations: list[tuple[int, int, int]] = []
@@ -141,8 +155,11 @@ def balance_violations(schedule: Schedule) -> list[tuple[int, int, int]]:
 
 
 def is_balanced(schedule: Schedule) -> bool:
-    """Definition 5: whenever a processor finishes a job at step ``t``,
-    so does every processor holding more remaining jobs."""
+    """Definition 5's *balanced* property.
+
+    Whenever a processor finishes a job at step ``t``, so does every
+    processor holding more remaining jobs.
+    """
     return not balance_violations(schedule)
 
 
@@ -152,7 +169,7 @@ def is_nice(schedule: Schedule) -> bool:
 
 
 def check_proposition_1(schedule: Schedule) -> bool:
-    """Proposition 1 for balanced schedules:
+    """Check Proposition 1 for balanced schedules.
 
     (a) ``n_{i1} >= n_{i2}`` implies ``n_{i1}(t) >= n_{i2}(t) - 1``;
     (b) ``n_{i1} > n_{i2}`` implies
@@ -180,9 +197,11 @@ def check_proposition_1(schedule: Schedule) -> bool:
 
 
 def check_proposition_2(schedule: Schedule) -> bool:
-    """Proposition 2 for balanced schedules: if job ``(i, j)`` is active
-    at step ``t`` and is not the last job on its processor, then every
-    processor in ``M_j`` is active at ``t``.
+    """Check Proposition 2 for balanced schedules.
+
+    If job ``(i, j)`` is active at step ``t`` and is not the last job
+    on its processor, then every processor in ``M_j`` is active at
+    ``t``.
 
     (Indices follow the paper: ``M_j`` uses 1-based ``j``.)
     """

@@ -60,10 +60,12 @@ class StepExecution:
 
     @property
     def useful(self) -> Fraction:
+        """Total work processed over all processors this step."""
         return frac_sum(self.processed)
 
     @property
     def assigned(self) -> Fraction:
+        """Total resource assigned this step (``<= 1`` when feasible)."""
         return frac_sum(self.shares)
 
     @property
@@ -109,6 +111,7 @@ class Schedule:
         validate: bool = True,
         trim: bool = True,
     ) -> None:
+        instance.require_single_resource("Schedule")
         m = instance.num_processors
         rows: list[tuple[Fraction, ...]] = []
         for t, row in enumerate(shares):
@@ -187,6 +190,7 @@ class Schedule:
     # ------------------------------------------------------------------
     @property
     def instance(self) -> Instance:
+        """The instance this schedule was validated against."""
         return self._instance
 
     @property
@@ -199,9 +203,11 @@ class Schedule:
 
     @property
     def steps(self) -> tuple[StepExecution, ...]:
+        """All per-step execution records, in time order."""
         return tuple(self._steps)
 
     def step(self, t: int) -> StepExecution:
+        """The execution record of step *t* (0-based)."""
         return self._steps[t]
 
     def share(self, t: int, processor: int) -> Fraction:
@@ -216,16 +222,20 @@ class Schedule:
     # Paper quantities
     # ------------------------------------------------------------------
     def jobs_completed_before(self, t: int, processor: int) -> int:
-        """``j_i(t)`` -- jobs finished on *processor* before step *t*
-        (0-based *t*; ``t == makespan`` is allowed and returns the final
-        counts)."""
+        """``j_i(t)`` -- jobs finished on *processor* before step *t*.
+
+        0-based *t*; ``t == makespan`` is allowed and returns the
+        final counts.
+        """
         if t == len(self._steps):
             return self._final_done()[processor]
         return self._jobs_done_before[t][processor]
 
     def jobs_remaining(self, t: int, processor: int) -> int:
-        """``n_i(t)`` -- unfinished jobs on *processor* at the start of
-        step *t* (paper notation, shifted to 0-based steps)."""
+        """``n_i(t)`` -- unfinished jobs on *processor* entering step *t*.
+
+        Paper notation, shifted to 0-based steps.
+        """
         return self._instance.num_jobs(processor) - self.jobs_completed_before(t, processor)
 
     def _final_done(self) -> tuple[int, ...]:
@@ -236,13 +246,17 @@ class Schedule:
         return self.jobs_remaining(t, processor) > 0
 
     def active_job(self, t: int, processor: int) -> int | None:
-        """Index of the job processed by *processor* at step *t* (the
-        first unfinished one), or ``None`` if the processor is done."""
+        """Index of the job processed by *processor* at step *t*.
+
+        The first unfinished one; ``None`` if the processor is done.
+        """
         return self._steps[t].active[processor]
 
     def active_jobs(self, t: int) -> tuple[JobId, ...]:
-        """The hyperedge ``e_t``: all active jobs at step *t*
-        (Section 3.2), as ``(processor, job_index)`` pairs."""
+        """The hyperedge ``e_t`` -- all active jobs at step *t*.
+
+        Section 3.2's edge, as ``(processor, job_index)`` pairs.
+        """
         out = []
         for i, j in enumerate(self._steps[t].active):
             if j is not None:
@@ -250,8 +264,10 @@ class Schedule:
         return tuple(out)
 
     def start_step(self, processor: int, index: int) -> int:
-        """``S(i, j)`` -- the step at which the job first receives
-        resource (Definition 4's notion of *starting*)."""
+        """``S(i, j)`` -- the step the job first receives resource.
+
+        Definition 4's notion of *starting*.
+        """
         return self._start[(processor, index)]
 
     def completion_step(self, processor: int, index: int) -> int:
@@ -260,10 +276,12 @@ class Schedule:
 
     @property
     def completion_steps(self) -> Mapping[JobId, int]:
+        """Completion step per job id (``C`` as a mapping)."""
         return dict(self._completion)
 
     @property
     def start_steps(self) -> Mapping[JobId, int]:
+        """Start step per job id (``S`` as a mapping)."""
         return dict(self._start)
 
     def finishes_job_at(self, t: int) -> tuple[JobId, ...]:
@@ -284,8 +302,11 @@ class Schedule:
         return frac_sum(s.useful for s in self._steps) / len(self._steps)
 
     def resource_given(self, processor: int, index: int) -> Fraction:
-        """Work processed for one job over its lifetime (equals the
-        job's work :math:`\\tilde p` in a valid complete schedule)."""
+        """Work processed for one job over its lifetime.
+
+        Equals the job's work :math:`\\tilde p` in a valid complete
+        schedule.
+        """
         total = ZERO
         for t, s in enumerate(self._steps):
             if s.active[processor] == index:

@@ -98,10 +98,15 @@ def simulate(
         A validated :class:`Schedule`.
 
     Raises:
+        InvalidInstanceError: for multi-resource instances -- the
+            :class:`Schedule` artifact models the paper's
+            single-resource analysis; run ``k > 1`` instances through
+            :func:`run_policy` / the backends instead.
         InfeasibleAssignmentError: if the policy overuses the resource
             or emits an invalid share.
         SimulationLimitError: if the limits are exceeded.
     """
+    instance.require_single_resource("simulate (Schedule artifact)")
     recorder = ShareRecorder()
     run_kernel(
         ExactRuntime(instance),

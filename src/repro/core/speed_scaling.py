@@ -17,7 +17,8 @@ semantics (progress measured in *fractions of processing volume* at
 speed :math:`\\min(R/r, 1)`) independently from the canonical Eq.-(2)
 executor (progress in work units at speed :math:`\\min(R, r)`), and the
 test-suite asserts both produce identical completion times -- the
-paper's claimed equivalence, checked."""
+paper's claimed equivalence, checked.
+"""
 
 from __future__ import annotations
 
@@ -47,8 +48,11 @@ class SpeedScalingJob:
 
     @property
     def min_steps(self) -> int:
-        """Steps needed at maximum speed (``ceil(work / max_speed)``,
-        i.e. ``ceil(p)``; 1 for unit-size jobs)."""
+        """Steps needed at maximum speed.
+
+        ``ceil(work / max_speed)``, i.e. ``ceil(p)``; 1 for unit-size
+        jobs.
+        """
         if self.max_speed == ZERO:
             return 1
         q = self.work / self.max_speed
@@ -56,8 +60,10 @@ class SpeedScalingJob:
 
 
 def to_speed_scaling(instance: Instance) -> list[list[SpeedScalingJob]]:
-    """The speed-scaling view of an instance: per processor, the
-    sequence of (work, max-speed) pairs."""
+    """The speed-scaling view of an instance.
+
+    Per processor, the sequence of (work, max-speed) pairs.
+    """
     return [
         [SpeedScalingJob(job.work, job.requirement) for job in queue]
         for queue in instance.queues

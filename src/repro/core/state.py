@@ -25,7 +25,7 @@ from typing import Sequence
 
 from .instance import Instance
 from .job import JobId
-from .numerics import ZERO
+from .numerics import ONE, ZERO
 
 __all__ = ["ExecState", "StepOutcome", "Configuration"]
 
@@ -65,24 +65,46 @@ class ExecState:
       release step: it cannot be worked on, and shares granted to it
       are wasted.  With all release times 0 (the paper's static model)
       this clause never triggers.
+
+    Multi-resource instances (``k > 1``) use the same state with
+    *matrix* share input: :meth:`apply` then expects ``k`` share rows
+    (one per resource), a job's speed is set by its bottleneck
+    resource (``min_l s_l / r_l``, capped at full speed), and
+    ``remaining`` tracks work in bottleneck resource-time units.
+    :attr:`resource_spent` accounts the resource-time actually
+    consumed per resource in either mode.
     """
 
-    __slots__ = ("instance", "t", "done", "remaining", "_started", "_releases")
+    __slots__ = (
+        "instance",
+        "t",
+        "done",
+        "remaining",
+        "resource_spent",
+        "_started",
+        "_releases",
+        "_k",
+    )
 
     def __init__(self, instance: Instance) -> None:
         self.instance = instance
         self.t = 0
         self.done = [0] * instance.num_processors
         self.remaining = [instance.job(i, 0).work for i in range(instance.num_processors)]
+        #: Cumulative resource-time consumed per shared resource (the
+        #: "spent" ledger; one entry per resource, k=1 has exactly one).
+        self.resource_spent: list[Fraction] = [ZERO] * instance.num_resources
         self._started: set[JobId] = set()
         # None for static instances keeps the hot-path checks cheap.
         self._releases = instance.releases if instance.has_releases else None
+        self._k = instance.num_resources
 
     # ------------------------------------------------------------------
     # Read-only views used by policies
     # ------------------------------------------------------------------
     @property
     def num_processors(self) -> int:
+        """``m`` -- the number of processors."""
         return self.instance.num_processors
 
     def jobs_remaining(self, processor: int) -> int:
@@ -96,18 +118,23 @@ class ExecState:
         return self.done[processor] < self.instance.num_jobs(processor)
 
     def is_released(self, processor: int) -> bool:
-        """True once *processor*'s release time has arrived (always
-        True in the static model)."""
+        """True once *processor*'s release time has arrived.
+
+        Always True in the static model.
+        """
         return self._releases is None or self.t >= self._releases[processor]
 
     def active_processors(self) -> list[int]:
+        """Indices of all currently workable processors, ascending."""
         return [i for i in range(self.num_processors) if self.is_active(i)]
 
     @property
     def waiting(self) -> bool:
-        """True iff some processor still has jobs but has not been
-        released yet -- global zero-progress steps are then legitimate
-        (time advances toward the next arrival)."""
+        """True iff some pending processor has not been released yet.
+
+        Global zero-progress steps are then legitimate: time advances
+        toward the next arrival.
+        """
         if self._releases is None:
             return False
         return any(
@@ -117,27 +144,35 @@ class ExecState:
         )
 
     def active_job(self, processor: int) -> int | None:
+        """Index of the first unfinished job, or None if inactive."""
         if not self.is_active(processor):
             return None
         return self.done[processor]
 
     def remaining_work(self, processor: int) -> Fraction:
-        """Remaining work (:math:`\\tilde p` units) of the active job;
-        0 if the processor has finished everything."""
+        """Remaining work (:math:`\\tilde p` units) of the active job.
+
+        0 if the processor has finished everything.
+        """
         if not self.is_active(processor):
             return ZERO
         return self.remaining[processor]
 
     def remaining_requirement(self, processor: int) -> Fraction:
-        """For unit-size jobs this equals :meth:`remaining_work` (the
-        paper's *remaining resource requirement*); kept as a separate
-        name so policy code reads like the paper."""
+        """The paper's *remaining resource requirement* of the active job.
+
+        For unit-size jobs this equals :meth:`remaining_work`; kept as
+        a separate name so policy code reads like the paper.
+        """
         return self.remaining_work(processor)
 
     @property
     def all_done(self) -> bool:
-        """Every job on every processor finished (an unreleased
-        processor with pending jobs is *not* done, merely inactive)."""
+        """True iff every job on every processor has finished.
+
+        An unreleased processor with pending jobs is *not* done,
+        merely inactive.
+        """
         inst = self.instance
         return all(
             self.done[i] >= inst.num_jobs(i) for i in range(self.num_processors)
@@ -151,12 +186,17 @@ class ExecState:
     # Step semantics
     # ------------------------------------------------------------------
     def apply(self, shares: Sequence[Fraction]) -> StepOutcome:
-        """Execute one step with the given share vector.
+        """Execute one step with the given share vector (or matrix).
 
-        The caller is responsible for feasibility checks (the
-        simulator and :class:`~repro.core.schedule.Schedule` validate
-        before calling).
+        For single-resource instances *shares* is one value per
+        processor (the paper's :math:`R_i(t)`); for ``k > 1`` it is a
+        sequence of ``k`` rows, one per resource.  The caller is
+        responsible for feasibility checks (the simulator and
+        :class:`~repro.core.schedule.Schedule` validate before
+        calling).
         """
+        if self._k != 1:
+            return self._apply_multi(shares)
         inst = self.instance
         m = inst.num_processors
         active: list[int | None] = [None] * m
@@ -179,6 +219,69 @@ class ExecState:
                 started.append((i, j))
             processed[i] = work
             self.remaining[i] -= work
+            if work > ZERO:
+                self.resource_spent[0] += work
+            if self.remaining[i] == ZERO:
+                if (i, j) not in self._started:
+                    self._started.add((i, j))
+                    started.append((i, j))
+                completed.append((i, j))
+                self.done[i] += 1
+                if self.done[i] < inst.num_jobs(i):
+                    self.remaining[i] = inst.job(i, self.done[i]).work
+        self.t += 1
+        return StepOutcome(
+            active=tuple(active),
+            processed=tuple(processed),
+            completed=tuple(completed),
+            started=tuple(started),
+        )
+
+    def _apply_multi(self, rows: Sequence[Sequence[Fraction]]) -> StepOutcome:
+        """Multi-resource step: *rows* holds ``k`` share rows.
+
+        A job's speed is set by its bottleneck resource --
+        ``min_l min(s_l, r_l) / r_l`` of full speed -- and the work
+        bookkeeping stays in bottleneck resource-time units, so the
+        ``k = 1`` semantics are the exact special case of this rule.
+        """
+        inst = self.instance
+        m = inst.num_processors
+        active: list[int | None] = [None] * m
+        processed: list[Fraction] = [ZERO] * m
+        completed: list[JobId] = []
+        started: list[JobId] = []
+        releases = self._releases
+        for i in range(m):
+            j = self.done[i]
+            if j >= inst.num_jobs(i):
+                continue
+            if releases is not None and self.t < releases[i]:
+                continue  # not yet released: granted shares are wasted
+            active[i] = j
+            job = inst.job(i, j)
+            rstar = job.requirement
+            if rstar == ZERO:
+                work = ZERO
+            else:
+                fraction = ONE  # of full speed; bottleneck resource decides
+                for lane, req in enumerate(job.requirements):
+                    if req > ZERO:
+                        granted = min(rows[lane][i], req) / req
+                        if granted < fraction:
+                            fraction = granted
+                work = min(fraction * rstar, self.remaining[i])
+            if work > ZERO and (i, j) not in self._started:
+                self._started.add((i, j))
+                started.append((i, j))
+            processed[i] = work
+            self.remaining[i] -= work
+            if work > ZERO:
+                progress = work / rstar
+                spent = self.resource_spent
+                for lane, req in enumerate(job.requirements):
+                    if req > ZERO:
+                        spent[lane] += progress * req
             if self.remaining[i] == ZERO:
                 if (i, j) not in self._started:
                     self._started.add((i, j))
@@ -220,14 +323,17 @@ class Configuration:
 
     @property
     def support(self) -> tuple[int, ...]:
-        """``supp(γ) = { i : v_i > 0 }`` -- processors whose active job
-        is partially processed."""
+        """``supp(γ) = { i : v_i > 0 }``.
+
+        The processors whose active job is partially processed.
+        """
         return tuple(i for i, v in enumerate(self.spent) if v > ZERO)
 
     def dominates(self, other: "Configuration") -> bool:
-        """Domination order used by Algorithm 2's pruning: equal or
-        better in *every* component -- no later, no fewer jobs done on
-        any processor, and no less resource invested anywhere.
+        """Domination order used by Algorithm 2's pruning (Lemma 4).
+
+        Equal or better in *every* component: no later, no fewer jobs
+        done on any processor, and no less resource invested anywhere.
         """
         if self.t > other.t:
             return False
@@ -243,10 +349,12 @@ class Configuration:
 
     @classmethod
     def initial(cls, instance: Instance) -> "Configuration":
+        """The configuration before any step has executed."""
         m = instance.num_processors
         return cls(t=0, completed=(0,) * m, spent=(ZERO,) * m)
 
     def is_final(self, instance: Instance) -> bool:
+        """True iff every job of *instance* is completed."""
         return all(
             self.completed[i] >= instance.num_jobs(i)
             for i in range(instance.num_processors)

@@ -43,8 +43,10 @@ _MAX_PASSES = 10_000
 
 
 def _replay(instance: Instance, w: list[list[Fraction]]) -> Schedule:
-    """Execute the work matrix and normalize it to processed amounts
-    (idempotent: shares equal to processed work are always feasible)."""
+    """Execute the work matrix and normalize it to processed amounts.
+
+    Idempotent: shares equal to processed work are always feasible.
+    """
     sched = Schedule(instance, w, validate=True, trim=False)
     for t, step in enumerate(sched.steps):
         w[t] = list(step.processed)
@@ -107,9 +109,12 @@ def _non_wasting_pass(instance: Instance, w: list[list[Fraction]]) -> None:
 def _find_crossing(
     sched: Schedule, min_start: int
 ) -> tuple[tuple[int, int], tuple[int, int]] | None:
-    """A pair ``(A, B)`` with ``S(A) < S(B) < C(A) < C(B)`` and
-    ``S(B) > min_start``, or ``None``.  Pairs are scanned in order of
-    ``S(B)`` so the earliest crossing is repaired first."""
+    """Find one crossing pair ``(A, B)``, or ``None``.
+
+    A crossing satisfies ``S(A) < S(B) < C(A) < C(B)`` and
+    ``S(B) > min_start``.  Pairs are scanned in order of ``S(B)`` so
+    the earliest crossing is repaired first.
+    """
     starts = sched.start_steps
     comps = sched.completion_steps
     jobs = sorted(starts, key=lambda jid: starts[jid])
@@ -131,9 +136,11 @@ def _find_crossing(
 def _eliminate_crossings(
     instance: Instance, w: list[list[Fraction]], min_start: int
 ) -> None:
-    """Repair all crossing pairs whose inner job starts after *min_start*
-    (the paper's exchange: serve the earlier-started job first from the
-    pooled resource of both)."""
+    """Repair all crossing pairs whose inner job starts after *min_start*.
+
+    The paper's exchange: serve the earlier-started job first from
+    the pooled resource of both.
+    """
     for _ in range(_MAX_PASSES):
         sched = _replay(instance, w)
         pair = _find_crossing(sched, min_start)
@@ -161,7 +168,9 @@ def _eliminate_crossings(
 
 
 def make_nice(schedule: Schedule) -> Schedule:
-    """Full Lemma 1: an equivalent non-wasting, progressive and nested
+    """Apply the full Lemma 1 normalization to a schedule.
+
+    Returns an equivalent non-wasting, progressive and nested
     schedule with makespan at most the original's.
 
     The returned schedule is re-validated; the three properties are
@@ -239,11 +248,14 @@ def _lifo_exchange(
     older: tuple[int, int],
     t: int,
 ) -> None:
-    """The paper's exchange at step ``t``: move the older job's step-t
-    resource to the newer job, compensating the older job in the steps
-    the newer job surrenders afterwards.  Crossing-freeness guarantees
-    ``C(older) >= C(newer)``, so the compensation always lands while
-    the older job is unfinished.  Per-step totals are conserved."""
+    """Apply the paper's LIFO exchange at step ``t``.
+
+    Move the older job's step-t resource to the newer job,
+    compensating the older job in the steps the newer job surrenders
+    afterwards.  Crossing-freeness guarantees ``C(older) >= C(newer)``,
+    so the compensation always lands while the older job is
+    unfinished.  Per-step totals are conserved.
+    """
     ia, ja = newer
     ib, jb = older
     later_newer = _remaining_after(sched, instance, ia, ja, t)

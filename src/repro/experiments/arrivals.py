@@ -139,4 +139,5 @@ def run(
         ],
         rows=rows,
         verdict=ok,
+        notes=notes,
     )

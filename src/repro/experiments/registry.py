@@ -13,6 +13,7 @@ from . import (
     fig5,
     gen,
     lemmas,
+    multires,
     sim,
     thm3,
     thm5,
@@ -41,6 +42,7 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("ABL", "GreedyBalance ablation: balance vs tie-break", ablation.run),
         Experiment("CONT", "Continuous-time variant (Section 9 outlook)", cont.run),
         Experiment("ARR", "Online arrivals: policies under staggered releases", arrivals.run),
+        Experiment("MULTIRES", "Multiple shared resources: policy ratios as k grows", multires.run),
     ]
 }
 

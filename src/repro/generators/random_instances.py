@@ -22,11 +22,163 @@ __all__ = [
     "general_size_instance",
     "sample_arrivals",
     "with_arrivals",
+    "sample_requirements",
+    "multi_resource_instance",
+    "with_resources",
+    "RESOURCE_PROFILES",
 ]
 
 
 def _rng(seed: int | None) -> random.Random:
     return random.Random(seed)
+
+
+#: Recognized multi-resource requirement profiles (how the extra
+#: resources relate to the first one).
+RESOURCE_PROFILES = ("independent", "correlated", "anti-correlated")
+
+
+def _profile_units(
+    base: int,
+    *,
+    grid: int,
+    low: int,
+    high: int,
+    profile: str,
+    rng: random.Random,
+) -> int:
+    """Requirement grid units of one extra resource given the base draw.
+
+    ``independent`` redraws uniformly; ``correlated`` jitters around
+    the base draw by up to 10% of the grid (bus-heavy phases are also
+    memory-heavy); ``anti-correlated`` mirrors the base around the
+    range midpoint with the same jitter (compute phases that hammer
+    one resource barely touch the other).
+    """
+    if profile == "independent":
+        return rng.randint(low, high)
+    jitter = rng.randint(-(grid // 10), grid // 10)
+    if profile == "correlated":
+        target = base + jitter
+    elif profile == "anti-correlated":
+        target = (low + high - base) + jitter
+    else:
+        raise ValueError(
+            f"unknown resource profile {profile!r}; "
+            f"available: {list(RESOURCE_PROFILES)}"
+        )
+    return min(high, max(low, target))
+
+
+def sample_requirements(
+    k: int,
+    *,
+    grid: int = 100,
+    low: int = 1,
+    high: int | None = None,
+    profile: str = "independent",
+    rng: random.Random | None = None,
+    seed: int | None = None,
+) -> tuple[Fraction, ...]:
+    """Sample one job's requirement vector over ``k`` shared resources.
+
+    Resource 0 is drawn uniformly on ``{low/grid, ..., high/grid}``;
+    resources ``1..k-1`` follow *profile* (see
+    :data:`RESOURCE_PROFILES`) relative to that base draw.  With
+    ``k == 1`` the stream is identical to
+    :func:`uniform_instance`'s per-job draw, so ``k = 1`` campaigns
+    reproduce the single-resource families bit-for-bit.
+    """
+    if k < 1:
+        raise ValueError(f"need at least one resource, got k={k}")
+    if high is None:
+        high = grid
+    if not 0 <= low <= high <= grid:
+        raise ValueError(f"need 0 <= low <= high <= grid, got {low}, {high}, {grid}")
+    if rng is None:
+        rng = _rng(seed)
+    base = rng.randint(low, high)
+    units = [base]
+    for _ in range(1, k):
+        units.append(
+            _profile_units(
+                base, grid=grid, low=low, high=high, profile=profile, rng=rng
+            )
+        )
+    return tuple(Fraction(u, grid) for u in units)
+
+
+def multi_resource_instance(
+    m: int,
+    n: int,
+    k: int,
+    *,
+    profile: str = "independent",
+    grid: int = 100,
+    low: int = 1,
+    high: int | None = None,
+    seed: int | None = None,
+) -> Instance:
+    """``m`` processors x ``n`` unit jobs over ``k`` shared resources.
+
+    Per-job requirement vectors come from :func:`sample_requirements`
+    with the given *profile*.  ``k == 1`` reproduces
+    :func:`uniform_instance` bit-for-bit (same seed, same stream), so
+    the multi-resource axis nests the single-resource families.
+    """
+    rng = _rng(seed)
+    return Instance(
+        [
+            [
+                Job(
+                    sample_requirements(
+                        k, grid=grid, low=low, high=high, profile=profile, rng=rng
+                    )
+                )
+                for _ in range(n)
+            ]
+            for _ in range(m)
+        ]
+    )
+
+
+def with_resources(
+    instance: Instance,
+    k: int,
+    *,
+    profile: str = "independent",
+    grid: int = 100,
+    seed: int | None = None,
+) -> Instance:
+    """Lift a single-resource instance to ``k`` shared resources.
+
+    Resource 0 keeps every job's original requirement exactly;
+    resources ``1..k-1`` are sampled by *profile* relative to it (on
+    the given grid).  Sizes and release times are preserved, and
+    ``k == 1`` returns the instance unchanged -- the lift composes
+    with every instance family the way :func:`with_arrivals` does for
+    the arrival axis.
+    """
+    if k < 1:
+        raise ValueError(f"need at least one resource, got k={k}")
+    if k == 1:
+        return instance
+    instance.require_single_resource("with_resources (lift from k=1)")
+    rng = _rng(seed)
+    queues = []
+    for queue in instance.queues:
+        jobs = []
+        for job in queue:
+            base = min(grid, max(0, round(float(job.requirement) * grid)))
+            reqs = [job.requirement]
+            for _ in range(1, k):
+                units = _profile_units(
+                    base, grid=grid, low=0, high=grid, profile=profile, rng=rng
+                )
+                reqs.append(Fraction(units, grid))
+            jobs.append(Job(reqs, job.size))
+        queues.append(jobs)
+    return Instance(queues, releases=instance.releases)
 
 
 def sample_arrivals(

@@ -11,7 +11,17 @@ Schema (instance)::
      "processors": [[{"r": "1/2", "p": 1}, ...], ...],
      "releases": [0, 3, ...]}          # optional; omitted when all 0
 
-Schema (schedule)::
+Multi-resource instances (``k > 1`` shared resources) are emitted as
+version 2 with one requirement *list* per job; single-resource
+documents stay byte-identical to version 1, and the reader accepts
+both::
+
+    {"format": "crsharing-instance", "version": 2,
+     "resources": 2,
+     "processors": [[{"r": ["1/2", "1/4"], "p": 1}, ...], ...]}
+
+Schema (schedule; single-resource only, like the
+:class:`~repro.core.schedule.Schedule` artifact itself)::
 
     {"format": "crsharing-schedule", "version": 1,
      "instance": {...}, "shares": [["1/2", "0", ...], ...]}
@@ -42,6 +52,8 @@ __all__ = [
 _INSTANCE_FORMAT = "crsharing-instance"
 _SCHEDULE_FORMAT = "crsharing-schedule"
 _VERSION = 1
+#: Version emitted for (and accepted from) multi-resource instances.
+_VERSION_MULTI = 2
 
 
 def _frac_out(x: Fraction) -> str | int:
@@ -60,42 +72,70 @@ def _frac_in(x: str | int | float) -> Fraction:
     raise ValueError(f"expected int or 'p/q' string, got {x!r}")
 
 
+def _requirement_out(job: Job) -> Any:
+    if job.num_resources == 1:
+        return _frac_out(job.requirements[0])
+    return [_frac_out(r) for r in job.requirements]
+
+
+def _requirement_in(value: Any) -> Any:
+    if isinstance(value, list):
+        return [_frac_in(r) for r in value]
+    return _frac_in(value)
+
+
 def instance_to_dict(instance: Instance) -> dict[str, Any]:
     """Lossless dict form of an instance.
 
-    The ``releases`` key is emitted only for arrival instances, so
-    static documents stay byte-compatible with version-1 readers.
+    The ``releases`` key is emitted only for arrival instances and the
+    ``resources`` key (with version 2 and per-job requirement lists)
+    only for multi-resource instances, so single-resource static
+    documents stay byte-compatible with version-1 readers.
     """
+    multi = instance.num_resources > 1
     data: dict[str, Any] = {
         "format": _INSTANCE_FORMAT,
-        "version": _VERSION,
+        "version": _VERSION_MULTI if multi else _VERSION,
         "processors": [
-            [{"r": _frac_out(job.requirement), "p": _frac_out(job.size)} for job in queue]
+            [
+                {"r": _requirement_out(job), "p": _frac_out(job.size)}
+                for job in queue
+            ]
             for queue in instance.queues
         ],
     }
+    if multi:
+        data["resources"] = instance.num_resources
     if instance.has_releases:
         data["releases"] = list(instance.releases)
     return data
 
 
 def instance_from_dict(data: dict[str, Any]) -> Instance:
-    """Inverse of :func:`instance_to_dict`.
+    """Inverse of :func:`instance_to_dict` (accepts versions 1 and 2).
 
     Raises:
-        ValueError: on schema mismatch.
+        ValueError: on schema mismatch, including a ``resources``
+            count that contradicts the job requirement vectors.
     """
     if data.get("format") != _INSTANCE_FORMAT:
         raise ValueError(f"not a CRSharing instance document: {data.get('format')!r}")
-    if data.get("version") != _VERSION:
+    if data.get("version") not in (_VERSION, _VERSION_MULTI):
         raise ValueError(f"unsupported version {data.get('version')!r}")
-    return Instance(
+    instance = Instance(
         [
-            [Job(_frac_in(job["r"]), _frac_in(job["p"])) for job in queue]
+            [Job(_requirement_in(job["r"]), _frac_in(job["p"])) for job in queue]
             for queue in data["processors"]
         ],
         releases=data.get("releases"),
     )
+    declared = data.get("resources")
+    if declared is not None and declared != instance.num_resources:
+        raise ValueError(
+            f"document declares {declared} shared resources but jobs "
+            f"carry {instance.num_resources}-entry requirement vectors"
+        )
+    return instance
 
 
 def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:

@@ -34,11 +34,16 @@ def render_instance(instance: Instance) -> str:
         p0 | 20 10 10 10
         p1 | 50 55 90 55 10
         p2 | 50 40 95
+
+    Multi-resource jobs show one percent label per resource joined by
+    ``/`` (e.g. ``20/55`` for a bus/memory requirement pair).
     """
     lines = []
     show_releases = instance.has_releases
     for i, queue in enumerate(instance.queues):
-        labels = " ".join(_pct(job.requirement) for job in queue)
+        labels = " ".join(
+            "/".join(_pct(r) for r in job.requirements) for job in queue
+        )
         suffix = f"  (arrives t={instance.release(i)})" if show_releases else ""
         lines.append(f"p{i} | {labels}{suffix}")
     return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Epsilon edge cases of the tolerant share-row verifier.
+
+``verify_share_rows`` is the independent auditor for float backends;
+its tolerance handling must be exact at the boundaries: a row summing
+to exactly capacity 1 is legal, overshoot within ``atol`` is absorbed,
+overshoot beyond ``atol`` is reported -- for flat single-resource rows
+and per-resource rows of share matrices alike.
+"""
+
+from repro.analysis import verify_share_rows
+from repro.core import Instance, Job
+
+ATOL = 1e-9
+
+
+def flat_instance() -> Instance:
+    return Instance.from_requirements([["1/2"], ["1/2"]])
+
+
+class TestExactCapacityRows:
+    def test_row_summing_to_exactly_one_is_legal(self):
+        report = verify_share_rows(flat_instance(), [[0.5, 0.5]], atol=ATOL)
+        assert report.ok, report.problems
+
+    def test_single_share_of_exactly_one(self):
+        inst = Instance.from_requirements([[1]])
+        report = verify_share_rows(inst, [[1.0]], atol=ATOL)
+        assert report.ok, report.problems
+
+    def test_overshoot_within_atol_absorbed(self):
+        rows = [[0.5, 0.5 + ATOL / 2]]
+        report = verify_share_rows(flat_instance(), rows, atol=ATOL)
+        assert report.ok, report.problems
+
+    def test_overshoot_beyond_atol_reported(self):
+        rows = [[0.5, 0.5 + 10 * ATOL]]
+        report = verify_share_rows(flat_instance(), rows, atol=ATOL)
+        assert not report.ok
+        assert any("overused" in p for p in report.problems)
+
+    def test_negative_share_within_atol_absorbed(self):
+        rows = [[-ATOL / 2, 0.5], [0.5, 0.5]]
+        report = verify_share_rows(flat_instance(), rows, atol=ATOL)
+        assert report.ok, report.problems
+
+    def test_negative_share_beyond_atol_reported(self):
+        rows = [[-10 * ATOL, 0.5]]
+        report = verify_share_rows(flat_instance(), rows, atol=ATOL)
+        assert not report.ok
+        assert any("out of [0,1]" in p for p in report.problems)
+
+    def test_share_above_one_beyond_atol_reported(self):
+        inst = Instance.from_requirements([[1]])
+        report = verify_share_rows(inst, [[1.0 + 10 * ATOL]], atol=ATOL)
+        assert not report.ok
+
+    def test_completion_within_atol(self):
+        # Work left is ATOL/2 after the recorded rows: counts as done.
+        inst = Instance.from_requirements([["1/2"]])
+        report = verify_share_rows(inst, [[0.5 - ATOL / 2]], atol=ATOL)
+        assert report.ok, report.problems
+        assert report.completion_steps == {(0, 0): 0}
+
+    def test_unfinished_beyond_atol_reported(self):
+        inst = Instance.from_requirements([["1/2"]])
+        report = verify_share_rows(inst, [[0.5 - 10 * ATOL]], atol=ATOL)
+        assert not report.ok
+        assert any("unfinished" in p for p in report.problems)
+
+
+class TestMatrixCapacityRows:
+    def matrix_instance(self) -> Instance:
+        return Instance(
+            [[Job(["1/2", "1/4"])], [Job(["1/2", "3/4"])]]
+        )
+
+    def test_each_resource_row_at_exact_capacity(self):
+        rows = [[[0.5, 0.5], [0.25, 0.75]]]
+        report = verify_share_rows(self.matrix_instance(), rows, atol=ATOL)
+        assert report.ok, report.problems
+        assert report.completion_steps == {(0, 0): 0, (1, 0): 0}
+
+    def test_one_resource_overused_is_reported(self):
+        rows = [
+            [[0.5, 0.5], [0.25 + 10 * ATOL, 0.75]],
+            [[0.0, 0.0], [0.0, 0.0]],
+        ]
+        report = verify_share_rows(self.matrix_instance(), rows, atol=ATOL)
+        assert not report.ok
+        assert any("resource 1" in p for p in report.problems)
+
+    def test_bottleneck_rule_applied(self):
+        # Starve resource 1 of processor 1: half its requirement means
+        # half speed, so one step is not enough to finish p1's job.
+        rows = [
+            [[0.5, 0.5], [0.25, 0.375]],
+            [[0.0, 0.25], [0.0, 0.375]],
+        ]
+        report = verify_share_rows(self.matrix_instance(), rows, atol=ATOL)
+        assert report.ok, report.problems
+        assert report.completion_steps[(0, 0)] == 0
+        assert report.completion_steps[(1, 0)] == 1
+
+    def test_wrong_row_count_reported(self):
+        report = verify_share_rows(
+            self.matrix_instance(), [[[0.5, 0.5]]], atol=ATOL
+        )
+        assert not report.ok
+        assert any("expected one per resource" in p for p in report.problems)

@@ -1,0 +1,95 @@
+"""Exact-vs-vector agreement on multi-resource instances.
+
+The acceptance bar of the share-matrix extension: on 100+ seeded
+``k in {2, 3}`` instances, the float64 ``(k, m)`` path must agree
+with the exact Fraction path within 1e-9 relative makespan error
+(integer makespans, so that means exact equality), across profiles,
+policies, and the arrival axis.  The independent epsilon-tolerant
+verifier must also accept every recorded share-matrix run.
+"""
+
+import pytest
+
+from repro.algorithms import get_policy
+from repro.analysis import verify_share_rows
+from repro.backends import VectorBackend, cross_validate, make_campaign_instances
+from repro.generators import (
+    multi_resource_instance,
+    uniform_instance,
+    with_arrivals,
+    with_resources,
+)
+
+RTOL = 1e-9
+
+#: 2 k-values x 3 profiles x 17 seeds = 102 instances, each checked
+#: under two policies = 204 cross-validations (the acceptance bar is
+#: 100+ seeded k in {2, 3} instances within 1e-9).
+PROFILES = ("independent", "correlated", "anti-correlated")
+SEEDS = tuple(range(17))
+
+
+def _cases():
+    for k in (2, 3):
+        for profile in PROFILES:
+            for seed in SEEDS:
+                yield k, profile, seed
+
+
+@pytest.mark.parametrize(
+    "k,profile,seed", list(_cases()), ids=lambda v: str(v)
+)
+def test_static_multires_agreement(k, profile, seed):
+    instance = multi_resource_instance(4, 5, k, profile=profile, seed=seed)
+    for policy_name in ("greedy-balance", "round-robin"):
+        check = cross_validate(instance, get_policy(policy_name), rtol=RTOL)
+        assert check.ok, (policy_name, check)
+        assert check.max_share_deviation < 1e-9
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_arrival_multires_agreement(seed):
+    base = with_arrivals(
+        uniform_instance(4, 5, seed=seed), max_release=8, seed=500 + seed
+    )
+    instance = with_resources(base, 2, profile="correlated", seed=seed)
+    check = cross_validate(instance, get_policy("greedy-balance"), rtol=RTOL)
+    assert check.ok, check
+
+
+@pytest.mark.parametrize("policy_name", [
+    "greedy-finish-jobs",
+    "largest-requirement-first",
+    "fewest-remaining-jobs-first",
+    "proportional-share",
+])
+def test_all_policies_agree_on_k3(policy_name):
+    for seed in range(5):
+        instance = multi_resource_instance(4, 4, 3, seed=seed)
+        check = cross_validate(instance, get_policy(policy_name), rtol=RTOL)
+        assert check.ok, (seed, check)
+
+
+def test_campaign_instances_cross_validate():
+    instances = make_campaign_instances(
+        5, 4, 4, seed=11, resources=3, resource_profile="anti-correlated"
+    )
+    assert all(inst.num_resources == 3 for inst in instances)
+    for instance in instances:
+        assert cross_validate(instance, get_policy("greedy-balance")).ok
+
+
+def test_vector_rows_pass_independent_verifier():
+    for seed in range(5):
+        instance = multi_resource_instance(5, 4, 2, seed=seed)
+        result = VectorBackend().run(instance, get_policy("greedy-balance"))
+        report = verify_share_rows(instance, result.shares)
+        assert report.ok, report.problems
+        assert report.completion_steps == result.completion_steps
+
+
+def test_exact_rows_pass_independent_verifier():
+    instance = multi_resource_instance(4, 4, 3, seed=1)
+    result = get_policy("greedy-balance").run_backend(instance, backend="exact")
+    report = verify_share_rows(instance, result.shares)
+    assert report.ok, report.problems

@@ -1,0 +1,235 @@
+"""Multi-resource model semantics (the share-matrix extension).
+
+Covers the ``k > 1`` generalization end to end at the core layer:
+requirement vectors on jobs/instances, the bottleneck speed rule of
+``ExecState``/``VectorState``, the per-resource feasibility check and
+congestion lower bound, spent-per-resource accounting, and the
+``require_single_resource`` guards protecting the paper-only
+machinery.  ``k = 1`` behavior is pinned bit-identical elsewhere
+(``tests/core/test_golden.py``); here we pin that the degenerate
+cases (one resource, or extra all-zero resources) coincide with it.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import (
+    GreedyBalance,
+    get_policy,
+    greedy_balance_makespan,
+    opt_res_assignment,
+    water_fill_multi,
+)
+from repro.core import ExecState, Instance, Job, Schedule, check_share_vector, simulate
+from repro.core.kernel import ExactRuntime, run_kernel
+from repro.exceptions import InfeasibleAssignmentError, InvalidInstanceError
+from repro.generators import uniform_instance
+
+
+def k2_instance() -> Instance:
+    return Instance(
+        [
+            [Job(["1/2", "1/4"]), Job(["3/4", "1/2"])],
+            [Job(["1/2", "3/4"]), Job(["1/4", "1/4"])],
+        ]
+    )
+
+
+class TestJobRequirements:
+    def test_scalar_job_is_single_resource(self):
+        job = Job("1/2")
+        assert job.num_resources == 1
+        assert job.requirements == (Fraction(1, 2),)
+        assert job.requirement == Fraction(1, 2)
+
+    def test_vector_job_bottleneck(self):
+        job = Job(["1/4", "3/4", "1/2"], size=2)
+        assert job.num_resources == 3
+        assert job.requirement == Fraction(3, 4)  # bottleneck = max
+        assert job.work == Fraction(3, 2)
+        assert job.work_vector == (
+            Fraction(1, 2),
+            Fraction(3, 2),
+            Fraction(1),
+        )
+
+    def test_vector_bounds_validated(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(["1/2", "3/2"])
+        with pytest.raises(InvalidInstanceError):
+            Job([])
+
+    def test_equality_ignores_representation(self):
+        assert Job("1/2") == Job(["1/2"])
+        assert Job(["1/2", "1/4"]) != Job(["1/4", "1/2"])
+
+
+class TestInstanceResources:
+    def test_num_resources(self):
+        assert uniform_instance(3, 3, seed=0).num_resources == 1
+        assert k2_instance().num_resources == 2
+
+    def test_mixed_resource_counts_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="same number of shared"):
+            Instance([[Job("1/2"), Job(["1/2", "1/4"])]])
+
+    def test_per_resource_congestion_bound(self):
+        # W_0 = 2, W_1 = 7/4 -> bound = max(ceil(2), ceil(7/4)) = 2;
+        # sum of bottleneck works would overstate it.
+        inst = k2_instance()
+        assert inst.resource_work(0) == Fraction(2)
+        assert inst.resource_work(1) == Fraction(7, 4)
+        assert inst.work_lower_bound() == 2
+        assert inst.makespan_lower_bound() == 2
+
+    def test_single_resource_bound_unchanged(self):
+        from repro.core import frac_ceil
+
+        inst = uniform_instance(4, 6, seed=1)
+        assert inst.work_lower_bound() == frac_ceil(inst.total_work())
+        assert inst.resource_work(0) == inst.total_work()
+
+    def test_guards_reject_multi_resource(self):
+        inst = k2_instance()
+        with pytest.raises(InvalidInstanceError, match="single-resource"):
+            inst.to_integer_grid()
+        with pytest.raises(InvalidInstanceError, match="single-resource"):
+            simulate(inst, GreedyBalance())
+        with pytest.raises(InvalidInstanceError, match="single-resource"):
+            Schedule(inst, [])
+        with pytest.raises(InvalidInstanceError, match="single-resource"):
+            greedy_balance_makespan(inst)
+        with pytest.raises(InvalidInstanceError, match="single-resource"):
+            opt_res_assignment(
+                Instance([[Job(["1/2", "1/2"])], [Job(["1/2", "1/2"])]])
+            )
+
+
+class TestCheckShareMatrix:
+    def test_valid_matrix_passes(self):
+        inst = k2_instance()
+        check_share_vector(
+            inst, 0, ((Fraction(1, 2), Fraction(1, 2)), (Fraction(1, 4), Fraction(3, 4)))
+        )
+
+    def test_wrong_row_count(self):
+        with pytest.raises(InfeasibleAssignmentError, match="share rows"):
+            check_share_vector(k2_instance(), 0, ((Fraction(1, 2), Fraction(1, 2)),))
+
+    def test_per_resource_overuse(self):
+        rows = (
+            (Fraction(1, 2), Fraction(1, 2)),
+            (Fraction(3, 4), Fraction(1, 2)),  # resource 1 oversubscribed
+        )
+        with pytest.raises(InfeasibleAssignmentError, match="resource 1"):
+            check_share_vector(k2_instance(), 0, rows)
+
+    def test_flat_vector_for_multi_instance_rejected(self):
+        runtime = ExactRuntime(k2_instance())
+        with pytest.raises(InfeasibleAssignmentError, match="flat share vector"):
+            run_kernel(runtime, lambda state: [Fraction(1, 2), Fraction(1, 2)])
+
+
+class TestBottleneckSemantics:
+    def test_speed_follows_bottleneck_resource(self):
+        # One processor, one job, r = (1/2, 1/4).  Granting the full
+        # vector runs it at full speed: work = r* = 1/2 per step.
+        inst = Instance([[Job(["1/2", "1/4"])]])
+        state = ExecState(inst)
+        outcome = state.apply(((Fraction(1, 2),), (Fraction(1, 4),)))
+        assert outcome.processed == (Fraction(1, 2),)
+        assert outcome.completed == ((0, 0),)
+
+    def test_starved_lane_throttles_speed(self):
+        # Granting only 1/8 on resource 1 (half its requirement) halves
+        # the speed even though resource 0 is fully granted.
+        inst = Instance([[Job(["1/2", "1/4"])]])
+        state = ExecState(inst)
+        outcome = state.apply(((Fraction(1, 2),), (Fraction(1, 8),)))
+        assert outcome.processed == (Fraction(1, 4),)
+        assert not outcome.completed
+        assert state.remaining[0] == Fraction(1, 4)
+
+    def test_zero_requirement_lane_is_ignored(self):
+        # A lane the job does not use cannot throttle it.
+        inst = Instance([[Job(["1/2", "0"])]])
+        state = ExecState(inst)
+        outcome = state.apply(((Fraction(1, 2),), (Fraction(0),)))
+        assert outcome.completed == ((0, 0),)
+
+    def test_resource_spent_ledger(self):
+        inst = Instance([[Job(["1/2", "1/4"])]])
+        state = ExecState(inst)
+        state.apply(((Fraction(1, 2),), (Fraction(1, 4),)))
+        # Full progress: spends r_l on each lane.
+        assert state.resource_spent == [Fraction(1, 2), Fraction(1, 4)]
+
+    def test_single_resource_spent_matches_processed(self):
+        inst = uniform_instance(3, 4, seed=2)
+        schedule = GreedyBalance().run(inst)
+        state = ExecState(inst)
+        for step in schedule.steps:
+            state.apply(step.shares)
+        assert state.resource_spent == [inst.total_work()]
+
+    def test_extra_zero_resource_matches_k1_run(self):
+        # Lifting every job with an all-zero second lane must not
+        # change the schedule: same makespans, same bottleneck rows.
+        base = uniform_instance(4, 5, seed=5)
+        lifted = Instance(
+            [
+                [Job([job.requirement, 0], job.size) for job in queue]
+                for queue in base.queues
+            ]
+        )
+        policy = get_policy("greedy-balance")
+        k1 = policy.run_backend(base, backend="exact")
+        k2 = policy.run_backend(lifted, backend="exact")
+        assert k2.makespan == k1.makespan
+        for flat_row, matrix in zip(k1.shares, k2.shares):
+            assert tuple(matrix[0]) == tuple(flat_row)
+            assert all(x == 0 for x in matrix[1])
+
+
+class TestWaterFillMulti:
+    def test_reduces_to_scalar_rule(self):
+        inst = uniform_instance(3, 3, seed=7)
+        state = ExecState(inst)
+        from repro.algorithms import water_fill
+
+        flat = water_fill(state, range(3))
+        rows = water_fill_multi(state, range(3))
+        assert rows == [flat]
+
+    def test_respects_every_capacity(self):
+        inst = Instance(
+            [
+                [Job(["1/2", "3/4"])],
+                [Job(["1/2", "3/4"])],
+                [Job(["1/2", "0"])],
+            ]
+        )
+        state = ExecState(inst)
+        rows = water_fill_multi(state, range(3))
+        for row in rows:
+            assert sum(row) <= 1
+        # p0 runs at full speed (grants 1/2 and 3/4).  p1 is throttled
+        # by resource 1 -- only 1/4 of it remains, a 1/3 speed
+        # fraction, so it gets 1/6 and 1/4.  p2 needs no resource 1
+        # but resource 0 has only 1 - 1/2 - 1/6 = 1/3 left -> partial.
+        assert rows[0][0] == Fraction(1, 2)
+        assert rows[1][0] == Fraction(3, 4)
+        assert rows[0][1] == Fraction(1, 6)
+        assert rows[1][1] == Fraction(1, 4)
+        assert rows[0][2] == Fraction(1, 3)
+        assert rows[1][2] == Fraction(0)
+
+
+class TestMakespanLowerBoundWithArrivals:
+    def test_release_shifted_bound(self):
+        inst = Instance(
+            [[Job(["1/2", "1/4"])], [Job(["1/2", "3/4"])]],
+            releases=[0, 3],
+        )
+        assert inst.makespan_lower_bound() >= 4  # p1 arrives at 3, needs >= 1

@@ -30,6 +30,7 @@ class TestRegistry:
             "ABL",
             "CONT",
             "ARR",
+            "MULTIRES",
         }
 
     def test_lookup_case_insensitive(self):

@@ -1,4 +1,4 @@
-"""Integration tests for the extension experiments (GEN, ABL, CONT)."""
+"""Integration tests for the extension experiments (GEN, ABL, CONT, MULTIRES)."""
 
 import pytest
 
@@ -7,8 +7,32 @@ from repro.experiments import EXPERIMENTS, get_experiment
 
 class TestRegistered:
     def test_extensions_registered(self):
-        for eid in ("GEN", "ABL", "CONT"):
+        for eid in ("GEN", "ABL", "CONT", "MULTIRES"):
             assert eid in EXPERIMENTS
+
+
+class TestMultires:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return get_experiment("MULTIRES").run(
+            m=4, n=4, resources=(1, 2), seeds=(0, 1)
+        )
+
+    def test_verdict(self, result):
+        assert result.verdict
+
+    def test_covers_every_k(self, result):
+        assert {row["k"] for row in result.rows} == {1, 2}
+
+    def test_ratios_respect_lower_bound(self, result):
+        for row in result.rows:
+            assert row["mean_ratio"] >= 1.0
+
+    def test_exact_backend_accepted(self):
+        result = get_experiment("MULTIRES").run(
+            m=3, n=3, resources=(2,), seeds=(0,), backend="exact"
+        )
+        assert result.verdict
 
 
 class TestGen:

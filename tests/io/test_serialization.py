@@ -54,6 +54,58 @@ class TestInstanceRoundTrip:
         assert load_instance(path) == two_proc_instance
 
 
+class TestMultiResourceRoundTrip:
+    def multi_instance(self) -> Instance:
+        return Instance(
+            [
+                [Job(["1/2", "1/3"], "5/2"), Job(["1/4", "1"])],
+                [Job(["9/10", "1/10"])],
+            ],
+            releases=[0, 4],
+        )
+
+    def test_round_trip_with_releases_and_requirements(self):
+        inst = self.multi_instance()
+        data = instance_to_dict(inst)
+        assert data["version"] == 2
+        assert data["resources"] == 2
+        assert data["releases"] == [0, 4]
+        assert data["processors"][0][0]["r"] == ["1/2", "1/3"]
+        back = instance_from_dict(data)
+        assert back == inst
+        assert back.num_resources == 2
+        assert back.releases == (0, 4)
+        assert back.job(0, 0).size == Fraction(5, 2)
+
+    def test_file_round_trip(self, tmp_path):
+        from repro.generators import multi_resource_instance, with_arrivals
+
+        inst = with_arrivals(
+            multi_resource_instance(3, 4, 3, profile="correlated", seed=2),
+            max_release=5,
+            seed=9,
+        )
+        path = tmp_path / "multi.json"
+        save_instance(inst, path)
+        assert load_instance(path) == inst
+
+    def test_single_resource_documents_stay_version_1(self, two_proc_instance):
+        data = instance_to_dict(two_proc_instance)
+        assert data["version"] == 1
+        assert "resources" not in data
+
+    def test_contradictory_resource_count_rejected(self):
+        data = instance_to_dict(self.multi_instance())
+        data["resources"] = 3
+        with pytest.raises(ValueError, match="declares 3 shared resources"):
+            instance_from_dict(data)
+
+    def test_exactness_of_vector_components(self):
+        inst = Instance([[Job(["1/3", "2/7"])]])
+        back = instance_from_dict(instance_to_dict(inst))
+        assert back.job(0, 0).requirements == (Fraction(1, 3), Fraction(2, 7))
+
+
 class TestScheduleRoundTrip:
     def test_round_trip(self, two_proc_instance):
         sched = GreedyBalance().run(two_proc_instance)

@@ -176,6 +176,113 @@ class TestRunAliasAndArrivals:
         assert "ARR" in capsys.readouterr().out
 
 
+class TestMultiResourceFlags:
+    def test_list_groups_and_mentions_resources(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "experiments (" in out
+        assert "policies (" in out
+        assert "backends (" in out
+        assert "--resources K" in out
+        assert "MULTIRES" in out
+
+    def test_run_with_resources_exact(self, instance_file, capsys):
+        assert main(["run", str(instance_file), "--resources", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "resources: lifted to k=2" in out
+        assert "feasible (tolerance 1e-9): True" in out
+
+    def test_run_with_resources_vector(self, instance_file, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    str(instance_file),
+                    "--resources",
+                    "3",
+                    "--resource-profile",
+                    "anti-correlated",
+                    "--backend",
+                    "vector",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "feasible (tolerance 1e-9): True" in out
+
+    def test_run_resources_compose_with_arrivals(self, instance_file, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    str(instance_file),
+                    "--resources",
+                    "2",
+                    "--arrivals",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "resources: lifted to k=2" in out
+        assert "arrivals: releases=" in out
+
+    def test_batch_with_resources(self, capsys):
+        assert (
+            main(
+                [
+                    "batch",
+                    "--count",
+                    "4",
+                    "--m",
+                    "3",
+                    "--n",
+                    "3",
+                    "--resources",
+                    "2",
+                    "--workers",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "resources=2" in out
+        assert "mean_ratio" in out
+
+    def test_crosscheck_with_resources(self, capsys):
+        assert (
+            main(
+                [
+                    "crosscheck",
+                    "--count",
+                    "5",
+                    "--m",
+                    "3",
+                    "--n",
+                    "3",
+                    "--resources",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "resources=3" in out
+        assert "result: OK" in out
+
+    def test_multires_experiment_runs(self, capsys):
+        # Keep it tiny: the registry default would be slower.
+        from repro.experiments import get_experiment
+
+        result = get_experiment("MULTIRES").run(
+            m=3, n=3, resources=(1, 2), seeds=(0,)
+        )
+        assert result.verdict
+
+
 class TestVerify:
     def test_valid_schedule(self, instance_file, tmp_path, capsys):
         js = tmp_path / "sched.json"
