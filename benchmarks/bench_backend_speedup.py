@@ -12,7 +12,6 @@ seconds; the vector backend is timed over several runs and averaged.
 Both figures are steps-per-second, so the ratio is scale-free.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -66,9 +65,8 @@ def test_backend_speedup(results_dir):
                 "speedup": round(vector_sps / exact_sps, 1),
             }
         )
-    (results_dir / "BENCH_backend_speedup.json").write_text(
-        json.dumps({"benchmark": "backend_speedup", "rows": rows}, indent=2)
-        + "\n"
-    )
+    from conftest import write_bench_store
+
+    write_bench_store(results_dir, "backend_speedup", rows)
     at_256 = next(row for row in rows if row["m"] == 256)
     assert at_256["speedup"] >= 20, rows

@@ -103,10 +103,9 @@ def test_kernel_overhead(results_dir):
                 "kernel_vs_legacy": round(kernel_sps / legacy_sps, 3),
             }
         )
-    (results_dir / "BENCH_kernel_overhead.json").write_text(
-        json.dumps({"benchmark": "kernel_overhead", "rows": rows}, indent=2)
-        + "\n"
-    )
+    from conftest import write_bench_store
+
+    write_bench_store(results_dir, "kernel_overhead", rows)
     worst = min(row["kernel_vs_legacy"] for row in rows)
     assert worst >= GATE, rows
 

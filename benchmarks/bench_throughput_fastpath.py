@@ -44,3 +44,36 @@ def test_vector_backend_path(benchmark):
         return backend.run(INSTANCE, policy, record_shares=False).makespan
 
     assert benchmark(run) == expected
+
+
+def test_write_throughput_store(results_dir):
+    """Record the three paths' throughput into the BENCH_*.json
+    trajectory (one timed run each; the pytest-benchmark figures above
+    stay the precise measurement)."""
+    import time
+
+    from conftest import write_bench_store
+
+    policy = GreedyBalance()
+    rows = []
+    for name, run in (
+        ("exact-fraction", lambda: policy.run(INSTANCE).makespan),
+        ("integer-grid", lambda: greedy_balance_makespan(INSTANCE)),
+        (
+            "vector-backend",
+            lambda: VectorBackend()
+            .run(INSTANCE, policy, record_shares=False)
+            .makespan,
+        ),
+    ):
+        t0 = time.perf_counter()
+        makespan = run()
+        elapsed = time.perf_counter() - t0
+        rows.append(
+            {
+                "path": name,
+                "makespan": makespan,
+                "steps_per_s": round(makespan / elapsed, 1),
+            }
+        )
+    write_bench_store(results_dir, "throughput_fastpath", rows)

@@ -6,7 +6,9 @@ Every bench (one per paper figure/theorem, see DESIGN.md section 3):
    (the machine-checked statement that the paper's claim reproduces);
 2. writes the paper-style rows to ``benchmarks/results/<ID>.txt`` and
    ``.csv`` (pytest captures stdout, so files are the reliable channel
-   -- EXPERIMENTS.md quotes them);
+   -- EXPERIMENTS.md quotes them) *and* a timestamped
+   ``BENCH_<ID>.json`` store, so every bench feeds the cross-PR
+   results trajectory that ``crsharing bench-report`` summarizes;
 3. times the experiment's computational kernel with pytest-benchmark.
 
 Run: ``pytest benchmarks/ --benchmark-only``
@@ -14,6 +16,8 @@ Run: ``pytest benchmarks/ --benchmark-only``
 
 from __future__ import annotations
 
+import json
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
@@ -21,6 +25,26 @@ import pytest
 from repro.experiments.runner import ExperimentResult
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def utc_stamp() -> str:
+    """ISO-8601 UTC timestamp for the BENCH_*.json stores."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def write_bench_store(
+    results_dir: Path, name: str, rows: list, **extra
+) -> Path:
+    """Write one timestamped ``BENCH_<name>.json`` result store."""
+    path = results_dir / f"BENCH_{name}.json"
+    payload = {
+        "benchmark": name,
+        "generated_at": utc_stamp(),
+        "rows": rows,
+        **extra,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")
@@ -31,11 +55,19 @@ def results_dir() -> Path:
 
 @pytest.fixture
 def record_result(results_dir):
-    """Persist an experiment result and assert its verdict."""
+    """Persist an experiment result (txt/csv/json) and assert its verdict."""
 
     def _record(result: ExperimentResult) -> ExperimentResult:
         (results_dir / f"{result.experiment}.txt").write_text(result.to_text() + "\n")
         result.to_csv(results_dir / f"{result.experiment}.csv")
+        write_bench_store(
+            results_dir,
+            result.experiment,
+            result.rows,
+            title=result.title,
+            params=result.params,
+            verdict=result.verdict,
+        )
         assert result.verdict in (True, None), (
             f"{result.experiment} failed to reproduce the paper's claim:\n"
             f"{result.to_text()}"

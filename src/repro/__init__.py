@@ -76,6 +76,14 @@ from .exceptions import (
     SolverError,
     UnitSizeRequiredError,
 )
+from .objectives import (
+    Makespan,
+    Objective,
+    Tardiness,
+    WeightedFlowTime,
+    available_objectives,
+    get_objective,
+)
 
 __all__ = [
     "BatchRunner",
@@ -86,6 +94,8 @@ __all__ = [
     "InvalidInstanceError",
     "InvalidScheduleError",
     "Job",
+    "Makespan",
+    "Objective",
     "Policy",
     "ReproError",
     "RoundRobin",
@@ -93,11 +103,15 @@ __all__ = [
     "SchedulingGraph",
     "SimulationLimitError",
     "SolverError",
+    "Tardiness",
     "UnitSizeRequiredError",
     "VectorBackend",
+    "WeightedFlowTime",
     "__version__",
     "available_backends",
+    "available_objectives",
     "available_policies",
+    "get_objective",
     "cross_validate",
     "get_backend",
     "best_lower_bound",

@@ -28,6 +28,7 @@ from .base import (
 )
 from .brute_force import brute_force_makespan
 from .fastpath import greedy_balance_makespan, round_robin_makespan
+from .flowdeadline import EDFWaterfill, WeightedSRPT
 from .greedy_balance import GreedyBalance
 from .heuristics import (
     FewestRemainingJobsFirst,
@@ -41,6 +42,7 @@ from .opt_two import OptTwoResult, opt_res_assignment, opt_res_assignment_pq
 from .round_robin import RoundRobin, round_robin_makespan_formula, round_robin_phase
 
 __all__ = [
+    "EDFWaterfill",
     "FewestRemainingJobsFirst",
     "GreedyBalance",
     "GreedyFinishJobs",
@@ -65,4 +67,5 @@ __all__ = [
     "round_robin_phase",
     "water_fill",
     "water_fill_multi",
+    "WeightedSRPT",
 ]

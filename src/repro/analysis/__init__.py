@@ -4,8 +4,12 @@ from .metrics import (
     ScheduleMetrics,
     approximation_ratio,
     compute_metrics,
+    deadline_misses,
+    max_lateness,
     mean_completion_time,
     total_completion_time,
+    total_tardiness,
+    weighted_flow_time,
 )
 from .ratios import PolicyStats, RatioStudy, run_ratio_study
 from .verification import VerificationReport, verify_schedule, verify_share_rows
@@ -17,9 +21,13 @@ __all__ = [
     "VerificationReport",
     "approximation_ratio",
     "compute_metrics",
+    "deadline_misses",
+    "max_lateness",
     "mean_completion_time",
     "run_ratio_study",
     "total_completion_time",
+    "total_tardiness",
     "verify_schedule",
+    "weighted_flow_time",
     "verify_share_rows",
 ]

@@ -31,10 +31,28 @@ from ..exceptions import BackendError
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from ..core.instance import Instance
-    from ..core.kernel import KernelRuntime
+    from ..core.kernel import KernelRuntime, ObjectiveRecorder
     from ..core.schedule import Schedule
+    from ..objectives.base import Objective
 
-__all__ = ["Backend", "BackendResult"]
+__all__ = ["Backend", "BackendResult", "resolve_objectives"]
+
+
+def resolve_objectives(
+    objectives: "Sequence[Objective | str]",
+) -> "list[Objective]":
+    """Normalize a mixed name/instance objective list (shared helper).
+
+    Backends accept objectives by registry name or as instances; this
+    resolves names through :func:`repro.objectives.get_objective` so
+    every backend and the batch workers share one lookup path.
+    """
+    from ..objectives import get_objective  # local: objectives build on core
+
+    return [
+        get_objective(obj) if isinstance(obj, str) else obj
+        for obj in objectives
+    ]
 
 
 @dataclass(slots=True)
@@ -53,6 +71,14 @@ class BackendResult:
         completion_steps: 0-based completion step per job id ``(i, j)``.
         schedule: the validated exact :class:`Schedule` artifact
             (exact backend only; ``None`` for float backends).
+        instance: the instance the run executed (set by the shipped
+            backends; lets objectives re-evaluate the result without a
+            side channel).
+        objective_values: objective name -> value for every objective
+            requested via ``run(..., objectives=...)``, computed
+            *online* by kernel observers (exact ``Fraction``/int values
+            on the exact backend, the same integers-from-float64
+            completions on the vector backend).
     """
 
     backend: str
@@ -61,6 +87,8 @@ class BackendResult:
     processed: Sequence[Sequence[Any]] | None = None
     completion_steps: dict[tuple[int, int], int] = field(default_factory=dict)
     schedule: "Schedule | None" = None
+    instance: "Instance | None" = None
+    objective_values: dict[str, Any] = field(default_factory=dict)
 
     def share_rows(self) -> list[tuple[Any, ...]]:
         """The recorded share matrix as a list of row tuples.
@@ -101,6 +129,7 @@ class Backend(ABC):
         *,
         max_steps: int | None = None,
         record_shares: bool = True,
+        objectives: "Sequence[Objective | str]" = (),
     ) -> BackendResult:
         """Execute *policy* on *instance* until completion.
 
@@ -114,7 +143,27 @@ class Backend(ABC):
             record_shares: keep per-step share/progress rows on the
                 result.  Disable for bulk campaigns where only the
                 makespan matters.
+            objectives: objectives (registry names or
+                :class:`~repro.objectives.base.Objective` instances) to
+                evaluate online during the run; their values land in
+                :attr:`BackendResult.objective_values`.
         """
+
+    def _objective_observers(
+        self, instance: "Instance", objectives: "Sequence[Objective | str]"
+    ) -> "list[ObjectiveRecorder]":
+        """Online objective recorders for one run (shared plumbing)."""
+        return [
+            obj.online_observer(instance)
+            for obj in resolve_objectives(objectives)
+        ]
+
+    @staticmethod
+    def _objective_values(
+        recorders: "Sequence[ObjectiveRecorder]",
+    ) -> dict[str, Any]:
+        """Collect ``name -> value`` from finished recorders."""
+        return {rec.objective.name: rec.value for rec in recorders}
 
     def make_runtime(self, instance: "Instance", policy) -> "KernelRuntime":
         """The kernel runtime this backend contributes.

@@ -18,6 +18,7 @@ the test-suite pins this down.
 from __future__ import annotations
 
 import json
+import math
 import multiprocessing
 import os
 import time
@@ -33,21 +34,27 @@ __all__ = ["BatchResult", "BatchRunner", "make_campaign_instances"]
 def _run_one(payload: tuple) -> dict[str, Any]:
     """Worker entry point (module-level so it pickles under fork/spawn)."""
     from ..algorithms import get_policy
+    from ..objectives import get_objective
     from . import get_backend
 
-    instance, policy_name, backend_name, max_steps = payload
+    instance, policy_name, backend_name, max_steps, objective_names = payload
     policy = get_policy(policy_name)
     backend = get_backend(backend_name)
+    objectives = [get_objective(name) for name in objective_names]
     t0 = time.perf_counter()
     result = backend.run(
-        instance, policy, max_steps=max_steps, record_shares=False
+        instance,
+        policy,
+        max_steps=max_steps,
+        record_shares=False,
+        objectives=objectives,
     )
     elapsed = time.perf_counter() - t0
     # Release-aware bound; identical to Observation 1's work bound for
     # static instances (and the per-resource congestion maximum for
     # multi-resource ones), so static campaign rows are unchanged.
     lower = instance.makespan_lower_bound()
-    return {
+    row = {
         "m": instance.num_processors,
         "total_jobs": instance.total_jobs,
         "max_release": instance.max_release,
@@ -57,6 +64,24 @@ def _run_one(payload: tuple) -> dict[str, Any]:
         "ratio": result.makespan / lower if lower else 1.0,
         "seconds": elapsed,
     }
+    if objectives:
+        # One entry per requested objective: online value, the
+        # objective's instance certificate, and their guarded ratio.
+        # A ratio of inf (zero/negative bound, positive value -- the
+        # certificate cannot grade the run) is stored as None so the
+        # JSON result store stays RFC 8259 parseable.
+        report: dict[str, dict[str, float | None]] = {}
+        for objective in objectives:
+            value = result.objective_values[objective.name]
+            bound = objective.lower_bound(instance)
+            ratio = objective.ratio(value, bound)
+            report[objective.name] = {
+                "value": float(value),
+                "lower_bound": float(bound),
+                "ratio": ratio if math.isfinite(ratio) else None,
+            }
+        row["objectives"] = report
+    return row
 
 
 @dataclass(slots=True)
@@ -69,7 +94,11 @@ class BatchResult:
         workers: worker processes used (1 = in-process serial).
         rows: one dict per instance, in input order (``m``,
             ``total_jobs``, ``makespan``, ``lower_bound``, ``ratio``,
-            ``seconds``).
+            ``seconds``; campaigns run with objectives add an
+            ``objectives`` dict of per-objective
+            value/lower_bound/ratio entries).
+        objectives: objective registry names evaluated per instance
+            (empty = the legacy makespan-only campaign shape).
         wall_seconds: end-to-end campaign wall time.
     """
 
@@ -78,6 +107,7 @@ class BatchResult:
     workers: int
     rows: list[dict[str, Any]] = field(default_factory=list)
     wall_seconds: float = 0.0
+    objectives: tuple[str, ...] = ()
 
     @property
     def makespans(self) -> list[int]:
@@ -89,8 +119,21 @@ class BatchResult:
         """Per-instance makespan / lower-bound ratios, in input order."""
         return [row["ratio"] for row in self.rows]
 
+    def objective_values(self, name: str) -> list[float]:
+        """Per-instance values of one evaluated objective, in order.
+
+        Raises:
+            KeyError: if the campaign did not evaluate *name*.
+        """
+        return [row["objectives"][name]["value"] for row in self.rows]
+
     def summary(self) -> dict[str, Any]:
-        """Campaign-level aggregates (the numbers a sweep reports)."""
+        """Campaign-level aggregates (the numbers a sweep reports).
+
+        Campaigns run with objectives add an ``objectives`` dict with
+        mean/max value and ratio aggregates per objective; the legacy
+        makespan keys stay unchanged either way.
+        """
         count = len(self.rows)
         if not count:
             return {
@@ -100,7 +143,7 @@ class BatchResult:
                 "workers": self.workers,
             }
         ratios = self.ratios
-        return {
+        summary: dict[str, Any] = {
             "instances": count,
             "policy": self.policy,
             "backend": self.backend,
@@ -116,6 +159,27 @@ class BatchResult:
                 else None
             ),
         }
+        if self.objectives:
+            per_objective: dict[str, Any] = {}
+            for name in self.objectives:
+                values = self.objective_values(name)
+                # None = the certificate could not grade the run (see
+                # _run_one); aggregate over the graded rows only, and
+                # report None when no row was gradeable.
+                graded = [
+                    row["objectives"][name]["ratio"]
+                    for row in self.rows
+                    if row["objectives"][name]["ratio"] is not None
+                ]
+                per_objective[name] = {
+                    "mean_value": sum(values) / count,
+                    "max_value": max(values),
+                    "mean_ratio": sum(graded) / len(graded) if graded else None,
+                    "max_ratio": max(graded) if graded else None,
+                    "graded": len(graded),
+                }
+            summary["objectives"] = per_objective
+        return summary
 
     def to_json(self, path: str | Path) -> None:
         """Persist summary + rows as JSON (the campaign result store)."""
@@ -140,6 +204,11 @@ class BatchRunner:
             -- useful under restricted environments and for
             determinism baselines).
         max_steps: per-instance safety limit forwarded to the backend.
+        objectives: objective registry names to evaluate online on
+            every instance (see
+            :func:`repro.objectives.available_objectives`); empty (the
+            default) keeps the legacy makespan-only campaign shape
+            bit-identical.
     """
 
     def __init__(
@@ -149,24 +218,30 @@ class BatchRunner:
         *,
         workers: int | None = None,
         max_steps: int | None = None,
+        objectives: Iterable[str] = (),
     ) -> None:
         # Fail fast on unknown names (workers resolve them again).
         from ..algorithms import get_policy
+        from ..objectives import get_objective
         from . import get_backend
 
         get_policy(policy)
         get_backend(backend)
+        objectives = tuple(objectives)
+        for name in objectives:
+            get_objective(name)
         if workers is None:
             workers = min(os.cpu_count() or 1, 8)
         self.policy = policy
         self.backend = backend
         self.workers = max(1, int(workers))
         self.max_steps = max_steps
+        self.objectives = objectives
 
     def run(self, instances: Iterable[Instance]) -> BatchResult:
         """Execute the campaign; rows come back in input order."""
         payloads = [
-            (inst, self.policy, self.backend, self.max_steps)
+            (inst, self.policy, self.backend, self.max_steps, self.objectives)
             for inst in instances
         ]
         t0 = time.perf_counter()
@@ -186,6 +261,7 @@ class BatchRunner:
             workers=self.workers,
             rows=rows,
             wall_seconds=time.perf_counter() - t0,
+            objectives=self.objectives,
         )
 
 
@@ -199,6 +275,12 @@ _ARRIVAL_SEED_OFFSET = 0x5F3759DF
 #: requirements and the arrival times).
 _RESOURCE_SEED_OFFSET = 0x9E3779B9
 
+#: Fourth and fifth independent streams for the objective annotations
+#: (weights and deadlines), decorrelated from requirements, arrivals,
+#: and resources.
+_WEIGHT_SEED_OFFSET = 0x2545F491
+_DEADLINE_SEED_OFFSET = 0x6C62272E
+
 
 def make_campaign_instances(
     count: int,
@@ -210,24 +292,37 @@ def make_campaign_instances(
     seed: int = 0,
     max_release: int = 0,
     arrival_seed: int | None = None,
+    arrival_rate: float | None = None,
     resources: int = 1,
     resource_profile: str = "independent",
     resource_seed: int | None = None,
+    weights_profile: str = "unit",
+    max_weight: int = 10,
+    weight_seed: int | None = None,
+    deadline_profile: str | None = None,
+    deadline_seed: int | None = None,
 ) -> list[Instance]:
     """Deterministic list of seeded random instances for a campaign.
 
     Instance ``k`` uses seed ``seed + k``, so a campaign is fully
-    reproducible from ``(family, count, m, n, grid, seed,
-    max_release, arrival_seed, resources, resource_profile,
-    resource_seed)``.  With ``max_release > 0`` every instance
-    receives staggered per-processor release times (the online-arrival
-    scenario axis) sampled from ``(arrival_seed or seed) + k`` on a
-    decorrelated stream; 0 keeps the static model bit-identical to
-    earlier campaigns.  With ``resources > 1`` every instance is
-    lifted to that many shared resources
-    (:func:`repro.generators.with_resources` with *resource_profile*)
-    on a third decorrelated stream; 1 keeps the single-resource model
-    bit-identical.
+    reproducible from its keyword tuple.  With ``max_release > 0``
+    every instance receives staggered per-processor release times (the
+    online-arrival scenario axis) sampled from
+    ``(arrival_seed or seed) + k`` on a decorrelated stream; 0 keeps
+    the static model bit-identical to earlier campaigns.  With
+    ``arrival_rate`` set, release times instead come from a Poisson
+    arrival process at that intensity
+    (:func:`repro.generators.poisson_arrivals` -- the steady-state
+    utilization axis the FLOW experiment sweeps); ``max_release`` is
+    then ignored.  With ``resources > 1`` every instance is lifted to
+    that many shared resources (:func:`repro.generators.with_resources`
+    with *resource_profile*) on a third decorrelated stream; 1 keeps
+    the single-resource model bit-identical.  ``weights_profile`` and
+    ``deadline_profile`` attach objective annotations
+    (:func:`repro.generators.with_weights` /
+    :func:`repro.generators.with_deadlines`) on two further
+    decorrelated streams; the defaults (``"unit"`` / ``None``) keep
+    the unannotated model bit-identical.
     """
     from ..generators import random_instances as gen
 
@@ -256,13 +351,44 @@ def make_campaign_instances(
             )
             for k, inst in enumerate(instances)
         ]
-    if max_release > 0:
+    if weights_profile != "unit":
+        base = seed if weight_seed is None else weight_seed
+        instances = [
+            gen.with_weights(
+                inst,
+                profile=weights_profile,
+                max_weight=max_weight,
+                seed=base + k + _WEIGHT_SEED_OFFSET,
+            )
+            for k, inst in enumerate(instances)
+        ]
+    if arrival_rate is not None:
+        base = seed if arrival_seed is None else arrival_seed
+        instances = [
+            gen.with_poisson_arrivals(
+                inst, rate=arrival_rate, seed=base + k + _ARRIVAL_SEED_OFFSET
+            )
+            for k, inst in enumerate(instances)
+        ]
+    elif max_release > 0:
         base = seed if arrival_seed is None else arrival_seed
         instances = [
             gen.with_arrivals(
                 inst,
                 max_release=max_release,
                 seed=base + k + _ARRIVAL_SEED_OFFSET,
+            )
+            for k, inst in enumerate(instances)
+        ]
+    # Deadlines come last: the tightness profiles are drawn relative to
+    # earliest completion times, which must already include releases.
+    if deadline_profile is not None:
+        base = seed if deadline_seed is None else deadline_seed
+        instances = [
+            gen.with_deadlines(
+                inst,
+                profile=deadline_profile,
+                seed=base + k + _DEADLINE_SEED_OFFSET,
             )
             for k, inst in enumerate(instances)
         ]

@@ -32,8 +32,12 @@ class CrossCheckResult:
         max_share_deviation: largest absolute per-step, per-processor
             share difference over the steps both runs executed
             (``None`` when shares were not compared).
-        ok: True iff the makespans agree within the requested relative
-            tolerance.
+        objective_values: objective name -> ``(exact, vector)`` value
+            pair for every objective requested via ``objectives=``.
+        max_objective_error: largest relative error over the compared
+            objective values (``None`` when none were requested).
+        ok: True iff the makespans -- and all requested objective
+            values -- agree within the requested relative tolerance.
     """
 
     exact_makespan: int
@@ -41,6 +45,8 @@ class CrossCheckResult:
     makespan_rel_error: float
     max_share_deviation: float | None
     ok: bool
+    objective_values: dict[str, tuple[object, object]] = None
+    max_objective_error: float | None = None
 
 
 def cross_validate(
@@ -50,6 +56,7 @@ def cross_validate(
     rtol: float = 1e-9,
     tol: float = 1e-9,
     compare_shares: bool = True,
+    objectives=(),
 ) -> CrossCheckResult:
     """Run *policy* on *instance* through both backends and compare.
 
@@ -61,12 +68,17 @@ def cross_validate(
         tol: completion tolerance for the vector backend.
         compare_shares: also compute the max per-step share deviation
             (needs both runs recorded; skip for bulk audits).
+        objectives: objectives (registry names or instances) whose
+            online values must also agree between the backends.  Flow
+            and tardiness values are derived from integer completion
+            steps on both sides, so agreement within *rtol* on grid
+            instances means exact agreement.
     """
     exact = ExactBackend().run(
-        instance, policy, record_shares=compare_shares
+        instance, policy, record_shares=compare_shares, objectives=objectives
     )
     vector = VectorBackend(tol=tol).run(
-        instance, policy, record_shares=compare_shares
+        instance, policy, record_shares=compare_shares, objectives=objectives
     )
     rel = (
         abs(vector.makespan - exact.makespan) / exact.makespan
@@ -84,10 +96,21 @@ def cross_validate(
         deviation = (
             float(np.abs(exact_rows - vector_rows).max()) if steps else 0.0
         )
+    pairs: dict[str, tuple[object, object]] = {}
+    worst_obj: float | None = None
+    for name, exact_value in exact.objective_values.items():
+        vector_value = vector.objective_values[name]
+        pairs[name] = (exact_value, vector_value)
+        scale = max(1.0, abs(float(exact_value)))
+        err = abs(float(exact_value) - float(vector_value)) / scale
+        worst_obj = err if worst_obj is None else max(worst_obj, err)
+    ok = rel <= rtol and (worst_obj is None or worst_obj <= rtol)
     return CrossCheckResult(
         exact_makespan=exact.makespan,
         vector_makespan=vector.makespan,
         makespan_rel_error=rel,
         max_share_deviation=deviation,
-        ok=rel <= rtol,
+        ok=ok,
+        objective_values=pairs or None,
+        max_objective_error=worst_obj,
     )

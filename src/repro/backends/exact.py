@@ -50,16 +50,21 @@ class ExactBackend(Backend):
         *,
         max_steps: int | None = None,
         record_shares: bool = True,
+        objectives=(),
     ) -> BackendResult:
         """Run *policy* on *instance* in exact Fraction arithmetic."""
+        recorders = self._objective_observers(instance, objectives)
         if instance.num_resources != 1:
             return self._run_multi(
                 instance,
                 policy,
                 max_steps=max_steps,
                 record_shares=record_shares,
+                recorders=recorders,
             )
-        schedule = simulate(instance, policy, max_steps=max_steps)
+        schedule = simulate(
+            instance, policy, max_steps=max_steps, observers=recorders
+        )
         shares = None
         processed = None
         if record_shares:
@@ -72,6 +77,8 @@ class ExactBackend(Backend):
             processed=processed,
             completion_steps=dict(schedule.completion_steps),
             schedule=schedule,
+            instance=instance,
+            objective_values=self._objective_values(recorders),
         )
 
     def _run_multi(
@@ -81,11 +88,12 @@ class ExactBackend(Backend):
         *,
         max_steps: int | None,
         record_shares: bool,
+        recorders: list,
     ) -> BackendResult:
         """Kernel-direct multi-resource run (no Schedule artifact)."""
         runtime = ExactRuntime(instance)
         completions = CompletionRecorder()
-        observers: list = [completions]
+        observers: list = [completions, *recorders]
         recorder: ShareRecorder | None = None
         if record_shares:
             recorder = ShareRecorder()
@@ -101,4 +109,6 @@ class ExactBackend(Backend):
                 list(recorder.processed) if recorder is not None else None
             ),
             completion_steps=completions.completion_steps,
+            instance=instance,
+            objective_values=self._objective_values(recorders),
         )

@@ -74,6 +74,13 @@ class VectorState:
             active jobs (the single-resource state aliases it to
             ``active_requirements`` reshaped, so the share-matrix view
             exists for every ``k``).
+        active_weights: per processor, the objective weight ``w_ij`` of
+            the active job (0.0 once finished or before release) --
+            read by flow-tuned policies such as ``weighted-srpt``.
+        active_deadlines: per processor, the due step ``d_ij`` of the
+            active job (``inf`` when the job has no deadline, the
+            processor is finished, or it is not yet released) -- read
+            by deadline-aware policies such as ``edf-waterfill``.
         resource_spent: ``(k,)`` cumulative resource-time consumed per
             shared resource.
     """
@@ -86,11 +93,15 @@ class VectorState:
         "remaining",
         "active_requirements",
         "active_req_matrix",
+        "active_weights",
+        "active_deadlines",
         "resource_spent",
         "num_resources",
         "_req",
         "_reqk",
         "_work",
+        "_wgt",
+        "_dl",
         "_release",
         "_released",
         "_all_released",
@@ -111,10 +122,15 @@ class VectorState:
         # never read (done is bounded by num_jobs).
         self._req = np.zeros((m, nmax), dtype=np.float64)
         self._work = np.zeros((m, nmax), dtype=np.float64)
+        self._wgt = np.zeros((m, nmax), dtype=np.float64)
+        self._dl = np.full((m, nmax), np.inf, dtype=np.float64)
         for i, queue in enumerate(instance.queues):
             for j, job in enumerate(queue):
                 self._req[i, j] = float(job.requirement)
                 self._work[i, j] = float(job.work)
+                self._wgt[i, j] = float(job.weight)
+                if job.deadline is not None:
+                    self._dl[i, j] = float(job.deadline)
         self._release = np.array(instance.releases, dtype=np.int64)
         self._released = self._release <= 0
         self._all_released = bool(self._released.all())
@@ -122,6 +138,10 @@ class VectorState:
         self.remaining = np.where(self._released, self._work[:, 0], 0.0)
         self.active_requirements = np.where(
             self._released, self._req[:, 0], 0.0
+        )
+        self.active_weights = np.where(self._released, self._wgt[:, 0], 0.0)
+        self.active_deadlines = np.where(
+            self._released, self._dl[:, 0], np.inf
         )
         self.resource_spent = np.zeros(k, dtype=np.float64)
         if k == 1:
@@ -191,6 +211,8 @@ class VectorState:
             idx = np.flatnonzero(newly)
             self.remaining[idx] = self._work[idx, self.done[idx]]
             self.active_requirements[idx] = self._req[idx, self.done[idx]]
+            self.active_weights[idx] = self._wgt[idx, self.done[idx]]
+            self.active_deadlines[idx] = self._dl[idx, self.done[idx]]
             if self._reqk is not None:
                 self.active_req_matrix[:, idx] = self._reqk[
                     :, idx, self.done[idx]
@@ -209,9 +231,15 @@ class VectorState:
         self.active_requirements[has_next] = self._req[
             has_next, self.done[has_next]
         ]
+        self.active_weights[has_next] = self._wgt[has_next, self.done[has_next]]
+        self.active_deadlines[has_next] = self._dl[
+            has_next, self.done[has_next]
+        ]
         exhausted = finished[self.done[finished] >= self.num_jobs[finished]]
         self.remaining[exhausted] = 0.0
         self.active_requirements[exhausted] = 0.0
+        self.active_weights[exhausted] = 0.0
+        self.active_deadlines[exhausted] = np.inf
         if self._reqk is not None:
             self.active_req_matrix[:, has_next] = self._reqk[
                 :, has_next, self.done[has_next]
@@ -402,11 +430,13 @@ class VectorBackend(Backend):
         max_steps: int | None = None,
         record_shares: bool = True,
         stall_limit: int = 3,
+        objectives=(),
     ) -> BackendResult:
         """Run *policy* on *instance* through the float64 kernel."""
         runtime = self.make_runtime(instance, policy)
         completions = CompletionRecorder()
-        observers: list = [completions]
+        recorders = self._objective_observers(instance, objectives)
+        observers: list = [completions, *recorders]
         recorder: ShareRecorder | None = None
         if record_shares:
             recorder = ShareRecorder()
@@ -426,4 +456,6 @@ class VectorBackend(Backend):
                 np.array(recorder.processed) if recorder is not None else None
             ),
             completion_steps=completions.completion_steps,
+            instance=instance,
+            objective_values=self._objective_values(recorders),
         )

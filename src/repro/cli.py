@@ -13,6 +13,8 @@ Subcommands:
   backend, sharded over worker processes;
 * ``crosscheck`` -- audit the vector backend against the exact one on
   random instances;
+* ``bench-report`` -- summarize the timestamped ``BENCH_*.json``
+  result stores under ``benchmarks/results/``;
 * ``demo`` -- a quick end-to-end tour on the Figure 1 instance.
 
 ``run``/``schedule``, ``batch`` and ``crosscheck`` all accept
@@ -22,7 +24,11 @@ scenario axis; 0 (the default) is the paper's static model.  They
 likewise accept ``--resources K`` (with ``--resource-profile``) to
 run the multi-resource extension: instances are lifted to ``K``
 shared resources with per-job requirement vectors; 1 (the default)
-is the paper's single-resource model.
+is the paper's single-resource model.  The objective axis rides the
+same commands: ``--objective`` selects any registered objective
+(``makespan``, the default, reproduces the paper's reports
+bit-identically), and ``--weights-profile`` / ``--deadline-profile``
+attach seeded objective annotations to the instances.
 """
 
 from __future__ import annotations
@@ -67,6 +73,47 @@ def _add_arrival_args(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="seed for the arrival sampler (default: derived from the "
+        "instance seed on a decorrelated stream)",
+    )
+
+
+def _add_objective_args(parser: argparse.ArgumentParser) -> None:
+    from .generators import DEADLINE_PROFILES, WEIGHT_PROFILES
+    from .objectives import available_objectives
+
+    parser.add_argument(
+        "--objective",
+        choices=available_objectives(),
+        default="makespan",
+        help="scheduling objective to evaluate (makespan = the paper's "
+        "objective, the default)",
+    )
+    parser.add_argument(
+        "--weights-profile",
+        choices=list(WEIGHT_PROFILES),
+        default="unit",
+        help="attach seeded per-job objective weights (unit = the "
+        "unweighted model, the default)",
+    )
+    parser.add_argument(
+        "--weight-seed",
+        type=int,
+        default=None,
+        help="seed for the weight sampler (default: derived from the "
+        "instance seed on a decorrelated stream)",
+    )
+    parser.add_argument(
+        "--deadline-profile",
+        choices=list(DEADLINE_PROFILES),
+        default=None,
+        help="attach seeded per-job deadlines of this tightness "
+        "(default: no deadlines)",
+    )
+    parser.add_argument(
+        "--deadline-seed",
+        type=int,
+        default=None,
+        help="seed for the deadline sampler (default: derived from the "
         "instance seed on a decorrelated stream)",
     )
 
@@ -143,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         _add_arrival_args(p_sched)
         _add_resource_args(p_sched)
+        _add_objective_args(p_sched)
         p_sched.add_argument("--svg", type=Path, help="write a Gantt SVG")
         p_sched.add_argument("--json", type=Path, help="write the schedule as JSON")
 
@@ -166,6 +214,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_arrival_args(p_batch)
     _add_resource_args(p_batch)
+    _add_objective_args(p_batch)
+    p_batch.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="sample release times from a Poisson process at this "
+        "intensity instead of the uniform 0..MAX spread",
+    )
     p_batch.add_argument("--json", type=Path, help="write the result store as JSON")
 
     p_cross = sub.add_parser(
@@ -180,20 +237,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_cross.add_argument("--rtol", type=float, default=1e-9)
     _add_arrival_args(p_cross)
     _add_resource_args(p_cross)
+    _add_objective_args(p_cross)
 
     p_verify = sub.add_parser(
         "verify", help="validate a schedule file and report its properties"
     )
     p_verify.add_argument("schedule", type=Path)
 
+    p_bench = sub.add_parser(
+        "bench-report",
+        help="summarize the timestamped BENCH_*.json benchmark stores",
+    )
+    p_bench.add_argument(
+        "--results",
+        type=Path,
+        default=Path("benchmarks") / "results",
+        help="results directory (default: benchmarks/results)",
+    )
+
     sub.add_parser("demo", help="quick tour on the Figure 1 example")
     return parser
 
 
 def _cmd_list() -> int:
+    from .objectives import available_objectives
+
     experiments = list(EXPERIMENTS.values())
     policies = available_policies()
     backends = available_backends()
+    objectives = available_objectives()
     print(f"experiments ({len(experiments)}):  run with `crsharing experiment <ID>`")
     for exp in experiments:
         print(f"  {exp.id:<9} {exp.title}")
@@ -206,12 +278,20 @@ def _cmd_list() -> int:
     for name in backends:
         print(f"  {name}")
     print()
+    print(f"objectives ({len(objectives)}):  select with `--objective <name>`")
+    for name in objectives:
+        print(f"  {name}")
+    print()
     print(
         "scenario axes on run/schedule, batch, crosscheck:\n"
         "  --arrivals MAX   staggered per-processor release times "
         "(0 = the paper's static model)\n"
         "  --resources K    K shared resources with per-job requirement "
-        "vectors (1 = the paper's model)"
+        "vectors (1 = the paper's model)\n"
+        "  --objective NAME    evaluate a registered objective "
+        "(makespan = the paper's objective)\n"
+        "  --weights-profile / --deadline-profile    seeded objective "
+        "annotations (weights, due steps)"
     )
     return 0
 
@@ -236,6 +316,30 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"optimal makespan: {result.makespan}")
     print(render_schedule(result.schedule))
     return 0
+
+
+def _annotate_objective_axes(args: argparse.Namespace, instance):
+    """Apply --weights-profile / --deadline-profile lifts (run/schedule)."""
+    from .generators import with_deadlines, with_weights
+
+    if args.weights_profile != "unit":
+        weight_seed = 0 if args.weight_seed is None else args.weight_seed
+        instance = with_weights(
+            instance, profile=args.weights_profile, seed=weight_seed
+        )
+        print(
+            f"weights: {args.weights_profile} profile (seed {weight_seed})"
+        )
+    if args.deadline_profile is not None:
+        deadline_seed = 0 if args.deadline_seed is None else args.deadline_seed
+        instance = with_deadlines(
+            instance, profile=args.deadline_profile, seed=deadline_seed
+        )
+        print(
+            f"deadlines: {args.deadline_profile} profile "
+            f"(seed {deadline_seed})"
+        )
+    return instance
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
@@ -263,6 +367,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             f"arrivals: releases={list(instance.releases)} "
             f"(max {args.arrivals}, seed {arrival_seed})"
         )
+    instance = _annotate_objective_axes(args, instance)
     policy = get_policy(args.policy)
     if args.backend != "exact" or instance.num_resources > 1:
         # Multi-resource runs have no exact Schedule artifact either;
@@ -272,8 +377,16 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     print(render_instance(instance))
     print()
     print(render_schedule(schedule))
-    metrics = compute_metrics(schedule)
+    extra = () if args.objective == "makespan" else (args.objective,)
+    metrics = compute_metrics(schedule, objectives=extra)
     print(f"metrics: {metrics.as_row()}")
+    if extra:
+        report = metrics.objectives[args.objective]
+        print(
+            f"objective {args.objective}: value={float(report['value']):g} "
+            f"lower_bound={float(report['lower_bound']):g} "
+            f"ratio={report['ratio']:g}"
+        )
     if args.svg:
         args.svg.write_text(schedule_svg(schedule, title=f"{args.policy}"))
         print(f"SVG written to {args.svg}")
@@ -288,12 +401,24 @@ def _cmd_schedule_backend(args: argparse.Namespace, instance, policy) -> int:
     float backends produce no exact Schedule artifact to render)."""
     from .analysis import verify_share_rows
     from .core.simulator import run_policy
+    from .objectives import get_objective
 
-    result = run_policy(instance, policy, backend=args.backend)
+    objectives = () if args.objective == "makespan" else (args.objective,)
+    result = run_policy(
+        instance, policy, backend=args.backend, objectives=objectives
+    )
     print(render_instance(instance))
     print()
     print(f"backend: {result.backend}")
     print(f"makespan: {result.makespan}")
+    for name, value in result.objective_values.items():
+        objective = get_objective(name)
+        bound = objective.lower_bound(instance)
+        print(
+            f"objective {name}: value={float(value):g} "
+            f"lower_bound={float(bound):g} "
+            f"ratio={objective.ratio(value, bound):g}"
+        )
     report = verify_share_rows(instance, result.shares)
     print(f"feasible (tolerance 1e-9): {report.ok}")
     for problem in report.problems:
@@ -318,19 +443,33 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_release=args.arrivals,
         arrival_seed=args.arrival_seed,
+        arrival_rate=args.arrival_rate,
         resources=args.resources,
         resource_profile=args.resource_profile,
         resource_seed=args.resource_seed,
+        weights_profile=args.weights_profile,
+        weight_seed=args.weight_seed,
+        deadline_profile=args.deadline_profile,
+        deadline_seed=args.deadline_seed,
     )
+    objectives = () if args.objective == "makespan" else (args.objective,)
     runner = BatchRunner(
-        policy=args.policy, backend=args.backend, workers=args.workers
+        policy=args.policy,
+        backend=args.backend,
+        workers=args.workers,
+        objectives=objectives,
     )
     result = runner.run(instances)
     summary = result.summary()
+    arrivals = (
+        f"poisson(rate={args.arrival_rate:g})"
+        if args.arrival_rate is not None
+        else args.arrivals
+    )
     print(
         f"campaign: {args.count} x {args.family}(m={args.m}, n={args.n}, "
-        f"grid={args.grid}) seed={args.seed} arrivals={args.arrivals} "
-        f"resources={args.resources}"
+        f"grid={args.grid}) seed={args.seed} arrivals={arrivals} "
+        f"resources={args.resources} objective={args.objective}"
     )
     for key in (
         "policy",
@@ -349,6 +488,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if isinstance(value, float):
             value = f"{value:.6g}"
         print(f"  {key}: {value}")
+    for name, report in summary.get("objectives", {}).items():
+        mean_ratio = report["mean_ratio"]
+        ratio_text = (
+            f"{mean_ratio:.6g}" if mean_ratio is not None else "n/a (bound 0)"
+        )
+        print(
+            f"  objective {name}: mean_value={report['mean_value']:.6g} "
+            f"max_value={report['max_value']:.6g} "
+            f"mean_ratio={ratio_text}"
+        )
     if args.json:
         result.to_json(args.json)
         print(f"result store written to {args.json}")
@@ -371,28 +520,45 @@ def _cmd_crosscheck(args: argparse.Namespace) -> int:
         resources=args.resources,
         resource_profile=args.resource_profile,
         resource_seed=args.resource_seed,
+        weights_profile=args.weights_profile,
+        weight_seed=args.weight_seed,
+        deadline_profile=args.deadline_profile,
+        deadline_seed=args.deadline_seed,
     )
+    objectives = () if args.objective == "makespan" else (args.objective,)
     worst_rel = 0.0
     worst_dev = 0.0
+    worst_obj = 0.0
     failures = 0
     for k, instance in enumerate(instances):
-        check = cross_validate(instance, policy, rtol=args.rtol)
+        check = cross_validate(
+            instance, policy, rtol=args.rtol, objectives=objectives
+        )
         worst_rel = max(worst_rel, check.makespan_rel_error)
         if check.max_share_deviation is not None:
             worst_dev = max(worst_dev, check.max_share_deviation)
+        if check.max_objective_error is not None:
+            worst_obj = max(worst_obj, check.max_objective_error)
         if not check.ok:
             failures += 1
             print(
                 f"  MISMATCH seed={args.seed + k}: exact={check.exact_makespan} "
                 f"vector={check.vector_makespan}"
+                + (
+                    f" objective_values={check.objective_values}"
+                    if check.objective_values
+                    else ""
+                )
             )
     print(
         f"crosscheck: {args.count} instances, policy={args.policy}, "
         f"m={args.m}, n={args.n}, arrivals={args.arrivals}, "
-        f"resources={args.resources}"
+        f"resources={args.resources}, objective={args.objective}"
     )
     print(f"  max relative makespan error: {worst_rel:.3g} (rtol {args.rtol:.3g})")
     print(f"  max per-step share deviation: {worst_dev:.3g}")
+    if objectives:
+        print(f"  max relative objective error: {worst_obj:.3g}")
     print(f"  result: {'OK' if failures == 0 else f'{failures} FAILURES'}")
     return 0 if failures == 0 else 1
 
@@ -415,6 +581,61 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(f"balanced:    {is_balanced(schedule)}")
         print(f"metrics: {compute_metrics(schedule).as_row()}")
     return 0 if report.ok else 1
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    """Summarize the timestamped BENCH_*.json stores in one table."""
+    import json as _json
+
+    from .experiments.runner import format_table
+
+    results: Path = args.results
+    paths = sorted(results.glob("BENCH_*.json"))
+    if not paths:
+        print(f"no BENCH_*.json stores under {results}")
+        return 1
+    rows = []
+    for path in paths:
+        try:
+            data = _json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            rows.append(
+                {"benchmark": path.stem, "generated_at": f"unreadable: {exc}"}
+            )
+            continue
+        bench_rows = data.get("rows", [])
+        highlights = []
+        # Surface whichever headline figures the store carries; bench
+        # schemas differ, so pick known keys from the last row (the
+        # largest configuration by convention).
+        if bench_rows:
+            last = bench_rows[-1]
+            for key in (
+                "speedup",
+                "overhead_pct",
+                "vector_steps_per_s",
+                "mean_ratio",
+                "verdict",
+            ):
+                if key in last:
+                    highlights.append(f"{key}={last[key]}")
+        if data.get("verdict") is not None:
+            highlights.append(f"verdict={data['verdict']}")
+        rows.append(
+            {
+                "benchmark": data.get("benchmark", path.stem),
+                "generated_at": data.get("generated_at", "-"),
+                "rows": len(bench_rows),
+                "highlights": ", ".join(highlights) or "-",
+            }
+        )
+    print(f"benchmark stores under {results} ({len(rows)}):")
+    print(
+        format_table(
+            ["benchmark", "generated_at", "rows", "highlights"], rows
+        )
+    )
+    return 0
 
 
 def _cmd_demo() -> int:
@@ -450,6 +671,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_crosscheck(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "bench-report":
+        return _cmd_bench_report(args)
     if args.command == "demo":
         return _cmd_demo()
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -20,6 +20,7 @@ from .kernel import (
     CompletionRecorder,
     ExactRuntime,
     KernelRuntime,
+    ObjectiveRecorder,
     ShareRecorder,
     StepEvent,
     StepObserver,
@@ -32,7 +33,10 @@ from .lower_bounds import (
     lemma5_bound,
     lemma6_bound,
     length_bound,
+    max_lateness_bound,
+    tardiness_bound,
     theorem7_reference,
+    weighted_flow_bound,
     work_bound,
 )
 from .numerics import (
@@ -69,6 +73,7 @@ __all__ = [
     "ExactRuntime",
     "ExecState",
     "KernelRuntime",
+    "ObjectiveRecorder",
     "ShareRecorder",
     "StepEvent",
     "StepObserver",
@@ -111,6 +116,9 @@ __all__ = [
     "length_bound",
     "make_nice",
     "make_non_wasting",
+    "max_lateness_bound",
+    "tardiness_bound",
+    "weighted_flow_bound",
     "nested_violations",
     "parse_frac",
     "run_policy",

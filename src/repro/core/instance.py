@@ -250,6 +250,81 @@ class Instance:
             )
 
     # ------------------------------------------------------------------
+    # Objective annotations (weights / deadlines extension)
+    # ------------------------------------------------------------------
+    @property
+    def has_weights(self) -> bool:
+        """True iff any job carries a non-default objective weight."""
+        return any(not job.is_unit_weight for _, job in self.jobs())
+
+    @property
+    def has_deadlines(self) -> bool:
+        """True iff any job carries a due step."""
+        return any(job.has_deadline for _, job in self.jobs())
+
+    def total_weight(self) -> Fraction:
+        """Sum of all job weights (``total_jobs`` in the unit case)."""
+        return frac_sum(job.weight for _, job in self.jobs())
+
+    def with_weights(self, weights: Sequence[Sequence[Num]]) -> "Instance":
+        """A copy with per-job objective weights (queue-shaped input)."""
+        if len(weights) != self.num_processors:
+            raise InvalidInstanceError(
+                f"weights has {len(weights)} rows for "
+                f"{self.num_processors} processors"
+            )
+        queues = []
+        for i, queue in enumerate(self._queues):
+            if len(weights[i]) != len(queue):
+                raise InvalidInstanceError(
+                    f"weights[{i}] has {len(weights[i])} entries for "
+                    f"{len(queue)} jobs"
+                )
+            queues.append(
+                [job.replace(weight=w) for job, w in zip(queue, weights[i])]
+            )
+        return Instance(queues, releases=self._releases)
+
+    def with_deadlines(
+        self, deadlines: Sequence[Sequence[int | None]]
+    ) -> "Instance":
+        """A copy with per-job due steps (queue-shaped; ``None`` clears)."""
+        if len(deadlines) != self.num_processors:
+            raise InvalidInstanceError(
+                f"deadlines has {len(deadlines)} rows for "
+                f"{self.num_processors} processors"
+            )
+        queues = []
+        for i, queue in enumerate(self._queues):
+            if len(deadlines[i]) != len(queue):
+                raise InvalidInstanceError(
+                    f"deadlines[{i}] has {len(deadlines[i])} entries for "
+                    f"{len(queue)} jobs"
+                )
+            queues.append(
+                [job.replace(deadline=d) for job, d in zip(queue, deadlines[i])]
+            )
+        return Instance(queues, releases=self._releases)
+
+    def earliest_completion_times(self) -> dict[JobId, int]:
+        """Per job, the earliest possible 1-based completion time.
+
+        Processor *i* cannot start before its release and processes its
+        queue in order at best at full speed, so job ``(i, j)`` cannot
+        complete before ``releases[i] + sum_{j' <= j} ceil(p_{ij'})``.
+        Resource contention between processors is ignored, so these are
+        valid per-job lower bounds under *any* feasible schedule -- the
+        base certificates of the flow/tardiness objective bounds.
+        """
+        earliest: dict[JobId, int] = {}
+        for i, queue in enumerate(self._queues):
+            steps = self._releases[i]
+            for j, job in enumerate(queue):
+                steps += job.steps_at_full_speed()
+                earliest[(i, j)] = steps
+        return earliest
+
+    # ------------------------------------------------------------------
     # Paper quantities
     # ------------------------------------------------------------------
     def processors_with_at_least(self, j: int) -> tuple[int, ...]:

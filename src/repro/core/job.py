@@ -23,6 +23,29 @@ job is a work volume :math:`\\tilde p_{ij} = r_{ij} p_{ij}` processed
 at speed :math:`\\min(R_i(t), r_{ij})`; :attr:`Job.work` exposes that
 quantity -- measured on the bottleneck resource for ``k > 1`` -- which
 is the natural unit for all bookkeeping.
+
+Objective extension
+===================
+
+Beyond the paper's makespan objective, a job may carry two optional
+annotations consumed by the pluggable objective layer
+(:mod:`repro.objectives`):
+
+``weight`` (:math:`w_{ij} > 0`, default 1)
+    The job's importance under the weighted flow time objective
+    :math:`F_w = \\sum w_{ij} (C_{ij} - r_i)` (cf. the mean response
+    time literature, e.g. Berg et al.).  The default of 1 makes every
+    weighted objective degenerate to its unweighted form.
+
+``deadline`` (:math:`d_{ij} \\ge 1` or ``None``, default ``None``)
+    The 1-based step by which the job should complete under the
+    tardiness / lateness objectives (cf. the deadline variants of the
+    discrete--continuous line, Józefowska & Węglarz).  ``None`` means
+    "no deadline"; such jobs contribute zero tardiness.
+
+Both defaults keep the paper's model bit-identical: they do not enter
+the step semantics at all, only objective evaluation and
+objective-aware policies read them.
 """
 
 from __future__ import annotations
@@ -54,28 +77,43 @@ class Job:
             shared resource (the multi-resource extension).
         size: processing volume :math:`p_{ij} > 0` (default 1 = the
             unit-size restriction analyzed in the paper).
+        weight: objective weight :math:`w_{ij} > 0` (default 1 -- the
+            unweighted model; read by the weighted flow objective and
+            flow-tuned policies, never by the step semantics).
+        deadline: optional 1-based due step :math:`d_{ij} \\ge 1`
+            (default ``None`` = no deadline; read by the tardiness
+            objectives and deadline-aware policies).
 
     Raises:
         InvalidInstanceError: if any requirement is outside ``[0,1]``,
-            the requirement vector is empty, or the size is not
-            positive.
+            the requirement vector is empty, the size or weight is not
+            positive, or the deadline is not ``None`` and < 1.
 
     Example:
         >>> Job("1/3")                      # single resource
         Job(1/3)
         >>> Job(["1/2", "1/4"]).requirement  # bottleneck of two resources
         Fraction(1, 2)
+        >>> Job("1/3", weight=3, deadline=4)
+        Job(1/3, weight=3, deadline=4)
     """
 
     requirements: tuple[Fraction, ...]
     size: Fraction
+    weight: Fraction
+    deadline: int | None
     #: Bottleneck requirement, precomputed because the step loops read
     #: it every step; derived from ``requirements``, so excluded from
     #: equality/hash.
     requirement: Fraction = field(compare=False)
 
     def __init__(
-        self, requirement: "Num | tuple[Num, ...] | list[Num]", size: Num = 1
+        self,
+        requirement: "Num | tuple[Num, ...] | list[Num]",
+        size: Num = 1,
+        *,
+        weight: Num = 1,
+        deadline: int | None = None,
     ) -> None:
         if isinstance(requirement, (tuple, list)):
             reqs = tuple(to_frac(r) for r in requirement)
@@ -95,8 +133,21 @@ class Job:
             raise InvalidInstanceError(
                 f"job size must be positive, got {format_frac(sz)}"
             )
+        wgt = to_frac(weight)
+        if wgt <= ZERO:
+            raise InvalidInstanceError(
+                f"job weight must be positive, got {format_frac(wgt)}"
+            )
+        if deadline is not None:
+            deadline = int(deadline)
+            if deadline < 1:
+                raise InvalidInstanceError(
+                    f"job deadline must be a step >= 1, got {deadline}"
+                )
         object.__setattr__(self, "requirements", reqs)
         object.__setattr__(self, "size", sz)
+        object.__setattr__(self, "weight", wgt)
+        object.__setattr__(self, "deadline", deadline)
         object.__setattr__(self, "requirement", max(reqs))
 
     @property
@@ -128,6 +179,31 @@ class Job:
         """True iff the job has unit size (``p == 1``)."""
         return self.size == ONE
 
+    @property
+    def has_deadline(self) -> bool:
+        """True iff the job carries a due step (``deadline`` is set)."""
+        return self.deadline is not None
+
+    @property
+    def is_unit_weight(self) -> bool:
+        """True iff the job has the default objective weight of 1."""
+        return self.weight == ONE
+
+    def replace(self, *, weight: Num | None = None, deadline=...) -> "Job":
+        """A copy with the objective annotations swapped.
+
+        ``weight=None`` keeps the current weight; ``deadline`` uses the
+        ``...`` sentinel so it can be cleared explicitly with
+        ``replace(deadline=None)``.
+        """
+        return Job(
+            self.requirements if len(self.requirements) > 1
+            else self.requirements[0],
+            self.size,
+            weight=self.weight if weight is None else weight,
+            deadline=self.deadline if deadline is ... else deadline,
+        )
+
     def steps_at_full_speed(self) -> int:
         """Minimum whole steps to finish at full speed (``ceil(size)``).
 
@@ -140,6 +216,11 @@ class Job:
             req = format_frac(self.requirements[0])
         else:
             req = "[" + ", ".join(format_frac(r) for r in self.requirements) + "]"
-        if self.is_unit:
-            return f"Job({req})"
-        return f"Job({req}, size={format_frac(self.size)})"
+        parts = [req]
+        if not self.is_unit:
+            parts.append(f"size={format_frac(self.size)}")
+        if not self.is_unit_weight:
+            parts.append(f"weight={format_frac(self.weight)}")
+        if self.deadline is not None:
+            parts.append(f"deadline={self.deadline}")
+        return f"Job({', '.join(parts)})"

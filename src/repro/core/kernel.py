@@ -49,6 +49,7 @@ __all__ = [
     "StepObserver",
     "ShareRecorder",
     "CompletionRecorder",
+    "ObjectiveRecorder",
     "KernelRuntime",
     "ExactRuntime",
     "check_share_vector",
@@ -216,6 +217,40 @@ class CompletionRecorder(StepObserver):
     def on_complete(self, job: "JobId", t: int) -> None:
         """Record that *job* completed in step *t*."""
         self.completion_steps[job] = t
+
+
+class ObjectiveRecorder(StepObserver):
+    """Accumulate a scheduling objective online during the run.
+
+    The shared bridge between the kernel and the pluggable objective
+    layer (:mod:`repro.objectives`): the objective contributes a
+    per-run accumulator, the recorder feeds it the kernel's completion
+    stream, and :attr:`value` holds the objective value once
+    :meth:`on_finish` has fired -- the same observer works unchanged on
+    the exact and the vector runtime, so objectives never need a second
+    pass over recorded rows.
+
+    Args:
+        objective: any object with ``start(instance)`` returning an
+            accumulator with ``complete(job, t)`` / ``finish(makespan)``
+            (the :class:`repro.objectives.base.Objective` contract).
+        instance: the instance the run executes.
+    """
+
+    __slots__ = ("objective", "value", "_accumulator")
+
+    def __init__(self, objective, instance: Instance) -> None:
+        self.objective = objective
+        self.value = None
+        self._accumulator = objective.start(instance)
+
+    def on_complete(self, job: "JobId", t: int) -> None:
+        """Feed one completion to the objective's accumulator."""
+        self._accumulator.complete(job, t)
+
+    def on_finish(self, makespan: int) -> None:
+        """Close the accumulator and publish the objective value."""
+        self.value = self._accumulator.finish(makespan)
 
 
 class KernelRuntime:

@@ -34,6 +34,9 @@ __all__ = [
     "lemma6_bound",
     "theorem7_reference",
     "best_lower_bound",
+    "weighted_flow_bound",
+    "tardiness_bound",
+    "max_lateness_bound",
 ]
 
 
@@ -112,6 +115,57 @@ def theorem7_reference(graph: SchedulingGraph) -> Fraction:
         lemma6_bound(graph) + 1,
         Fraction(length_bound(instance)),
     )
+
+
+def weighted_flow_bound(instance: Instance) -> Fraction:
+    """Lower bound on the weighted flow time :math:`F_w`.
+
+    Job ``(i, j)`` cannot complete before its earliest completion time
+    (:meth:`~repro.core.instance.Instance.earliest_completion_times`:
+    release plus in-order full-speed processing), so its flow
+    ``C - releases[i]`` is at least that time minus the release.  The
+    weighted sum of these per-job certificates bounds :math:`F_w` for
+    every feasible schedule; with unit weights and no releases it
+    degenerates to ``sum_i n_i (n_i + 1) / 2`` for unit jobs.
+    """
+    earliest = instance.earliest_completion_times()
+    total = Fraction(0)
+    for jid, job in instance.jobs():
+        total += job.weight * (earliest[jid] - instance.release(jid[0]))
+    return total
+
+
+def tardiness_bound(instance: Instance) -> Fraction:
+    """Lower bound on the weighted total tardiness :math:`\\sum w \\, max(0, C - d)`.
+
+    Uses the same per-job earliest completion certificates: a job with
+    deadline ``d`` is late by at least ``max(0, earliest - d)`` in any
+    feasible schedule.  0 when every deadline is achievable per-processor
+    (the usual case -- contention can still force lateness above it).
+    """
+    earliest = instance.earliest_completion_times()
+    total = Fraction(0)
+    for jid, job in instance.jobs():
+        if job.deadline is not None and earliest[jid] > job.deadline:
+            total += job.weight * (earliest[jid] - job.deadline)
+    return total
+
+
+def max_lateness_bound(instance: Instance) -> int:
+    """Lower bound on the maximum lateness :math:`L_{max} = max (C - d)`.
+
+    The per-job earliest completion certificates give
+    ``L_max >= max_j (earliest_j - d_j)`` (possibly negative when all
+    deadlines are loose).  Instances without deadlines report 0, the
+    value the lateness objectives assign them.
+    """
+    best: int | None = None
+    earliest = instance.earliest_completion_times()
+    for jid, job in instance.jobs():
+        if job.deadline is not None:
+            late = earliest[jid] - job.deadline
+            best = late if best is None else max(best, late)
+    return 0 if best is None else best
 
 
 def best_lower_bound(instance: Instance, schedule: Schedule | None = None) -> int:

@@ -280,6 +280,47 @@ class Schedule:
         return dict(self._completion)
 
     @property
+    def completion_times(self) -> Mapping[JobId, int]:
+        """1-based completion time per job id.
+
+        The paper's :math:`C(i, j)` uses 1-based steps; this is
+        ``completion_steps`` shifted by one, the form the objective
+        layer's definitions (flow ``C - r``, lateness ``C - d``) are
+        stated in.
+        """
+        return {jid: t + 1 for jid, t in self._completion.items()}
+
+    def objective_value(self, objective):
+        """Evaluate a pluggable objective on this schedule.
+
+        Accepts an :class:`~repro.objectives.base.Objective` instance
+        or a registry name (e.g. ``"weighted-flow"``); the makespan
+        objective is pinned to return exactly :attr:`makespan`.
+        """
+        if isinstance(objective, str):
+            from ..objectives import get_objective  # lazy: layered on core
+
+            objective = get_objective(objective)
+        return objective.value(self)
+
+    def lateness_by_job(self) -> dict[JobId, int]:
+        """Positive lateness ``C - d`` per *late* job.
+
+        Only jobs completing after their due step appear; the mapping
+        is empty for instances without deadlines.  The single source
+        the renderers (deadline markers, lateness shading) and miss
+        counts derive from.
+        """
+        late: dict[JobId, int] = {}
+        if not self._instance.has_deadlines:
+            return late
+        for (i, j), t in self._completion.items():
+            deadline = self._instance.job(i, j).deadline
+            if deadline is not None and t + 1 > deadline:
+                late[(i, j)] = t + 1 - deadline
+        return late
+
+    @property
     def start_steps(self) -> Mapping[JobId, int]:
         """Start step per job id (``S`` as a mapping)."""
         return dict(self._start)

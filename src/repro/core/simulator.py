@@ -18,10 +18,16 @@ is the live :class:`ExecState` (treated as read-only by convention;
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from .instance import Instance
-from .kernel import ExactRuntime, ShareRecorder, check_share_vector, run_kernel
+from .kernel import (
+    ExactRuntime,
+    ShareRecorder,
+    StepObserver,
+    check_share_vector,
+    run_kernel,
+)
 from .numerics import Num
 from .schedule import Schedule
 from .state import ExecState
@@ -80,6 +86,7 @@ def simulate(
     *,
     max_steps: int | None = None,
     stall_limit: int = 3,
+    observers: Iterable[StepObserver] = (),
 ) -> Schedule:
     """Run *policy* on *instance* until every job is finished.
 
@@ -93,6 +100,10 @@ def simulate(
             nothing changed (no work processed, no job completed) while
             no processor was waiting on a release -- the signature of a
             policy that will never terminate.
+        observers: extra kernel step observers (e.g. the
+            :class:`~repro.core.kernel.ObjectiveRecorder` hooks the
+            exact backend attaches for online objective values),
+            notified after the simulator's own share recorder.
 
     Returns:
         A validated :class:`Schedule`.
@@ -111,7 +122,7 @@ def simulate(
     run_kernel(
         ExactRuntime(instance),
         policy,
-        (recorder,),
+        (recorder, *observers),
         max_steps=max_steps,
         stall_limit=stall_limit,
     )

@@ -1,0 +1,151 @@
+"""DEADLINE: tardiness and lateness under per-job deadlines.
+
+The deadline variants of the discrete--continuous scheduling line
+(Józefowska & Węglarz, the paper's [10]) ask for schedules meeting due
+dates rather than minimizing the horizon.  This experiment attaches
+seeded deadline profiles of increasing slack (``tight``/``mixed``/
+``loose``, drawn relative to per-job earliest completion times) to
+uniform instances and compares policies under the ``tardiness``,
+``max-lateness`` and ``deadline-misses`` objectives.
+
+Machine check (the verdict):
+
+* ``edf-waterfill`` (the slack-priority policy) achieves a strictly
+  smaller mean total tardiness than ``round-robin`` on every profile
+  -- the acceptance bar for the policy;
+* per instance, the objective layer's consistency triple holds:
+  tardiness is 0 exactly when no deadline is missed, and a positive
+  miss count implies positive max lateness;
+* the selected backend agrees with the exact reference on a sample of
+  deadline instances (skipped when already exact).
+"""
+
+from __future__ import annotations
+
+from ..algorithms import available_policies, get_policy
+from ..backends.batch import BatchRunner, make_campaign_instances
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+#: Policies compared under the deadline objectives; edf-waterfill is
+#: the slack-tuned one.
+_POLICIES = (
+    "edf-waterfill",
+    "greedy-finish-jobs",
+    "greedy-balance",
+    "round-robin",
+)
+
+_OBJECTIVES = ("tardiness", "max-lateness", "deadline-misses")
+
+
+def run(
+    m: int = 5,
+    n: int = 5,
+    profiles: tuple[str, ...] = ("tight", "mixed", "loose"),
+    count: int = 8,
+    grid: int = 100,
+    seed: int = 0,
+    backend: str = "vector",
+) -> ExperimentResult:
+    """Run the deadline policy comparison and check its claims."""
+    policies = [name for name in _POLICIES if name in available_policies()]
+    rows = []
+    ok = True
+    mean_tardiness: dict[tuple[str, str], float] = {}
+    for profile in profiles:
+        instances = make_campaign_instances(
+            count, m, n, grid=grid, seed=seed, deadline_profile=profile
+        )
+        for name in policies:
+            result = BatchRunner(
+                policy=name,
+                backend=backend,
+                workers=1,
+                objectives=_OBJECTIVES,
+            ).run(instances)
+            for row in result.rows:
+                report = row["objectives"]
+                tardy = report["tardiness"]["value"]
+                misses = report["deadline-misses"]["value"]
+                lateness = report["max-lateness"]["value"]
+                # Consistency triple: tardiness == 0 <=> no misses, and
+                # any miss forces a positive max lateness.
+                if (tardy == 0) != (misses == 0):
+                    ok = False
+                if misses > 0 and lateness <= 0:
+                    ok = False
+            summary = result.summary()["objectives"]
+            mean_tardiness[(profile, name)] = summary["tardiness"]["mean_value"]
+            rows.append(
+                {
+                    "profile": profile,
+                    "policy": name,
+                    "mean_tardiness": round(summary["tardiness"]["mean_value"], 2),
+                    "mean_misses": round(
+                        summary["deadline-misses"]["mean_value"], 2
+                    ),
+                    "mean_max_lateness": round(
+                        summary["max-lateness"]["mean_value"], 2
+                    ),
+                }
+            )
+    for profile in profiles:
+        if not (
+            mean_tardiness[(profile, "edf-waterfill")]
+            < mean_tardiness[(profile, "round-robin")]
+        ):
+            ok = False
+    notes = [
+        "profile = deadline tightness relative to per-job earliest "
+        "completion times (tight: barely achievable, loose: 2x slack, "
+        "mixed: coin flip per job)",
+    ]
+    if backend != "exact":
+        from ..backends import cross_validate
+
+        worst = 0.0
+        sample = make_campaign_instances(
+            3, m, n, grid=grid, seed=seed, deadline_profile="mixed"
+        )
+        for instance in sample:
+            check = cross_validate(
+                instance, get_policy("edf-waterfill"), objectives=_OBJECTIVES
+            )
+            worst = max(worst, check.max_objective_error or 0.0)
+            if not check.ok:
+                ok = False
+        notes.append(
+            f"exact-vs-vector tardiness agreement on sampled deadline "
+            f"instances: max rel error {worst:.3g}"
+        )
+    return ExperimentResult(
+        experiment="DEADLINE",
+        title="Deadlines: tardiness/lateness policy comparison",
+        paper_claim=(
+            "beyond the paper: the slack-priority edf-waterfill policy "
+            "beats round-robin on mean total tardiness at every deadline "
+            "tightness, and the tardiness/misses/lateness objectives are "
+            "mutually consistent on every run"
+        ),
+        params={
+            "m": m,
+            "n": n,
+            "profiles": list(profiles),
+            "count": count,
+            "grid": grid,
+            "seed": seed,
+            "backend": backend,
+        },
+        columns=[
+            "profile",
+            "policy",
+            "mean_tardiness",
+            "mean_misses",
+            "mean_max_lateness",
+        ],
+        rows=rows,
+        verdict=ok,
+        notes=notes,
+    )

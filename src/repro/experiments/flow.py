@@ -1,0 +1,148 @@
+"""FLOW: weighted flow time under Poisson arrivals (beyond the paper).
+
+The paper optimizes the makespan; *Towards Optimality in Parallel
+Scheduling* (Berg et al.) centers mean response/flow time instead.
+This experiment sweeps the pluggable objective layer's
+``weighted-flow`` objective over steady-state-style workloads: seeded
+uniform instances with skewed job weights and Poisson arrival streams
+at increasing intensity (the utilization axis), run as
+:class:`~repro.backends.batch.BatchRunner` campaigns per policy.
+
+Machine check (the verdict):
+
+* every weighted flow value respects the per-job earliest-completion
+  lower bound (``objectives`` ratios >= 1 row by row);
+* ``weighted-srpt`` (the flow-tuned policy) achieves a strictly
+  smaller mean weighted flow than ``round-robin`` at every arrival
+  rate -- the acceptance bar for the policy;
+* the selected backend agrees with the exact reference on a sample of
+  weighted arrival instances (skipped when already exact).
+"""
+
+from __future__ import annotations
+
+from ..algorithms import available_policies, get_policy
+from ..backends.batch import BatchRunner, make_campaign_instances
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+#: Policies compared under the flow objective; weighted-srpt is the
+#: tuned one, greedy-finish-jobs its unweighted ancestor.
+_POLICIES = (
+    "weighted-srpt",
+    "greedy-finish-jobs",
+    "greedy-balance",
+    "round-robin",
+)
+
+
+def run(
+    m: int = 5,
+    n: int = 5,
+    rates: tuple[float, ...] = (0.3, 1.0, 3.0),
+    count: int = 8,
+    grid: int = 100,
+    weights_profile: str = "skewed",
+    seed: int = 0,
+    backend: str = "vector",
+) -> ExperimentResult:
+    """Run the weighted-flow policy comparison and check its claims."""
+    policies = [
+        name for name in _POLICIES if name in available_policies()
+    ]
+    rows = []
+    ok = True
+    mean_flow: dict[tuple[float, str], float] = {}
+    for rate in rates:
+        instances = make_campaign_instances(
+            count,
+            m,
+            n,
+            grid=grid,
+            seed=seed,
+            weights_profile=weights_profile,
+            arrival_rate=rate,
+        )
+        for name in policies:
+            result = BatchRunner(
+                policy=name,
+                backend=backend,
+                workers=1,
+                objectives=("weighted-flow",),
+            ).run(instances)
+            summary = result.summary()["objectives"]["weighted-flow"]
+            if any(
+                row["objectives"]["weighted-flow"]["value"]
+                < row["objectives"]["weighted-flow"]["lower_bound"]
+                for row in result.rows
+            ):
+                ok = False
+            mean_flow[(rate, name)] = summary["mean_value"]
+            rows.append(
+                {
+                    "rate": rate,
+                    "policy": name,
+                    "mean_flow": round(summary["mean_value"], 2),
+                    "mean_ratio": round(summary["mean_ratio"], 3),
+                    "max_ratio": round(summary["max_ratio"], 3),
+                }
+            )
+    for rate in rates:
+        if not mean_flow[(rate, "weighted-srpt")] < mean_flow[(rate, "round-robin")]:
+            ok = False
+    notes = [
+        "rate = Poisson arrival intensity (expected queue arrivals per "
+        "step); weights follow the "
+        f"'{weights_profile}' profile, flow = sum w (C - release)",
+    ]
+    if backend != "exact":
+        from ..backends import cross_validate
+
+        worst = 0.0
+        sample = make_campaign_instances(
+            3,
+            m,
+            n,
+            grid=grid,
+            seed=seed,
+            weights_profile=weights_profile,
+            arrival_rate=max(rates),
+        )
+        for instance in sample:
+            check = cross_validate(
+                instance,
+                get_policy("weighted-srpt"),
+                objectives=("weighted-flow",),
+            )
+            worst = max(worst, check.max_objective_error or 0.0)
+            if not check.ok:
+                ok = False
+        notes.append(
+            f"exact-vs-vector weighted-flow agreement on sampled arrival "
+            f"instances: max rel error {worst:.3g}"
+        )
+    return ExperimentResult(
+        experiment="FLOW",
+        title="Weighted flow time under Poisson arrivals",
+        paper_claim=(
+            "beyond the paper: with the objective layer in place, the "
+            "flow-tuned weighted-srpt policy beats round-robin on mean "
+            "weighted flow at every arrival rate, and all values respect "
+            "the earliest-completion lower bound"
+        ),
+        params={
+            "m": m,
+            "n": n,
+            "rates": list(rates),
+            "count": count,
+            "grid": grid,
+            "weights_profile": weights_profile,
+            "seed": seed,
+            "backend": backend,
+        },
+        columns=["rate", "policy", "mean_flow", "mean_ratio", "max_ratio"],
+        rows=rows,
+        verdict=ok,
+        notes=notes,
+    )

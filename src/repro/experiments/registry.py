@@ -6,11 +6,13 @@ from . import (
     ablation,
     arrivals,
     cont,
+    deadline,
     fig1,
     fig2,
     fig3,
     fig4,
     fig5,
+    flow,
     gen,
     lemmas,
     multires,
@@ -43,6 +45,8 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("CONT", "Continuous-time variant (Section 9 outlook)", cont.run),
         Experiment("ARR", "Online arrivals: policies under staggered releases", arrivals.run),
         Experiment("MULTIRES", "Multiple shared resources: policy ratios as k grows", multires.run),
+        Experiment("FLOW", "Weighted flow time under Poisson arrivals", flow.run),
+        Experiment("DEADLINE", "Deadlines: tardiness/lateness policy comparison", deadline.run),
     ]
 }
 

@@ -103,18 +103,22 @@ def run_experiment(
     experiment: Experiment,
     *,
     backend: str | None = None,
+    objective: str | None = None,
     **params: Any,
 ) -> ExperimentResult:
-    """Invoke an experiment, forwarding the backend choice when the
-    experiment supports one.
+    """Invoke an experiment, forwarding the backend and objective
+    choices when the experiment supports them.
 
-    Paper-figure experiments verify exact claims and ignore the flag;
-    simulation-scale experiments (e.g. ``SIM``) declare a ``backend``
-    parameter and are dispatched onto the selected engine.  Requesting
-    a non-exact backend for an exact-only experiment is an error --
-    silently running the exact path would misreport what was measured.
+    Paper-figure experiments verify exact makespan claims and ignore
+    both flags; simulation-scale experiments (e.g. ``SIM``) declare a
+    ``backend`` parameter and are dispatched onto the selected engine,
+    and objective-parametric experiments declare an ``objective``
+    parameter.  Requesting a non-exact backend -- or a non-makespan
+    objective -- for an experiment that cannot honor it is an error:
+    silently running the default would misreport what was measured.
     """
-    accepts = "backend" in inspect.signature(experiment.run).parameters
+    signature = inspect.signature(experiment.run).parameters
+    accepts = "backend" in signature
     if backend is not None and backend != "exact" and not accepts:
         raise ValueError(
             f"experiment {experiment.id} runs exact arithmetic only and "
@@ -122,4 +126,12 @@ def run_experiment(
         )
     if backend is not None and accepts:
         params["backend"] = backend
+    accepts_objective = "objective" in signature
+    if objective is not None and objective != "makespan" and not accepts_objective:
+        raise ValueError(
+            f"experiment {experiment.id} verifies makespan claims only "
+            f"and does not accept objective={objective!r}"
+        )
+    if objective is not None and accepts_objective:
+        params["objective"] = objective
     return experiment.run(**params)

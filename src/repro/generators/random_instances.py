@@ -21,11 +21,17 @@ __all__ = [
     "heavy_tail_instance",
     "general_size_instance",
     "sample_arrivals",
+    "poisson_arrivals",
     "with_arrivals",
+    "with_poisson_arrivals",
     "sample_requirements",
     "multi_resource_instance",
     "with_resources",
+    "with_weights",
+    "with_deadlines",
     "RESOURCE_PROFILES",
+    "WEIGHT_PROFILES",
+    "DEADLINE_PROFILES",
 ]
 
 
@@ -214,6 +220,52 @@ def sample_arrivals(
     return tuple(releases)
 
 
+def poisson_arrivals(
+    m: int,
+    *,
+    rate: float,
+    seed: int | None = None,
+    pin_first: bool = True,
+) -> tuple[int, ...]:
+    """Sample release times from a Poisson arrival process.
+
+    The stochastic counterpart of :func:`sample_arrivals`: processor
+    arrival times are the first ``m`` points of a Poisson process with
+    intensity *rate* (arrivals per step), i.e. cumulative sums of
+    exponential inter-arrival gaps, floored to integer steps.  Higher
+    rates pack the queue arrivals densely (a loaded system); low rates
+    spread them out (near steady-state trickle).  The points are
+    shuffled before assignment so processor index does not correlate
+    with arrival order.
+
+    Args:
+        m: number of processors.
+        rate: expected arrivals per time step (> 0).
+        seed: RNG seed; pass a stream decorrelated from the
+            requirement seed, as with :func:`sample_arrivals`.
+        pin_first: shift all times so the earliest is step 0 (default),
+            matching :func:`sample_arrivals`'s convention that no run
+            starts with a dead window.
+
+    Example:
+        >>> poisson_arrivals(4, rate=0.5, seed=1)
+        (0, 6, 4, 7)
+    """
+    if rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate}")
+    rng = _rng(seed)
+    t = 0.0
+    times: list[int] = []
+    for _ in range(m):
+        t += rng.expovariate(rate)
+        times.append(int(t))
+    rng.shuffle(times)
+    if pin_first and times and min(times) > 0:
+        low = min(times)
+        times = [x - low for x in times]
+    return tuple(times)
+
+
 def with_arrivals(
     instance: Instance,
     *,
@@ -233,6 +285,116 @@ def with_arrivals(
         sample_arrivals(
             instance.num_processors, max_release=max_release, seed=seed
         )
+    )
+
+
+def with_poisson_arrivals(
+    instance: Instance,
+    *,
+    rate: float,
+    seed: int | None = None,
+) -> Instance:
+    """Attach Poisson-process release times to an existing instance.
+
+    The stochastic-arrival composition used by the FLOW experiment's
+    utilization sweeps: requirements come from the family's own seeded
+    stream, release times from :func:`poisson_arrivals` at the given
+    intensity.
+    """
+    return instance.with_releases(
+        poisson_arrivals(instance.num_processors, rate=rate, seed=seed)
+    )
+
+
+#: Recognized objective-weight profiles for :func:`with_weights`.
+WEIGHT_PROFILES = ("unit", "uniform", "skewed")
+
+#: Recognized deadline-tightness profiles for :func:`with_deadlines`.
+DEADLINE_PROFILES = ("tight", "loose", "mixed")
+
+
+def with_weights(
+    instance: Instance,
+    *,
+    profile: str = "uniform",
+    max_weight: int = 10,
+    seed: int | None = None,
+) -> Instance:
+    """Attach sampled objective weights to an existing instance.
+
+    Profiles (all integer weights in ``1..max_weight``):
+
+    * ``unit`` -- every weight 1; returns the instance unchanged (the
+      bit-identical no-op, like ``max_release=0`` for arrivals);
+    * ``uniform`` -- weights uniform on ``1..max_weight``;
+    * ``skewed`` -- mostly weight 1 with a 20% minority of
+      ``max_weight`` "priority" jobs (the shape that separates
+      weighted-flow-aware policies from weight-blind ones).
+    """
+    if profile not in WEIGHT_PROFILES:
+        raise ValueError(
+            f"unknown weight profile {profile!r}; "
+            f"available: {list(WEIGHT_PROFILES)}"
+        )
+    if max_weight < 1:
+        raise ValueError(f"max_weight must be >= 1, got {max_weight}")
+    if profile == "unit":
+        return instance
+    rng = _rng(seed)
+
+    def draw() -> int:
+        if profile == "uniform":
+            return rng.randint(1, max_weight)
+        return max_weight if rng.random() < 0.2 else 1
+
+    return instance.with_weights(
+        [[draw() for _ in queue] for queue in instance.queues]
+    )
+
+
+def with_deadlines(
+    instance: Instance,
+    *,
+    profile: str = "loose",
+    seed: int | None = None,
+) -> Instance:
+    """Attach sampled due steps to an existing instance.
+
+    Deadlines are drawn relative to each job's *earliest* possible
+    completion time (release + in-order full-speed processing, see
+    :meth:`~repro.core.instance.Instance.earliest_completion_times`),
+    so tightness is meaningful across instance families:
+
+    * ``tight`` -- ``d = earliest + U{0, 1}``: barely achievable even
+      without contention, most schedules incur tardiness;
+    * ``loose`` -- ``d = 2 * earliest + U{0, n}``: generous slack,
+      good policies meet almost every deadline;
+    * ``mixed`` -- each job flips a fair coin between the two (the
+      profile that separates slack-aware orderings most clearly).
+    """
+    if profile not in DEADLINE_PROFILES:
+        raise ValueError(
+            f"unknown deadline profile {profile!r}; "
+            f"available: {list(DEADLINE_PROFILES)}"
+        )
+    rng = _rng(seed)
+    earliest = instance.earliest_completion_times()
+    n = instance.max_jobs
+
+    def draw(jid) -> int:
+        base = earliest[jid]
+        kind = profile
+        if kind == "mixed":
+            kind = "tight" if rng.random() < 0.5 else "loose"
+        if kind == "tight":
+            return max(1, base + rng.randint(0, 1))
+        return max(1, 2 * base + rng.randint(0, n))
+
+    return instance.with_deadlines(
+        [
+            [draw((i, j)) for j in range(len(queue))]
+            for i, queue in enumerate(instance.queues)
+        ]
     )
 
 

@@ -20,6 +20,16 @@ both::
      "resources": 2,
      "processors": [[{"r": ["1/2", "1/4"], "p": 1}, ...], ...]}
 
+Instances carrying objective annotations (non-unit job weights or
+deadlines, see the pluggable objective layer :mod:`repro.objectives`)
+are emitted as version 3 with optional per-job ``"w"`` (weight,
+rational) and ``"d"`` (deadline, 1-based integer step) keys; jobs with
+default annotations omit the keys, and documents without any
+annotation keep their version-1/2 form byte-identical::
+
+    {"format": "crsharing-instance", "version": 3,
+     "processors": [[{"r": "1/2", "p": 1, "w": 3, "d": 4}, ...], ...]}
+
 Schema (schedule; single-resource only, like the
 :class:`~repro.core.schedule.Schedule` artifact itself)::
 
@@ -54,6 +64,9 @@ _SCHEDULE_FORMAT = "crsharing-schedule"
 _VERSION = 1
 #: Version emitted for (and accepted from) multi-resource instances.
 _VERSION_MULTI = 2
+#: Version emitted for (and accepted from) instances with objective
+#: annotations (per-job weights / deadlines).
+_VERSION_OBJECTIVE = 3
 
 
 def _frac_out(x: Fraction) -> str | int:
@@ -84,24 +97,41 @@ def _requirement_in(value: Any) -> Any:
     return _frac_in(value)
 
 
+def _job_out(job: Job) -> dict[str, Any]:
+    doc: dict[str, Any] = {
+        "r": _requirement_out(job),
+        "p": _frac_out(job.size),
+    }
+    if not job.is_unit_weight:
+        doc["w"] = _frac_out(job.weight)
+    if job.deadline is not None:
+        doc["d"] = job.deadline
+    return doc
+
+
 def instance_to_dict(instance: Instance) -> dict[str, Any]:
     """Lossless dict form of an instance.
 
-    The ``releases`` key is emitted only for arrival instances and the
-    ``resources`` key (with version 2 and per-job requirement lists)
-    only for multi-resource instances, so single-resource static
-    documents stay byte-compatible with version-1 readers.
+    The ``releases`` key is emitted only for arrival instances, the
+    ``resources`` key (with version >= 2 and per-job requirement
+    lists) only for multi-resource instances, and the per-job
+    ``w``/``d`` objective keys (with version 3) only for annotated
+    jobs -- so plain single-resource static documents stay
+    byte-compatible with version-1 readers.
     """
     multi = instance.num_resources > 1
+    annotated = instance.has_weights or instance.has_deadlines
+    if annotated:
+        version = _VERSION_OBJECTIVE
+    elif multi:
+        version = _VERSION_MULTI
+    else:
+        version = _VERSION
     data: dict[str, Any] = {
         "format": _INSTANCE_FORMAT,
-        "version": _VERSION_MULTI if multi else _VERSION,
+        "version": version,
         "processors": [
-            [
-                {"r": _requirement_out(job), "p": _frac_out(job.size)}
-                for job in queue
-            ]
-            for queue in instance.queues
+            [_job_out(job) for job in queue] for queue in instance.queues
         ],
     }
     if multi:
@@ -111,8 +141,20 @@ def instance_to_dict(instance: Instance) -> dict[str, Any]:
     return data
 
 
+def _job_in(doc: dict[str, Any]) -> Job:
+    deadline = doc.get("d")
+    if deadline is not None:
+        deadline = int(deadline)
+    return Job(
+        _requirement_in(doc["r"]),
+        _frac_in(doc["p"]),
+        weight=_frac_in(doc.get("w", 1)),
+        deadline=deadline,
+    )
+
+
 def instance_from_dict(data: dict[str, Any]) -> Instance:
-    """Inverse of :func:`instance_to_dict` (accepts versions 1 and 2).
+    """Inverse of :func:`instance_to_dict` (accepts versions 1, 2, 3).
 
     Raises:
         ValueError: on schema mismatch, including a ``resources``
@@ -120,13 +162,10 @@ def instance_from_dict(data: dict[str, Any]) -> Instance:
     """
     if data.get("format") != _INSTANCE_FORMAT:
         raise ValueError(f"not a CRSharing instance document: {data.get('format')!r}")
-    if data.get("version") not in (_VERSION, _VERSION_MULTI):
+    if data.get("version") not in (_VERSION, _VERSION_MULTI, _VERSION_OBJECTIVE):
         raise ValueError(f"unsupported version {data.get('version')!r}")
     instance = Instance(
-        [
-            [Job(_requirement_in(job["r"]), _frac_in(job["p"])) for job in queue]
-            for queue in data["processors"]
-        ],
+        [[_job_in(job) for job in queue] for queue in data["processors"]],
         releases=data.get("releases"),
     )
     declared = data.get("resources")

@@ -1,0 +1,205 @@
+"""The :class:`Objective` protocol and its registry.
+
+The paper optimizes the makespan; the objective layer makes that choice
+pluggable.  An *objective* bundles four things behind one contract:
+
+* **value** -- evaluate a finished run, either from a validated
+  :class:`~repro.core.schedule.Schedule` or from a backend's
+  completion-step record (:meth:`Objective.value` /
+  :meth:`Objective.value_from_completions`);
+* **online accumulation** -- a per-run
+  :class:`ObjectiveAccumulator` driven by the kernel's completion
+  stream, so both the exact and the vector runtime compute the
+  objective *during* the run with no second pass
+  (:meth:`Objective.online_observer` wraps it in a
+  :class:`~repro.core.kernel.ObjectiveRecorder` step observer);
+* **lower bound** -- an instance-only certificate
+  (:meth:`Objective.lower_bound`) generalizing Observation 1's role
+  for the makespan;
+* **comparison semantics** -- every objective here is *minimized*
+  (:attr:`Objective.sense`), and :meth:`Objective.ratio` renders
+  value/bound quality ratios with an explicit guard for bounds of 0
+  (tardiness is frequently 0 at the optimum).
+
+Concrete implementations: :class:`~repro.objectives.makespan.Makespan`
+(the paper's objective, bit-identical to ``Schedule.makespan``),
+:class:`~repro.objectives.flow.WeightedFlowTime` (:math:`F_w`, cf. the
+mean response time literature), and
+:class:`~repro.objectives.tardiness.Tardiness` (total tardiness,
+maximum lateness :math:`L_{max}`, and deadline-miss counting, cf. the
+deadline variants of the discrete--continuous line).
+
+Objectives are registered by name (:func:`register_objective`) so the
+CLI, :class:`~repro.backends.batch.BatchRunner`, and the experiment
+harness can select them the way they select policies and backends.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from fractions import Fraction
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from ..core.instance import Instance
+from ..core.job import JobId
+from ..core.kernel import ObjectiveRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..backends.base import BackendResult
+    from ..core.schedule import Schedule
+
+__all__ = [
+    "Objective",
+    "ObjectiveAccumulator",
+    "register_objective",
+    "get_objective",
+    "available_objectives",
+]
+
+
+class ObjectiveAccumulator:
+    """Per-run mutable state fed by the kernel's completion stream.
+
+    Created by :meth:`Objective.start`; :meth:`complete` is called once
+    per finished job (in completion order), :meth:`finish` once at the
+    end of the run and returns the objective value.  Accumulators are
+    single-use: one accumulator per run.
+    """
+
+    def complete(self, job: JobId, t: int) -> None:
+        """Record that *job* completed in (0-based) step *t*."""
+        raise NotImplementedError
+
+    def finish(self, makespan: int):
+        """Close the run of *makespan* steps and return the value."""
+        raise NotImplementedError
+
+
+class Objective(ABC):
+    """Abstract scheduling objective (see the module docstring).
+
+    Subclasses implement :meth:`start` (the online accumulator) and
+    :meth:`lower_bound`; evaluation and observer plumbing are shared.
+
+    Example:
+        >>> from repro.core import Instance
+        >>> from repro.algorithms import GreedyBalance
+        >>> from repro.objectives import get_objective
+        >>> schedule = GreedyBalance().run(
+        ...     Instance.from_percent([[50, 50], [50, 50]])
+        ... )
+        >>> get_objective("makespan").value(schedule)
+        2
+    """
+
+    #: Registry / CLI identifier.
+    name: str = "objective"
+    #: All objectives in this layer are minimized.
+    sense: str = "min"
+
+    @abstractmethod
+    def start(self, instance: Instance) -> ObjectiveAccumulator:
+        """A fresh accumulator for one run on *instance*."""
+
+    @abstractmethod
+    def lower_bound(self, instance: Instance):
+        """An instance-only lower bound on the optimal value."""
+
+    def online_observer(self, instance: Instance) -> ObjectiveRecorder:
+        """A kernel step observer computing this objective online.
+
+        Attach it to any :func:`~repro.core.kernel.run_kernel` run
+        (exact or vector runtime); the value is on
+        :attr:`~repro.core.kernel.ObjectiveRecorder.value` after the
+        run finishes.
+        """
+        return ObjectiveRecorder(self, instance)
+
+    def value_from_completions(
+        self,
+        instance: Instance,
+        completion_steps: Mapping[JobId, int],
+        makespan: int | None = None,
+    ):
+        """Evaluate the objective from a completion-step record.
+
+        *completion_steps* maps every job id to its 0-based completion
+        step (the form both backends report).  *makespan* defaults to
+        ``max(step) + 1`` -- exact for complete runs, which end in the
+        step finishing the last job.
+        """
+        accumulator = self.start(instance)
+        for job, t in completion_steps.items():
+            accumulator.complete(job, t)
+        if makespan is None:
+            makespan = (
+                max(completion_steps.values()) + 1 if completion_steps else 0
+            )
+        return accumulator.finish(makespan)
+
+    def value(self, source: "Schedule | BackendResult", instance: Instance | None = None):
+        """Evaluate the objective on a finished run.
+
+        Accepts a validated :class:`~repro.core.schedule.Schedule` or a
+        :class:`~repro.backends.base.BackendResult`; *instance* is only
+        needed for backend results that do not carry one.
+        """
+        if instance is None:
+            instance = getattr(source, "instance", None)
+        if instance is None:
+            raise ValueError(
+                f"objective {self.name!r} needs the instance to evaluate "
+                "this result; pass instance= explicitly"
+            )
+        makespan = getattr(source, "makespan", None)
+        return self.value_from_completions(
+            instance, source.completion_steps, makespan
+        )
+
+    def ratio(self, value, bound) -> float:
+        """``value / lower_bound`` with a guard for zero bounds.
+
+        For objectives whose optimum can be 0 (tardiness, misses) the
+        bound is frequently 0: a value of 0 then scores a perfect 1.0
+        and any positive value scores ``inf`` (the certificate cannot
+        grade it).  Negative bounds (max lateness) fall back to the
+        same guard.
+        """
+        if bound > 0:
+            return float(Fraction(value) / Fraction(bound))
+        return 1.0 if value <= bound else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+# ----------------------------------------------------------------------
+# Registry (CLI / batch / experiment harness lookup)
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, Callable[[], Objective]] = {}
+
+
+def register_objective(factory: Callable[[], Objective]) -> Callable[[], Objective]:
+    """Register an objective factory under its ``name`` (decorator-friendly)."""
+    probe = factory()
+    _REGISTRY[probe.name] = factory
+    return factory
+
+
+def get_objective(name: str) -> Objective:
+    """Instantiate a registered objective by name.
+
+    Raises:
+        KeyError: with the list of known names.
+    """
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown objective {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_objectives() -> list[str]:
+    """Names of all registered objectives."""
+    return sorted(_REGISTRY)

@@ -40,10 +40,15 @@ def render_instance(instance: Instance) -> str:
     """
     lines = []
     show_releases = instance.has_releases
+
+    def label(job) -> str:
+        text = "/".join(_pct(r) for r in job.requirements)
+        if job.deadline is not None:
+            text += f"(d{job.deadline})"
+        return text
+
     for i, queue in enumerate(instance.queues):
-        labels = " ".join(
-            "/".join(_pct(r) for r in job.requirements) for job in queue
-        )
+        labels = " ".join(label(job) for job in queue)
         suffix = f"  (arrives t={instance.release(i)})" if show_releases else ""
         lines.append(f"p{i} | {labels}{suffix}")
     return "\n".join(lines)
@@ -54,11 +59,16 @@ def render_schedule(schedule: Schedule, *, max_width: int = 120) -> str:
     and the share it receives (percent).
 
     ``.`` marks an idle-but-active processor (zero share), blank marks
-    a finished one.  Columns are time steps (0-based header).
+    a finished one.  Columns are time steps (0-based header).  On
+    instances with deadlines, the completion cell of a late job is
+    marked ``!`` and a lateness summary line is appended (the DEADLINE
+    experiment's terminal view); deadline-free schedules render exactly
+    as before.
     """
     inst = schedule.instance
     m = inst.num_processors
     t_end = schedule.makespan
+    late = schedule.lateness_by_job()
     cells: list[list[str]] = [[] for _ in range(m)]
     for t in range(t_end):
         step = schedule.step(t)
@@ -69,7 +79,10 @@ def render_schedule(schedule: Schedule, *, max_width: int = 120) -> str:
             elif step.shares[i] == ZERO:
                 cells[i].append(".")
             else:
-                cells[i].append(f"j{j}:{_pct(step.shares[i])}")
+                cell = f"j{j}:{_pct(step.shares[i])}"
+                if (i, j) in late and schedule.completion_step(i, j) == t:
+                    cell += "!"
+                cells[i].append(cell)
     width = max(5, max((len(c) for row in cells for c in row), default=5)) + 1
     header = "t    " + "".join(f"{t:<{width}}" for t in range(t_end))
     lines = [header[:max_width]]
@@ -77,6 +90,19 @@ def render_schedule(schedule: Schedule, *, max_width: int = 120) -> str:
         row = f"p{i}   " + "".join(f"{c:<{width}}" for c in cells[i])
         lines.append(row[:max_width])
     lines.append(f"makespan = {t_end}")
+    if inst.has_deadlines:
+        total = sum(late.values())
+        lines.append(
+            f"deadlines: {len(late)} late job(s), total tardiness = {total}"
+            + (
+                "  [" + ", ".join(
+                    f"j({i},{j})+{amount}"
+                    for (i, j), amount in sorted(late.items())
+                ) + "]"
+                if late
+                else ""
+            )
+        )
     return "\n".join(lines)
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import html
 
 from ..core.hypergraph import SchedulingGraph
-from ..core.numerics import ZERO, as_float
+from ..core.numerics import as_float
 from ..core.schedule import Schedule
 
 __all__ = ["schedule_svg", "hypergraph_svg", "series_svg"]
@@ -44,6 +44,10 @@ def _doc(width: int, height: int, body: list[str]) -> str:
     return "\n".join([head, *body, "</svg>"])
 
 
+#: Accents for the deadline overlay (marker line / lateness shading).
+_DEADLINE_COLOR = "#c0392b"
+
+
 def schedule_svg(
     schedule: Schedule,
     *,
@@ -51,13 +55,21 @@ def schedule_svg(
     lane: int = 34,
     title: str | None = None,
 ) -> str:
-    """Render a schedule as a Gantt chart (one lane per processor)."""
+    """Render a schedule as a Gantt chart (one lane per processor).
+
+    On instances with deadlines (the DEADLINE experiment's output) each
+    due step is drawn as a dashed red marker in the job's lane, the
+    steps a late job runs past its deadline are shaded red (opacity
+    growing with lateness), and a tardiness summary joins the footer.
+    Deadline-free schedules render exactly as before.
+    """
     inst = schedule.instance
     m = inst.num_processors
     T = schedule.makespan
     top = 42 if title else 22
     width = 60 + T * cell + 10
     height = top + m * lane + 26
+    late = schedule.lateness_by_job()
     body: list[str] = []
     if title:
         body.append(
@@ -89,6 +101,20 @@ def schedule_svg(
                 f'rx="3" fill="{color}" fill-opacity="{opacity:.2f}" '
                 f'stroke="#333" stroke-width="0.5"/>'
             )
+            deadline = inst.job(i, j).deadline
+            if (
+                deadline is not None
+                and (i, j) in late
+                and t + 1 > deadline
+            ):
+                # Lateness shading: every step run past the due step
+                # gets a red wash, deeper the later the job finishes.
+                wash = min(0.45, 0.12 + 0.06 * late[(i, j)])
+                body.append(
+                    f'<rect x="{x}" y="{y}" width="{cell - 2}" '
+                    f'height="{lane - 4}" rx="3" fill="{_DEADLINE_COLOR}" '
+                    f'fill-opacity="{wash:.2f}"/>'
+                )
             label = f"j{j}" if share == 0 else f"j{j}:{share * 100:.0f}"
             body.append(
                 f'<text x="{x + (cell - 2) / 2:.1f}" y="{y + lane / 2 + 3:.1f}" '
@@ -100,9 +126,32 @@ def schedule_svg(
                     f'x2="{x + cell - 2}" y2="{y + lane - 3}" '
                     f'stroke="#000" stroke-width="2"/>'
                 )
+        # Deadline markers: one dashed line per due step in this lane
+        # (drawn once per distinct step, on top of the job boxes).
+        if inst.has_deadlines:
+            marks = sorted(
+                {
+                    job.deadline
+                    for job in inst.queues[i]
+                    if job.deadline is not None and job.deadline <= T
+                }
+            )
+            for deadline in marks:
+                x = 60 + deadline * cell - 2
+                body.append(
+                    f'<line x1="{x}" y1="{y - 1}" x2="{x}" '
+                    f'y2="{y + lane - 3}" stroke="{_DEADLINE_COLOR}" '
+                    f'stroke-width="1.5" stroke-dasharray="5 3"/>'
+                )
+    footer = f"makespan = {T}"
+    if inst.has_deadlines:
+        footer += (
+            f"; deadlines: {len(late)} late job(s), "
+            f"total tardiness = {sum(late.values())}"
+        )
     body.append(
         f'<text x="60" y="{height - 8}" font-size="11" fill="#444">'
-        f"makespan = {T}</text>"
+        f"{footer}</text>"
     )
     return _doc(width, height, body)
 

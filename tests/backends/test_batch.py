@@ -86,3 +86,75 @@ class TestBatchRunner:
 
         for inst in make_campaign_instances(5, 3, 3, family="general", seed=9):
             assert cross_validate(inst, GreedyBalance()).ok
+
+
+class TestObjectiveCampaigns:
+    """BatchRunner with the pluggable objective axis."""
+
+    def test_objective_rows_and_summary(self):
+        instances = make_campaign_instances(
+            6, 3, 4, seed=0, weights_profile="uniform", deadline_profile="mixed"
+        )
+        result = BatchRunner(
+            workers=1, objectives=("makespan", "weighted-flow", "tardiness")
+        ).run(instances)
+        assert result.objectives == ("makespan", "weighted-flow", "tardiness")
+        for row in result.rows:
+            report = row["objectives"]
+            assert set(report) == {"makespan", "weighted-flow", "tardiness"}
+            # Makespan through the objective layer equals the legacy column.
+            assert report["makespan"]["value"] == row["makespan"]
+            assert report["weighted-flow"]["value"] >= report["weighted-flow"][
+                "lower_bound"
+            ]
+        summary = result.summary()
+        assert set(summary["objectives"]) == {
+            "makespan",
+            "weighted-flow",
+            "tardiness",
+        }
+        assert summary["objectives"]["makespan"]["mean_value"] == summary[
+            "mean_makespan"
+        ]
+
+    def test_objective_values_accessor(self):
+        instances = make_campaign_instances(3, 3, 3, seed=1)
+        result = BatchRunner(workers=1, objectives=("weighted-flow",)).run(
+            instances
+        )
+        values = result.objective_values("weighted-flow")
+        assert len(values) == 3
+        assert all(v > 0 for v in values)
+
+    def test_legacy_campaign_shape_unchanged(self):
+        instances = make_campaign_instances(3, 3, 3, seed=2)
+        result = BatchRunner(workers=1).run(instances)
+        assert result.objectives == ()
+        assert all("objectives" not in row for row in result.rows)
+        assert "objectives" not in result.summary()
+
+    def test_unknown_objective_fails_fast(self):
+        with pytest.raises(KeyError, match="unknown objective"):
+            BatchRunner(objectives=("nope",))
+
+    def test_deterministic_across_worker_counts(self):
+        instances = make_campaign_instances(
+            8, 3, 3, seed=3, deadline_profile="tight"
+        )
+        serial = BatchRunner(workers=1, objectives=("tardiness",)).run(instances)
+        sharded = BatchRunner(workers=3, objectives=("tardiness",)).run(instances)
+        assert strip_timing(serial.rows) == strip_timing(sharded.rows)
+
+    def test_exact_and_vector_agree_on_objectives(self):
+        instances = make_campaign_instances(
+            4, 3, 3, seed=4, weights_profile="skewed", deadline_profile="loose"
+        )
+        objectives = ("weighted-flow", "tardiness", "deadline-misses")
+        vector = BatchRunner(
+            backend="vector", workers=1, objectives=objectives
+        ).run(instances)
+        exact = BatchRunner(
+            backend="exact", workers=1, objectives=objectives
+        ).run(instances)
+        for v_row, e_row in zip(vector.rows, exact.rows):
+            assert v_row["objectives"] == e_row["objectives"]

@@ -1,0 +1,97 @@
+"""Exact-vs-vector agreement on objective values (ISSUE 4 acceptance).
+
+Over 100+ seeded instances carrying all three annotation axes at once
+-- staggered arrivals, skewed/uniform weights, and mixed deadlines --
+both backends must report identical objective values: weighted flow
+exactly, and the tardiness family exactly too (both derive from
+integer completion steps, so the vector backend's completion
+tolerance collapses to step-equality on grid instances).
+"""
+
+import pytest
+
+from repro.algorithms import get_policy
+from repro.backends import cross_validate
+from repro.backends.batch import make_campaign_instances
+
+OBJECTIVES = (
+    "makespan",
+    "weighted-flow",
+    "tardiness",
+    "max-lateness",
+    "deadline-misses",
+)
+
+#: 120 annotated instances: 60 seeds x 2 policies checked per seed.
+SEEDS = range(60)
+
+
+def annotated_instance(seed: int):
+    (inst,) = make_campaign_instances(
+        1,
+        2 + seed % 4,
+        2 + seed % 5,
+        seed=seed,
+        max_release=seed % 7,
+        weights_profile="skewed" if seed % 2 else "uniform",
+        deadline_profile=("tight", "loose", "mixed")[seed % 3],
+    )
+    return inst
+
+
+class TestObjectiveCrossCheck:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("policy", ["edf-waterfill", "weighted-srpt"])
+    def test_annotated_instances_agree(self, seed, policy):
+        inst = annotated_instance(seed)
+        check = cross_validate(
+            inst,
+            get_policy(policy),
+            compare_shares=False,
+            objectives=OBJECTIVES,
+        )
+        assert check.ok, (seed, policy, check)
+        # Flow exactly; tardiness family from integer completion steps,
+        # hence exact as well.
+        for name, (exact_value, vector_value) in check.objective_values.items():
+            assert float(exact_value) == float(vector_value), (
+                seed,
+                policy,
+                name,
+                exact_value,
+                vector_value,
+            )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_poisson_arrival_instances_agree(self, seed):
+        (inst,) = make_campaign_instances(
+            1,
+            4,
+            4,
+            seed=seed,
+            arrival_rate=1.0,
+            weights_profile="skewed",
+            deadline_profile="mixed",
+        )
+        check = cross_validate(
+            inst,
+            get_policy("greedy-balance"),
+            compare_shares=False,
+            objectives=OBJECTIVES,
+        )
+        assert check.ok, (seed, check)
+        assert check.max_objective_error == 0.0
+
+    def test_objective_values_surface_on_result(self):
+        inst = annotated_instance(0)
+        check = cross_validate(
+            inst, get_policy("edf-waterfill"), objectives=("tardiness",)
+        )
+        assert set(check.objective_values) == {"tardiness"}
+        assert check.max_objective_error is not None
+
+    def test_no_objectives_keeps_legacy_shape(self):
+        inst = annotated_instance(1)
+        check = cross_validate(inst, get_policy("greedy-balance"))
+        assert check.objective_values is None
+        assert check.max_objective_error is None

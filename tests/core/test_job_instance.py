@@ -135,3 +135,73 @@ class TestInstanceDerived:
     def test_restrict_all_done_rejected(self, inst):
         with pytest.raises(InvalidInstanceError):
             inst.restrict_to_suffix([3, 1, 2])
+
+
+class TestObjectiveAnnotations:
+    """Job.weight / Job.deadline and the Instance-level helpers."""
+
+    def test_defaults_are_neutral(self):
+        job = Job("1/2")
+        assert job.weight == 1
+        assert job.deadline is None
+        assert job.is_unit_weight
+        assert not job.has_deadline
+
+    def test_equality_includes_annotations(self):
+        assert Job("1/2") != Job("1/2", weight=2)
+        assert Job("1/2") != Job("1/2", deadline=3)
+        assert Job("1/2", weight=2, deadline=3) == Job("1/2", weight=2, deadline=3)
+
+    def test_validation(self):
+        import pytest
+
+        from repro.exceptions import InvalidInstanceError
+
+        with pytest.raises(InvalidInstanceError, match="weight must be positive"):
+            Job("1/2", weight=0)
+        with pytest.raises(InvalidInstanceError, match="deadline must be a step"):
+            Job("1/2", deadline=0)
+
+    def test_replace(self):
+        job = Job("1/2", weight=2, deadline=3)
+        assert job.replace(weight=5).weight == 5
+        assert job.replace(weight=5).deadline == 3
+        assert job.replace(deadline=None).deadline is None
+        assert job.replace(deadline=None).weight == 2
+
+    def test_instance_with_weights_and_deadlines(self):
+        inst = Instance.from_percent([[50, 50], [50, 50]])
+        assert not inst.has_weights and not inst.has_deadlines
+        weighted = inst.with_weights([[1, 2], [3, 4]])
+        assert weighted.has_weights
+        assert weighted.total_weight() == 10
+        dated = inst.with_deadlines([[1, None], [2, 3]])
+        assert dated.has_deadlines
+        assert dated.job(0, 1).deadline is None
+
+    def test_shape_validation(self):
+        import pytest
+
+        from repro.exceptions import InvalidInstanceError
+
+        inst = Instance.from_percent([[50, 50], [50, 50]])
+        with pytest.raises(InvalidInstanceError):
+            inst.with_weights([[1, 2]])
+        with pytest.raises(InvalidInstanceError):
+            inst.with_deadlines([[1], [2, 3]])
+
+    def test_earliest_completion_times(self):
+        inst = Instance(
+            [[Job("1/2"), Job("1/2", 3)], [Job("1/4")]], releases=[0, 5]
+        )
+        earliest = inst.earliest_completion_times()
+        assert earliest[(0, 0)] == 1
+        assert earliest[(0, 1)] == 4  # 1 + ceil(3)
+        assert earliest[(1, 0)] == 6  # release 5 + 1
+
+    def test_annotations_survive_suffix_restriction(self):
+        inst = Instance(
+            [[Job("1/2", weight=2, deadline=3), Job("1/2", deadline=4)]]
+        )
+        suffix = inst.restrict_to_suffix([1])
+        assert suffix.job(0, 0).deadline == 4

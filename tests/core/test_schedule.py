@@ -160,3 +160,43 @@ class TestAggregates:
         a = GreedyBalance().run(two_proc_instance)
         b = GreedyBalance().run(two_proc_instance)
         assert a == b
+
+
+class TestObjectiveAccessors:
+    """Schedule's objective-layer accessors."""
+
+    def test_completion_times_are_one_based(self, two_proc_instance):
+        from repro.algorithms import GreedyBalance
+
+        sched = GreedyBalance().run(two_proc_instance)
+        times = sched.completion_times
+        steps = sched.completion_steps
+        assert times == {jid: t + 1 for jid, t in steps.items()}
+
+    def test_objective_value_by_name_and_instance(self, two_proc_instance):
+        from repro.algorithms import GreedyBalance
+        from repro.objectives import Makespan
+
+        sched = GreedyBalance().run(two_proc_instance)
+        assert sched.objective_value("makespan") == sched.makespan
+        assert sched.objective_value(Makespan()) == sched.makespan
+
+    def test_objective_value_flow(self, two_proc_instance):
+        from repro.algorithms import GreedyBalance
+        from repro.analysis import total_completion_time
+
+        sched = GreedyBalance().run(two_proc_instance)
+        assert sched.objective_value("weighted-flow") == total_completion_time(
+            sched
+        )
+
+    def test_lateness_by_job(self):
+        from repro.algorithms import GreedyBalance
+        from repro.core import Instance
+
+        inst = Instance.from_percent([[100], [100]]).with_deadlines([[1], [1]])
+        sched = GreedyBalance().run(inst)
+        late = sched.lateness_by_job()
+        assert late == {(1, 0): 1} or late == {(0, 0): 1}
+        plain = GreedyBalance().run(Instance.from_percent([[100], [100]]))
+        assert plain.lateness_by_job() == {}

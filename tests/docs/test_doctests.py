@@ -30,7 +30,13 @@ DOCTEST_MODULES = [
     "repro.algorithms.round_robin",
     "repro.algorithms.greedy_balance",
     "repro.algorithms.heuristics",
+    "repro.algorithms.flowdeadline",
     "repro.backends.base",
+    "repro.objectives.base",
+    "repro.objectives.makespan",
+    "repro.objectives.flow",
+    "repro.objectives.tardiness",
+    "repro.generators.random_instances",
 ]
 
 

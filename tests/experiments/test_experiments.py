@@ -31,6 +31,8 @@ class TestRegistry:
             "CONT",
             "ARR",
             "MULTIRES",
+            "FLOW",
+            "DEADLINE",
         }
 
     def test_lookup_case_insensitive(self):
@@ -95,6 +97,34 @@ class TestVerdicts:
 
     def test_sim(self):
         assert get_experiment("SIM").run(num_cores=5, seeds=(0,)).verdict
+
+    def test_flow(self):
+        result = get_experiment("FLOW").run(
+            m=4, n=4, rates=(0.5, 2.0), count=4
+        )
+        assert result.verdict
+        # weighted-srpt beats round-robin at every swept rate.
+        flows = {
+            (row["rate"], row["policy"]): row["mean_flow"]
+            for row in result.rows
+        }
+        for rate in (0.5, 2.0):
+            assert flows[(rate, "weighted-srpt")] < flows[(rate, "round-robin")]
+
+    def test_deadline(self):
+        result = get_experiment("DEADLINE").run(
+            m=4, n=4, profiles=("tight", "loose"), count=4
+        )
+        assert result.verdict
+        tardiness = {
+            (row["profile"], row["policy"]): row["mean_tardiness"]
+            for row in result.rows
+        }
+        for profile in ("tight", "loose"):
+            assert (
+                tardiness[(profile, "edf-waterfill")]
+                < tardiness[(profile, "round-robin")]
+            )
 
 
 class TestResultPlumbing:

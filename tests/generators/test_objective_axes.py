@@ -1,0 +1,163 @@
+"""Generators for the objective axes: weights, deadlines, Poisson arrivals."""
+
+import pytest
+
+from repro.backends.batch import make_campaign_instances
+from repro.generators import (
+    DEADLINE_PROFILES,
+    WEIGHT_PROFILES,
+    poisson_arrivals,
+    uniform_instance,
+    with_deadlines,
+    with_poisson_arrivals,
+    with_weights,
+)
+
+
+class TestPoissonArrivals:
+    def test_deterministic_from_seed(self):
+        assert poisson_arrivals(6, rate=0.7, seed=4) == poisson_arrivals(
+            6, rate=0.7, seed=4
+        )
+
+    def test_distinct_seeds_differ(self):
+        draws = {poisson_arrivals(8, rate=0.7, seed=s) for s in range(10)}
+        assert len(draws) > 1
+
+    def test_pin_first_starts_at_zero(self):
+        for seed in range(10):
+            assert min(poisson_arrivals(5, rate=0.2, seed=seed)) == 0
+
+    def test_unpinned_keeps_raw_process(self):
+        raw = poisson_arrivals(5, rate=0.05, seed=1, pin_first=False)
+        assert all(r >= 0 for r in raw)
+
+    def test_higher_rate_packs_tighter(self):
+        slow = poisson_arrivals(20, rate=0.1, seed=3)
+        fast = poisson_arrivals(20, rate=10.0, seed=3)
+        assert max(fast) < max(slow)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="rate must be positive"):
+            poisson_arrivals(3, rate=0.0)
+
+    def test_with_poisson_arrivals_composes(self):
+        inst = with_poisson_arrivals(
+            uniform_instance(4, 3, seed=0), rate=0.5, seed=1
+        )
+        assert inst.releases == poisson_arrivals(4, rate=0.5, seed=1)
+        # Requirements untouched.
+        assert inst.with_releases(None) == uniform_instance(4, 3, seed=0)
+
+
+class TestWeightProfiles:
+    def test_unit_is_identity(self):
+        inst = uniform_instance(3, 3, seed=0)
+        assert with_weights(inst, profile="unit") is inst
+
+    def test_uniform_and_skewed_annotate(self):
+        inst = uniform_instance(3, 3, seed=0)
+        for profile in ("uniform", "skewed"):
+            out = with_weights(inst, profile=profile, seed=1)
+            assert out.has_weights
+            weights = [job.weight for _, job in out.jobs()]
+            assert all(1 <= w <= 10 for w in weights)
+
+    def test_skewed_is_mostly_unit(self):
+        out = with_weights(
+            uniform_instance(10, 10, seed=0), profile="skewed", seed=2
+        )
+        weights = [job.weight for _, job in out.jobs()]
+        assert weights.count(1) > len(weights) / 2
+        assert any(w == 10 for w in weights)
+
+    def test_requirements_and_releases_preserved(self):
+        inst = uniform_instance(3, 3, seed=0).with_releases([0, 2, 4])
+        out = with_weights(inst, profile="uniform", seed=3)
+        assert out.releases == inst.releases
+        assert [j.requirement for _, j in out.jobs()] == [
+            j.requirement for _, j in inst.jobs()
+        ]
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown weight profile"):
+            with_weights(uniform_instance(2, 2, seed=0), profile="nope")
+
+    def test_profiles_constant_is_exhaustive(self):
+        assert set(WEIGHT_PROFILES) == {"unit", "uniform", "skewed"}
+
+
+class TestDeadlineProfiles:
+    def test_every_profile_annotates_all_jobs(self):
+        inst = uniform_instance(3, 4, seed=0)
+        for profile in DEADLINE_PROFILES:
+            out = with_deadlines(inst, profile=profile, seed=1)
+            assert out.has_deadlines
+            assert all(job.deadline is not None for _, job in out.jobs())
+
+    def test_deadlines_at_least_earliest_completion_when_tight(self):
+        inst = uniform_instance(3, 4, seed=0)
+        out = with_deadlines(inst, profile="tight", seed=2)
+        earliest = out.earliest_completion_times()
+        for jid, job in out.jobs():
+            assert job.deadline >= earliest[jid]
+
+    def test_loose_looser_than_tight(self):
+        inst = uniform_instance(3, 4, seed=0)
+        tight = with_deadlines(inst, profile="tight", seed=3)
+        loose = with_deadlines(inst, profile="loose", seed=3)
+        assert sum(j.deadline for _, j in loose.jobs()) > sum(
+            j.deadline for _, j in tight.jobs()
+        )
+
+    def test_release_aware(self):
+        inst = uniform_instance(2, 2, seed=0).with_releases([0, 10])
+        out = with_deadlines(inst, profile="tight", seed=4)
+        # Deadlines on the late processor sit past its release.
+        assert all(job.deadline > 10 for job in out.queues[1])
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown deadline profile"):
+            with_deadlines(uniform_instance(2, 2, seed=0), profile="nope")
+
+
+class TestCampaignComposition:
+    def test_defaults_bit_identical_to_legacy(self):
+        legacy = make_campaign_instances(5, 3, 3, seed=0)
+        annotated_off = make_campaign_instances(
+            5, 3, 3, seed=0, weights_profile="unit", deadline_profile=None
+        )
+        assert legacy == annotated_off
+        assert not any(inst.has_weights for inst in legacy)
+
+    def test_all_axes_compose(self):
+        instances = make_campaign_instances(
+            4,
+            3,
+            3,
+            seed=0,
+            weights_profile="skewed",
+            deadline_profile="mixed",
+            arrival_rate=1.0,
+        )
+        for inst in instances:
+            assert inst.has_weights
+            assert inst.has_deadlines
+
+    def test_poisson_overrides_uniform_arrivals(self):
+        poisson = make_campaign_instances(
+            2, 4, 3, seed=0, max_release=50, arrival_rate=0.2
+        )
+        uniform = make_campaign_instances(2, 4, 3, seed=0, max_release=50)
+        assert poisson != uniform
+
+    def test_deterministic(self):
+        kwargs = dict(
+            seed=7,
+            weights_profile="uniform",
+            deadline_profile="tight",
+            arrival_rate=0.5,
+        )
+        assert make_campaign_instances(
+            4, 3, 3, **kwargs
+        ) == make_campaign_instances(4, 3, 3, **kwargs)

@@ -130,3 +130,67 @@ class TestScheduleRoundTrip:
     def test_format_check(self):
         with pytest.raises(ValueError, match="not a CRSharing schedule"):
             schedule_from_dict({"format": "bogus"})
+
+
+class TestObjectiveAnnotationRoundTrip:
+    """Version-3 documents: per-job weights and deadlines."""
+
+    def test_annotated_instance_round_trips(self):
+        inst = Instance(
+            [
+                [Job("1/2", weight=3, deadline=4), Job("1/4")],
+                [Job("2/3", 2, weight="5/2")],
+            ],
+            releases=[0, 2],
+        )
+        data = instance_to_dict(inst)
+        assert data["version"] == 3
+        back = instance_from_dict(data)
+        assert back == inst
+        assert back.job(0, 0).weight == Fraction(3)
+        assert back.job(0, 0).deadline == 4
+        assert back.job(1, 0).weight == Fraction(5, 2)
+        assert back.job(0, 1).deadline is None
+
+    def test_default_annotations_keep_version_1(self):
+        inst = uniform_instance(3, 3, seed=0)
+        data = instance_to_dict(inst)
+        assert data["version"] == 1
+        assert all(
+            "w" not in job and "d" not in job
+            for queue in data["processors"]
+            for job in queue
+        )
+
+    def test_multi_resource_annotated_is_version_3(self):
+        inst = Instance([[Job(["1/2", "1/4"], deadline=2)]])
+        data = instance_to_dict(inst)
+        assert data["version"] == 3
+        assert data["resources"] == 2
+        back = instance_from_dict(data)
+        assert back == inst
+
+    def test_generated_profiles_round_trip(self):
+        from repro.generators import with_deadlines, with_weights
+
+        inst = with_deadlines(
+            with_weights(uniform_instance(3, 4, seed=5), profile="skewed", seed=5),
+            profile="mixed",
+            seed=5,
+        )
+        assert instance_from_dict(instance_to_dict(inst)) == inst
+
+    def test_annotated_schedule_round_trips(self):
+        inst = Instance.from_requirements(
+            [["1/2", "1/2"], ["1/2", "1/2"]]
+        ).with_deadlines([[1, 3], [2, 4]])
+        sched = GreedyBalance().run(inst)
+        back = schedule_from_dict(schedule_to_dict(sched))
+        assert back == sched
+        assert back.instance.has_deadlines
+
+    def test_version_3_rejected_fields_still_validated(self):
+        data = instance_to_dict(Instance([[Job("1/2", weight=2)]]))
+        data["processors"][0][0]["w"] = "-1"
+        with pytest.raises(Exception):
+            instance_from_dict(data)

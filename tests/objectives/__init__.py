@@ -1,0 +1,1 @@
+"""Objective-layer tests."""

@@ -310,3 +310,148 @@ class TestDemo:
         out = capsys.readouterr().out
         assert "Figure 1 instance" in out
         assert "hypergraph" in out
+
+
+class TestObjectiveFlags:
+    def test_list_mentions_objectives(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "objectives (" in out
+        assert "weighted-flow" in out
+        assert "--objective NAME" in out
+        assert "FLOW" in out and "DEADLINE" in out
+
+    def test_run_with_tardiness_objective(self, instance_file, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    str(instance_file),
+                    "--objective",
+                    "tardiness",
+                    "--deadline-profile",
+                    "tight",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "deadlines: tight profile" in out
+        assert "objective tardiness:" in out
+
+    def test_run_vector_with_flow_objective(self, instance_file, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    str(instance_file),
+                    "--backend",
+                    "vector",
+                    "--objective",
+                    "weighted-flow",
+                    "--weights-profile",
+                    "skewed",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "weights: skewed profile" in out
+        assert "objective weighted-flow:" in out
+
+    def test_default_run_output_has_no_objective_noise(self, instance_file, capsys):
+        assert main(["run", str(instance_file)]) == 0
+        out = capsys.readouterr().out
+        assert "objective " not in out
+
+    def test_batch_with_objective(self, capsys):
+        assert (
+            main(
+                [
+                    "batch",
+                    "--count",
+                    "3",
+                    "--m",
+                    "3",
+                    "--n",
+                    "3",
+                    "--workers",
+                    "1",
+                    "--objective",
+                    "weighted-flow",
+                    "--weights-profile",
+                    "uniform",
+                    "--arrival-rate",
+                    "1.0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "objective=weighted-flow" in out
+        assert "objective weighted-flow: mean_value=" in out
+        assert "poisson(rate=1)" in out
+
+    def test_crosscheck_with_objective(self, capsys):
+        assert (
+            main(
+                [
+                    "crosscheck",
+                    "--count",
+                    "4",
+                    "--m",
+                    "3",
+                    "--n",
+                    "3",
+                    "--objective",
+                    "tardiness",
+                    "--deadline-profile",
+                    "mixed",
+                    "--policy",
+                    "edf-waterfill",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "objective=tardiness" in out
+        assert "max relative objective error" in out
+        assert "result: OK" in out
+
+    def test_flow_and_deadline_experiments_run(self, capsys):
+        assert main(["experiment", "FLOW"]) == 0
+        assert "REPRODUCED" in capsys.readouterr().out
+        assert main(["experiment", "DEADLINE"]) == 0
+        assert "REPRODUCED" in capsys.readouterr().out
+
+
+class TestBenchReport:
+    def test_reports_stores(self, tmp_path, capsys):
+        (tmp_path / "BENCH_demo.json").write_text(
+            json.dumps(
+                {
+                    "benchmark": "demo",
+                    "generated_at": "2026-07-31T00:00:00+00:00",
+                    "rows": [{"m": 8, "speedup": 42.0}],
+                }
+            )
+        )
+        assert main(["bench-report", "--results", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert "speedup=42.0" in out
+
+    def test_empty_directory_fails(self, tmp_path, capsys):
+        assert main(["bench-report", "--results", str(tmp_path)]) == 1
+        assert "no BENCH_*.json" in capsys.readouterr().out
+
+    def test_repo_results_directory_summarizes(self, capsys):
+        from pathlib import Path
+
+        results = Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+        if not any(results.glob("BENCH_*.json")):
+            import pytest
+
+            pytest.skip("no benchmark stores present")
+        assert main(["bench-report", "--results", str(results)]) == 0
+        assert "benchmark stores" in capsys.readouterr().out

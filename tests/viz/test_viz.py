@@ -90,3 +90,51 @@ class TestSvg:
     def test_series_svg_degenerate_ranges(self):
         svg = series_svg({"a": [(1, 1.0)]})
         self._parse(svg)
+
+
+class TestDeadlineRendering:
+    """Deadline markers and lateness shading (the DEADLINE satellite)."""
+
+    @pytest.fixture
+    def late_schedule(self):
+        from repro.algorithms import get_policy
+        from repro.core import Instance
+
+        inst = Instance.from_percent([[100], [100]]).with_deadlines([[1], [1]])
+        return get_policy("greedy-balance").run(inst)
+
+    def test_render_instance_shows_deadlines(self, late_schedule):
+        out = render_instance(late_schedule.instance)
+        assert "(d1)" in out
+
+    def test_render_schedule_marks_late_completions(self, late_schedule):
+        out = render_schedule(late_schedule)
+        assert "!" in out
+        assert "1 late job(s), total tardiness = 1" in out
+
+    def test_render_schedule_plain_is_unchanged(self, fig1_schedule):
+        out = render_schedule(fig1_schedule)
+        assert "!" not in out
+        assert "deadline" not in out
+
+    def test_svg_has_markers_and_shading(self, late_schedule):
+        svg = schedule_svg(late_schedule, title="late")
+        assert "stroke-dasharray=\"5 3\"" in svg  # deadline marker
+        assert "#c0392b" in svg  # lateness accent
+        assert "late job(s)" in svg
+        ET.fromstring(svg)  # well-formed XML
+
+    def test_svg_plain_has_no_deadline_artifacts(self, fig1_schedule):
+        svg = schedule_svg(fig1_schedule)
+        assert "#c0392b" not in svg
+        assert "late job(s)" not in svg
+
+    def test_all_deadlines_met_renders_clean_summary(self):
+        from repro.algorithms import get_policy
+        from repro.core import Instance
+
+        inst = Instance.from_percent([[100], [100]]).with_deadlines([[9], [9]])
+        sched = get_policy("greedy-balance").run(inst)
+        out = render_schedule(sched)
+        assert "0 late job(s)" in out
+        assert "!" not in out
