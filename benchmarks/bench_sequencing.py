@@ -1,0 +1,82 @@
+"""ORDER bench: sequencing experiment + local-search evaluation loop gate.
+
+Two claims are gated here:
+
+1. the ORDER experiment reproduces (strictly positive fixed-vs-
+   optimized gap on the hardness gadgets, identity sequencer
+   bit-identical), and
+2. the local-search *evaluation loop* -- the hot path of the improver
+   -- runs on the vectorized float64 backend fast enough to matter:
+   at campaign scale (m=32) the vector evaluation loop must beat
+   exact ``Fraction`` re-evaluation by at least ``MIN_EVAL_SPEEDUP``.
+   If this gate fails, budgeted search silently becomes unusable for
+   anything but toy instances.
+
+Results land in ``BENCH_sequencing.json`` (summarized by
+``crsharing bench-report``).
+"""
+
+import time
+
+from repro.experiments import get_experiment
+from repro.generators import bag_instance
+from repro.sequencing import LocalSearchSequencer
+
+#: The vector evaluation loop must beat exact Fraction re-evaluation
+#: by at least this factor on the campaign-scale instance.
+MIN_EVAL_SPEEDUP = 5.0
+
+#: Evaluations per timing pass (kept modest; the gate is a ratio).
+EVAL_BUDGET = 30
+
+
+def test_order_experiment(record_result):
+    record_result(get_experiment("ORDER").run(seeds=(0, 1, 2)))
+
+
+def test_local_search_gantt_throughput(benchmark):
+    """pytest-benchmark timing of one budgeted search at m=8."""
+    inst = bag_instance(8, 6, seed=0)
+    seq = LocalSearchSequencer(budget=20, restarts=1, seed=0)
+
+    def search():
+        return seq.sequence(inst).total_jobs
+
+    assert benchmark(search) == 48
+
+
+def _time_search(backend: str, inst) -> tuple[float, int]:
+    seq = LocalSearchSequencer(
+        backend=backend, budget=EVAL_BUDGET, restarts=1, seed=0
+    )
+    t0 = time.perf_counter()
+    seq.sequence(inst)
+    elapsed = time.perf_counter() - t0
+    return elapsed, int(seq.last_stats["evaluations"])
+
+
+def test_vector_evaluation_loop_speedup(results_dir):
+    """The hot path must stay vectorized: vector >> exact at m=32."""
+    from conftest import write_bench_store
+
+    inst = bag_instance(32, 8, seed=1)
+    vector_s, vector_evals = _time_search("vector", inst)
+    exact_s, exact_evals = _time_search("exact", inst)
+    assert vector_evals == exact_evals  # identical seeded move streams
+    speedup = exact_s / vector_s
+    write_bench_store(
+        results_dir,
+        "sequencing",
+        [
+            {
+                "m": inst.num_processors,
+                "jobs": inst.total_jobs,
+                "evaluations": vector_evals,
+                "vector_seconds": round(vector_s, 4),
+                "exact_seconds": round(exact_s, 4),
+                "eval_speedup": round(speedup, 2),
+                "evals_per_second": round(vector_evals / vector_s, 1),
+            }
+        ],
+    )
+    assert speedup >= MIN_EVAL_SPEEDUP, (vector_s, exact_s)

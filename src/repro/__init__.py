@@ -27,6 +27,8 @@ Package map (see DESIGN.md for the full inventory):
   gadget;
 * :mod:`repro.generators` -- figure examples, adversarial families,
   random families, synthetic many-core workloads;
+* :mod:`repro.sequencing` -- queue order / placement as a decision
+  variable (static orders, greedy placement, local search);
 * :mod:`repro.simulation` -- the shared-bus many-core substrate;
 * :mod:`repro.experiments` -- one reproduction per figure/theorem;
 * :mod:`repro.analysis`, :mod:`repro.viz`, :mod:`repro.io` -- metrics,
@@ -65,6 +67,7 @@ from .core import (
     is_non_wasting,
     is_progressive,
     make_nice,
+    run_policy,
     simulate,
 )
 from .exceptions import (
@@ -72,9 +75,16 @@ from .exceptions import (
     InvalidInstanceError,
     InvalidScheduleError,
     ReproError,
+    SequencingError,
     SimulationLimitError,
     SolverError,
     UnitSizeRequiredError,
+    UnknownPolicyError,
+)
+from .sequencing import (
+    Sequencer,
+    available_sequencers,
+    get_sequencer,
 )
 from .objectives import (
     Makespan,
@@ -101,17 +111,22 @@ __all__ = [
     "RoundRobin",
     "Schedule",
     "SchedulingGraph",
+    "Sequencer",
+    "SequencingError",
     "SimulationLimitError",
     "SolverError",
     "Tardiness",
     "UnitSizeRequiredError",
+    "UnknownPolicyError",
     "VectorBackend",
     "WeightedFlowTime",
     "__version__",
     "available_backends",
     "available_objectives",
     "available_policies",
+    "available_sequencers",
     "get_objective",
+    "get_sequencer",
     "cross_validate",
     "get_backend",
     "best_lower_bound",
@@ -126,5 +141,6 @@ __all__ = [
     "opt_res_assignment",
     "opt_res_assignment_general",
     "opt_res_assignment_pq",
+    "run_policy",
     "simulate",
 ]

@@ -23,6 +23,7 @@ from .base import (
     available_policies,
     get_policy,
     register_policy,
+    resolve_policy,
     water_fill,
     water_fill_multi,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "opt_res_assignment_general",
     "opt_res_assignment_pq",
     "register_policy",
+    "resolve_policy",
     "round_robin_makespan_formula",
     "round_robin_phase",
     "water_fill",

@@ -33,7 +33,7 @@ from ..core.numerics import ONE, ZERO
 from ..core.schedule import Schedule
 from ..core.simulator import simulate
 from ..core.state import ExecState
-from ..exceptions import VectorizationUnsupportedError
+from ..exceptions import UnknownPolicyError, VectorizationUnsupportedError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..backends.base import BackendResult
@@ -48,6 +48,7 @@ __all__ = [
     "sort_key",
     "register_policy",
     "get_policy",
+    "resolve_policy",
     "available_policies",
 ]
 
@@ -357,14 +358,33 @@ def get_policy(name: str) -> Policy:
     """Instantiate a registered policy by name.
 
     Raises:
-        KeyError: with the list of known names.
+        UnknownPolicyError: (a ``KeyError`` subclass) with the list of
+            known names.
     """
     try:
         return _REGISTRY[name]()
     except KeyError:
-        raise KeyError(
+        raise UnknownPolicyError(
             f"unknown policy {name!r}; available: {sorted(_REGISTRY)}"
         ) from None
+
+
+def resolve_policy(policy: "Policy | Callable | str") -> Policy:
+    """Resolve a policy given by registry name, passing objects through.
+
+    The shared name-resolution step behind every public entry point
+    (``run_policy``, ``simulate``, ``cross_validate``,
+    ``ManyCoreEngine.run``, the backends), so
+    ``run_policy(inst, "round-robin")`` works anywhere a policy object
+    does instead of crashing with ``TypeError: 'str' object is not
+    callable`` deep inside the kernel.
+
+    Raises:
+        UnknownPolicyError: for names missing from the registry.
+    """
+    if isinstance(policy, str):
+        return get_policy(policy)
+    return policy
 
 
 def available_policies() -> list[str]:

@@ -149,6 +149,20 @@ class Backend(ABC):
                 :attr:`BackendResult.objective_values`.
         """
 
+    @staticmethod
+    def _resolve_policy(policy):
+        """Resolve policy registry names to objects (shared plumbing).
+
+        Every backend ``run`` resolves through this before touching the
+        policy, so ``get_backend("vector").run(inst, "round-robin")``
+        works exactly like passing the policy object -- and capability
+        checks (e.g. the vector backend's ``shares_array`` probe) only
+        ever see genuine policy objects.
+        """
+        from ..algorithms import resolve_policy  # local: avoid import cycle
+
+        return resolve_policy(policy)
+
     def _objective_observers(
         self, instance: "Instance", objectives: "Sequence[Objective | str]"
     ) -> "list[ObjectiveRecorder]":

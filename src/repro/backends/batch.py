@@ -37,11 +37,33 @@ def _run_one(payload: tuple) -> dict[str, Any]:
     from ..objectives import get_objective
     from . import get_backend
 
-    instance, policy_name, backend_name, max_steps, objective_names = payload
+    (
+        instance,
+        policy_name,
+        backend_name,
+        max_steps,
+        objective_names,
+        sequencer_name,
+        sequencer_options,
+    ) = payload
     policy = get_policy(policy_name)
     backend = get_backend(backend_name)
     objectives = [get_objective(name) for name in objective_names]
+    # The timer starts before sequencing: for local-search the order
+    # optimization dominates the row's cost, and "seconds" reports the
+    # full price of producing this row.
     t0 = time.perf_counter()
+    if sequencer_name is not None:
+        from ..sequencing import get_sequencer  # local: builds on core
+
+        instance = (
+            get_sequencer(sequencer_name, **sequencer_options)
+            .bind(
+                policy=policy,
+                objective=objectives[0] if len(objectives) == 1 else None,
+            )
+            .sequence(instance)
+        )
     result = backend.run(
         instance,
         policy,
@@ -99,6 +121,8 @@ class BatchResult:
             value/lower_bound/ratio entries).
         objectives: objective registry names evaluated per instance
             (empty = the legacy makespan-only campaign shape).
+        sequencer: sequencer registry name applied per instance
+            (``None`` = the fixed-order model).
         wall_seconds: end-to-end campaign wall time.
     """
 
@@ -108,6 +132,7 @@ class BatchResult:
     rows: list[dict[str, Any]] = field(default_factory=list)
     wall_seconds: float = 0.0
     objectives: tuple[str, ...] = ()
+    sequencer: str | None = None
 
     @property
     def makespans(self) -> list[int]:
@@ -148,6 +173,11 @@ class BatchResult:
             "policy": self.policy,
             "backend": self.backend,
             "workers": self.workers,
+            **(
+                {"sequencer": self.sequencer}
+                if self.sequencer is not None
+                else {}
+            ),
             "mean_makespan": sum(self.makespans) / count,
             "mean_ratio": sum(ratios) / count,
             "max_ratio": max(ratios),
@@ -209,6 +239,14 @@ class BatchRunner:
             :func:`repro.objectives.available_objectives`); empty (the
             default) keeps the legacy makespan-only campaign shape
             bit-identical.
+        sequencer: optional sequencer registry name (see
+            :func:`repro.sequencing.available_sequencers`) applied to
+            every instance inside the worker before the run -- the
+            queue-order decision axis.  ``None`` (the default) keeps
+            the instances' fixed order bit-identical.
+        sequencer_options: keyword options for the sequencer factory
+            (e.g. ``{"budget": 500}`` for ``"local-search"``); must be
+            picklable, like the rest of the payload.
     """
 
     def __init__(
@@ -219,6 +257,8 @@ class BatchRunner:
         workers: int | None = None,
         max_steps: int | None = None,
         objectives: Iterable[str] = (),
+        sequencer: str | None = None,
+        sequencer_options: dict[str, Any] | None = None,
     ) -> None:
         # Fail fast on unknown names (workers resolve them again).
         from ..algorithms import get_policy
@@ -230,6 +270,11 @@ class BatchRunner:
         objectives = tuple(objectives)
         for name in objectives:
             get_objective(name)
+        sequencer_options = dict(sequencer_options or {})
+        if sequencer is not None:
+            from ..sequencing import get_sequencer
+
+            get_sequencer(sequencer, **sequencer_options)
         if workers is None:
             workers = min(os.cpu_count() or 1, 8)
         self.policy = policy
@@ -237,11 +282,21 @@ class BatchRunner:
         self.workers = max(1, int(workers))
         self.max_steps = max_steps
         self.objectives = objectives
+        self.sequencer = sequencer
+        self.sequencer_options = sequencer_options
 
     def run(self, instances: Iterable[Instance]) -> BatchResult:
         """Execute the campaign; rows come back in input order."""
         payloads = [
-            (inst, self.policy, self.backend, self.max_steps, self.objectives)
+            (
+                inst,
+                self.policy,
+                self.backend,
+                self.max_steps,
+                self.objectives,
+                self.sequencer,
+                self.sequencer_options,
+            )
             for inst in instances
         ]
         t0 = time.perf_counter()
@@ -262,6 +317,7 @@ class BatchRunner:
             rows=rows,
             wall_seconds=time.perf_counter() - t0,
             objectives=self.objectives,
+            sequencer=self.sequencer,
         )
 
 
@@ -331,6 +387,9 @@ def make_campaign_instances(
         "bimodal": lambda s: gen.bimodal_instance(m, n, grid=grid, seed=s),
         "heavy-tail": lambda s: gen.heavy_tail_instance(m, n, grid=grid, seed=s),
         "general": lambda s: gen.general_size_instance(m, n, grid=grid, seed=s),
+        # A flat job bag dealt round-robin: the neutral baseline the
+        # sequencing axis (BatchRunner(sequencer=...)) improves on.
+        "bag": lambda s: gen.bag_instance(m, n, grid=grid, seed=s),
     }
     try:
         build = families[family]

@@ -57,12 +57,14 @@ def cross_validate(
     tol: float = 1e-9,
     compare_shares: bool = True,
     objectives=(),
+    sequencer=None,
 ) -> CrossCheckResult:
     """Run *policy* on *instance* through both backends and compare.
 
     Args:
         instance: the instance to audit.
-        policy: a policy with a vectorized path.
+        policy: a policy with a vectorized path, or a registry name
+            (resolved via :func:`repro.algorithms.resolve_policy`).
         rtol: allowed relative makespan error (makespans are integers,
             so any ``rtol < 1/makespan`` demands exact equality).
         tol: completion tolerance for the vector backend.
@@ -73,7 +75,28 @@ def cross_validate(
             and tardiness values are derived from integer completion
             steps on both sides, so agreement within *rtol* on grid
             instances means exact agreement.
+        sequencer: optional :class:`~repro.sequencing.Sequencer` (or
+            registry name) applied *once* before both runs, so the
+            audit compares the backends on the same re-sequenced
+            queues.  Unpinned local-search options are bound to the
+            audited policy (and the single requested objective, if
+            exactly one).
     """
+    from ..algorithms import resolve_policy  # local: avoid import cycle
+
+    policy = resolve_policy(policy)
+    objectives = tuple(objectives)  # both backend runs consume it
+    if sequencer is not None:
+        from ..sequencing import resolve_sequencer  # local: builds on core
+
+        instance = (
+            resolve_sequencer(sequencer)
+            .bind(
+                policy=policy,
+                objective=objectives[0] if len(objectives) == 1 else None,
+            )
+            .sequence(instance)
+        )
     exact = ExactBackend().run(
         instance, policy, record_shares=compare_shares, objectives=objectives
     )

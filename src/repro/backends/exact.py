@@ -52,7 +52,12 @@ class ExactBackend(Backend):
         record_shares: bool = True,
         objectives=(),
     ) -> BackendResult:
-        """Run *policy* on *instance* in exact Fraction arithmetic."""
+        """Run *policy* on *instance* in exact Fraction arithmetic.
+
+        *policy* may be a registry name; see
+        :func:`repro.algorithms.resolve_policy`.
+        """
+        policy = self._resolve_policy(policy)
         recorders = self._objective_observers(instance, objectives)
         if instance.num_resources != 1:
             return self._run_multi(

@@ -414,7 +414,12 @@ class VectorBackend(Backend):
         """The kernel runtime this backend contributes.
 
         Shared with :class:`~repro.simulation.engine.ManyCoreEngine`.
+        Policy registry names resolve first, so the ``shares_array``
+        capability check below only ever judges genuine policy objects
+        (an unresolved string used to be reported -- misleadingly -- as
+        "does not implement shares_array").
         """
+        policy = self._resolve_policy(policy)
         if not getattr(policy, "supports_vector", False):
             raise VectorizationUnsupportedError(
                 f"policy {getattr(policy, 'name', policy)!r} does not "
@@ -432,7 +437,12 @@ class VectorBackend(Backend):
         stall_limit: int = 3,
         objectives=(),
     ) -> BackendResult:
-        """Run *policy* on *instance* through the float64 kernel."""
+        """Run *policy* on *instance* through the float64 kernel.
+
+        *policy* may be a registry name; see
+        :func:`repro.algorithms.resolve_policy`.
+        """
+        policy = self._resolve_policy(policy)
         runtime = self.make_runtime(instance, policy)
         completions = CompletionRecorder()
         recorders = self._objective_observers(instance, objectives)

@@ -118,6 +118,61 @@ def _add_objective_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sequencer_args(parser: argparse.ArgumentParser) -> None:
+    from .sequencing import available_sequencers
+
+    parser.add_argument(
+        "--sequencer",
+        choices=available_sequencers(),
+        default=None,
+        help="re-derive per-processor queue orders before running "
+        "(default: keep the instance's fixed order, the paper's model)",
+    )
+    parser.add_argument(
+        "--search-budget",
+        type=int,
+        default=200,
+        metavar="N",
+        help="candidate evaluations per restart for the local-search "
+        "sequencer (ignored by the static strategies)",
+    )
+    parser.add_argument(
+        "--sequencer-seed",
+        type=int,
+        default=0,
+        help="seed of the local-search move streams (restarts draw "
+        "from decorrelated streams derived from it)",
+    )
+
+
+def _sequencer_options(args: argparse.Namespace) -> dict:
+    """Factory options for the selected sequencer, from CLI flags.
+
+    The single flag-to-option mapping shared by every subcommand:
+    run/schedule and crosscheck build the sequencer object through
+    :func:`_resolve_sequencer_arg`, batch forwards name + options to
+    the workers -- both read this dict, so a new local-search flag
+    cannot drift between subcommands.
+    """
+    if args.sequencer != "local-search":
+        return {}
+    return {
+        "policy": args.policy,
+        "budget": args.search_budget,
+        "seed": args.sequencer_seed,
+        "objective": getattr(args, "objective", "makespan"),
+    }
+
+
+def _resolve_sequencer_arg(args: argparse.Namespace):
+    """Build the selected sequencer from CLI flags (None = fixed order)."""
+    from .sequencing import get_sequencer
+
+    if args.sequencer is None:
+        return None
+    return get_sequencer(args.sequencer, **_sequencer_options(args))
+
+
 def _add_resource_args(parser: argparse.ArgumentParser) -> None:
     from .generators import RESOURCE_PROFILES
 
@@ -191,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_arrival_args(p_sched)
         _add_resource_args(p_sched)
         _add_objective_args(p_sched)
+        _add_sequencer_args(p_sched)
         p_sched.add_argument("--svg", type=Path, help="write a Gantt SVG")
         p_sched.add_argument("--json", type=Path, help="write the schedule as JSON")
 
@@ -202,7 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "--family",
         default="uniform",
-        choices=["uniform", "bimodal", "heavy-tail", "general"],
+        choices=["uniform", "bimodal", "heavy-tail", "general", "bag"],
     )
     p_batch.add_argument("--count", type=int, default=100, help="instances to run")
     p_batch.add_argument("--m", type=int, default=16, help="processors per instance")
@@ -215,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_arrival_args(p_batch)
     _add_resource_args(p_batch)
     _add_objective_args(p_batch)
+    _add_sequencer_args(p_batch)
     p_batch.add_argument(
         "--arrival-rate",
         type=float,
@@ -238,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_arrival_args(p_cross)
     _add_resource_args(p_cross)
     _add_objective_args(p_cross)
+    _add_sequencer_args(p_cross)
 
     p_verify = sub.add_parser(
         "verify", help="validate a schedule file and report its properties"
@@ -261,11 +319,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_list() -> int:
     from .objectives import available_objectives
+    from .sequencing import available_sequencers
 
     experiments = list(EXPERIMENTS.values())
     policies = available_policies()
     backends = available_backends()
     objectives = available_objectives()
+    sequencers = available_sequencers()
     print(f"experiments ({len(experiments)}):  run with `crsharing experiment <ID>`")
     for exp in experiments:
         print(f"  {exp.id:<9} {exp.title}")
@@ -282,6 +342,10 @@ def _cmd_list() -> int:
     for name in objectives:
         print(f"  {name}")
     print()
+    print(f"sequencers ({len(sequencers)}):  select with `--sequencer <name>`")
+    for name in sequencers:
+        print(f"  {name}")
+    print()
     print(
         "scenario axes on run/schedule, batch, crosscheck:\n"
         "  --arrivals MAX   staggered per-processor release times "
@@ -291,7 +355,10 @@ def _cmd_list() -> int:
         "  --objective NAME    evaluate a registered objective "
         "(makespan = the paper's objective)\n"
         "  --weights-profile / --deadline-profile    seeded objective "
-        "annotations (weights, due steps)"
+        "annotations (weights, due steps)\n"
+        "  --sequencer NAME    re-derive per-processor queue orders "
+        "(omit = the paper's fixed-order model;\n"
+        "      local-search takes --search-budget / --sequencer-seed)"
     )
     return 0
 
@@ -368,6 +435,10 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             f"(max {args.arrivals}, seed {arrival_seed})"
         )
     instance = _annotate_objective_axes(args, instance)
+    sequencer = _resolve_sequencer_arg(args)
+    if sequencer is not None:
+        instance = sequencer.sequence(instance)
+        print(f"sequencer: {args.sequencer} (queue orders re-derived)")
     policy = get_policy(args.policy)
     if args.backend != "exact" or instance.num_resources > 1:
         # Multi-resource runs have no exact Schedule artifact either;
@@ -388,7 +459,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             f"ratio={report['ratio']:g}"
         )
     if args.svg:
-        args.svg.write_text(schedule_svg(schedule, title=f"{args.policy}"))
+        # Label the Gantt with the full decision triple; the sequencer
+        # changed the executed order, so the title must say so.
+        title = args.policy
+        if args.sequencer is not None:
+            title = f"{args.policy} · order: {args.sequencer}"
+        args.svg.write_text(schedule_svg(schedule, title=title))
         print(f"SVG written to {args.svg}")
     if args.json:
         save_schedule(schedule, args.json)
@@ -458,6 +534,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         backend=args.backend,
         workers=args.workers,
         objectives=objectives,
+        sequencer=args.sequencer,
+        sequencer_options=_sequencer_options(args),
     )
     result = runner.run(instances)
     summary = result.summary()
@@ -469,12 +547,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     print(
         f"campaign: {args.count} x {args.family}(m={args.m}, n={args.n}, "
         f"grid={args.grid}) seed={args.seed} arrivals={arrivals} "
-        f"resources={args.resources} objective={args.objective}"
+        f"resources={args.resources} objective={args.objective} "
+        f"sequencer={args.sequencer or 'fixed (as built)'}"
     )
     for key in (
         "policy",
         "backend",
         "workers",
+        "sequencer",
         "mean_makespan",
         "mean_ratio",
         "max_ratio",
@@ -526,13 +606,18 @@ def _cmd_crosscheck(args: argparse.Namespace) -> int:
         deadline_seed=args.deadline_seed,
     )
     objectives = () if args.objective == "makespan" else (args.objective,)
+    sequencer = _resolve_sequencer_arg(args)
     worst_rel = 0.0
     worst_dev = 0.0
     worst_obj = 0.0
     failures = 0
     for k, instance in enumerate(instances):
         check = cross_validate(
-            instance, policy, rtol=args.rtol, objectives=objectives
+            instance,
+            policy,
+            rtol=args.rtol,
+            objectives=objectives,
+            sequencer=sequencer,
         )
         worst_rel = max(worst_rel, check.makespan_rel_error)
         if check.max_share_deviation is not None:
@@ -553,7 +638,8 @@ def _cmd_crosscheck(args: argparse.Namespace) -> int:
     print(
         f"crosscheck: {args.count} instances, policy={args.policy}, "
         f"m={args.m}, n={args.n}, arrivals={args.arrivals}, "
-        f"resources={args.resources}, objective={args.objective}"
+        f"resources={args.resources}, objective={args.objective}, "
+        f"sequencer={args.sequencer or 'fixed (as built)'}"
     )
     print(f"  max relative makespan error: {worst_rel:.3g} (rtol {args.rtol:.3g})")
     print(f"  max per-step share deviation: {worst_dev:.3g}")
@@ -615,6 +701,8 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
                 "overhead_pct",
                 "vector_steps_per_s",
                 "mean_ratio",
+                "eval_speedup",
+                "evals_per_second",
                 "verdict",
             ):
                 if key in last:

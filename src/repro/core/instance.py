@@ -450,6 +450,148 @@ class Instance:
         )
 
     @classmethod
+    def from_bag(
+        cls,
+        jobs: Iterable[Job | Num],
+        m: int,
+        *,
+        releases: Sequence[int] | None = None,
+    ) -> "Instance":
+        """Deal a flat bag of jobs onto ``m`` processors round-robin.
+
+        The paper fixes the job-to-processor assignment and the order
+        of each queue a priori; this constructor is the entry point of
+        the *sequencing* extension (:mod:`repro.sequencing`), which
+        treats both as decision variables.  Job ``b`` of the bag lands
+        on processor ``b mod m``, preserving bag order within each
+        queue -- the identity placement a
+        :class:`~repro.sequencing.Sequencer` then improves on.
+
+        Raises:
+            InvalidInstanceError: if ``m < 1`` or the bag has fewer
+                than ``m`` jobs (every processor needs a non-empty
+                queue).
+
+        Example:
+            >>> Instance.from_bag(["1/2", "1/4", "3/4"], 2).queues
+            ((Job(0.5), Job(0.75)), (Job(0.25),))
+        """
+        bag = cls.coerce_bag(jobs, m)
+        queues: list[list[Job]] = [[] for _ in range(m)]
+        for b, job in enumerate(bag):
+            queues[b % m].append(job)
+        return cls(queues, releases=releases)
+
+    @classmethod
+    def coerce_bag(cls, jobs: Iterable[Job | Num], m: int) -> list[Job]:
+        """Normalize a flat bag for placement on ``m`` processors.
+
+        Shared by :meth:`from_bag` and the placement sequencers: bare
+        numbers become unit-size :class:`Job` objects, and the bag
+        must be able to fill every processor.
+
+        Raises:
+            InvalidInstanceError: if ``m < 1`` or the bag has fewer
+                than ``m`` jobs.
+        """
+        if m < 1:
+            raise InvalidInstanceError(f"need at least one processor, got m={m}")
+        bag = [job if isinstance(job, Job) else Job(job) for job in jobs]
+        if len(bag) < m:
+            raise InvalidInstanceError(
+                f"a bag of {len(bag)} jobs cannot fill {m} processors "
+                "(every processor needs a non-empty queue)"
+            )
+        return bag
+
+    def job_bag(self) -> tuple[Job, ...]:
+        """All jobs as one flat bag, in processor-major order.
+
+        The inverse view of :meth:`from_bag`: sequencing strategies
+        that re-place jobs across processors flatten through this.
+        """
+        return tuple(job for _, job in self.jobs())
+
+    def same_bag(self, other: "Instance") -> bool:
+        """True iff *other* schedules the same multiset of jobs.
+
+        Queue orders, the job-to-processor assignment, and release
+        times may differ -- this is the invariant every
+        :class:`~repro.sequencing.Sequencer` must preserve (reordering
+        decides *when and where*, never *what*).
+        """
+        def key(job: Job):
+            """Total-order key over the compared job attributes.
+
+            ``None`` deadlines sort after every concrete step
+            (comparing ``None`` with ``int`` directly would raise).
+            """
+            return (
+                job.requirements,
+                job.size,
+                job.weight,
+                job.deadline is None,
+                job.deadline or 0,
+            )
+
+        return sorted(map(key, self.job_bag())) == sorted(
+            map(key, other.job_bag())
+        )
+
+    def with_queues(
+        self, queues: Iterable[Iterable[Job | Num]]
+    ) -> "Instance":
+        """A copy with the job queues replaced, keeping release times.
+
+        The new queues must keep the processor count (release times are
+        per processor); use the plain constructor to change ``m``.
+
+        Raises:
+            InvalidInstanceError: on a processor-count mismatch.
+        """
+        built = [tuple(queue) for queue in queues]
+        if len(built) != self.num_processors:
+            raise InvalidInstanceError(
+                f"with_queues got {len(built)} queues for "
+                f"{self.num_processors} processors (release times are "
+                "per processor; build a new Instance to change m)"
+            )
+        return Instance(built, releases=self._releases)
+
+    def with_order(self, orders: Sequence[Sequence[int]]) -> "Instance":
+        """A copy with each processor's queue permuted.
+
+        ``orders[i]`` is a permutation of ``range(n_i)`` listing
+        processor *i*'s job indices in their new execution order --
+        the order-permutation helper behind the static sequencing
+        strategies.  ``with_order([range(n_i) ...])`` is the identity.
+
+        Raises:
+            InvalidInstanceError: if the row count mismatches or any
+                row is not a permutation of that queue's indices.
+
+        Example:
+            >>> inst = Instance([["1/2", "1/4"], ["3/4"]])
+            >>> inst.with_order([[1, 0], [0]]).queues
+            ((Job(0.25), Job(0.5)), (Job(0.75),))
+        """
+        if len(orders) != self.num_processors:
+            raise InvalidInstanceError(
+                f"with_order got {len(orders)} rows for "
+                f"{self.num_processors} processors"
+            )
+        queues = []
+        for i, queue in enumerate(self._queues):
+            order = [int(j) for j in orders[i]]
+            if sorted(order) != list(range(len(queue))):
+                raise InvalidInstanceError(
+                    f"with_order row {i} = {order} is not a permutation "
+                    f"of 0..{len(queue) - 1}"
+                )
+            queues.append(tuple(queue[j] for j in order))
+        return Instance(queues, releases=self._releases)
+
+    @classmethod
     def from_percent(cls, percents: Sequence[Sequence[Num]]) -> "Instance":
         """Build a unit-size instance from requirements given in percent.
 

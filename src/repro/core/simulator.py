@@ -34,6 +34,7 @@ from .state import ExecState
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from ..backends.base import BackendResult
+    from ..sequencing.base import Sequencer
 
 __all__ = [
     "simulate",
@@ -63,9 +64,10 @@ def default_step_limit(instance: Instance) -> int:
 
 def run_policy(
     instance: Instance,
-    policy: PolicyFn,
+    policy: PolicyFn | str,
     *,
     backend: str = "exact",
+    sequencer: "Sequencer | str | None" = None,
     **kwargs,
 ) -> "BackendResult":
     """Run *policy* through a named simulation backend.
@@ -74,15 +76,48 @@ def run_policy(
     flag: ``backend="exact"`` wraps :func:`simulate` (the result
     carries the validated :class:`Schedule`), ``backend="vector"``
     runs the NumPy float64 engine.  See :mod:`repro.backends`.
+
+    *policy* may be a policy object or a registry name
+    (``run_policy(inst, "round-robin")``); names resolve through
+    :func:`repro.algorithms.resolve_policy` and unknown names raise
+    :class:`~repro.exceptions.UnknownPolicyError` listing the options.
+
+    *sequencer* (a :class:`~repro.sequencing.Sequencer` or registry
+    name) re-derives the per-processor queue orders before the run --
+    the job-order decision axis (:mod:`repro.sequencing`); ``None``
+    keeps the instance's fixed order bit-identical.  Strategies with
+    unpinned evaluation options (a bare ``"local-search"``) are bound
+    to the policy -- and, when exactly one objective is requested, to
+    that objective -- that this run actually executes.  The returned
+    result's ``instance`` attribute carries the order that actually
+    executed.
     """
+    from ..algorithms import resolve_policy  # local: algorithms build on core
     from ..backends import get_backend  # local: backends build on this module
 
+    policy = resolve_policy(policy)
+    if sequencer is not None:
+        from ..sequencing import resolve_sequencer  # local: builds on core
+
+        objectives = tuple(kwargs.get("objectives") or ())
+        if "objectives" in kwargs:
+            # Materialize before the backend sees it: a one-shot
+            # iterable would otherwise arrive exhausted.
+            kwargs["objectives"] = objectives
+        instance = (
+            resolve_sequencer(sequencer)
+            .bind(
+                policy=policy,
+                objective=objectives[0] if len(objectives) == 1 else None,
+            )
+            .sequence(instance)
+        )
     return get_backend(backend).run(instance, policy, **kwargs)
 
 
 def simulate(
     instance: Instance,
-    policy: PolicyFn,
+    policy: PolicyFn | str,
     *,
     max_steps: int | None = None,
     stall_limit: int = 3,
@@ -93,7 +128,10 @@ def simulate(
     Args:
         instance: the CRSharing instance (unit or general job sizes,
             with or without release times).
-        policy: callable producing one share vector per step.
+        policy: callable producing one share vector per step, or a
+            registry name (resolved via
+            :func:`repro.algorithms.resolve_policy`; unknown names
+            raise :class:`~repro.exceptions.UnknownPolicyError`).
         max_steps: hard safety limit (default
             :func:`default_step_limit`).
         stall_limit: abort after this many *consecutive* steps in which
@@ -117,6 +155,9 @@ def simulate(
             or emits an invalid share.
         SimulationLimitError: if the limits are exceeded.
     """
+    from ..algorithms import resolve_policy  # local: algorithms build on core
+
+    policy = resolve_policy(policy)
     instance.require_single_resource("simulate (Schedule artifact)")
     recorder = ShareRecorder()
     run_kernel(

@@ -18,6 +18,8 @@ __all__ = [
     "SolverError",
     "BackendError",
     "VectorizationUnsupportedError",
+    "UnknownPolicyError",
+    "SequencingError",
 ]
 
 
@@ -71,3 +73,27 @@ class VectorizationUnsupportedError(BackendError):
     to :class:`~repro.backends.VectorBackend`.  Implement
     :meth:`repro.algorithms.base.Policy.shares_array` or run the policy
     on the exact backend."""
+
+
+class SequencingError(ReproError):
+    """The sequencing layer (:mod:`repro.sequencing`) was misused:
+    unknown sequencer name, or a strategy produced queues that do not
+    preserve the instance's job bag."""
+
+
+class UnknownPolicyError(ReproError, KeyError):
+    """A policy name has no entry in the policy registry.
+
+    Raised by :func:`repro.algorithms.get_policy` (and therefore by
+    every public entry point that resolves policy names --
+    ``run_policy``, ``simulate``, ``cross_validate``, ``BatchRunner``,
+    ``ManyCoreEngine.run``).  The message lists
+    :func:`repro.algorithms.available_policies`.  Subclasses
+    ``KeyError`` for backwards compatibility with callers that catch
+    the registry's historical exception type.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its single argument, which would
+        # wrap the human-readable message in quotes.
+        return self.args[0] if len(self.args) == 1 else super().__str__()

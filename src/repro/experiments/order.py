@@ -1,0 +1,170 @@
+"""ORDER: how much makespan the fixed queue order leaves on the table.
+
+The paper fixes each processor's job order a priori, and its Theorem 4
+reduction proves that choosing the best order is NP-hard: on the
+partition gadget a YES-instance admits a 4-step schedule, but any
+wrong order forces 5 or more.  This experiment treats the order as a
+decision variable (the :mod:`repro.sequencing` layer) and measures the
+*order gap* -- fixed-order makespan minus optimized-order makespan
+under the same policy -- on two families:
+
+* seeded uniform random instances (the generic campaign family), and
+* planted YES hardness gadgets, where the gap provably exists: the
+  optimum is exactly 4, while policies on the as-built order need 5+.
+
+Machine check (the verdict):
+
+* the ``fixed`` sequencer is the identity: bit-identical makespans to
+  running without a sequencer on every instance;
+* every sequencer preserves the job bag and every makespan respects
+  the (order-invariant) work lower bound;
+* on the YES gadgets, local search achieves a strictly positive mean
+  gap -- it closes a measurable fraction of the gap the partition
+  gadget proves exists (and never beats the proven optimum of 4).
+"""
+
+from __future__ import annotations
+
+from ..core.simulator import run_policy
+from ..generators.random_instances import uniform_instance
+from ..reductions.partition import random_yes_instance
+from ..reductions.reduction import reduction_instance
+from ..sequencing import get_sequencer
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+#: Sequencers compared against the fixed-order baseline.
+_SEQUENCERS = ("spt", "requirement-desc", "greedy-placement", "local-search")
+
+#: Makespan the gadget proves optimal for YES partition instances.
+_GADGET_OPT = 4
+
+
+def run(
+    m: int = 5,
+    n: int = 5,
+    gadget_size: int = 6,
+    seeds: tuple[int, ...] = (0, 1, 2, 3),
+    policy: str = "greedy-balance",
+    budget: int = 150,
+    restarts: int = 2,
+    grid: int = 100,
+    backend: str = "vector",
+) -> ExperimentResult:
+    """Run the fixed-vs-optimized order comparison and check its claims."""
+    families = {
+        "uniform": [
+            uniform_instance(m, n, grid=grid, seed=seed) for seed in seeds
+        ],
+        "gadget-yes": [
+            reduction_instance(
+                random_yes_instance(gadget_size, seed=seed)[0]
+            )
+            for seed in seeds
+        ],
+    }
+    rows = []
+    ok = True
+    gadget_gap_total = 0
+    for family, instances in families.items():
+        fixed_spans = [
+            run_policy(
+                inst, policy, backend=backend, record_shares=False
+            ).makespan
+            for inst in instances
+        ]
+        # The identity sequencer must reproduce the no-sequencer run
+        # bit-identically (same makespan on every instance).
+        for inst, span in zip(instances, fixed_spans):
+            identity = run_policy(
+                inst,
+                policy,
+                backend=backend,
+                record_shares=False,
+                sequencer="fixed",
+            )
+            if identity.makespan != span:
+                ok = False
+        for name in _SEQUENCERS:
+            tuned_spans = []
+            for seed, inst in zip(seeds, instances):
+                if name == "local-search":
+                    sequencer = get_sequencer(
+                        name,
+                        policy=policy,
+                        backend=backend,
+                        budget=budget,
+                        restarts=restarts,
+                        seed=seed,
+                    )
+                else:
+                    sequencer = get_sequencer(name)
+                tuned = sequencer.sequence(inst)
+                if not inst.same_bag(tuned):
+                    ok = False
+                result = run_policy(
+                    tuned, policy, backend=backend, record_shares=False
+                )
+                if result.makespan < inst.work_lower_bound():
+                    ok = False
+                if family == "gadget-yes" and result.makespan < _GADGET_OPT:
+                    ok = False  # nothing beats the proven optimum
+                tuned_spans.append(result.makespan)
+            count = len(instances)
+            mean_fixed = sum(fixed_spans) / count
+            mean_tuned = sum(tuned_spans) / count
+            gaps = [f - t for f, t in zip(fixed_spans, tuned_spans)]
+            if family == "gadget-yes" and name == "local-search":
+                gadget_gap_total = sum(gaps)
+            rows.append(
+                {
+                    "family": family,
+                    "sequencer": name,
+                    "mean_fixed": round(mean_fixed, 2),
+                    "mean_optimized": round(mean_tuned, 2),
+                    "mean_gap": round(sum(gaps) / count, 2),
+                    "improved": sum(1 for g in gaps if g > 0),
+                }
+            )
+    if gadget_gap_total <= 0:
+        ok = False  # the gadget gap must be strictly positive
+    return ExperimentResult(
+        experiment="ORDER",
+        title="Queue-order gap: fixed vs optimized sequencing",
+        paper_claim=(
+            "beyond the paper: Theorem 4 proves job order is where the "
+            "hardness lives -- on planted YES gadgets the optimum is 4 "
+            "but fixed-order policies need 5+, and budgeted local "
+            "search over orders recovers a strictly positive share of "
+            "that provable gap (identity sequencing stays bit-identical)"
+        ),
+        params={
+            "m": m,
+            "n": n,
+            "gadget_size": gadget_size,
+            "seeds": list(seeds),
+            "policy": policy,
+            "budget": budget,
+            "restarts": restarts,
+            "grid": grid,
+            "backend": backend,
+        },
+        columns=[
+            "family",
+            "sequencer",
+            "mean_fixed",
+            "mean_optimized",
+            "mean_gap",
+            "improved",
+        ],
+        rows=rows,
+        verdict=ok,
+        notes=[
+            "mean_gap = mean(fixed-order makespan - optimized-order "
+            "makespan) under the same policy; improved = instances "
+            "with a strictly positive gap",
+            f"gadget-yes family: planted Partition YES gadgets "
+            f"(optimal makespan provably {_GADGET_OPT})",
+        ],
+    )

@@ -16,6 +16,7 @@ from . import (
     gen,
     lemmas,
     multires,
+    order,
     sim,
     thm3,
     thm5,
@@ -47,6 +48,7 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("MULTIRES", "Multiple shared resources: policy ratios as k grows", multires.run),
         Experiment("FLOW", "Weighted flow time under Poisson arrivals", flow.run),
         Experiment("DEADLINE", "Deadlines: tardiness/lateness policy comparison", deadline.run),
+        Experiment("ORDER", "Queue-order gap: fixed vs optimized sequencing", order.run),
     ]
 }
 

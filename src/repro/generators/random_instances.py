@@ -16,11 +16,13 @@ from ..core.job import Job
 
 __all__ = [
     "uniform_instance",
+    "bag_instance",
     "bimodal_instance",
     "ragged_instance",
     "heavy_tail_instance",
     "general_size_instance",
     "sample_arrivals",
+    "sample_job_bag",
     "poisson_arrivals",
     "with_arrivals",
     "with_poisson_arrivals",
@@ -419,6 +421,71 @@ def uniform_instance(
             [Fraction(rng.randint(low, high), grid) for _ in range(n)]
             for _ in range(m)
         ]
+    )
+
+
+def sample_job_bag(
+    count: int,
+    *,
+    grid: int = 100,
+    low: int = 1,
+    high: int | None = None,
+    max_size: int = 1,
+    seed: int | None = None,
+) -> list[Job]:
+    """Sample a flat bag of jobs (no processor assignment, no order).
+
+    The raw material of the sequencing layer
+    (:mod:`repro.sequencing`): a bag is what a
+    :class:`~repro.sequencing.Sequencer` places onto processors, so
+    this sampler deliberately returns loose :class:`Job` objects
+    instead of an :class:`~repro.core.instance.Instance`.
+    Requirements are uniform on ``{low/grid, ..., high/grid}`` (the
+    same marginal as :func:`uniform_instance`); sizes are uniform
+    integers in ``1..max_size`` (``max_size=1`` keeps the paper's
+    unit-size restriction).
+
+    Example:
+        >>> bag = sample_job_bag(4, grid=10, seed=0)
+        >>> len(bag), all(job.is_unit for job in bag)
+        (4, True)
+    """
+    if count < 1:
+        raise ValueError(f"need at least one job, got count={count}")
+    if high is None:
+        high = grid
+    if not 0 <= low <= high <= grid:
+        raise ValueError(f"need 0 <= low <= high <= grid, got {low}, {high}, {grid}")
+    if max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
+    rng = _rng(seed)
+    return [
+        Job(
+            Fraction(rng.randint(low, high), grid),
+            1 if max_size == 1 else rng.randint(1, max_size),
+        )
+        for _ in range(count)
+    ]
+
+
+def bag_instance(
+    m: int,
+    n: int,
+    *,
+    grid: int = 100,
+    max_size: int = 1,
+    seed: int | None = None,
+) -> Instance:
+    """``m * n`` bag-sampled jobs dealt round-robin onto ``m`` processors.
+
+    The campaign family of the sequencing experiments: the deal is the
+    *identity* placement (:meth:`Instance.from_bag`), so a downstream
+    sequencer axis -- ``BatchRunner(sequencer=...)``, the CLI's
+    ``--sequencer`` -- measures its reordering gain against a neutral
+    baseline rather than a hand-tuned one.
+    """
+    return Instance.from_bag(
+        sample_job_bag(m * n, grid=grid, max_size=max_size, seed=seed), m
     )
 
 

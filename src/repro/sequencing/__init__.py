@@ -1,0 +1,70 @@
+"""Sequencing layer: per-processor queue order as a decision variable.
+
+The paper's central modelling decision is that each processor's job
+queue order is fixed a priori -- and its Theorem 4 hardness gadget
+shows that this order is exactly where the problem's difficulty lives.
+This subpackage relaxes the assumption: a
+:class:`~repro.sequencing.base.Sequencer` maps a bag of jobs (or an
+existing :class:`~repro.core.instance.Instance`) to concrete
+per-processor ordered queues, and the axis is threaded through
+``run_policy(..., sequencer=...)``,
+:class:`~repro.backends.batch.BatchRunner`,
+:func:`~repro.backends.crosscheck.cross_validate`, the ORDER
+experiment, and the CLI's ``--sequencer`` flag -- exactly like
+policies, backends, and objectives before it.
+
+Registered strategies:
+
+* ``fixed`` -- :class:`FixedOrder`, the identity (the paper's model,
+  bit-identical);
+* ``spt`` / ``lpt`` -- :class:`SPTOrder` / :class:`LPTOrder`,
+  shortest/longest processing time first within each queue;
+* ``requirement-desc`` -- :class:`RequirementDescending`,
+  resource-hungry jobs first;
+* ``slack`` -- :class:`SlackOrder`, earliest due date first
+  (deadline-aware);
+* ``greedy-placement`` -- :class:`GreedyPlacement`, LPT list placement
+  onto the least-loaded queue (may move jobs between processors);
+* ``local-search`` -- :class:`LocalSearchSequencer`, objective-driven
+  swap/insertion hill-climbing with budgeted restarts on decorrelated
+  seed streams.
+
+Select by name::
+
+    from repro.sequencing import get_sequencer
+    better = get_sequencer("local-search", budget=300).sequence(inst)
+"""
+
+from .base import (
+    Sequencer,
+    available_sequencers,
+    get_sequencer,
+    register_sequencer,
+    resolve_sequencer,
+)
+from .local_search import LocalSearchSequencer
+from .placement import GreedyPlacement
+from .static_orders import (
+    FixedOrder,
+    LPTOrder,
+    RequirementDescending,
+    SlackOrder,
+    SPTOrder,
+    StaticOrder,
+)
+
+__all__ = [
+    "FixedOrder",
+    "GreedyPlacement",
+    "LPTOrder",
+    "LocalSearchSequencer",
+    "RequirementDescending",
+    "SPTOrder",
+    "Sequencer",
+    "SlackOrder",
+    "StaticOrder",
+    "available_sequencers",
+    "get_sequencer",
+    "register_sequencer",
+    "resolve_sequencer",
+]

@@ -1,0 +1,166 @@
+"""The :class:`Sequencer` protocol and its registry.
+
+The paper fixes each processor's job queue a priori -- the scheduler
+only distributes the shared resource.  The Theorem 4 hardness gadget
+(:mod:`repro.reductions`) shows that this fixed order is exactly where
+the problem's difficulty lives: deciding the best order is NP-hard.
+The sequencing layer relaxes that assumption and treats per-processor
+queue order (and, for placement strategies, the job-to-processor
+assignment itself, after Maack et al.'s placement variant) as a
+first-class decision variable.
+
+A *sequencer* maps a bag of jobs -- or an existing
+:class:`~repro.core.instance.Instance` -- to concrete per-processor
+ordered queues:
+
+* :meth:`Sequencer.sequence` re-derives the queues of an existing
+  instance (same multiset of jobs, possibly new orders/placement);
+* :meth:`Sequencer.place` builds an instance from a flat bag of jobs
+  on ``m`` processors (default: :meth:`Instance.from_bag` dealing,
+  then :meth:`sequence`).
+
+Every sequencer must preserve the job bag
+(:meth:`Instance.same_bag`) and the per-processor release times; the
+``fixed`` sequencer is the identity and pins today's fixed-order
+behavior bit-identically.
+
+Sequencers are registered by name (:func:`register_sequencer`) so the
+CLI (``--sequencer``), :class:`~repro.backends.batch.BatchRunner`, and
+the experiment harness select them the way they select policies,
+backends, and objectives.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from ..core.instance import Instance
+from ..exceptions import SequencingError
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..core.job import Job
+    from ..core.numerics import Num
+
+__all__ = [
+    "Sequencer",
+    "register_sequencer",
+    "get_sequencer",
+    "resolve_sequencer",
+    "available_sequencers",
+]
+
+
+class Sequencer(ABC):
+    """Abstract queue-order/placement strategy (see module docstring).
+
+    Subclasses implement :meth:`sequence`; bag placement and the
+    bag-preservation guard are shared.
+
+    Example:
+        >>> from repro.core import Instance
+        >>> from repro.sequencing import get_sequencer
+        >>> inst = Instance([["1/4", "3/4"], ["1/2", "1/2"]])
+        >>> get_sequencer("requirement-desc").sequence(inst).queues[0]
+        (Job(0.75), Job(0.25))
+    """
+
+    #: Registry / CLI identifier.
+    name: str = "sequencer"
+
+    @abstractmethod
+    def sequence(self, instance: Instance) -> Instance:
+        """Re-derive *instance*'s queues (same job bag, new order).
+
+        Implementations must preserve the multiset of jobs and the
+        per-processor release times; pure ordering strategies keep the
+        job-to-processor assignment, placement strategies may move jobs
+        between queues.
+        """
+
+    def place(
+        self,
+        jobs: "Iterable[Job | Num]",
+        m: int,
+        *,
+        releases: Sequence[int] | None = None,
+    ) -> Instance:
+        """Build ordered queues for a flat bag of jobs on ``m`` processors.
+
+        The default deals the bag round-robin
+        (:meth:`~repro.core.instance.Instance.from_bag`) and hands the
+        result to :meth:`sequence`; placement strategies override the
+        whole pipeline.
+        """
+        return self.sequence(Instance.from_bag(jobs, m, releases=releases))
+
+    def bind(self, *, policy=None, objective=None) -> "Sequencer":
+        """Align unpinned evaluation options with the run's decisions.
+
+        Entry points that thread a sequencer through a concrete run
+        (``run_policy``, ``cross_validate``, the batch workers) call
+        this with the policy/objective that will actually execute.
+        Strategies that evaluate candidate orders under a policy
+        (:class:`~repro.sequencing.local_search.LocalSearchSequencer`)
+        override it to adopt the run's choices for any option the
+        caller left unpinned; order-only strategies ignore it (the
+        default no-op).
+        """
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+# ----------------------------------------------------------------------
+# Registry (CLI / batch / experiment harness lookup)
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, Callable[..., Sequencer]] = {}
+
+
+def register_sequencer(factory: Callable[..., Sequencer]) -> Callable[..., Sequencer]:
+    """Register a sequencer factory under its ``name`` (decorator-friendly).
+
+    The factory must be callable with no arguments (strategy options
+    all carry defaults); :func:`get_sequencer` forwards keyword options
+    to it.
+    """
+    probe = factory()
+    _REGISTRY[probe.name] = factory
+    return factory
+
+
+def get_sequencer(name: str, **options) -> Sequencer:
+    """Instantiate a registered sequencer by name.
+
+    Keyword *options* are forwarded to the strategy's constructor
+    (e.g. ``get_sequencer("local-search", budget=500)``); strategies
+    without options reject unexpected keywords with a ``TypeError``.
+
+    Raises:
+        SequencingError: for unknown names (message lists the options).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise SequencingError(
+            f"unknown sequencer {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**options)
+
+
+def resolve_sequencer(sequencer: "Sequencer | str") -> Sequencer:
+    """Resolve a sequencer given by registry name, passing objects through.
+
+    The shared name-resolution step behind the ``sequencer=`` axis of
+    ``run_policy`` / ``cross_validate`` / ``BatchRunner`` (mirroring
+    :func:`repro.algorithms.resolve_policy` for policies).
+    """
+    if isinstance(sequencer, str):
+        return get_sequencer(sequencer)
+    return sequencer
+
+
+def available_sequencers() -> list[str]:
+    """Names of all registered sequencers."""
+    return sorted(_REGISTRY)

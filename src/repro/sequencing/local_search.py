@@ -1,0 +1,273 @@
+"""Objective-driven local search over queue orders and placements.
+
+Theorem 4 proves that choosing the best queue order is NP-hard, so the
+sequencing layer's strongest strategy is a heuristic *improver*: start
+from the instance's current order, repeatedly propose small
+neighborhood moves -- pairwise swaps of two job positions and
+insertion moves that relocate one job to another position (both may
+cross queues) -- and keep a move iff it strictly improves the
+evaluation objective.
+
+Evaluation runs the full policy simulation through any registered
+backend and objective: by default the vectorized float64 backend with
+the makespan objective, because the evaluation loop is the hot path
+(``benchmarks/bench_sequencing.py`` gates that the vector evaluation
+loop stays well ahead of exact ``Fraction`` re-evaluation; the final
+accepted order can always be re-audited exactly).
+
+Determinism: the search is seeded, and *restarts* draw from
+decorrelated seed streams (``seed + r * offset``), mirroring the
+campaign generators' stream discipline -- each restart perturbs the
+incumbent with a burst of random swaps and climbs again, so one
+unlucky neighborhood does not pin the search.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+
+from ..core.instance import Instance
+from ..core.job import Job
+from ..exceptions import SequencingError
+from .base import Sequencer, register_sequencer
+
+__all__ = ["LocalSearchSequencer"]
+
+#: Decorrelates the per-restart seed streams (same constant family as
+#: the campaign generators' arrival/resource/weight offsets).
+_RESTART_SEED_OFFSET = 0x51ED2700
+
+
+@register_sequencer
+class LocalSearchSequencer(Sequencer):
+    """Budgeted hill-climbing over swap + insertion moves.
+
+    Args:
+        policy: policy evaluated on every candidate order (registry
+            name or object; the name is resolved once, up front).
+            ``None`` (the default) leaves the choice *unpinned*: entry
+            points that thread the sequencer through a concrete run
+            (``run_policy(..., sequencer=...)``, ``cross_validate``,
+            the batch workers) align it with the policy that actually
+            executes via :meth:`bind`; standalone use falls back to
+            ``"greedy-balance"``.
+        backend: backend running the evaluations (registry name;
+            ``"vector"`` keeps the hot loop in float64).
+        objective: objective being minimized (registry name or object;
+            ``None`` is unpinned like *policy*, falling back to
+            ``"makespan"``, the paper's objective).
+        budget: candidate evaluations per restart (a restart's
+            perturbation evaluation counts against its own budget; the
+            initial order's single evaluation is charged to none).
+            Budget left over when a restart exhausts its neighborhood
+            early is *not* carried into later restarts.
+        restarts: independent climbing passes; restart ``r`` draws its
+            moves from the decorrelated stream ``seed + r * offset``
+            and starts from a perturbed copy of the incumbent.
+        seed: base seed of the move streams.
+        max_steps: per-evaluation safety limit forwarded to the
+            backend (``None`` = the backend's default).
+
+    Attributes:
+        last_stats: after each :meth:`sequence` call, a dict with the
+            number of ``evaluations``, the ``initial`` and ``best``
+            objective values, and ``improved`` (their strict
+            comparison) -- the ORDER experiment and the benchmark read
+            these instead of re-deriving them.
+
+    Example:
+        >>> from repro.core import Instance
+        >>> from repro.sequencing import get_sequencer
+        >>> seq = get_sequencer("local-search", budget=40, seed=0)
+        >>> inst = Instance.from_percent([[80, 20, 60], [40, 90, 10]])
+        >>> better = seq.sequence(inst)
+        >>> inst.same_bag(better)
+        True
+        >>> seq.last_stats["best"] <= seq.last_stats["initial"]
+        True
+    """
+
+    name = "local-search"
+
+    def __init__(
+        self,
+        *,
+        policy=None,
+        backend: str = "vector",
+        objective=None,
+        budget: int = 200,
+        restarts: int = 2,
+        seed: int = 0,
+        max_steps: int | None = None,
+    ) -> None:
+        from ..algorithms import resolve_policy  # local: avoid import cycle
+        from ..backends import get_backend
+        from ..objectives import get_objective
+
+        if budget < 1:
+            raise SequencingError(f"budget must be >= 1, got {budget}")
+        if restarts < 1:
+            raise SequencingError(f"restarts must be >= 1, got {restarts}")
+        # None = unpinned (bind may align it with the run); remember
+        # which options were explicit so bind never overrides those.
+        self._policy_pinned = policy is not None
+        self._objective_pinned = objective is not None
+        self.policy = resolve_policy(
+            policy if policy is not None else "greedy-balance"
+        )
+        self.backend = get_backend(backend)
+        if objective is None:
+            objective = "makespan"
+        self.objective = (
+            get_objective(objective) if isinstance(objective, str) else objective
+        )
+        self.budget = int(budget)
+        self.restarts = int(restarts)
+        self.seed = int(seed)
+        self.max_steps = max_steps
+        self.last_stats: dict[str, object] = {}
+
+    def bind(self, *, policy=None, objective=None) -> "LocalSearchSequencer":
+        """Adopt the run's policy/objective for any unpinned option.
+
+        Options given explicitly at construction always win; a bare
+        ``get_sequencer("local-search")`` threaded through
+        ``run_policy(inst, "round-robin", sequencer=...)`` evaluates
+        its candidates under round-robin, not under the standalone
+        fallback.  Returns a *bound copy* when anything is adopted
+        (``self`` otherwise), so the caller's object keeps its
+        unpinned standalone behavior.
+        """
+        from ..algorithms import resolve_policy  # local: avoid import cycle
+        from ..objectives import get_objective
+
+        adopt_policy = policy is not None and not self._policy_pinned
+        adopt_objective = objective is not None and not self._objective_pinned
+        if not (adopt_policy or adopt_objective):
+            return self
+        bound = copy.copy(self)
+        bound.last_stats = {}
+        if adopt_policy:
+            bound.policy = resolve_policy(policy)
+            bound._policy_pinned = True
+        if adopt_objective:
+            bound.objective = (
+                get_objective(objective)
+                if isinstance(objective, str)
+                else objective
+            )
+            bound._objective_pinned = True
+        return bound
+
+    # ------------------------------------------------------------------
+    # Evaluation (the hot path)
+    # ------------------------------------------------------------------
+    def evaluate(self, instance: Instance):
+        """Objective value of running the policy on one candidate order."""
+        result = self.backend.run(
+            instance,
+            self.policy,
+            record_shares=False,
+            max_steps=self.max_steps,
+            objectives=(self.objective,),
+        )
+        return result.objective_values[self.objective.name]
+
+    # ------------------------------------------------------------------
+    # Neighborhood moves (queues mutated in place; moves return False
+    # when the drawn move is a no-op so the caller can redraw)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _positions(queues: list[list[Job]]) -> list[tuple[int, int]]:
+        return [(i, j) for i, q in enumerate(queues) for j in range(len(q))]
+
+    @staticmethod
+    def _swap(queues: list[list[Job]], rng: random.Random) -> bool:
+        """Swap the jobs at two distinct positions (possibly cross-queue)."""
+        pos = LocalSearchSequencer._positions(queues)
+        if len(pos) < 2:
+            return False
+        (i1, j1), (i2, j2) = rng.sample(pos, 2)
+        if queues[i1][j1] == queues[i2][j2]:
+            return False  # identical jobs: the order is unchanged
+        queues[i1][j1], queues[i2][j2] = queues[i2][j2], queues[i1][j1]
+        return True
+
+    @staticmethod
+    def _insert(queues: list[list[Job]], rng: random.Random) -> bool:
+        """Relocate one job to another position (never emptying a queue)."""
+        donors = [i for i, q in enumerate(queues) if len(q) > 1]
+        if not donors:
+            return False
+        i1 = rng.choice(donors)
+        j1 = rng.randrange(len(queues[i1]))
+        job = queues[i1].pop(j1)
+        i2 = rng.randrange(len(queues))
+        j2 = rng.randrange(len(queues[i2]) + 1)
+        queues[i2].insert(j2, job)
+        return (i1, j1) != (i2, j2)
+
+    # ------------------------------------------------------------------
+    # The search
+    # ------------------------------------------------------------------
+    def sequence(self, instance: Instance) -> Instance:
+        """Improve *instance*'s queue orders under the evaluation triple."""
+        best_queues = [list(q) for q in instance.queues]
+        best_value = self.evaluate(instance)
+        initial_value = best_value
+        evaluations = 1
+        for r in range(self.restarts):
+            rng = random.Random(self.seed + r * _RESTART_SEED_OFFSET)
+            current = [list(q) for q in best_queues]
+            current_value = best_value
+            spent = 0  # this restart's evaluations; never carried over
+            if r > 0:
+                # Perturb the incumbent so this restart explores a
+                # different basin; the perturbed order is evaluated
+                # like any other candidate below.
+                for _ in range(len(instance.queues)):
+                    self._swap(current, rng)
+                candidate = instance.with_queues(current)
+                current_value = self.evaluate(candidate)
+                evaluations += 1
+                spent += 1
+                if current_value < best_value:
+                    best_queues = [list(q) for q in current]
+                    best_value = current_value
+            misdraws = 0
+            while spent < self.budget:
+                trial = [list(q) for q in current]
+                move = rng.choice((self._swap, self._insert))
+                if not move(trial, rng):
+                    # Degenerate instances (one single-job queue) have
+                    # no non-trivial neighborhood; stop redrawing after
+                    # a burst of no-op moves instead of spinning.
+                    misdraws += 1
+                    if misdraws >= 32:
+                        break
+                    continue
+                misdraws = 0
+                candidate = instance.with_queues(trial)
+                value = self.evaluate(candidate)
+                evaluations += 1
+                spent += 1
+                if value < current_value:
+                    current = trial
+                    current_value = value
+                    if value < best_value:
+                        best_queues = [list(q) for q in trial]
+                        best_value = value
+        improved = best_value < initial_value
+        result = instance.with_queues(best_queues) if improved else instance
+        if not instance.same_bag(result):  # pragma: no cover - invariant
+            raise SequencingError(
+                "local search corrupted the job bag (internal error)"
+            )
+        self.last_stats = {
+            "evaluations": evaluations,
+            "initial": initial_value,
+            "best": best_value,
+            "improved": improved,
+        }
+        return result

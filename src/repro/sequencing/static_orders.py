@@ -1,0 +1,125 @@
+"""Static queue-ordering strategies (sort once, then run).
+
+All strategies here keep the job-to-processor assignment and permute
+each queue by a per-job sort key -- the classical single-machine
+dispatch orders lifted to the CRSharing model:
+
+* ``fixed`` -- the identity; pins the paper's fixed-order model
+  bit-identically (the golden suite runs through it unchanged);
+* ``spt`` / ``lpt`` -- shortest / longest processing time first,
+  measured in work units :math:`\\tilde p = r \\cdot p` (Eq. 2's
+  natural unit; for unit sizes this orders by requirement);
+* ``requirement-desc`` -- bottleneck requirement descending: emit the
+  resource-hungry jobs while the queue still has slack behind them;
+* ``slack`` -- deadline-aware: earliest due step first, deadline-free
+  jobs last (EDD within each queue), ties broken by work.
+
+Sort stability: ties keep the original queue order, so every strategy
+is deterministic and ``sequence`` is idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.instance import Instance
+from ..core.job import Job
+from .base import Sequencer, register_sequencer
+
+__all__ = [
+    "FixedOrder",
+    "StaticOrder",
+    "SPTOrder",
+    "LPTOrder",
+    "RequirementDescending",
+    "SlackOrder",
+]
+
+
+@register_sequencer
+class FixedOrder(Sequencer):
+    """The identity sequencer: keep the instance's a-priori order.
+
+    This is the paper's model as a (trivial) member of the sequencing
+    layer, so every ``sequencer=`` axis has an explicit "do nothing"
+    setting whose behavior is bit-identical to not passing a sequencer
+    at all.
+    """
+
+    name = "fixed"
+
+    def sequence(self, instance: Instance) -> Instance:
+        """Return *instance* unchanged (the same object)."""
+        return instance
+
+
+class StaticOrder(Sequencer):
+    """Base for per-queue sort strategies (subclasses set the key).
+
+    The sort is stable, so jobs with equal keys keep their original
+    relative order and re-sequencing an already-sorted instance is the
+    identity permutation.
+    """
+
+    #: Per-job sort key; smaller keys run earlier.
+    key: Callable[[Job], object]
+
+    def sequence(self, instance: Instance) -> Instance:
+        """Permute every queue by the strategy's sort key."""
+        orders = [
+            sorted(range(len(queue)), key=lambda j: self.key(queue[j]))
+            for queue in instance.queues
+        ]
+        return instance.with_order(orders)
+
+
+@register_sequencer
+class SPTOrder(StaticOrder):
+    """Shortest processing time first (by work :math:`r \\cdot p`)."""
+
+    name = "spt"
+
+    @staticmethod
+    def key(job: Job):
+        """Work ascending."""
+        return job.work
+
+
+@register_sequencer
+class LPTOrder(StaticOrder):
+    """Longest processing time first (by work :math:`r \\cdot p`)."""
+
+    name = "lpt"
+
+    @staticmethod
+    def key(job: Job):
+        """Work descending."""
+        return -job.work
+
+
+@register_sequencer
+class RequirementDescending(StaticOrder):
+    """Bottleneck requirement descending (resource-hungry jobs first)."""
+
+    name = "requirement-desc"
+
+    @staticmethod
+    def key(job: Job):
+        """Bottleneck requirement descending, work descending on ties."""
+        return (-job.requirement, -job.work)
+
+
+@register_sequencer
+class SlackOrder(StaticOrder):
+    """Earliest due date first within each queue (deadline-aware).
+
+    Jobs without a deadline have infinite slack and sort last; among
+    equal deadlines the larger job goes first (it needs the head start).
+    """
+
+    name = "slack"
+
+    @staticmethod
+    def key(job: Job):
+        """Due step ascending (None last), work descending on ties."""
+        return (job.deadline is None, job.deadline or 0, -job.work)

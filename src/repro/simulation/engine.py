@@ -153,7 +153,7 @@ class ManyCoreEngine:
 
     def run(
         self,
-        policy: PolicyFn,
+        policy: PolicyFn | str,
         *,
         max_steps: int | None = None,
         backend: str = "exact",
@@ -162,7 +162,10 @@ class ManyCoreEngine:
         """Execute the workload; returns the full trace.
 
         Args:
-            policy: the resource-assignment policy.
+            policy: the resource-assignment policy, or a registry name
+                (resolved via :func:`repro.algorithms.resolve_policy`;
+                unknown names raise
+                :class:`~repro.exceptions.UnknownPolicyError`).
             max_steps: hard safety limit.
             backend: ``"exact"`` runs the kernel in Fraction arithmetic
                 and keeps the live machine ledger exact (the default);
@@ -179,8 +182,10 @@ class ManyCoreEngine:
                 shared bus (checked by the kernel's shared feasibility
                 check, uniformly across backends).
         """
+        from ..algorithms import resolve_policy  # local: avoid import cycle
         from ..backends import get_backend  # local: backends build on core
 
+        policy = resolve_policy(policy)
         runtime = get_backend(backend).make_runtime(self.instance, policy)
         policy_name = getattr(policy, "name", type(policy).__name__)
         tracer = TraceObserver(self.instance, self.tasks, str(policy_name))

@@ -1,0 +1,83 @@
+"""Edge-instance pinning: requirement-0 ("free") and requirement-1 jobs.
+
+A requirement-0 job consumes no resource (its work ``r * p`` is 0), so
+the model completes it in the first step its processor is active --
+one job per step, since a processor cannot start its successor within
+the same step.  A requirement-1 job monopolizes the resource for a
+full step.  These tests pin that behavior on both backends so the
+sequencing layer (which may surface such jobs in any position) cannot
+silently change it.
+"""
+
+import pytest
+
+from repro.backends import cross_validate
+from repro.core import Instance, run_policy
+
+POLICIES = ("greedy-balance", "round-robin", "greedy-finish-jobs")
+BACKENDS = ("exact", "vector")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("policy", POLICIES)
+class TestFreeJobs:
+    def test_all_free_jobs_complete_one_per_step(self, policy, backend):
+        # 3 free jobs on p0, 1 on p1: the queue length dictates the
+        # makespan (one completion per processor per step, no resource
+        # needed).
+        inst = Instance.from_requirements([[0, 0, 0], [0]])
+        result = run_policy(inst, policy, backend=backend)
+        assert result.makespan == 3
+        assert result.completion_steps[(0, 2)] == 2
+        assert result.completion_steps[(1, 0)] == 0
+
+    def test_free_job_rides_along_with_busy_processors(self, policy, backend):
+        inst = Instance.from_requirements([[0, 0], [1, "1/2"]])
+        result = run_policy(inst, policy, backend=backend)
+        assert result.makespan == 2
+        # Free jobs finish in lockstep with the queue position, while
+        # the full-requirement job takes its dedicated step.
+        assert result.completion_steps[(0, 0)] == 0
+        assert result.completion_steps[(0, 1)] == 1
+        assert result.completion_steps[(1, 0)] == 0
+
+    def test_free_jobs_consume_no_resource(self, policy, backend):
+        inst = Instance.from_requirements([[0], [1]])
+        result = run_policy(inst, policy, backend=backend)
+        assert result.makespan == 1
+        rows = result.share_rows()
+        # Whatever was granted to the free job, it processed nothing:
+        # all resource-time went to the requirement-1 job.
+        total_processed = sum(float(x) for row in result.processed for x in row)
+        assert total_processed == pytest.approx(1.0)
+        assert len(rows) == 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("policy", POLICIES)
+class TestFullRequirementJobs:
+    def test_requirement_one_jobs_serialize(self, policy, backend):
+        # Three unit jobs of requirement 1 cannot overlap at all: the
+        # makespan is exactly the job count (Observation 1 is tight).
+        inst = Instance.from_requirements([[1, 1], [1]])
+        result = run_policy(inst, policy, backend=backend)
+        assert result.makespan == 3
+
+    def test_requirement_one_respects_work_bound(self, policy, backend):
+        inst = Instance.from_requirements([[1], [1], [1], [1]])
+        result = run_policy(inst, policy, backend=backend)
+        assert result.makespan == inst.work_lower_bound() == 4
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_edge_instances_crosscheck_exact_vs_vector(policy):
+    cases = [
+        Instance.from_requirements([[0, 0, 0], [0]]),
+        Instance.from_requirements([[0, 0], [1, "1/2"]]),
+        Instance.from_requirements([[1, 1], [1]]),
+        Instance.from_requirements([[0, 1, 0], [1, 0, 1]]),
+    ]
+    for inst in cases:
+        check = cross_validate(inst, policy)
+        assert check.ok, (policy, inst)
+        assert check.exact_makespan == check.vector_makespan

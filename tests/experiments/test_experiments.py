@@ -33,6 +33,7 @@ class TestRegistry:
             "MULTIRES",
             "FLOW",
             "DEADLINE",
+            "ORDER",
         }
 
     def test_lookup_case_insensitive(self):

@@ -1,0 +1,1 @@
+"""Tests for the sequencing layer (queue order as a decision variable)."""

@@ -1,0 +1,45 @@
+"""The ``fixed`` sequencer pins today's behavior bit-identically.
+
+Re-runs the golden suite (``tests/data/golden_schedules.json``, the
+pre-kernel reference outputs) through the sequencer axis with the
+identity strategy: the exact share rows must keep the recorded SHA-256
+digest, so adding the sequencing layer cannot have perturbed the
+fixed-order model.
+"""
+
+import json
+
+import pytest
+
+from repro.algorithms import get_policy
+from repro.core import run_policy
+from repro.sequencing import FixedOrder
+
+from ..data.make_golden import CASES, GOLDEN_PATH, share_digest
+
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+_BUILDERS = dict(CASES)
+
+
+@pytest.mark.parametrize(
+    "entry",
+    GOLDEN["entries"],
+    ids=lambda e: f"{e['case']}-{e['policy']}",
+)
+def test_fixed_sequencer_is_bit_identical_to_golden(entry):
+    instance = _BUILDERS[entry["case"]]()
+    result = run_policy(
+        instance, get_policy(entry["policy"]), sequencer="fixed"
+    )
+    assert result.makespan == entry["exact_makespan"]
+    assert share_digest(result.schedule) == entry["share_sha256"]
+
+
+@pytest.mark.parametrize(
+    "entry",
+    GOLDEN["entries"][:6],
+    ids=lambda e: f"{e['case']}-{e['policy']}",
+)
+def test_fixed_sequencer_returns_identical_instance(entry):
+    instance = _BUILDERS[entry["case"]]()
+    assert FixedOrder().sequence(instance) is instance

@@ -1,0 +1,104 @@
+"""Core order/bag helpers: from_bag, with_order, with_queues, same_bag."""
+
+import pytest
+
+from repro.core import Instance, Job
+from repro.exceptions import InvalidInstanceError
+
+
+class TestFromBag:
+    def test_round_robin_deal(self):
+        inst = Instance.from_bag(["1/2", "1/4", "3/4", "1/8", "1/3"], 2)
+        assert inst.num_processors == 2
+        assert [len(q) for q in inst.queues] == [3, 2]
+        assert inst.job(0, 0).requirement == Job("1/2").requirement
+        assert inst.job(1, 0).requirement == Job("1/4").requirement
+
+    def test_accepts_job_objects_and_numbers(self):
+        jobs = [Job("1/2", 2), "1/4", 1]
+        inst = Instance.from_bag(jobs, 3)
+        assert inst.job(0, 0).size == 2
+
+    def test_preserves_releases(self):
+        inst = Instance.from_bag(["1/2", "1/4"], 2, releases=[0, 3])
+        assert inst.releases == (0, 3)
+
+    def test_rejects_underfull_bag(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance.from_bag(["1/2"], 2)
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance.from_bag(["1/2"], 0)
+
+
+class TestJobBagAndSameBag:
+    def test_job_bag_flattens_processor_major(self):
+        inst = Instance([["1/2", "1/4"], ["3/4"]])
+        assert [j.requirement for j in inst.job_bag()] == [
+            Job("1/2").requirement,
+            Job("1/4").requirement,
+            Job("3/4").requirement,
+        ]
+
+    def test_same_bag_ignores_order_and_placement(self):
+        a = Instance([["1/2", "1/4"], ["3/4"]])
+        b = Instance([["3/4", "1/2"], ["1/4"]])
+        assert a.same_bag(b) and b.same_bag(a)
+
+    def test_same_bag_detects_changed_multiset(self):
+        a = Instance([["1/2", "1/4"], ["3/4"]])
+        b = Instance([["1/2", "1/2"], ["3/4"]])
+        assert not a.same_bag(b)
+
+    def test_same_bag_with_deadline_annotations(self):
+        a = Instance([[Job("1/2", deadline=3), Job("1/2")]])
+        b = Instance([[Job("1/2"), Job("1/2", deadline=3)]])
+        c = Instance([[Job("1/2"), Job("1/2")]])
+        assert a.same_bag(b)
+        assert not a.same_bag(c)
+
+
+class TestWithOrder:
+    def test_identity_permutation(self):
+        inst = Instance([["1/2", "1/4"], ["3/4"]])
+        out = inst.with_order([[0, 1], [0]])
+        assert out == inst
+
+    def test_reverses_queue(self):
+        inst = Instance([["1/2", "1/4", "1/8"]])
+        out = inst.with_order([[2, 1, 0]])
+        assert [j.requirement for j in out.queues[0]] == [
+            Job("1/8").requirement,
+            Job("1/4").requirement,
+            Job("1/2").requirement,
+        ]
+
+    def test_preserves_releases(self):
+        inst = Instance([["1/2", "1/4"], ["3/4"]], releases=[1, 0])
+        assert inst.with_order([[1, 0], [0]]).releases == (1, 0)
+
+    def test_rejects_non_permutation(self):
+        inst = Instance([["1/2", "1/4"]])
+        with pytest.raises(InvalidInstanceError):
+            inst.with_order([[0, 0]])
+        with pytest.raises(InvalidInstanceError):
+            inst.with_order([[0]])
+
+    def test_rejects_row_count_mismatch(self):
+        inst = Instance([["1/2", "1/4"], ["3/4"]])
+        with pytest.raises(InvalidInstanceError):
+            inst.with_order([[0, 1]])
+
+
+class TestWithQueues:
+    def test_replaces_queues_keeping_releases(self):
+        inst = Instance([["1/2"], ["3/4"]], releases=[2, 0])
+        out = inst.with_queues([["3/4"], ["1/2"]])
+        assert out.releases == (2, 0)
+        assert out.job(0, 0).requirement == Job("3/4").requirement
+
+    def test_rejects_processor_count_change(self):
+        inst = Instance([["1/2"], ["3/4"]])
+        with pytest.raises(InvalidInstanceError):
+            inst.with_queues([["1/2", "3/4"]])

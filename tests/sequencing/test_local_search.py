@@ -1,0 +1,160 @@
+"""The local-search improver: determinism, budget, and the gadget gap."""
+
+import pytest
+
+from repro.core import Instance, run_policy
+from repro.exceptions import SequencingError
+from repro.reductions.partition import random_yes_instance
+from repro.reductions.reduction import reduction_instance
+from repro.sequencing import LocalSearchSequencer, get_sequencer
+
+
+def gadget(seed: int) -> Instance:
+    partition, _ = random_yes_instance(6, seed=seed)
+    return reduction_instance(partition)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        inst = gadget(0)
+        a = LocalSearchSequencer(budget=60, seed=5).sequence(inst)
+        b = LocalSearchSequencer(budget=60, seed=5).sequence(inst)
+        assert a == b
+
+    def test_decorrelated_restart_streams_still_deterministic(self):
+        inst = gadget(1)
+        a = LocalSearchSequencer(budget=40, restarts=3, seed=2).sequence(inst)
+        b = LocalSearchSequencer(budget=40, restarts=3, seed=2).sequence(inst)
+        assert a == b
+
+
+class TestBudget:
+    def test_evaluation_budget_is_respected(self):
+        seq = LocalSearchSequencer(budget=25, restarts=2, seed=0)
+        seq.sequence(gadget(0))
+        # One evaluation for the initial order, then at most
+        # budget * restarts candidates.
+        assert seq.last_stats["evaluations"] <= 25 * 2 + 1
+
+    def test_invalid_budget_and_restarts_rejected(self):
+        with pytest.raises(SequencingError):
+            LocalSearchSequencer(budget=0)
+        with pytest.raises(SequencingError):
+            LocalSearchSequencer(restarts=0)
+
+    def test_degenerate_instance_terminates(self):
+        # One processor, one job: no non-trivial neighborhood exists;
+        # the search must stop instead of spinning on no-op moves.
+        inst = Instance([["1/2"]])
+        seq = LocalSearchSequencer(budget=50, seed=0)
+        assert seq.sequence(inst) is inst
+
+
+class TestImprovement:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_closes_the_gadget_gap(self, seed):
+        # Theorem 4: YES gadgets admit a 4-step schedule, but
+        # greedy-balance on the as-built order needs 5+.  The improver
+        # must recover a strictly better order.
+        inst = gadget(seed)
+        fixed = run_policy(
+            inst, "greedy-balance", backend="vector", record_shares=False
+        ).makespan
+        assert fixed >= 5
+        seq = LocalSearchSequencer(budget=150, restarts=2, seed=seed)
+        tuned = seq.sequence(inst)
+        optimized = run_policy(
+            tuned, "greedy-balance", backend="vector", record_shares=False
+        ).makespan
+        assert optimized == 4  # the gadget's proven optimum
+        assert seq.last_stats["improved"] is True
+
+    def test_never_returns_a_worse_order(self):
+        inst = gadget(2)
+        seq = LocalSearchSequencer(budget=30, seed=9)
+        tuned = seq.sequence(inst)
+        assert seq.last_stats["best"] <= seq.last_stats["initial"]
+        fixed = run_policy(
+            inst, "greedy-balance", backend="vector", record_shares=False
+        ).makespan
+        optimized = run_policy(
+            tuned, "greedy-balance", backend="vector", record_shares=False
+        ).makespan
+        assert optimized <= fixed
+
+    def test_preserves_bag_and_releases(self):
+        inst = gadget(3).with_releases([0, 1, 0, 2, 0, 0])
+        tuned = LocalSearchSequencer(budget=40, seed=1).sequence(inst)
+        assert inst.same_bag(tuned)
+        assert tuned.releases == inst.releases
+
+
+class TestEvaluationTriple:
+    def test_policy_name_resolves_in_constructor(self):
+        seq = LocalSearchSequencer(policy="round-robin", budget=10)
+        assert seq.policy.name == "round-robin"
+
+    def test_unpinned_options_fall_back_to_defaults(self):
+        seq = LocalSearchSequencer(budget=10)
+        assert seq.policy.name == "greedy-balance"
+        assert seq.objective.name == "makespan"
+
+    def test_bind_aligns_unpinned_options_with_the_run(self):
+        seq = LocalSearchSequencer(budget=10)
+        bound = seq.bind(policy="round-robin", objective="tardiness")
+        assert bound is not seq  # a bound copy, not a mutation
+        assert bound.policy.name == "round-robin"
+        assert bound.objective.name == "tardiness"
+        # The caller's object keeps its unpinned standalone behavior.
+        assert seq.policy.name == "greedy-balance"
+        assert seq.objective.name == "makespan"
+
+    def test_bind_never_overrides_explicit_options(self):
+        seq = LocalSearchSequencer(
+            policy="greedy-balance", objective="makespan", budget=10
+        )
+        assert seq.bind(policy="round-robin", objective="tardiness") is seq
+        assert seq.policy.name == "greedy-balance"
+        assert seq.objective.name == "makespan"
+
+    def test_run_policy_does_not_leak_the_bound_policy(self):
+        # A bare local-search threaded through run_policy is bound to
+        # the executed policy via a copy; the caller's object stays
+        # unpinned for later standalone use.
+        seq = LocalSearchSequencer(budget=15, seed=0)
+        run_policy(
+            gadget(0), "round-robin", backend="vector",
+            record_shares=False, sequencer=seq,
+        )
+        assert seq.policy.name == "greedy-balance"
+
+    def test_static_sequencers_ignore_bind(self):
+        from repro.sequencing import FixedOrder, SPTOrder
+
+        assert FixedOrder().bind(policy="round-robin") is not None
+        spt = SPTOrder()
+        assert spt.bind(policy="round-robin") is spt
+
+    def test_exact_backend_evaluation_agrees_on_the_gadget(self):
+        inst = gadget(0)
+        fast = LocalSearchSequencer(budget=60, seed=4, backend="vector")
+        slow = LocalSearchSequencer(budget=60, seed=4, backend="exact")
+        assert fast.sequence(inst) == slow.sequence(inst)
+
+    def test_objective_driven_search_minimizes_that_objective(self):
+        from repro.generators import with_deadlines
+
+        inst = with_deadlines(
+            Instance.from_percent([[90, 30, 60], [50, 80, 20]]),
+            profile="tight",
+            seed=0,
+        )
+        seq = LocalSearchSequencer(
+            policy="edf-waterfill",
+            objective="tardiness",
+            budget=80,
+            seed=0,
+        )
+        tuned = seq.sequence(inst)
+        assert inst.same_bag(tuned)
+        assert seq.last_stats["best"] <= seq.last_stats["initial"]

@@ -1,0 +1,208 @@
+"""The sequencer= axis through run_policy, cross_validate, batch, CLI."""
+
+import pytest
+
+from repro.backends import BatchRunner, cross_validate, make_campaign_instances
+from repro.cli import main
+from repro.core import Instance, run_policy
+from repro.exceptions import SequencingError
+from repro.generators import bag_instance, sample_job_bag
+from repro.io import save_instance
+
+
+@pytest.fixture
+def inst() -> Instance:
+    return Instance.from_percent([[80, 20, 60], [40, 90, 10]])
+
+
+class TestRunPolicyAxis:
+    def test_none_keeps_fixed_order(self, inst):
+        plain = run_policy(inst, "greedy-balance")
+        axis = run_policy(inst, "greedy-balance", sequencer=None)
+        assert plain.makespan == axis.makespan
+
+    def test_result_carries_the_sequenced_instance(self, inst):
+        result = run_policy(inst, "greedy-balance", sequencer="requirement-desc")
+        assert result.instance.same_bag(inst)
+        for queue in result.instance.queues:
+            reqs = [job.requirement for job in queue]
+            assert reqs == sorted(reqs, reverse=True)
+
+    def test_accepts_sequencer_objects(self, inst):
+        from repro.sequencing import SPTOrder
+
+        by_name = run_policy(inst, "greedy-balance", sequencer="spt")
+        by_object = run_policy(inst, "greedy-balance", sequencer=SPTOrder())
+        assert by_name.makespan == by_object.makespan
+
+    def test_unknown_sequencer_raises(self, inst):
+        with pytest.raises(SequencingError):
+            run_policy(inst, "greedy-balance", sequencer="bogus")
+
+
+class TestCrossValidateAxis:
+    @pytest.mark.parametrize("name", ["spt", "lpt", "greedy-placement"])
+    def test_backends_agree_on_sequenced_instances(self, name):
+        for seed in range(6):
+            inst = bag_instance(4, 5, seed=seed)
+            check = cross_validate(inst, "greedy-balance", sequencer=name)
+            assert check.ok, (name, seed)
+
+
+class TestBatchAxis:
+    def test_sequencer_none_matches_legacy_rows(self):
+        instances = make_campaign_instances(5, 3, 4, seed=0)
+        legacy = BatchRunner(workers=1).run(instances)
+        axis = BatchRunner(workers=1, sequencer=None).run(instances)
+        assert legacy.makespans == axis.makespans
+
+    def test_fixed_sequencer_bit_identical_rows(self):
+        instances = make_campaign_instances(5, 3, 4, seed=0)
+        legacy = BatchRunner(workers=1).run(instances)
+        fixed = BatchRunner(workers=1, sequencer="fixed").run(instances)
+        assert legacy.makespans == fixed.makespans
+
+    def test_local_search_never_worse_on_makespan(self):
+        instances = make_campaign_instances(4, 3, 4, family="bag", seed=2)
+        fixed = BatchRunner(workers=1).run(instances)
+        tuned = BatchRunner(
+            workers=1,
+            sequencer="local-search",
+            sequencer_options={"budget": 40, "seed": 1},
+        ).run(instances)
+        for f, t in zip(fixed.makespans, tuned.makespans):
+            assert t <= f
+
+    def test_summary_reports_the_sequencer(self):
+        instances = make_campaign_instances(2, 3, 4, seed=0)
+        result = BatchRunner(workers=1, sequencer="spt").run(instances)
+        assert result.summary()["sequencer"] == "spt"
+
+    def test_unknown_sequencer_fails_fast(self):
+        with pytest.raises(SequencingError):
+            BatchRunner(sequencer="bogus")
+
+
+class TestBagGenerators:
+    def test_sample_job_bag_is_seeded(self):
+        assert sample_job_bag(6, seed=3) == sample_job_bag(6, seed=3)
+        assert sample_job_bag(6, seed=3) != sample_job_bag(6, seed=4)
+
+    def test_bag_instance_deals_round_robin(self):
+        bag = sample_job_bag(12, seed=5)
+        inst = bag_instance(3, 4, seed=5)
+        assert inst == Instance.from_bag(bag, 3)
+
+    def test_bag_family_in_campaigns(self):
+        instances = make_campaign_instances(3, 4, 5, family="bag", seed=1)
+        assert all(i.total_jobs == 20 for i in instances)
+
+
+class TestCLI:
+    def test_run_with_sequencer_flag(self, tmp_path, capsys, inst):
+        path = tmp_path / "inst.json"
+        save_instance(inst, path)
+        assert main(["run", str(path), "--sequencer", "requirement-desc"]) == 0
+        out = capsys.readouterr().out
+        assert "sequencer: requirement-desc" in out
+
+    def test_run_with_local_search_budget(self, tmp_path, capsys, inst):
+        path = tmp_path / "inst.json"
+        save_instance(inst, path)
+        code = main(
+            [
+                "run",
+                str(path),
+                "--sequencer",
+                "local-search",
+                "--search-budget",
+                "20",
+                "--backend",
+                "vector",
+            ]
+        )
+        assert code == 0
+        assert "sequencer: local-search" in capsys.readouterr().out
+
+    def test_svg_title_carries_the_sequencer_label(self, tmp_path, inst):
+        path = tmp_path / "inst.json"
+        svg = tmp_path / "gantt.svg"
+        save_instance(inst, path)
+        assert (
+            main(
+                [
+                    "run",
+                    str(path),
+                    "--sequencer",
+                    "spt",
+                    "--svg",
+                    str(svg),
+                ]
+            )
+            == 0
+        )
+        assert "order: spt" in svg.read_text()
+
+    def test_list_shows_sequencer_section(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sequencers (" in out
+        assert "local-search" in out
+
+    def test_crosscheck_with_sequencer(self, capsys):
+        code = main(
+            [
+                "crosscheck",
+                "--count",
+                "3",
+                "--m",
+                "3",
+                "--n",
+                "4",
+                "--sequencer",
+                "spt",
+            ]
+        )
+        assert code == 0
+        assert "sequencer=spt" in capsys.readouterr().out
+
+    def test_batch_with_sequencer(self, capsys):
+        code = main(
+            [
+                "batch",
+                "--count",
+                "4",
+                "--m",
+                "3",
+                "--n",
+                "4",
+                "--family",
+                "bag",
+                "--workers",
+                "1",
+                "--sequencer",
+                "greedy-placement",
+            ]
+        )
+        assert code == 0
+        assert "sequencer: greedy-placement" in capsys.readouterr().out
+
+
+class TestOrderExperiment:
+    def test_order_experiment_verdict(self):
+        from repro.experiments import get_experiment
+        from repro.experiments.runner import run_experiment
+
+        result = run_experiment(
+            get_experiment("ORDER"),
+            seeds=(0, 1),
+            budget=100,
+        )
+        assert result.verdict is True
+        gadget_rows = [
+            row
+            for row in result.rows
+            if row["family"] == "gadget-yes"
+            and row["sequencer"] == "local-search"
+        ]
+        assert gadget_rows and gadget_rows[0]["mean_gap"] > 0

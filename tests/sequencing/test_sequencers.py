@@ -1,0 +1,159 @@
+"""Sequencer registry and static ordering/placement strategies."""
+
+import pytest
+
+from repro.core import Instance, Job
+from repro.exceptions import SequencingError
+from repro.sequencing import (
+    FixedOrder,
+    GreedyPlacement,
+    Sequencer,
+    available_sequencers,
+    get_sequencer,
+    resolve_sequencer,
+)
+
+
+@pytest.fixture
+def inst() -> Instance:
+    return Instance([["1/4", "3/4", "1/2"], ["9/10", "1/10"]])
+
+
+class TestRegistry:
+    def test_all_strategies_registered(self):
+        assert available_sequencers() == sorted(
+            [
+                "fixed",
+                "spt",
+                "lpt",
+                "requirement-desc",
+                "slack",
+                "greedy-placement",
+                "local-search",
+            ]
+        )
+
+    def test_get_sequencer_unknown_name(self):
+        with pytest.raises(SequencingError) as err:
+            get_sequencer("no-such-strategy")
+        assert "fixed" in str(err.value)
+
+    def test_get_sequencer_forwards_options(self):
+        seq = get_sequencer("local-search", budget=7, seed=3)
+        assert seq.budget == 7 and seq.seed == 3
+
+    def test_resolve_passes_objects_through(self):
+        seq = FixedOrder()
+        assert resolve_sequencer(seq) is seq
+        assert isinstance(resolve_sequencer("fixed"), FixedOrder)
+
+
+@pytest.mark.parametrize("name", sorted(set(available_sequencers())))
+class TestSequencerContract:
+    def test_preserves_bag_and_releases(self, name, inst):
+        staggered = inst.with_releases([0, 2])
+        out = get_sequencer(name).sequence(staggered)
+        assert staggered.same_bag(out)
+        assert out.releases == (0, 2)
+
+    def test_place_builds_instance_from_bag(self, name):
+        bag = [Job("1/2"), Job("1/4"), Job("3/4"), Job("1/8")]
+        out = get_sequencer(name).place(bag, 2)
+        assert out.num_processors == 2
+        assert out.total_jobs == 4
+        assert Instance.from_bag(bag, 2).same_bag(out)
+
+
+class TestFixedOrder:
+    def test_identity_returns_same_object(self, inst):
+        assert FixedOrder().sequence(inst) is inst
+
+
+class TestStaticOrders:
+    def test_spt_sorts_each_queue_by_work_ascending(self, inst):
+        out = get_sequencer("spt").sequence(inst)
+        for queue in out.queues:
+            works = [job.work for job in queue]
+            assert works == sorted(works)
+
+    def test_lpt_sorts_each_queue_by_work_descending(self, inst):
+        out = get_sequencer("lpt").sequence(inst)
+        for queue in out.queues:
+            works = [job.work for job in queue]
+            assert works == sorted(works, reverse=True)
+
+    def test_spt_orders_general_sizes_by_work_not_requirement(self):
+        # A small-requirement long job can carry more work than a
+        # large-requirement short one; SPT must order by r*p.
+        inst = Instance([[Job("1/10", 8), Job("3/4", 1)]])
+        out = get_sequencer("spt").sequence(inst)
+        assert out.job(0, 0).requirement == Job("3/4").requirement
+
+    def test_requirement_desc_puts_hungry_jobs_first(self, inst):
+        out = get_sequencer("requirement-desc").sequence(inst)
+        for queue in out.queues:
+            reqs = [job.requirement for job in queue]
+            assert reqs == sorted(reqs, reverse=True)
+
+    def test_slack_orders_by_deadline_none_last(self):
+        inst = Instance(
+            [[Job("1/2"), Job("1/2", deadline=2), Job("1/2", deadline=9)]]
+        )
+        out = get_sequencer("slack").sequence(inst)
+        assert [j.deadline for j in out.queues[0]] == [2, 9, None]
+
+    def test_static_orders_are_idempotent(self, inst):
+        for name in ("spt", "lpt", "requirement-desc", "slack"):
+            once = get_sequencer(name).sequence(inst)
+            twice = get_sequencer(name).sequence(once)
+            assert once == twice, name
+
+
+class TestGreedyPlacement:
+    def test_balances_job_counts_for_unit_bags(self):
+        bag = [Job("1/2") for _ in range(9)]
+        out = GreedyPlacement().place(bag, 3)
+        assert sorted(len(q) for q in out.queues) == [3, 3, 3]
+
+    def test_big_jobs_spread_across_queues(self):
+        bag = [Job("1/2", 4), Job("1/2", 4), Job("1/2", 1), Job("1/2", 1)]
+        out = GreedyPlacement().place(bag, 2)
+        sizes = sorted(
+            sorted(float(j.size) for j in q) for q in out.queues
+        )
+        assert sizes == [[1.0, 4.0], [1.0, 4.0]]
+
+    def test_sequence_may_move_jobs_between_queues(self):
+        lopsided = Instance([["1/2", "1/2", "1/2", "1/2", "1/2"], ["1/2"]])
+        out = GreedyPlacement().sequence(lopsided)
+        assert lopsided.same_bag(out)
+        assert max(len(q) for q in out.queues) == 3
+
+    def test_no_queue_left_empty_under_late_release(self):
+        bag = [Job("1/2"), Job("1/2"), Job("1/2")]
+        out = GreedyPlacement().place(bag, 2, releases=[0, 1000])
+        assert all(len(q) >= 1 for q in out.queues)
+
+    def test_rejects_underfull_bag(self):
+        from repro.exceptions import InvalidInstanceError
+
+        with pytest.raises(InvalidInstanceError):
+            GreedyPlacement().place([Job("1/2")], 2)
+
+
+class TestProtocol:
+    def test_custom_sequencer_subclasses_protocol(self, inst):
+        class ReverseAll(Sequencer):
+            name = "reverse-all"
+
+            def sequence(self, instance):
+                return instance.with_order(
+                    [
+                        list(reversed(range(len(q))))
+                        for q in instance.queues
+                    ]
+                )
+
+        out = ReverseAll().sequence(inst)
+        assert inst.same_bag(out)
+        assert out.job(0, 0).requirement == inst.job(0, 2).requirement
