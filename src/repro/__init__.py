@@ -30,6 +30,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.sequencing` -- queue order / placement as a decision
   variable (static orders, greedy placement, local search);
 * :mod:`repro.simulation` -- the shared-bus many-core substrate;
+* :mod:`repro.telemetry` -- structured tracing, metrics, and the
+  hot-spot profiler (zero-cost unless a session is installed);
 * :mod:`repro.experiments` -- one reproduction per figure/theorem;
 * :mod:`repro.analysis`, :mod:`repro.viz`, :mod:`repro.io` -- metrics,
   rendering, serialization.
@@ -74,6 +76,7 @@ from .exceptions import (
     InfeasibleAssignmentError,
     InvalidInstanceError,
     InvalidScheduleError,
+    ObserverError,
     ReproError,
     SequencingError,
     SimulationLimitError,
@@ -94,6 +97,13 @@ from .objectives import (
     available_objectives,
     get_objective,
 )
+from .telemetry import (
+    TelemetrySession,
+    get_session,
+    phase_report,
+    set_session,
+    use_session,
+)
 
 __all__ = [
     "BatchRunner",
@@ -106,6 +116,7 @@ __all__ = [
     "Job",
     "Makespan",
     "Objective",
+    "ObserverError",
     "Policy",
     "ReproError",
     "RoundRobin",
@@ -116,6 +127,7 @@ __all__ = [
     "SimulationLimitError",
     "SolverError",
     "Tardiness",
+    "TelemetrySession",
     "UnitSizeRequiredError",
     "UnknownPolicyError",
     "VectorBackend",
@@ -132,6 +144,7 @@ __all__ = [
     "best_lower_bound",
     "brute_force_makespan",
     "get_policy",
+    "get_session",
     "is_balanced",
     "is_nested",
     "is_non_wasting",
@@ -141,6 +154,9 @@ __all__ = [
     "opt_res_assignment",
     "opt_res_assignment_general",
     "opt_res_assignment_pq",
+    "phase_report",
     "run_policy",
+    "set_session",
     "simulate",
+    "use_session",
 ]

@@ -24,10 +24,12 @@ Contract (what every backend guarantees):
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from ..exceptions import BackendError
+from ..telemetry import get_session
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from ..core.instance import Instance
@@ -35,7 +37,33 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from ..core.schedule import Schedule
     from ..objectives.base import Objective
 
-__all__ = ["Backend", "BackendResult", "resolve_objectives"]
+__all__ = ["Backend", "BackendResult", "backend_run_span", "resolve_objectives"]
+
+
+@contextmanager
+def backend_run_span(
+    backend_name: str, instance: "Instance", policy
+) -> Iterator[Any]:
+    """A ``backend.run`` telemetry span around one backend run.
+
+    Yields the open span handle when a telemetry session is installed
+    (the backend ``note``\\ s the makespan onto it before closing), or
+    ``None`` when telemetry is disabled -- one :func:`get_session`
+    check per run, nothing on the hot path.
+    """
+    session = get_session()
+    if session is None:
+        yield None
+        return
+    with session.tracer.span(
+        "backend.run",
+        backend=backend_name,
+        policy=str(getattr(policy, "name", type(policy).__name__)),
+        m=instance.num_processors,
+        jobs=instance.total_jobs,
+        resources=instance.num_resources,
+    ) as span:
+        yield span
 
 
 def resolve_objectives(

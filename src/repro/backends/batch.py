@@ -85,6 +85,7 @@ def _run_one(payload: tuple) -> dict[str, Any]:
         "lower_bound": lower,
         "ratio": result.makespan / lower if lower else 1.0,
         "seconds": elapsed,
+        "worker": os.getpid(),
     }
     if objectives:
         # One entry per requested objective: online value, the
@@ -152,6 +153,30 @@ class BatchResult:
         """
         return [row["objectives"][name]["value"] for row in self.rows]
 
+    def worker_throughput(self) -> dict[int, dict[str, Any]]:
+        """Per-worker task counts and throughput, keyed by worker pid.
+
+        Each row records the pid of the process that produced it; this
+        aggregates them into ``{pid: {tasks, seconds,
+        tasks_per_second}}`` -- the load-balance view of a campaign
+        (one entry total for serial runs).
+        """
+        per: dict[int, dict[str, Any]] = {}
+        for row in self.rows:
+            pid = row.get("worker")
+            if pid is None:  # rows from an older result store
+                continue
+            entry = per.setdefault(pid, {"tasks": 0, "seconds": 0.0})
+            entry["tasks"] += 1
+            entry["seconds"] += row["seconds"]
+        for entry in per.values():
+            entry["tasks_per_second"] = (
+                entry["tasks"] / entry["seconds"]
+                if entry["seconds"] > 0
+                else None
+            )
+        return per
+
     def summary(self) -> dict[str, Any]:
         """Campaign-level aggregates (the numbers a sweep reports).
 
@@ -189,6 +214,12 @@ class BatchResult:
                 else None
             ),
         }
+        throughput = self.worker_throughput()
+        if throughput:
+            summary["workers_used"] = len(throughput)
+            summary["worker_throughput"] = {
+                str(pid): entry for pid, entry in sorted(throughput.items())
+            }
         if self.objectives:
             per_objective: dict[str, Any] = {}
             for name in self.objectives:
@@ -286,7 +317,18 @@ class BatchRunner:
         self.sequencer_options = sequencer_options
 
     def run(self, instances: Iterable[Instance]) -> BatchResult:
-        """Execute the campaign; rows come back in input order."""
+        """Execute the campaign; rows come back in input order.
+
+        Under an installed telemetry session the campaign is wrapped
+        in a ``batch.campaign`` span and fills campaign metrics
+        (``batch.instances``, the ``batch.task_seconds`` latency
+        histogram, per-worker ``batch.worker_tasks`` counters).
+        Worker processes run uninstrumented -- only plain row dicts
+        cross the process boundary, so telemetry never affects
+        campaign results.
+        """
+        from ..telemetry import get_session  # local: keep worker imports lean
+
         payloads = [
             (
                 inst,
@@ -310,13 +352,47 @@ class BatchRunner:
             chunk = max(1, len(payloads) // (self.workers * 4))
             with ctx.Pool(processes=self.workers) as pool:
                 rows = pool.map(_run_one, payloads, chunksize=chunk)
-        return BatchResult(
+        result = BatchResult(
             policy=self.policy,
             backend=self.backend,
             workers=self.workers,
             rows=rows,
             wall_seconds=time.perf_counter() - t0,
             objectives=self.objectives,
+            sequencer=self.sequencer,
+        )
+        session = get_session()
+        if session is not None:
+            self._record_telemetry(session, result, start=t0)
+        return result
+
+    def _record_telemetry(
+        self, session, result: BatchResult, *, start: float
+    ) -> None:
+        """Emit the campaign span and metrics for one finished run."""
+        metrics = session.metrics
+        metrics.counter("batch.instances").inc(len(result.rows))
+        task_hist = metrics.histogram(
+            "batch.task_seconds", policy=self.policy, backend=self.backend
+        )
+        for row in result.rows:
+            task_hist.observe(row["seconds"])
+        for pid, entry in result.worker_throughput().items():
+            metrics.counter("batch.worker_tasks", worker=str(pid)).inc(
+                entry["tasks"]
+            )
+        if result.wall_seconds > 0:
+            metrics.gauge("batch.tasks_per_second").set(
+                len(result.rows) / result.wall_seconds
+            )
+        session.tracer.complete(
+            "batch.campaign",
+            start,
+            result.wall_seconds,
+            policy=self.policy,
+            backend=self.backend,
+            workers=self.workers,
+            instances=len(result.rows),
             sequencer=self.sequencer,
         )
 

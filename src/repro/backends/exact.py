@@ -18,7 +18,7 @@ from ..core.kernel import (
     run_kernel,
 )
 from ..core.simulator import simulate
-from .base import Backend, BackendResult
+from .base import Backend, BackendResult, backend_run_span
 
 __all__ = ["ExactBackend"]
 
@@ -59,32 +59,39 @@ class ExactBackend(Backend):
         """
         policy = self._resolve_policy(policy)
         recorders = self._objective_observers(instance, objectives)
-        if instance.num_resources != 1:
-            return self._run_multi(
-                instance,
-                policy,
-                max_steps=max_steps,
-                record_shares=record_shares,
-                recorders=recorders,
-            )
-        schedule = simulate(
-            instance, policy, max_steps=max_steps, observers=recorders
-        )
-        shares = None
-        processed = None
-        if record_shares:
-            shares = schedule.share_rows()
-            processed = [list(step.processed) for step in schedule.steps]
-        return BackendResult(
-            backend=self.name,
-            makespan=schedule.makespan,
-            shares=shares,
-            processed=processed,
-            completion_steps=dict(schedule.completion_steps),
-            schedule=schedule,
-            instance=instance,
-            objective_values=self._objective_values(recorders),
-        )
+        with backend_run_span(self.name, instance, policy) as span:
+            if instance.num_resources != 1:
+                result = self._run_multi(
+                    instance,
+                    policy,
+                    max_steps=max_steps,
+                    record_shares=record_shares,
+                    recorders=recorders,
+                )
+            else:
+                schedule = simulate(
+                    instance, policy, max_steps=max_steps, observers=recorders
+                )
+                shares = None
+                processed = None
+                if record_shares:
+                    shares = schedule.share_rows()
+                    processed = [
+                        list(step.processed) for step in schedule.steps
+                    ]
+                result = BackendResult(
+                    backend=self.name,
+                    makespan=schedule.makespan,
+                    shares=shares,
+                    processed=processed,
+                    completion_steps=dict(schedule.completion_steps),
+                    schedule=schedule,
+                    instance=instance,
+                    objective_values=self._objective_values(recorders),
+                )
+            if span is not None:
+                span.note(makespan=result.makespan)
+        return result
 
     def _run_multi(
         self,

@@ -45,7 +45,7 @@ from ..exceptions import (
     InfeasibleAssignmentError,
     VectorizationUnsupportedError,
 )
-from .base import Backend, BackendResult
+from .base import Backend, BackendResult, backend_run_span
 
 __all__ = ["VectorState", "VectorRuntime", "VectorBackend"]
 
@@ -451,13 +451,16 @@ class VectorBackend(Backend):
         if record_shares:
             recorder = ShareRecorder()
             observers.append(recorder)
-        makespan = run_kernel(
-            runtime,
-            policy,
-            observers,
-            max_steps=max_steps,
-            stall_limit=stall_limit,
-        )
+        with backend_run_span(self.name, instance, policy) as span:
+            makespan = run_kernel(
+                runtime,
+                policy,
+                observers,
+                max_steps=max_steps,
+                stall_limit=stall_limit,
+            )
+            if span is not None:
+                span.note(makespan=makespan)
         return BackendResult(
             backend=self.name,
             makespan=makespan,

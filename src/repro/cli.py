@@ -15,7 +15,15 @@ Subcommands:
   random instances;
 * ``bench-report`` -- summarize the timestamped ``BENCH_*.json``
   result stores under ``benchmarks/results/``;
+* ``profile`` -- run a policy under telemetry and print the hot-spot
+  table (time per kernel phase: query/check/apply/observers);
 * ``demo`` -- a quick end-to-end tour on the Figure 1 instance.
+
+``run``/``schedule``, ``batch`` and ``crosscheck`` also take the
+telemetry flags: ``--trace FILE`` writes structured trace records
+(``--trace-format jsonl`` for grep-able JSONL, ``chrome`` for a
+Chrome ``trace_event`` file loadable at https://ui.perfetto.dev), and
+``--metrics`` prints a prometheus-style metrics dump after the run.
 
 ``run``/``schedule``, ``batch`` and ``crosscheck`` all accept
 ``--arrivals MAX`` (with ``--arrival-seed``) to sample staggered
@@ -35,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 from .algorithms import (
@@ -173,6 +182,67 @@ def _resolve_sequencer_arg(args: argparse.Namespace):
     return get_sequencer(args.sequencer, **_sequencer_options(args))
 
 
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write structured trace records (spans + events) of the "
+        "run to FILE",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="trace file format: jsonl (one record per line) or chrome "
+        "(trace_event JSON, loadable at https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print a prometheus-style metrics dump after the run",
+    )
+
+
+@contextmanager
+def _telemetry(args: argparse.Namespace):
+    """Install a telemetry session for one command when requested.
+
+    No ``--trace`` / ``--metrics`` flag means no session at all (the
+    zero-cost default).  Otherwise a fresh
+    :class:`~repro.telemetry.TelemetrySession` is installed for the
+    command's duration (tracing only when ``--trace`` asked for a
+    file); on clean exit the trace file is written in the requested
+    format and the metrics dump printed.
+    """
+    from .telemetry import (
+        TelemetrySession,
+        render_metrics,
+        use_session,
+        write_trace,
+    )
+
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if trace_path is None and not want_metrics:
+        yield None
+        return
+    session = TelemetrySession(tracing=trace_path is not None)
+    with use_session(session):
+        yield session
+    if trace_path is not None:
+        count = write_trace(
+            session.tracer.records, trace_path, format=args.trace_format
+        )
+        print(
+            f"trace: {count} records written to {trace_path} "
+            f"({args.trace_format})"
+        )
+    if want_metrics:
+        print(render_metrics(session.metrics), end="")
+
+
 def _add_resource_args(parser: argparse.ArgumentParser) -> None:
     from .generators import RESOURCE_PROFILES
 
@@ -247,6 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_resource_args(p_sched)
         _add_objective_args(p_sched)
         _add_sequencer_args(p_sched)
+        _add_telemetry_args(p_sched)
         p_sched.add_argument("--svg", type=Path, help="write a Gantt SVG")
         p_sched.add_argument("--json", type=Path, help="write the schedule as JSON")
 
@@ -272,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resource_args(p_batch)
     _add_objective_args(p_batch)
     _add_sequencer_args(p_batch)
+    _add_telemetry_args(p_batch)
     p_batch.add_argument(
         "--arrival-rate",
         type=float,
@@ -296,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resource_args(p_cross)
     _add_objective_args(p_cross)
     _add_sequencer_args(p_cross)
+    _add_telemetry_args(p_cross)
 
     p_verify = sub.add_parser(
         "verify", help="validate a schedule file and report its properties"
@@ -311,6 +384,46 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=Path("benchmarks") / "results",
         help="results directory (default: benchmarks/results)",
+    )
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="profile a policy run and print the kernel hot-spot table",
+    )
+    p_prof.add_argument(
+        "instance",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="instance file to profile (default: a seeded random "
+        "instance shaped by --m/--n/--grid/--seed)",
+    )
+    p_prof.add_argument(
+        "--policy",
+        default="greedy-balance",
+        help=f"one of {available_policies()}",
+    )
+    p_prof.add_argument(
+        "--backend", choices=available_backends(), default="exact"
+    )
+    p_prof.add_argument(
+        "--m", type=int, default=8, help="processors (generated instance)"
+    )
+    p_prof.add_argument(
+        "--n", type=int, default=12, help="jobs per processor (generated)"
+    )
+    p_prof.add_argument(
+        "--grid", type=int, default=100, help="requirement grid (generated)"
+    )
+    p_prof.add_argument(
+        "--seed", type=int, default=0, help="instance seed (generated)"
+    )
+    p_prof.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        metavar="N",
+        help="profiled runs to aggregate (default 3)",
     )
 
     sub.add_parser("demo", help="quick tour on the Figure 1 example")
@@ -699,6 +812,8 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
             for key in (
                 "speedup",
                 "overhead_pct",
+                "overhead_disabled_pct",
+                "overhead_enabled_pct",
                 "vector_steps_per_s",
                 "mean_ratio",
                 "eval_speedup",
@@ -722,6 +837,51 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
         format_table(
             ["benchmark", "generated_at", "rows", "highlights"], rows
         )
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run a policy under a metrics-only telemetry session and print
+    where the kernel's wall time goes (the hot-spot table)."""
+    from .core.simulator import run_policy
+    from .experiments.runner import format_table
+    from .telemetry import TelemetrySession, phase_report, use_session
+
+    if args.instance is not None:
+        instance = load_instance(args.instance)
+        source = str(args.instance)
+    else:
+        from .generators import random_instances as gen
+
+        instance = gen.uniform_instance(
+            args.m, args.n, grid=args.grid, seed=args.seed
+        )
+        source = (
+            f"uniform(m={args.m}, n={args.n}, grid={args.grid}, "
+            f"seed={args.seed})"
+        )
+    session = TelemetrySession(tracing=False)
+    with use_session(session):
+        for _ in range(max(1, args.repeat)):
+            result = run_policy(
+                instance, args.policy, backend=args.backend,
+                record_shares=False,
+            )
+    report = phase_report(session.metrics)
+    print(
+        f"profile: {source} policy={args.policy} backend={args.backend} "
+        f"runs={report['runs']} makespan={result.makespan}"
+    )
+    print(
+        format_table(
+            ["phase", "calls", "total_s", "mean_us", "share"],
+            report["rows"],
+        )
+    )
+    print(
+        f"kernel wall time: {report['wall_seconds']:.6f}s  "
+        f"attributed to phases: {report['attributed'] * 100:.1f}%"
     )
     return 0
 
@@ -752,15 +912,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "solve":
         return _cmd_solve(args)
     if args.command in ("run", "schedule"):
-        return _cmd_schedule(args)
+        with _telemetry(args):
+            return _cmd_schedule(args)
     if args.command == "batch":
-        return _cmd_batch(args)
+        with _telemetry(args):
+            return _cmd_batch(args)
     if args.command == "crosscheck":
-        return _cmd_crosscheck(args)
+        with _telemetry(args):
+            return _cmd_crosscheck(args)
     if args.command == "verify":
         return _cmd_verify(args)
     if args.command == "bench-report":
         return _cmd_bench_report(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "demo":
         return _cmd_demo()
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

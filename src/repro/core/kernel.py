@@ -32,16 +32,24 @@ pre-kernel implementations.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from fractions import Fraction
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
-from ..exceptions import InfeasibleAssignmentError, SimulationLimitError
+from ..exceptions import (
+    InfeasibleAssignmentError,
+    ObserverError,
+    SimulationLimitError,
+)
+from ..telemetry import get_session
 from .instance import Instance
 from .numerics import ONE, ZERO, format_frac, frac_sum, to_frac
 from .state import ExecState
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..telemetry import TelemetrySession
     from .job import JobId
 
 __all__ = [
@@ -50,11 +58,15 @@ __all__ = [
     "ShareRecorder",
     "CompletionRecorder",
     "ObjectiveRecorder",
+    "TelemetryObserver",
     "KernelRuntime",
     "ExactRuntime",
     "check_share_vector",
     "run_kernel",
 ]
+
+#: Structured stall/heartbeat log channel (see ``run_kernel``).
+_KERNEL_LOG = logging.getLogger("repro.kernel")
 
 
 def check_share_vector(
@@ -379,6 +391,258 @@ class ExactRuntime(KernelRuntime):
         return f"done={self.state.done}"
 
 
+class TelemetryObserver(StepObserver):
+    """Kernel step metrics for one run (auto-attached under telemetry).
+
+    Records the run-level figures every future perf PR regressions
+    against: a ``kernel.steps`` counter, ``kernel.completions``, a
+    ``kernel.job_wait_steps`` histogram (completion step minus the
+    processor's release -- the queue-wait distribution), and on finish
+    the run wall time (``kernel.run_seconds`` histogram, the
+    denominator of hot-spot attribution) plus a
+    ``kernel.steps_per_second`` gauge.
+
+    Args:
+        session: the telemetry session receiving the metrics.
+        instance: the instance the run executes (for release times).
+    """
+
+    __slots__ = ("_steps", "_completions", "_waits", "_runs", "_sps", "_run_hist", "_releases", "_t0")
+
+    def __init__(self, session: "TelemetrySession", instance: Instance) -> None:
+        metrics = session.metrics
+        self._steps = metrics.counter("kernel.steps")
+        self._completions = metrics.counter("kernel.completions")
+        self._waits = metrics.histogram("kernel.job_wait_steps")
+        self._run_hist = metrics.histogram("kernel.run_seconds")
+        self._runs = metrics.counter("kernel.runs")
+        self._sps = metrics.gauge("kernel.steps_per_second")
+        self._releases = instance.releases
+        self._t0 = perf_counter()
+
+    def on_step(self, event: StepEvent) -> None:
+        """Count the executed step."""
+        self._steps.inc()
+
+    def on_complete(self, job: "JobId", t: int) -> None:
+        """Count the completion and record its queue wait."""
+        self._completions.inc()
+        self._waits.observe(t + 1 - self._releases[job[0]])
+
+    def on_finish(self, makespan: int) -> None:
+        """Record run wall time and throughput."""
+        wall = perf_counter() - self._t0
+        self._run_hist.observe(wall)
+        self._runs.inc()
+        if wall > 0:
+            self._sps.set(makespan / wall)
+
+
+class _TimedObserver(StepObserver):
+    """Time one observer's callbacks into the observers histogram.
+
+    Wrapping each observer separately (instead of timing the dispatch
+    loop once) keeps the attribution honest when observers are nested
+    or added by different layers; ``wrapped`` exposes the original for
+    error reporting.
+    """
+
+    __slots__ = ("wrapped", "_hist")
+
+    def __init__(self, observer: StepObserver, hist) -> None:
+        self.wrapped = observer
+        self._hist = hist
+
+    def on_step(self, event: StepEvent) -> None:
+        """Forward and time the step callback."""
+        t0 = perf_counter()
+        self.wrapped.on_step(event)
+        self._hist.observe(perf_counter() - t0)
+
+    def on_complete(self, job: "JobId", t: int) -> None:
+        """Forward and time the completion callback."""
+        t0 = perf_counter()
+        self.wrapped.on_complete(job, t)
+        self._hist.observe(perf_counter() - t0)
+
+    def on_finish(self, makespan: int) -> None:
+        """Forward and time the finish callback."""
+        t0 = perf_counter()
+        self.wrapped.on_finish(makespan)
+        self._hist.observe(perf_counter() - t0)
+
+
+class _InstrumentedRuntime(KernelRuntime):
+    """Phase-timing proxy around a runtime (installed-session runs).
+
+    Pure delegation plus two ``perf_counter`` reads per phase: query,
+    check, and apply land in per-phase metrics histograms (query
+    labelled by policy -- the per-policy query-latency series) and,
+    when the tracer is live, per-step ``kernel.step.*`` span records.
+    The proxy never touches shares or state, so instrumented runs stay
+    bit-identical (the golden-with-tracing suite pins this).
+    """
+
+    __slots__ = ("instance", "_rt", "_tracer", "_trace_steps", "_q", "_c", "_a")
+
+    def __init__(self, runtime: KernelRuntime, session: "TelemetrySession", policy_label: str) -> None:
+        self._rt = runtime
+        self.instance = runtime.instance
+        self._tracer = session.tracer
+        self._trace_steps = session.tracer.enabled
+        metrics = session.metrics
+        self._q = metrics.histogram("kernel.query_seconds", policy=policy_label)
+        self._c = metrics.histogram("kernel.check_seconds")
+        self._a = metrics.histogram("kernel.apply_seconds")
+
+    @property
+    def t(self) -> int:
+        """Delegate to the wrapped runtime."""
+        return self._rt.t
+
+    @property
+    def all_done(self) -> bool:
+        """Delegate to the wrapped runtime."""
+        return self._rt.all_done
+
+    @property
+    def waiting(self) -> bool:
+        """Delegate to the wrapped runtime."""
+        return self._rt.waiting
+
+    def begin_step(self) -> None:
+        """Delegate to the wrapped runtime."""
+        self._rt.begin_step()
+
+    def query(self, policy) -> Sequence[Any]:
+        """Time the policy query into metrics (and the tracer)."""
+        t0 = perf_counter()
+        shares = self._rt.query(policy)
+        dt = perf_counter() - t0
+        self._q.observe(dt)
+        if self._trace_steps:
+            self._tracer.complete("kernel.step.query", t0, dt, t=self._rt.t)
+        return shares
+
+    def check(self, shares: Sequence[Any]) -> None:
+        """Time the feasibility check into metrics (and the tracer)."""
+        t0 = perf_counter()
+        self._rt.check(shares)
+        dt = perf_counter() - t0
+        self._c.observe(dt)
+        if self._trace_steps:
+            self._tracer.complete("kernel.step.check", t0, dt, t=self._rt.t)
+
+    def apply(self, shares: Sequence[Any]) -> StepEvent:
+        """Time the state advance into metrics (and the tracer)."""
+        t0 = perf_counter()
+        event = self._rt.apply(shares)
+        dt = perf_counter() - t0
+        self._a.observe(dt)
+        if self._trace_steps:
+            self._tracer.complete(
+                "kernel.step.apply",
+                t0,
+                dt,
+                t=event.t,
+                completed=len(event.completed),
+            )
+        return event
+
+    def describe_progress(self) -> str:
+        """Delegate to the wrapped runtime."""
+        return self._rt.describe_progress()
+
+
+def _log_heartbeat(runtime: KernelRuntime, waited: int, label: str) -> None:
+    """Structured stall warning: the run is alive but waiting."""
+    detail = runtime.describe_progress()
+    _KERNEL_LOG.warning(
+        "%s waiting on releases: %d consecutive zero-progress steps at "
+        "t=%d%s",
+        label,
+        waited,
+        runtime.t,
+        f" ({detail})" if detail else "",
+    )
+
+
+def _kernel_loop(
+    runtime: KernelRuntime,
+    policy,
+    observers: tuple[StepObserver, ...],
+    limit: int,
+    stall_limit: int,
+    label: str,
+    heartbeat_interval: int | None,
+    heartbeat,
+) -> int:
+    """The one step loop (shared by the plain and instrumented paths)."""
+    stalled = 0
+    waited = 0
+    while not runtime.all_done:
+        if runtime.t >= limit:
+            detail = runtime.describe_progress()
+            raise SimulationLimitError(
+                f"{label} did not finish within {limit} steps"
+                + (f" ({detail})" if detail else "")
+            )
+        runtime.begin_step()
+        shares = runtime.query(policy)
+        runtime.check(shares)
+        event = runtime.apply(shares)
+        observer: StepObserver | None = None
+        try:
+            for observer in observers:
+                observer.on_step(event)
+            if event.completed:
+                for job in event.completed:
+                    for observer in observers:
+                        observer.on_complete(job, event.t)
+        except Exception as exc:
+            raise _observer_error(observer, f"step {event.t}", exc) from exc
+        if event.progressed:
+            stalled = 0
+            waited = 0
+        elif runtime.waiting:
+            # Legitimate waiting on a future release -- not a stall,
+            # but not silent either: emit a structured heartbeat so a
+            # long wait (or a release-time bug) is visible.
+            stalled = 0
+            waited += 1
+            if heartbeat_interval and waited % heartbeat_interval == 0:
+                heartbeat(runtime, waited, label)
+        else:
+            stalled += 1
+            if stalled >= stall_limit:
+                raise SimulationLimitError(
+                    f"{label} made no progress for {stalled} consecutive "
+                    f"steps (t={runtime.t}); aborting"
+                )
+
+    makespan = runtime.t
+    observer = None
+    try:
+        for observer in observers:
+            observer.on_finish(makespan)
+    except Exception as exc:
+        raise _observer_error(
+            observer, f"finish (makespan={makespan})", exc
+        ) from exc
+    return makespan
+
+
+def _observer_error(
+    observer: StepObserver | None, where: str, exc: Exception
+) -> ObserverError:
+    """Build the :class:`ObserverError` for one failed callback."""
+    target = getattr(observer, "wrapped", observer)
+    name = type(target).__name__ if target is not None else "<none>"
+    return ObserverError(
+        f"observer {name} raised {type(exc).__name__} at {where}: {exc}"
+    )
+
+
 def run_kernel(
     runtime: KernelRuntime,
     policy,
@@ -387,6 +651,7 @@ def run_kernel(
     max_steps: int | None = None,
     stall_limit: int = 3,
     label: str = "policy",
+    heartbeat_interval: int | None = 64,
 ) -> int:
     """Drive *policy* through *runtime* until every job is finished.
 
@@ -395,7 +660,11 @@ def run_kernel(
         policy: the resource-assignment policy (queried via
             ``runtime.query``, so exact runtimes call ``policy(state)``
             and the vector runtime calls ``policy.shares_array``).
-        observers: telemetry hooks, notified in the given order.
+        observers: telemetry hooks, notified in the given order.  An
+            exception escaping an observer callback is re-raised as
+            :class:`~repro.exceptions.ObserverError` (original
+            chained); the step it interrupted has already fully
+            applied, so the runtime state stays consistent.
         max_steps: hard safety limit (default
             :func:`~repro.core.simulator.default_step_limit` of the
             runtime's instance, which accounts for release times).
@@ -403,6 +672,24 @@ def run_kernel(
             progress while no processor is waiting on a release -- the
             signature of a policy that will never terminate.
         label: subject of error messages ("policy", "workload").
+        heartbeat_interval: while the run is legitimately *waiting*
+            (zero progress, unreleased processors pending), emit a
+            structured warning on the ``repro.kernel`` logger -- plus a
+            ``kernel.heartbeat`` trace event under telemetry -- every
+            this-many waiting steps, so stalls are never silent.
+            ``None``/``0`` disables the heartbeat.
+
+    When a :class:`~repro.telemetry.TelemetrySession` is installed
+    (:func:`repro.telemetry.use_session`), the run is instrumented: a
+    ``kernel.run`` span wraps the loop, every step phase
+    (query/check/apply/observers) is timed into metrics histograms
+    (query latency labelled per policy), and a
+    :class:`TelemetryObserver` records steps, completions, queue waits
+    and throughput.  With no session installed the loop runs
+    uninstrumented -- telemetry costs one global read per run
+    (``benchmarks/bench_telemetry_overhead.py`` gates the disabled
+    path at <= 2% overhead).  Instrumentation never alters arithmetic
+    or control flow: traced runs are bit-identical to untraced ones.
 
     Returns:
         The makespan (number of executed steps).
@@ -411,6 +698,7 @@ def run_kernel(
         InfeasibleAssignmentError: if the policy emits an invalid
             share vector (via ``runtime.check``).
         SimulationLimitError: if a limit is exceeded.
+        ObserverError: if an observer callback raises.
 
     Example:
         >>> from repro.core import Instance
@@ -426,36 +714,59 @@ def run_kernel(
     else:
         limit = max_steps
     observers = tuple(observers)
-    stalled = 0
+    session = get_session()
+    if session is None:
+        # The zero-cost path: no per-step telemetry work at all.
+        return _kernel_loop(
+            runtime,
+            policy,
+            observers,
+            limit,
+            stall_limit,
+            label,
+            heartbeat_interval,
+            _log_heartbeat,
+        )
 
-    while not runtime.all_done:
-        if runtime.t >= limit:
-            detail = runtime.describe_progress()
-            raise SimulationLimitError(
-                f"{label} did not finish within {limit} steps"
-                + (f" ({detail})" if detail else "")
-            )
-        runtime.begin_step()
-        shares = runtime.query(policy)
-        runtime.check(shares)
-        event = runtime.apply(shares)
-        for observer in observers:
-            observer.on_step(event)
-        if event.completed:
-            for job in event.completed:
-                for observer in observers:
-                    observer.on_complete(job, event.t)
-        if event.progressed or runtime.waiting:
-            stalled = 0
-        else:
-            stalled += 1
-            if stalled >= stall_limit:
-                raise SimulationLimitError(
-                    f"{label} made no progress for {stalled} consecutive "
-                    f"steps (t={runtime.t}); aborting"
-                )
+    tracer = session.tracer
+    metrics = session.metrics
+    policy_label = str(getattr(policy, "name", type(policy).__name__))
+    obs_hist = metrics.histogram("kernel.observers_seconds")
+    instrumented = _InstrumentedRuntime(runtime, session, policy_label)
+    wrapped = tuple(
+        _TimedObserver(obs, obs_hist)
+        for obs in (*observers, TelemetryObserver(session, runtime.instance))
+    )
 
-    makespan = runtime.t
-    for observer in observers:
-        observer.on_finish(makespan)
+    def _heartbeat(rt: KernelRuntime, waited: int, lbl: str) -> None:
+        _log_heartbeat(rt, waited, lbl)
+        tracer.event(
+            "kernel.heartbeat",
+            t=rt.t,
+            waited=waited,
+            label=lbl,
+            detail=rt.describe_progress(),
+        )
+        metrics.counter("kernel.heartbeats").inc()
+
+    with tracer.span(
+        "kernel.run",
+        label=label,
+        policy=policy_label,
+        runtime=type(runtime).__name__,
+        m=runtime.instance.num_processors,
+        jobs=runtime.instance.total_jobs,
+        resources=runtime.instance.num_resources,
+    ) as span:
+        makespan = _kernel_loop(
+            instrumented,
+            policy,
+            wrapped,
+            limit,
+            stall_limit,
+            label,
+            heartbeat_interval,
+            _heartbeat,
+        )
+        span.note(makespan=makespan)
     return makespan

@@ -15,6 +15,7 @@ __all__ = [
     "InfeasibleAssignmentError",
     "UnitSizeRequiredError",
     "SimulationLimitError",
+    "ObserverError",
     "SolverError",
     "BackendError",
     "VectorizationUnsupportedError",
@@ -56,6 +57,18 @@ class SimulationLimitError(ReproError):
     """The step simulator exceeded its ``max_steps`` safety limit,
     which indicates a non-terminating policy (e.g. one that assigns
     zero resource forever)."""
+
+
+class ObserverError(ReproError):
+    """A kernel step observer raised during dispatch.
+
+    Observers are telemetry: they must never break a run silently, and
+    the kernel must not let their failures masquerade as simulation
+    errors.  :func:`repro.core.kernel.run_kernel` therefore wraps any
+    exception escaping an observer callback in this type (the original
+    exception is chained as ``__cause__``), after the step itself has
+    fully applied -- the runtime state stays consistent.
+    """
 
 
 class SolverError(ReproError):

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
+from ..telemetry import get_session
+
 __all__ = ["ExperimentResult", "Experiment", "format_table", "run_experiment"]
 
 
@@ -134,4 +136,15 @@ def run_experiment(
         )
     if objective is not None and accepts_objective:
         params["objective"] = objective
-    return experiment.run(**params)
+    session = get_session()
+    if session is None:
+        return experiment.run(**params)
+    with session.tracer.span(
+        "experiment.run",
+        id=experiment.id,
+        backend=backend or "exact",
+        objective=objective or "makespan",
+    ) as span:
+        result = experiment.run(**params)
+        span.note(verdict=result.verdict, rows=len(result.rows))
+    return result

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import copy
 import random
+from time import perf_counter
 
 from ..core.instance import Instance
 from ..core.job import Job
@@ -72,9 +73,13 @@ class LocalSearchSequencer(Sequencer):
     Attributes:
         last_stats: after each :meth:`sequence` call, a dict with the
             number of ``evaluations``, the ``initial`` and ``best``
-            objective values, and ``improved`` (their strict
-            comparison) -- the ORDER experiment and the benchmark read
-            these instead of re-deriving them.
+            objective values, ``improved`` (their strict comparison),
+            the move outcome counts (``accepted`` / ``rejected``
+            neighborhood candidates, plus ``perturbations`` --
+            restart-kickoff evaluations, charged to neither), and the
+            search throughput (``seconds`` wall time,
+            ``evals_per_second``) -- the ORDER experiment and the
+            benchmark read these instead of re-deriving them.
 
     Example:
         >>> from repro.core import Instance
@@ -212,11 +217,23 @@ class LocalSearchSequencer(Sequencer):
     # The search
     # ------------------------------------------------------------------
     def sequence(self, instance: Instance) -> Instance:
-        """Improve *instance*'s queue orders under the evaluation triple."""
+        """Improve *instance*'s queue orders under the evaluation triple.
+
+        Under an installed telemetry session the search is wrapped in
+        a ``sequencer.search`` span carrying the final
+        :attr:`last_stats` figures; the stats themselves are always
+        collected (two clock reads and a few counters per search).
+        """
+        from ..telemetry import get_session  # local: builds on core
+
+        t0 = perf_counter()
         best_queues = [list(q) for q in instance.queues]
         best_value = self.evaluate(instance)
         initial_value = best_value
         evaluations = 1
+        accepted = 0
+        rejected = 0
+        perturbations = 0
         for r in range(self.restarts):
             rng = random.Random(self.seed + r * _RESTART_SEED_OFFSET)
             current = [list(q) for q in best_queues]
@@ -232,6 +249,7 @@ class LocalSearchSequencer(Sequencer):
                 current_value = self.evaluate(candidate)
                 evaluations += 1
                 spent += 1
+                perturbations += 1
                 if current_value < best_value:
                     best_queues = [list(q) for q in current]
                     best_value = current_value
@@ -253,21 +271,49 @@ class LocalSearchSequencer(Sequencer):
                 evaluations += 1
                 spent += 1
                 if value < current_value:
+                    accepted += 1
                     current = trial
                     current_value = value
                     if value < best_value:
                         best_queues = [list(q) for q in trial]
                         best_value = value
+                else:
+                    rejected += 1
         improved = best_value < initial_value
         result = instance.with_queues(best_queues) if improved else instance
         if not instance.same_bag(result):  # pragma: no cover - invariant
             raise SequencingError(
                 "local search corrupted the job bag (internal error)"
             )
+        seconds = perf_counter() - t0
         self.last_stats = {
             "evaluations": evaluations,
             "initial": initial_value,
             "best": best_value,
             "improved": improved,
+            "accepted": accepted,
+            "rejected": rejected,
+            "perturbations": perturbations,
+            "seconds": seconds,
+            "evals_per_second": evaluations / seconds if seconds > 0 else None,
         }
+        session = get_session()
+        if session is not None:
+            session.metrics.counter("sequencer.evaluations").inc(evaluations)
+            session.metrics.counter("sequencer.accepted").inc(accepted)
+            session.metrics.counter("sequencer.rejected").inc(rejected)
+            session.tracer.complete(
+                "sequencer.search",
+                t0,
+                seconds,
+                sequencer=self.name,
+                policy=str(getattr(self.policy, "name", "?")),
+                objective=self.objective.name,
+                budget=self.budget,
+                restarts=self.restarts,
+                evaluations=evaluations,
+                accepted=accepted,
+                rejected=rejected,
+                improved=improved,
+            )
         return result

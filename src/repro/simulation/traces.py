@@ -1,4 +1,12 @@
-"""Execution traces and summaries for many-core simulations."""
+"""Execution traces and summaries for many-core simulations.
+
+:class:`StepRecord` is defined in :mod:`repro.telemetry.records` (one
+trace schema for the whole codebase) and re-exported here unchanged
+for backwards compatibility; :func:`repro.telemetry.run_trace_records`
+converts a full :class:`RunTrace` into telemetry records so legacy
+engine traces flow through the same JSONL/Chrome exporters as the
+kernel's spans.
+"""
 
 from __future__ import annotations
 
@@ -6,26 +14,9 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 
 from ..core.numerics import as_float
+from ..telemetry.records import StepRecord
 
 __all__ = ["StepRecord", "RunTrace", "CoreSummary"]
-
-
-@dataclass(frozen=True, slots=True)
-class StepRecord:
-    """One engine tick.
-
-    Attributes:
-        t: step index.
-        grants: bandwidth share granted per core.
-        progress: work processed per core.
-        completed: task phases finishing this step, as
-            ``(core, phase_index)``.
-    """
-
-    t: int
-    grants: tuple[Fraction, ...]
-    progress: tuple[Fraction, ...]
-    completed: tuple[tuple[int, int], ...]
 
 
 @dataclass(frozen=True, slots=True)

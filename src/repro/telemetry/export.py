@@ -1,0 +1,165 @@
+"""Trace and metrics exporters (JSONL, Chrome ``trace_event``, text).
+
+Three output formats cover the consumption paths:
+
+* **JSONL** -- one :meth:`TraceRecord.as_dict` object per line; easy
+  to grep and stream, and :func:`read_jsonl` round-trips it back into
+  records (the test suite pins this).
+* **Chrome trace_event JSON** -- the ``{"traceEvents": [...]}`` format
+  loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``: spans become complete (``"ph": "X"``) events
+  with microsecond timestamps, instant records become ``"ph": "i"``.
+* **Prometheus-style text** -- :meth:`MetricsRegistry.to_text`,
+  re-exported here so the CLI imports one module for all output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .metrics import MetricsRegistry
+from .records import TraceRecord
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "render_metrics",
+    "write_trace",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce attribute values to JSON-ready types (floats for exotic
+    numerics such as ``Fraction`` or NumPy scalars, lists for other
+    sequences)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def _record_doc(record: TraceRecord) -> dict[str, Any]:
+    doc = record.as_dict()
+    doc["attrs"] = _jsonable(doc["attrs"])
+    return doc
+
+
+def write_jsonl(records: Iterable[TraceRecord], path: str | Path) -> int:
+    """Write records as one-JSON-object-per-line; returns the count."""
+    count = 0
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(_record_doc(record)) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> list[TraceRecord]:
+    """Parse a JSONL trace file back into :class:`TraceRecord` objects."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(TraceRecord.from_dict(json.loads(line)))
+    return records
+
+
+def chrome_trace(
+    records: Sequence[TraceRecord], *, pid: int | None = None
+) -> dict[str, Any]:
+    """The records as a Chrome ``trace_event`` document.
+
+    Spans map to complete events (``"ph": "X"``) and instant records
+    to ``"ph": "i"`` with thread scope; timestamps and durations are
+    microseconds, as the format requires.  Load the written file in
+    Perfetto or ``chrome://tracing``.
+    """
+    pid = os.getpid() if pid is None else pid
+    events: list[dict[str, Any]] = []
+    for record in records:
+        event: dict[str, Any] = {
+            "name": record.name,
+            "cat": record.name.split(".", 1)[0],
+            "ts": record.ts * 1e6,
+            "pid": pid,
+            "tid": 1,
+            "args": _jsonable(record.attrs),
+        }
+        if record.kind == "span":
+            event["ph"] = "X"
+            event["dur"] = (record.dur or 0.0) * 1e6
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    records: Sequence[TraceRecord], path: str | Path
+) -> int:
+    """Write a Chrome trace_event JSON file; returns the event count."""
+    doc = chrome_trace(records)
+    Path(path).write_text(json.dumps(doc) + "\n")
+    return len(doc["traceEvents"])
+
+
+def load_chrome_trace(path: str | Path) -> dict[str, Any]:
+    """Load and structurally validate a Chrome trace_event JSON file.
+
+    Raises:
+        ValueError: if the document is not a trace_event container or
+            an event is missing a required key (``name``/``ph``/``ts``).
+    """
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("traceEvents"), list
+    ):
+        raise ValueError(f"{path}: not a Chrome trace_event document")
+    for i, event in enumerate(doc["traceEvents"]):
+        for key in ("name", "ph", "ts"):
+            if key not in event:
+                raise ValueError(f"{path}: traceEvents[{i}] missing {key!r}")
+    return doc
+
+
+def render_metrics(registry: MetricsRegistry, *, prefix: str = "repro") -> str:
+    """Prometheus-style text dump of *registry* (see
+    :meth:`MetricsRegistry.to_text`)."""
+    return registry.to_text(prefix=prefix)
+
+
+def write_trace(
+    records: Sequence[TraceRecord], path: str | Path, *, format: str = "jsonl"
+) -> int:
+    """Write *records* to *path* in the named format.
+
+    Args:
+        records: the trace records to serialize.
+        path: output file path.
+        format: ``"jsonl"`` or ``"chrome"``.
+
+    Returns:
+        The number of records/events written.
+
+    Raises:
+        ValueError: for an unknown format name.
+    """
+    if format == "jsonl":
+        return write_jsonl(records, path)
+    if format == "chrome":
+        return write_chrome_trace(records, path)
+    raise ValueError(f"unknown trace format {format!r} (jsonl or chrome)")

@@ -1,0 +1,254 @@
+"""Counters, gauges, and quantile histograms (the metrics facility).
+
+A :class:`MetricsRegistry` is a flat name -> metric store with optional
+labels (``registry.histogram("kernel.query_seconds",
+policy="round-robin")``).  Producers get-or-create metrics on every
+call, so instrument sites stay one-liners; consumers read
+:meth:`MetricsRegistry.snapshot` (structured) or
+:meth:`MetricsRegistry.to_text` (a Prometheus-style exposition dump).
+
+Example:
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("kernel.steps").inc(3)
+    >>> registry.counter("kernel.steps").value
+    3
+    >>> h = registry.histogram("latency_seconds")
+    >>> for x in [1.0, 2.0, 3.0, 4.0]:
+    ...     h.observe(x)
+    >>> h.quantile(0.5)
+    2.0
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: A metric key: (name, sorted (label, value) pairs).
+_Key = tuple[str, tuple[tuple[str, str], ...]]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        """Add *n* (must be non-negative) to the counter."""
+        if n < 0:
+            raise ValueError(f"counters only increase (got {n})")
+        self.value += n
+
+    def summary(self) -> dict[str, Any]:
+        """The counter's snapshot form."""
+        return {"value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+    def summary(self) -> dict[str, Any]:
+        """The gauge's snapshot form."""
+        return {"value": self.value}
+
+
+class Histogram:
+    """A sample distribution with nearest-rank quantiles.
+
+    Samples are kept verbatim (runs in this repo are bounded, and exact
+    quantiles make the round-trip tests deterministic); ``quantile``
+    uses the nearest-rank definition, so ``quantile(0.5)`` of
+    ``[1, 2, 3, 4]`` is ``2.0`` and every reported quantile is an
+    observed sample.
+    """
+
+    __slots__ = ("values",)
+
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded samples."""
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return self.total / len(self.values) if self.values else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile of the samples (0.0 when empty).
+
+        Raises:
+            ValueError: if *q* is outside ``[0, 1]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        # Nearest-rank: ceil(q * n), with a nudge so float artifacts
+        # like 0.5 * 4 -> 2.0000000000000004 do not shift the rank.
+        rank = max(1, math.ceil(q * len(ordered) - 1e-12))
+        return ordered[rank - 1]
+
+    def summary(self) -> dict[str, Any]:
+        """Count, sum, extremes and the p50/p90/p99 quantiles."""
+        if not self.values:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": min(self.values),
+            "max": max(self.values),
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Flat, label-aware store of counters, gauges, and histograms.
+
+    One metric name must keep one kind: asking for
+    ``counter("x")`` after ``gauge("x")`` raises -- mixed kinds under
+    one name would make the exposition dump ambiguous.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: dict[_Key, Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls, name: str, labels: dict[str, Any]):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls()
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get or create the counter *name* with *labels*."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get or create the gauge *name* with *labels*."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """Get or create the histogram *name* with *labels*."""
+        return self._get(Histogram, name, labels)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def items(
+        self,
+    ) -> Iterator[tuple[str, dict[str, str], Counter | Gauge | Histogram]]:
+        """Iterate ``(name, labels, metric)`` in sorted key order."""
+        for (name, labels), metric in sorted(self._metrics.items()):
+            yield name, dict(labels), metric
+
+    def find(
+        self, prefix: str
+    ) -> list[tuple[str, dict[str, str], Counter | Gauge | Histogram]]:
+        """All metrics whose name starts with *prefix* (sorted)."""
+        return [
+            (name, labels, metric)
+            for name, labels, metric in self.items()
+            if name.startswith(prefix)
+        ]
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """JSON-ready list of every metric's kind, labels and summary."""
+        return [
+            {
+                "name": name,
+                "kind": metric.kind,
+                "labels": labels,
+                **metric.summary(),
+            }
+            for name, labels, metric in self.items()
+        ]
+
+    def to_text(self, prefix: str = "repro") -> str:
+        """Prometheus-style exposition dump of every metric.
+
+        Histograms render as summaries (quantile-labelled sample
+        lines plus ``_count``/``_sum``); metric names are sanitized to
+        the ``[a-zA-Z0-9_]`` exposition alphabet.
+        """
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        for name, labels, metric in self.items():
+            flat = f"{prefix}_{name}".replace(".", "_").replace("-", "_")
+            if flat not in seen_types:
+                kind = "summary" if metric.kind == "histogram" else metric.kind
+                lines.append(f"# TYPE {flat} {kind}")
+                seen_types.add(flat)
+            if isinstance(metric, Histogram):
+                for q in (0.5, 0.9, 0.99):
+                    q_labels = {**labels, "quantile": f"{q:g}"}
+                    lines.append(
+                        f"{flat}{_render_labels(q_labels)} "
+                        f"{metric.quantile(q):.9g}"
+                    )
+                lines.append(
+                    f"{flat}_count{_render_labels(labels)} {metric.count}"
+                )
+                lines.append(
+                    f"{flat}_sum{_render_labels(labels)} {metric.total:.9g}"
+                )
+            else:
+                value = metric.value
+                text = f"{value:.9g}" if isinstance(value, float) else str(value)
+                lines.append(f"{flat}{_render_labels(labels)} {text}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    """Render a ``{label="value",...}`` suffix ("" when unlabelled)."""
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + body + "}"

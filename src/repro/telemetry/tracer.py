@@ -1,0 +1,203 @@
+"""Structured span/event tracer (zero-cost when disabled).
+
+A :class:`Tracer` collects :class:`~repro.telemetry.records.TraceRecord`
+entries: *spans* (timed regions, nested via a ``contextvars`` current
+span, so nesting survives generators and threads) and instant *events*.
+Producers never check whether tracing is on -- they call
+:meth:`Tracer.span` / :meth:`Tracer.event` / :meth:`Tracer.complete`
+unconditionally, and the shared :data:`NULL_TRACER` turns every call
+into a no-op.  Hot paths that want to skip even argument construction
+can guard on :attr:`Tracer.enabled`.
+
+Example:
+    >>> tracer = Tracer()
+    >>> with tracer.span("outer", label="x"):
+    ...     tracer.event("ping")
+    >>> [(r.kind, r.name) for r in tracer.records]
+    [('event', 'ping'), ('span', 'outer')]
+    >>> tracer.records[0].parent_id == tracer.records[1].span_id
+    True
+"""
+
+from __future__ import annotations
+
+import time
+from contextvars import ContextVar
+from typing import Any
+
+from .records import TraceRecord
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER"]
+
+#: The id of the innermost open span (None at top level).  A context
+#: variable -- not a tracer attribute -- so nesting is correct per
+#: logical context even when spans interleave across threads.
+_CURRENT_SPAN: ContextVar[int | None] = ContextVar(
+    "repro_current_span", default=None
+)
+
+
+class _SpanHandle:
+    """Context manager recording one span on exit.
+
+    Entering publishes the span id through the context variable (so
+    records produced inside attach to it); exiting appends the
+    finished :class:`TraceRecord`.  :meth:`note` merges additional
+    attributes before the span closes (e.g. a result computed inside).
+    """
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_id", "_parent", "_start", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def note(self, **attrs: Any) -> None:
+        """Attach extra attributes to the span before it closes."""
+        self._attrs.update(attrs)
+
+    def __enter__(self) -> "_SpanHandle":
+        tracer = self._tracer
+        self._id = tracer._next_id()
+        self._parent = _CURRENT_SPAN.get()
+        self._token = _CURRENT_SPAN.set(self._id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.perf_counter()
+        _CURRENT_SPAN.reset(self._token)
+        tracer = self._tracer
+        if exc_type is not None:
+            self._attrs.setdefault("error", exc_type.__name__)
+        tracer._records.append(
+            TraceRecord(
+                kind="span",
+                name=self._name,
+                ts=self._start - tracer.epoch,
+                dur=end - self._start,
+                span_id=self._id,
+                parent_id=self._parent,
+                attrs=self._attrs,
+            )
+        )
+
+
+class _NullSpan:
+    """Shared no-op span handle for :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def note(self, **attrs: Any) -> None:
+        """Ignore attributes (tracing is off)."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collect structured span/event records against one time epoch.
+
+    Attributes:
+        enabled: True -- hot paths may guard per-record work on it.
+        epoch: ``time.perf_counter()`` at construction; every record's
+            ``ts`` is relative to it.
+        wall_epoch: ``time.time()`` at construction (carried into
+            exports so trace files can be aligned with wall clocks).
+        records: the accumulated :class:`TraceRecord` list, in
+            completion order (a span is appended when it *closes*, so
+            children precede their parent).
+    """
+
+    enabled = True
+
+    __slots__ = ("epoch", "wall_epoch", "_records", "_ids")
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.wall_epoch = time.time()
+        self._records: list[TraceRecord] = []
+        self._ids = 0
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The accumulated records (completion order)."""
+        return self._records
+
+    def _next_id(self) -> int:
+        self._ids += 1
+        return self._ids
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """A context manager timing one named region.
+
+        Records produced inside (spans, events, :meth:`complete` calls)
+        carry this span's id as their ``parent_id``.
+        """
+        return _SpanHandle(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record one instant event under the current span."""
+        self._records.append(
+            TraceRecord(
+                kind="event",
+                name=name,
+                ts=time.perf_counter() - self.epoch,
+                dur=None,
+                span_id=self._next_id(),
+                parent_id=_CURRENT_SPAN.get(),
+                attrs=attrs,
+            )
+        )
+
+    def complete(self, name: str, start: float, duration: float, **attrs: Any) -> None:
+        """Record an already-finished span (the hot-path form).
+
+        *start* is an absolute ``time.perf_counter()`` reading;
+        *duration* is in seconds.  Used by the kernel's per-phase
+        hooks, which time with two raw counter reads instead of paying
+        for a context-manager entry/exit per step.
+        """
+        self._records.append(
+            TraceRecord(
+                kind="span",
+                name=name,
+                ts=start - self.epoch,
+                dur=duration,
+                span_id=self._next_id(),
+                parent_id=_CURRENT_SPAN.get(),
+                attrs=attrs,
+            )
+        )
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every call is a no-op.
+
+    A singleton (:data:`NULL_TRACER`) stands in wherever no tracing
+    session is installed, so producers never need a None check.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:  # type: ignore[override]
+        """Return the shared no-op span handle."""
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Ignore the event (tracing is off)."""
+
+    def complete(self, name: str, start: float, duration: float, **attrs: Any) -> None:
+        """Ignore the span (tracing is off)."""
+
+
+NULL_TRACER = NullTracer()

@@ -13,7 +13,12 @@ from repro.exceptions import BackendError
 
 
 def strip_timing(rows):
-    return [{k: v for k, v in row.items() if k != "seconds"} for row in rows]
+    # "seconds" varies run to run and "worker" carries the executing
+    # process pid -- both are telemetry, not results.
+    return [
+        {k: v for k, v in row.items() if k not in ("seconds", "worker")}
+        for row in rows
+    ]
 
 
 class TestCampaignInstances:

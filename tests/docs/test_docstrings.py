@@ -1,11 +1,11 @@
-"""Docstring coverage gate for the core, backends, objectives, sequencing API.
+"""Docstring coverage gate for the documented-API directories.
 
 CI runs ruff's pydocstyle (``D``) rules over ``src/repro/core``,
-``src/repro/backends``, ``src/repro/objectives`` and
-``src/repro/sequencing`` (see ``[tool.ruff]`` in pyproject.toml); this
-AST-based check enforces the presence half of those rules inside the
-tier-1 suite as well, so a missing public docstring fails fast even
-where ruff is not installed.
+``src/repro/backends``, ``src/repro/objectives``,
+``src/repro/sequencing`` and ``src/repro/telemetry`` (see
+``[tool.ruff]`` in pyproject.toml); this AST-based check enforces the
+presence half of those rules inside the tier-1 suite as well, so a
+missing public docstring fails fast even where ruff is not installed.
 """
 
 import ast
@@ -15,7 +15,7 @@ import pytest
 
 SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 
-CHECKED_DIRS = ("core", "backends", "objectives", "sequencing")
+CHECKED_DIRS = ("core", "backends", "objectives", "sequencing", "telemetry")
 
 
 def _public_functions(tree):

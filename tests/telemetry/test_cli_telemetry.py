@@ -1,0 +1,175 @@
+"""CLI telemetry flags: --trace / --trace-format / --metrics, profile."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import Instance
+from repro.io import save_instance
+from repro.telemetry import get_session, load_chrome_trace, read_jsonl
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    path = tmp_path / "instance.json"
+    save_instance(
+        Instance.from_percent([[50, 30, 80], [40, 90, 20]]), path
+    )
+    return path
+
+
+class TestTraceFlags:
+    def test_run_writes_jsonl_trace(self, instance_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(["run", str(instance_file), "--trace", str(trace)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert f"records written to {trace}" in out
+        records = read_jsonl(trace)
+        assert any(r.name == "kernel.run" for r in records)
+
+    def test_run_writes_chrome_trace(self, instance_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "run",
+                    str(instance_file),
+                    "--trace",
+                    str(trace),
+                    "--trace-format",
+                    "chrome",
+                ]
+            )
+            == 0
+        )
+        doc = load_chrome_trace(trace)  # validates the structure
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "kernel.run" in names
+        assert "kernel.step.query" in names
+        # Spot-check the trace_event grammar Perfetto requires.
+        for event in doc["traceEvents"]:
+            assert event["ph"] in ("X", "i")
+            if event["ph"] == "X":
+                assert "dur" in event
+
+    def test_metrics_dump(self, instance_file, capsys):
+        assert main(["run", str(instance_file), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_kernel_steps counter" in out
+        assert "repro_kernel_run_seconds_count 1" in out
+
+    def test_session_uninstalled_after_command(self, instance_file, capsys):
+        main(["run", str(instance_file), "--metrics"])
+        assert get_session() is None
+
+    def test_no_flags_no_telemetry_output(self, instance_file, capsys):
+        assert main(["run", str(instance_file)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE" not in out
+        assert "trace:" not in out
+
+    def test_batch_trace_has_campaign_span(self, tmp_path, capsys):
+        trace = tmp_path / "batch.jsonl"
+        assert (
+            main(
+                [
+                    "batch",
+                    "--count",
+                    "4",
+                    "--m",
+                    "3",
+                    "--n",
+                    "4",
+                    "--workers",
+                    "1",
+                    "--trace",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        records = read_jsonl(trace)
+        assert any(r.name == "batch.campaign" for r in records)
+
+    def test_crosscheck_accepts_metrics(self, capsys):
+        assert (
+            main(
+                [
+                    "crosscheck",
+                    "--count",
+                    "3",
+                    "--m",
+                    "3",
+                    "--n",
+                    "4",
+                    "--metrics",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "result: OK" in out
+        assert "repro_kernel_runs" in out
+
+
+class TestProfileCommand:
+    def test_prints_hot_spot_table(self, capsys):
+        assert (
+            main(
+                [
+                    "profile",
+                    "--m",
+                    "4",
+                    "--n",
+                    "6",
+                    "--repeat",
+                    "2",
+                    "--policy",
+                    "greedy-balance",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "phase" in out
+        for phase in ("query", "check", "apply", "observers"):
+            assert phase in out
+        assert "(unattributed)" in out
+        assert "attributed to phases:" in out
+
+    def test_profiles_an_instance_file(self, instance_file, capsys):
+        assert main(["profile", str(instance_file)]) == 0
+        out = capsys.readouterr().out
+        assert str(instance_file) in out
+
+    def test_vector_backend_profile(self, capsys):
+        assert (
+            main(["profile", "--backend", "vector", "--m", "4", "--n", "6"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "backend=vector" in out
+
+
+def test_bench_report_highlights_overhead_keys(tmp_path, capsys):
+    store = {
+        "benchmark": "telemetry_overhead",
+        "generated_at": "2026-01-01T00:00:00",
+        "rows": [
+            {
+                "case": "m16",
+                "overhead_disabled_pct": 0.4,
+                "overhead_enabled_pct": 12.0,
+            }
+        ],
+    }
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "BENCH_telemetry.json").write_text(json.dumps(store))
+    assert main(["bench-report", "--results", str(results)]) == 0
+    out = capsys.readouterr().out
+    assert "overhead_disabled_pct=0.4" in out
+    assert "overhead_enabled_pct=12.0" in out

@@ -1,0 +1,48 @@
+"""Telemetry must never change results: golden bit-identity under tracing.
+
+The golden store pins the exact path's SHA-256 share digests; these
+tests re-run the same cases with a full tracing session installed and
+assert the digests are unchanged -- instrumentation wraps the kernel,
+it never touches arithmetic or control flow.
+"""
+
+import json
+
+import pytest
+
+from repro.algorithms import get_policy
+from repro.telemetry import TelemetrySession, use_session
+
+from ..data.make_golden import CASES, GOLDEN_PATH, share_digest
+
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+_BUILDERS = dict(CASES)
+
+
+@pytest.mark.parametrize(
+    "entry",
+    GOLDEN["entries"],
+    ids=lambda e: f"{e['case']}-{e['policy']}",
+)
+def test_exact_path_bit_identical_under_tracing(entry):
+    instance = _BUILDERS[entry["case"]]()
+    with use_session(TelemetrySession()) as session:
+        schedule = get_policy(entry["policy"]).run(instance)
+    assert schedule.makespan == entry["exact_makespan"]
+    assert share_digest(schedule) == entry["share_sha256"]
+    # And the run actually was instrumented (the test would be vacuous
+    # if the session were ignored).
+    assert session.metrics.counter("kernel.steps").value == schedule.makespan
+
+
+def test_batch_rows_identical_under_tracing():
+    """A traced campaign produces the same rows as an untraced one."""
+    from repro.backends import BatchRunner, make_campaign_instances
+
+    from ..backends.test_batch import strip_timing
+
+    instances = make_campaign_instances(6, 3, 4, seed=11)
+    plain = BatchRunner(workers=1).run(instances)
+    with use_session(TelemetrySession()):
+        traced = BatchRunner(workers=1).run(instances)
+    assert strip_timing(plain.rows) == strip_timing(traced.rows)

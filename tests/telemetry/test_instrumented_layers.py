@@ -1,0 +1,132 @@
+"""Backend, campaign, sequencer, and experiment instrumentation."""
+
+import os
+
+from repro.backends import (
+    BatchRunner,
+    get_backend,
+    make_campaign_instances,
+)
+from repro.core import Instance
+from repro.telemetry import TelemetrySession, use_session
+
+
+def _instance():
+    return Instance.from_percent([[50, 30, 80], [40, 90, 20]])
+
+
+class TestBackendSpans:
+    def test_exact_backend_span(self):
+        with use_session(TelemetrySession()) as session:
+            result = get_backend("exact").run(_instance(), "greedy-balance")
+        (span,) = [
+            r for r in session.tracer.records if r.name == "backend.run"
+        ]
+        assert span.attrs["backend"] == "exact"
+        assert span.attrs["policy"] == "greedy-balance"
+        assert span.attrs["makespan"] == result.makespan
+        # The kernel.run span nests inside the backend span.
+        (kernel,) = [
+            r for r in session.tracer.records if r.name == "kernel.run"
+        ]
+        assert kernel.parent_id == span.span_id
+
+    def test_vector_backend_span(self):
+        with use_session(TelemetrySession()) as session:
+            result = get_backend("vector").run(_instance(), "greedy-balance")
+        (span,) = [
+            r for r in session.tracer.records if r.name == "backend.run"
+        ]
+        assert span.attrs["backend"] == "vector"
+        assert span.attrs["makespan"] == result.makespan
+
+    def test_no_session_no_records(self):
+        result = get_backend("exact").run(_instance(), "greedy-balance")
+        assert result.makespan > 0  # ran fine without telemetry
+
+
+class TestBatchTelemetry:
+    def test_rows_carry_worker_pid(self):
+        instances = make_campaign_instances(4, 3, 4, seed=0)
+        result = BatchRunner(workers=1).run(instances)
+        assert all(row["worker"] == os.getpid() for row in result.rows)
+
+    def test_worker_throughput_aggregates(self):
+        instances = make_campaign_instances(5, 3, 4, seed=0)
+        result = BatchRunner(workers=1).run(instances)
+        throughput = result.worker_throughput()
+        (entry,) = throughput.values()
+        assert entry["tasks"] == 5
+        assert entry["tasks_per_second"] > 0
+        summary = result.summary()
+        assert summary["workers_used"] == 1
+        assert str(os.getpid()) in summary["worker_throughput"]
+
+    def test_campaign_span_and_metrics(self):
+        instances = make_campaign_instances(5, 3, 4, seed=0)
+        with use_session(TelemetrySession()) as session:
+            BatchRunner(workers=1).run(instances)
+        (span,) = [
+            r
+            for r in session.tracer.records
+            if r.name == "batch.campaign"
+        ]
+        assert span.attrs["instances"] == 5
+        metrics = session.metrics
+        assert metrics.counter("batch.instances").value == 5
+        task_hist = metrics.histogram(
+            "batch.task_seconds", policy="greedy-balance", backend="vector"
+        )
+        assert task_hist.count == 5
+        assert metrics.gauge("batch.tasks_per_second").value > 0
+
+
+class TestSequencerTelemetry:
+    def test_last_stats_carry_throughput_and_outcomes(self):
+        from repro.sequencing import get_sequencer
+
+        seq = get_sequencer("local-search", budget=30, seed=0)
+        inst = Instance.from_percent([[80, 20, 60], [40, 90, 10]])
+        seq.sequence(inst)
+        stats = seq.last_stats
+        assert stats["evaluations"] >= 1
+        assert stats["accepted"] + stats["rejected"] + stats[
+            "perturbations"
+        ] == stats["evaluations"] - 1  # the initial evaluation
+        assert stats["seconds"] > 0
+        assert stats["evals_per_second"] > 0
+
+    def test_search_span_and_counters(self):
+        from repro.sequencing import get_sequencer
+
+        seq = get_sequencer("local-search", budget=20, seed=0)
+        inst = Instance.from_percent([[80, 20, 60], [40, 90, 10]])
+        with use_session(TelemetrySession()) as session:
+            seq.sequence(inst)
+        (span,) = [
+            r
+            for r in session.tracer.records
+            if r.name == "sequencer.search"
+        ]
+        assert span.attrs["evaluations"] == seq.last_stats["evaluations"]
+        assert (
+            session.metrics.counter("sequencer.evaluations").value
+            == seq.last_stats["evaluations"]
+        )
+
+
+class TestExperimentTelemetry:
+    def test_experiment_run_span(self):
+        from repro.experiments import get_experiment
+        from repro.experiments.runner import run_experiment
+
+        exp = get_experiment("FIG3")
+        with use_session(TelemetrySession()) as session:
+            result = run_experiment(exp)
+        (span,) = [
+            r
+            for r in session.tracer.records
+            if r.name == "experiment.run"
+        ]
+        assert span.attrs["id"] == "FIG3"
+        assert span.attrs["verdict"] == result.verdict

@@ -1,0 +1,210 @@
+"""Kernel instrumentation: sessions, observer errors, heartbeats."""
+
+import logging
+
+import pytest
+
+from repro.algorithms import get_policy
+from repro.core import Instance, simulate
+from repro.core.kernel import (
+    CompletionRecorder,
+    ExactRuntime,
+    StepObserver,
+    run_kernel,
+)
+from repro.exceptions import ObserverError
+from repro.telemetry import (
+    TelemetrySession,
+    get_session,
+    set_session,
+    use_session,
+)
+
+
+def _instance():
+    return Instance.from_percent([[50, 30, 80], [40, 90, 20]])
+
+
+class TestSessionInstall:
+    def test_disabled_by_default(self):
+        assert get_session() is None
+
+    def test_use_session_restores_previous(self):
+        outer = TelemetrySession()
+        inner = TelemetrySession()
+        with use_session(outer):
+            assert get_session() is outer
+            with use_session(inner):
+                assert get_session() is inner
+            assert get_session() is outer
+        assert get_session() is None
+
+    def test_use_session_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_session(TelemetrySession()):
+                raise RuntimeError()
+        assert get_session() is None
+
+    def test_set_session_returns_previous(self):
+        session = TelemetrySession()
+        assert set_session(session) is None
+        assert set_session(None) is session
+
+
+class TestInstrumentedRun:
+    def test_run_fills_span_and_metrics(self):
+        with use_session(TelemetrySession()) as session:
+            schedule = simulate(_instance(), "greedy-balance")
+        records = session.tracer.records
+        (run_span,) = [r for r in records if r.name == "kernel.run"]
+        assert run_span.attrs["makespan"] == schedule.makespan
+        assert run_span.attrs["policy"] == "greedy-balance"
+        metrics = session.metrics
+        assert metrics.counter("kernel.steps").value == schedule.makespan
+        assert metrics.counter("kernel.runs").value == 1
+        assert (
+            metrics.counter("kernel.completions").value
+            == _instance().total_jobs
+        )
+        # Every phase histogram saw every step.
+        for phase in ("check", "apply"):
+            hist = metrics.histogram(f"kernel.{phase}_seconds")
+            assert hist.count == schedule.makespan
+        query = metrics.histogram(
+            "kernel.query_seconds", policy="greedy-balance"
+        )
+        assert query.count == schedule.makespan
+
+    def test_step_spans_nest_under_run(self):
+        with use_session(TelemetrySession()) as session:
+            simulate(_instance(), "round-robin")
+        records = session.tracer.records
+        (run_span,) = [r for r in records if r.name == "kernel.run"]
+        steps = [r for r in records if r.name.startswith("kernel.step.")]
+        assert steps, "expected per-step phase spans when tracing"
+        assert all(r.parent_id == run_span.span_id for r in steps)
+
+    def test_metrics_only_session_skips_step_spans(self):
+        with use_session(TelemetrySession(tracing=False)) as session:
+            simulate(_instance(), "greedy-balance")
+        assert session.tracer.records == []
+        assert session.metrics.counter("kernel.steps").value > 0
+
+    def test_queue_wait_histogram(self):
+        inst = Instance.from_percent([[100], [100]]).with_releases((0, 3))
+        with use_session(TelemetrySession()) as session:
+            simulate(inst, "greedy-balance")
+        waits = session.metrics.histogram("kernel.job_wait_steps")
+        assert waits.count == 2
+        # Processor 0's job completes at step 1 (wait 1); processor 1's
+        # at step 4 after release 3 (wait 1 as well).
+        assert waits.values == [1, 1]
+
+    def test_results_identical_with_and_without_session(self):
+        plain = simulate(_instance(), "greedy-balance")
+        with use_session(TelemetrySession()):
+            traced = simulate(_instance(), "greedy-balance")
+        assert traced.makespan == plain.makespan
+        assert [s.shares for s in traced.steps] == [
+            s.shares for s in plain.steps
+        ]
+
+
+class _Boom(StepObserver):
+    """Observer that raises after a given number of step callbacks."""
+
+    def __init__(self, after: int) -> None:
+        self.after = after
+        self.calls = 0
+
+    def on_step(self, event) -> None:
+        self.calls += 1
+        if self.calls > self.after:
+            raise RuntimeError("observer exploded")
+
+
+class TestObserverErrors:
+    def test_wrapped_in_observer_error_with_cause(self):
+        runtime = ExactRuntime(_instance())
+        with pytest.raises(ObserverError, match="_Boom") as info:
+            run_kernel(runtime, get_policy("greedy-balance"), [_Boom(1)])
+        assert isinstance(info.value.__cause__, RuntimeError)
+
+    def test_step_fully_applied_before_error(self):
+        """The failing step has already advanced the runtime: state is
+        consistent, nothing is half-applied."""
+        runtime = ExactRuntime(_instance())
+        good = CompletionRecorder()
+        with pytest.raises(ObserverError):
+            run_kernel(
+                runtime, get_policy("greedy-balance"), [good, _Boom(2)]
+            )
+        # _Boom(2) raises during the third step's dispatch -- after
+        # apply, so the clock shows three fully executed steps.
+        assert runtime.t == 3
+        # And the earlier observer received both steps before the raise.
+        assert not runtime.all_done
+
+    def test_raised_under_telemetry_too(self):
+        with use_session(TelemetrySession()):
+            runtime = ExactRuntime(_instance())
+            with pytest.raises(ObserverError, match="_Boom"):
+                run_kernel(runtime, get_policy("greedy-balance"), [_Boom(1)])
+
+    def test_finish_errors_are_wrapped(self):
+        class BoomAtFinish(StepObserver):
+            def on_finish(self, makespan: int) -> None:
+                raise ValueError("bad finish")
+
+        runtime = ExactRuntime(_instance())
+        with pytest.raises(ObserverError, match="finish") as info:
+            run_kernel(runtime, get_policy("greedy-balance"), [BoomAtFinish()])
+        assert isinstance(info.value.__cause__, ValueError)
+        assert runtime.all_done
+
+
+class TestHeartbeat:
+    def test_waiting_run_logs_structured_warnings(self, caplog):
+        inst = Instance.from_percent([[100]]).with_releases((5,))
+        runtime = ExactRuntime(inst)
+        with caplog.at_level(logging.WARNING, logger="repro.kernel"):
+            run_kernel(
+                runtime,
+                get_policy("greedy-balance"),
+                heartbeat_interval=2,
+            )
+        waiting = [
+            r for r in caplog.records if "waiting on releases" in r.message
+        ]
+        assert len(waiting) == 2  # waited=2 and waited=4
+
+    def test_heartbeat_disabled_with_none(self, caplog):
+        inst = Instance.from_percent([[100]]).with_releases((5,))
+        with caplog.at_level(logging.WARNING, logger="repro.kernel"):
+            run_kernel(
+                ExactRuntime(inst),
+                get_policy("greedy-balance"),
+                heartbeat_interval=None,
+            )
+        assert not [
+            r for r in caplog.records if "waiting on releases" in r.message
+        ]
+
+    def test_heartbeat_emits_trace_event_and_counter(self):
+        inst = Instance.from_percent([[100]]).with_releases((5,))
+        with use_session(TelemetrySession()) as session:
+            run_kernel(
+                ExactRuntime(inst),
+                get_policy("greedy-balance"),
+                heartbeat_interval=2,
+            )
+        beats = [
+            r for r in session.tracer.records if r.name == "kernel.heartbeat"
+        ]
+        assert [b.attrs["waited"] for b in beats] == [2, 4]
+        assert session.metrics.counter("kernel.heartbeats").value == 2
+
+    def test_busy_run_never_heartbeats(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.kernel"):
+            simulate(_instance(), "greedy-balance")
+        assert not caplog.records

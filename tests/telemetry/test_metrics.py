@@ -1,0 +1,129 @@
+"""Metrics facility: counters, gauges, histogram quantiles, exposition."""
+
+import pytest
+
+from repro.telemetry import Histogram, MetricsRegistry
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("steps").inc()
+        registry.counter("steps").inc(4)
+        assert registry.counter("steps").value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only increase"):
+            MetricsRegistry().counter("steps").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("speed").set(10.0)
+        registry.gauge("speed").set(2.5)
+        assert registry.gauge("speed").value == 2.5
+
+
+class TestHistogramQuantiles:
+    """Nearest-rank quantiles on known distributions."""
+
+    def test_quantiles_of_1_to_100(self):
+        h = Histogram()
+        for value in range(1, 101):
+            h.observe(float(value))
+        assert h.quantile(0.50) == 50.0
+        assert h.quantile(0.90) == 90.0
+        assert h.quantile(0.99) == 99.0
+        assert h.quantile(1.00) == 100.0
+        assert h.quantile(0.0) == 1.0
+
+    def test_quantiles_are_observed_samples(self):
+        h = Histogram()
+        for value in [5.0, 1.0, 9.0, 3.0]:
+            h.observe(value)
+        # Nearest-rank: never interpolates between samples.
+        assert h.quantile(0.5) == 3.0
+        assert h.quantile(0.75) == 5.0
+        assert h.quantile(0.9) == 9.0
+
+    def test_single_sample_is_every_quantile(self):
+        h = Histogram()
+        h.observe(7.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 7.0
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.quantile(0.5) == 0.0
+        assert h.mean == 0.0
+        assert h.summary() == {"count": 0, "sum": 0.0}
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram().quantile(1.5)
+
+    def test_summary_fields(self):
+        h = Histogram()
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(value)
+        summary = h.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == 10.0
+        assert summary["mean"] == 2.5
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["p50"] == 2.0
+        assert summary["p90"] == 4.0
+
+
+class TestRegistry:
+    def test_labels_separate_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("query_seconds", policy="rr").observe(1.0)
+        registry.histogram("query_seconds", policy="gb").observe(2.0)
+        assert registry.histogram("query_seconds", policy="rr").count == 1
+        assert len(registry.find("query_seconds")) == 2
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("x")
+
+    def test_find_matches_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("kernel.steps")
+        registry.counter("kernel.runs")
+        registry.counter("batch.instances")
+        names = [name for name, _, _ in registry.find("kernel.")]
+        assert names == ["kernel.runs", "kernel.steps"]
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("steps").inc(2)
+        registry.histogram("lat", policy="rr").observe(0.5)
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        by_name = {entry["name"]: entry for entry in snapshot}
+        assert by_name["steps"]["value"] == 2
+        assert by_name["lat"]["labels"] == {"policy": "rr"}
+
+    def test_prometheus_text(self):
+        registry = MetricsRegistry()
+        registry.counter("kernel.steps").inc(3)
+        registry.gauge("kernel.steps-per-second").set(1.5)
+        h = registry.histogram("kernel.query_seconds", policy="rr")
+        for value in [0.1, 0.2, 0.3]:
+            h.observe(value)
+        text = registry.to_text(prefix="repro")
+        assert "# TYPE repro_kernel_steps counter" in text
+        assert "repro_kernel_steps 3" in text
+        assert "repro_kernel_steps_per_second 1.5" in text
+        assert "# TYPE repro_kernel_query_seconds summary" in text
+        assert (
+            'repro_kernel_query_seconds{policy="rr",quantile="0.5"} 0.2'
+            in text
+        )
+        assert 'repro_kernel_query_seconds_count{policy="rr"} 3' in text
+        assert text.endswith("\n")

@@ -1,0 +1,68 @@
+"""Hot-spot attribution: phase_report contents and coverage."""
+
+import pytest
+
+from repro.core import simulate
+from repro.generators import random_instances as gen
+from repro.telemetry import (
+    MetricsRegistry,
+    PHASES,
+    TelemetrySession,
+    phase_report,
+    use_session,
+)
+
+
+def _profiled_session(m=8, n=12, repeats=2):
+    instance = gen.uniform_instance(m, n, grid=100, seed=0)
+    session = TelemetrySession(tracing=False)
+    with use_session(session):
+        for _ in range(repeats):
+            simulate(instance, "greedy-balance")
+    return session
+
+
+class TestPhaseReport:
+    def test_requires_an_instrumented_run(self):
+        with pytest.raises(ValueError, match="no instrumented kernel runs"):
+            phase_report(MetricsRegistry())
+
+    def test_rows_cover_all_phases(self):
+        report = phase_report(_profiled_session().metrics)
+        phases = {row["phase"] for row in report["rows"]}
+        assert phases == set(PHASES) | {"(unattributed)"}
+        assert report["runs"] == 2
+
+    def test_shares_sum_to_one(self):
+        report = phase_report(_profiled_session().metrics)
+        total = sum(
+            float(row["share"].rstrip("%")) for row in report["rows"]
+        )
+        assert total == pytest.approx(100.0, abs=0.5)
+
+    def test_rows_sorted_by_cost(self):
+        rows = phase_report(_profiled_session().metrics)["rows"]
+        totals = [row["total_s"] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_attribution_meets_acceptance_floor(self):
+        """The measured phases must explain >= 95% of kernel wall time
+        on a representative exact run (the `crsharing profile`
+        acceptance criterion)."""
+        session = _profiled_session(m=16, n=12, repeats=2)
+        report = phase_report(session.metrics)
+        assert report["attributed"] >= 0.95
+
+    def test_query_latency_aggregates_labelled_series(self):
+        """Per-policy query series all count toward the query row."""
+        instance = gen.uniform_instance(4, 6, grid=100, seed=1)
+        session = TelemetrySession(tracing=False)
+        with use_session(session):
+            simulate(instance, "greedy-balance")
+            simulate(instance, "round-robin")
+        report = phase_report(session.metrics)
+        (query_row,) = [
+            row for row in report["rows"] if row["phase"] == "query"
+        ]
+        steps = session.metrics.counter("kernel.steps").value
+        assert query_row["calls"] == steps

@@ -1,0 +1,96 @@
+"""Tracer behavior: nesting, attributes, the null tracer."""
+
+import pytest
+
+from repro.telemetry import NULL_TRACER, Tracer
+
+
+class TestSpans:
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                tracer.event("ping")
+        by_name = {r.name: r for r in tracer.records}
+        assert set(by_name) == {"outer", "inner", "ping"}
+        assert by_name["outer"].parent_id is None
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["ping"].parent_id == by_name["inner"].span_id
+        assert outer is not None
+
+    def test_records_appear_in_close_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [r.name for r in tracer.records] == ["b", "a"]
+
+    def test_span_duration_and_kind(self):
+        tracer = Tracer()
+        with tracer.span("work", size=3):
+            pass
+        (record,) = tracer.records
+        assert record.kind == "span"
+        assert record.dur is not None and record.dur >= 0.0
+        assert record.attrs["size"] == 3
+
+    def test_note_merges_attributes_before_close(self):
+        tracer = Tracer()
+        with tracer.span("run", policy="rr") as span:
+            span.note(makespan=7)
+        (record,) = tracer.records
+        assert record.attrs == {"policy": "rr", "makespan": 7}
+
+    def test_exception_marks_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        (record,) = tracer.records
+        assert record.attrs["error"] == "RuntimeError"
+
+    def test_exception_restores_current_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with pytest.raises(ValueError):
+                with tracer.span("fails"):
+                    raise ValueError()
+            tracer.event("after")
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["after"].parent_id == by_name["outer"].span_id
+
+
+class TestEventsAndComplete:
+    def test_event_is_instant(self):
+        tracer = Tracer()
+        tracer.event("tick", t=4)
+        (record,) = tracer.records
+        assert record.kind == "event"
+        assert record.dur is None
+        assert record.attrs["t"] == 4
+
+    def test_complete_records_given_window(self):
+        tracer = Tracer()
+        start = tracer.epoch + 1.0
+        tracer.complete("phase", start, 0.25, t=1)
+        (record,) = tracer.records
+        assert record.kind == "span"
+        assert record.ts == pytest.approx(1.0)
+        assert record.dur == pytest.approx(0.25)
+
+    def test_complete_nests_under_open_span(self):
+        tracer = Tracer()
+        with tracer.span("run") as _:
+            tracer.complete("phase", tracer.epoch, 0.1)
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["phase"].parent_id == by_name["run"].span_id
+
+
+class TestNullTracer:
+    def test_disabled_and_recordless(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", x=1) as span:
+            span.note(y=2)
+        NULL_TRACER.event("nothing")
+        NULL_TRACER.complete("nope", 0.0, 1.0)
+        assert NULL_TRACER.records == []
