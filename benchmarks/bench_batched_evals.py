@@ -1,0 +1,159 @@
+"""Batched evaluation engine gate: N instances per array program.
+
+Two claims are gated here:
+
+1. **Local-search throughput** -- with ``batch_lanes > 1`` the
+   local-search sequencer evaluates entire neighborhoods through one
+   :class:`~repro.backends.batched.BatchVectorRuntime` array program
+   per step, and at campaign scale (m=32) that batched evaluation
+   loop must beat the single-instance vector path by at least
+   ``MIN_BATCHED_SPEEDUP``.  If this gate fails, batching has
+   regressed into per-lane dispatch and the engine no longer pays for
+   its complexity.
+2. **Bit-consistency** -- the batched evaluations must return exactly
+   the objective values the single-instance vector path returns, lane
+   for lane (the batched engine's padding and masking are designed to
+   be bit-transparent; ``tests/backends/test_batched_crosscheck.py``
+   covers the fine-grained cases, this bench re-asserts it at gate
+   scale).
+
+The store also records raw batched-steps/s against single-instance
+vector steps/s at m in {8, 32}, the series the throughput trajectory
+tracks across PRs.  Results land in ``BENCH_batched_evals.json``
+(summarized by ``crsharing bench-report``).
+"""
+
+import time
+
+from repro.algorithms import resolve_policy
+from repro.backends import VectorBackend, run_batch
+from repro.generators import bag_instance
+from repro.sequencing import LocalSearchSequencer
+
+#: The batched local-search evaluation loop must beat the sequential
+#: single-instance vector loop by at least this factor at m=32
+#: (measured headroom ~12x on a quiet machine).
+MIN_BATCHED_SPEEDUP = 10.0
+
+#: Candidate evaluations per timing pass.
+EVAL_BUDGET = 192
+
+#: Lanes per batched kernel call in the gated search.
+BATCH_LANES = 64
+
+#: Timing repeats per configuration (interleaved best-of; the gate is
+#: a ratio on a shared runner, so single samples are far too noisy and
+#: back-to-back passes would let a load spike hit one side only).
+REPEATS = 5
+
+
+def _search_rate(inst, *, batch_lanes: int) -> tuple[float, int]:
+    """evals/s (and evaluation count) of one budgeted search."""
+    seq = LocalSearchSequencer(
+        budget=EVAL_BUDGET, restarts=1, seed=0, batch_lanes=batch_lanes
+    )
+    seq.sequence(inst)
+    return (
+        float(seq.last_stats["evals_per_second"]),
+        int(seq.last_stats["evaluations"]),
+    )
+
+
+def _best_search_rates(inst) -> tuple[float, float, int]:
+    """Interleaved best-of-``REPEATS`` (single, batched) evals/s."""
+    best_single = best_batched = 0.0
+    evals_single = evals_batched = 0
+    for _ in range(REPEATS):
+        rate, evals_single = _search_rate(inst, batch_lanes=1)
+        best_single = max(best_single, rate)
+        rate, evals_batched = _search_rate(inst, batch_lanes=BATCH_LANES)
+        best_batched = max(best_batched, rate)
+    assert evals_single == evals_batched  # same budget, both exhausted
+    return best_single, best_batched, evals_batched
+
+
+def _steps_per_second(insts, policy) -> float:
+    """Best-of-``REPEATS`` batched lane-steps/s over one instance batch."""
+    best = 0.0
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = run_batch(insts, policy)
+        elapsed = time.perf_counter() - t0
+        best = max(best, result.lane_steps / elapsed)
+    return best
+
+
+def _vector_steps_per_second(insts, policy) -> float:
+    """Best-of-``REPEATS`` single-instance vector steps/s, same work."""
+    backend = VectorBackend()
+    best = 0.0
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        steps = 0
+        for inst in insts:
+            steps += backend.run(inst, policy, record_shares=False).makespan
+        elapsed = time.perf_counter() - t0
+        best = max(best, steps / elapsed)
+    return best
+
+
+def test_batched_results_match_vector_lane_for_lane():
+    """Gate-scale bit-consistency: batched == per-instance vector."""
+    policy = resolve_policy("greedy-balance")
+    backend = VectorBackend()
+    insts = [bag_instance(32, 8, seed=s) for s in range(8)]
+    result = run_batch(insts, policy, objectives=("makespan",))
+    for b, inst in enumerate(insts):
+        ref = backend.run(
+            inst, policy, record_shares=False, objectives=("makespan",)
+        )
+        assert int(result.makespans[b]) == ref.makespan
+        assert (
+            result.objective_values["makespan"][b]
+            == ref.objective_values["makespan"]
+        )
+
+
+def test_batched_evaluation_speedup(results_dir):
+    """The >=MIN_BATCHED_SPEEDUP local-search evals/s gate at m=32."""
+    from conftest import write_bench_store
+
+    inst = bag_instance(32, 8, seed=1)
+    single_rate, batched_rate, batched_evals = _best_search_rates(inst)
+    speedup = batched_rate / single_rate
+
+    policy = resolve_policy("greedy-balance")
+    steps_rows = []
+    for m in (8, 32):
+        insts = [bag_instance(m, 8, seed=100 + s) for s in range(BATCH_LANES)]
+        steps_rows.append(
+            {
+                "m": m,
+                "lanes": len(insts),
+                "batched_steps_per_second": round(
+                    _steps_per_second(insts, policy), 1
+                ),
+                "vector_steps_per_second": round(
+                    _vector_steps_per_second(insts, policy), 1
+                ),
+            }
+        )
+
+    write_bench_store(
+        results_dir,
+        "batched_evals",
+        [
+            {
+                "m": inst.num_processors,
+                "jobs": inst.total_jobs,
+                "evaluations": batched_evals,
+                "batch_lanes": BATCH_LANES,
+                "single_evals_per_second": round(single_rate, 1),
+                "batched_evals_per_second": round(batched_rate, 1),
+                "eval_speedup": round(speedup, 2),
+                "evals_per_second": round(batched_rate, 1),
+            }
+        ],
+        steps_series=steps_rows,
+    )
+    assert speedup >= MIN_BATCHED_SPEEDUP, (single_rate, batched_rate)

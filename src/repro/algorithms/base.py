@@ -37,6 +37,7 @@ from ..exceptions import UnknownPolicyError, VectorizationUnsupportedError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..backends.base import BackendResult
+    from ..backends.batched import BatchVectorState
     from ..backends.vector import VectorState
 
 __all__ = [
@@ -45,6 +46,7 @@ __all__ = [
     "water_fill_multi",
     "water_fill_array",
     "water_fill_array_multi",
+    "water_fill_array_batch",
     "sort_key",
     "register_policy",
     "get_policy",
@@ -101,6 +103,32 @@ class Policy:
     def supports_vector(self) -> bool:
         """True iff this policy overrides :meth:`shares_array`."""
         return type(self).shares_array is not Policy.shares_array
+
+    def shares_batch(self, state: "BatchVectorState") -> np.ndarray:
+        """Batched variant of :meth:`shares_array` for the batch engine.
+
+        Receives a :class:`repro.backends.batched.BatchVectorState`
+        (``B`` padded instance lanes as ``(B, m)`` / ``(B, k, m)``
+        float64 arrays) and returns one share row per lane -- ``(B, m)``
+        for single-resource batches, ``(B, k, m)`` otherwise.  Must
+        implement the *same* rule as :meth:`shares_array` applied lane
+        by lane; the crosscheck suite enforces agreement within the
+        backend tolerance.  Lanes that have finished (all remaining
+        work zero) must receive all-zero rows.
+
+        The default raises -- the batch engine then falls back to
+        stepping such policies lane by lane through their
+        :meth:`shares_array` path (correct, but without the batched
+        speedup).
+        """
+        raise VectorizationUnsupportedError(
+            f"policy {self.name!r} has no batched shares_batch path"
+        )
+
+    @property
+    def supports_batch(self) -> bool:
+        """True iff this policy overrides :meth:`shares_batch`."""
+        return type(self).shares_batch is not Policy.shares_batch
 
     def __call__(self, state: ExecState) -> Sequence[Fraction]:
         return self.shares(state)
@@ -290,19 +318,36 @@ def water_fill_array_multi(
     """
     if capacity < 0:
         raise ValueError("capacity must be non-negative")
-    k = state.num_resources
-    m = state.num_processors
-    req_matrix = state.active_req_matrix  # (k, m); zero when inactive
-    rstar = state.active_requirements
+    return _fill_arrays_multi(
+        state.remaining,
+        state.active_requirements,
+        state.active_req_matrix,
+        np.asarray(order, dtype=np.int64),
+        float(capacity),
+    )
+
+
+def _fill_arrays_multi(
+    remaining: np.ndarray,
+    rstar: np.ndarray,
+    req_matrix: np.ndarray,
+    order: np.ndarray,
+    capacity: float,
+) -> np.ndarray:
+    """Array-level core of :func:`water_fill_array_multi`.
+
+    Shared by the single-lane fill and the batch engine's per-lane
+    ``k > 1`` path, so both produce bit-identical grants.
+    """
+    k, m = req_matrix.shape
     shares = np.zeros((k, m), dtype=np.float64)
     fraction_cap = np.zeros(m, dtype=np.float64)
     positive = rstar > 0.0
     fraction_cap[positive] = np.minimum(
-        1.0, state.remaining[positive] / rstar[positive]
+        1.0, remaining[positive] / rstar[positive]
     )
-    left = np.full(k, float(capacity), dtype=np.float64)
-    pending = np.asarray(order, dtype=np.int64)
-    pending = pending[fraction_cap[pending] > 0.0]
+    left = np.full(k, capacity, dtype=np.float64)
+    pending = order[fraction_cap[order] > 0.0]
     while pending.size:
         fc = fraction_cap[pending]
         consume = fc[None, :] * req_matrix[:, pending]  # (k, p) full grants
@@ -338,6 +383,96 @@ def water_fill_array_multi(
                 (req_matrix[:, pending] > 0.0) & (left[:, None] <= _FILL_EPS)
             ).any(axis=0)
             pending = pending[~blocked]
+    return shares
+
+
+def water_fill_array_batch(
+    state: "BatchVectorState",
+    order: np.ndarray,
+    *,
+    eligible: np.ndarray | None = None,
+    capacity: float = 1.0,
+) -> np.ndarray:
+    """Water-fill all ``B`` lanes of a batch state in one array program.
+
+    *order* is a ``(B, m)`` array of processor indices, one priority
+    permutation per lane; *eligible* optionally masks processors out of
+    the fill (a ``(B, m)`` boolean indexed by processor, **not** by
+    order position -- RoundRobin's phase restriction).  Padded and
+    inactive processors have zero useful share, so they neither
+    receive nor consume capacity; partial sums are bit-identical to
+    the per-lane :func:`water_fill_array` because interleaved exact
+    zeros never perturb a float cumsum.
+
+    Single-resource batches (``state.num_resources == 1``) run the
+    fully vectorized prefix-sum fill.  Multi-resource batches fall
+    back to the per-lane depletion-rounds core
+    (:func:`water_fill_array_multi`'s array kernel) -- still one
+    shared grant rule, but looped over lanes -- and return a
+    ``(B, k, m)`` share tensor.
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    if state.num_resources != 1:
+        return _water_fill_batch_multi(
+            state, order, eligible=eligible, capacity=capacity
+        )
+    useful = np.minimum(state.remaining, state.active_requirements)
+    if eligible is not None:
+        useful = np.where(eligible, useful, 0.0)
+    u = np.take_along_axis(useful, order, axis=1)
+    taken_before = np.cumsum(u, axis=1) - u
+    grants = np.clip(capacity - taken_before, 0.0, u)
+    shares = np.zeros_like(useful)
+    np.put_along_axis(shares, order, grants, axis=1)
+    return shares
+
+
+def _water_fill_batch_multi(
+    state: "BatchVectorState",
+    order: np.ndarray,
+    *,
+    eligible: np.ndarray | None,
+    capacity: float,
+) -> np.ndarray:
+    """Per-lane ``k > 1`` fallback of :func:`water_fill_array_batch`.
+
+    Each lane runs the exact depletion-rounds kernel on its own
+    ``(k_lane, m)`` slice (mixed batches may hold single-resource
+    lanes next to multi-resource ones; each gets its native rule), so
+    every lane is bit-identical to its standalone vector run.
+    """
+    shares = np.zeros(
+        (state.num_lanes, state.num_resources, state.num_processors),
+        dtype=np.float64,
+    )
+    for b in range(state.num_lanes):
+        if state.lane_done[b]:
+            continue
+        ord_b = order[b]
+        if eligible is not None:
+            ord_b = ord_b[eligible[b][ord_b]]
+        k_b = state.lane_num_resources[b]
+        if k_b == 1:
+            # Single-resource lane: the scalar prefix-sum rule, exactly
+            # as water_fill_array would apply it.
+            useful = np.minimum(
+                state.remaining[b], state.active_requirements[b]
+            )
+            u = useful[ord_b]
+            taken_before = np.cumsum(u) - u
+            grants = np.clip(capacity - taken_before, 0.0, u)
+            row = np.zeros(state.num_processors, dtype=np.float64)
+            row[ord_b] = grants
+            shares[b, 0] = row
+        else:
+            shares[b, :k_b] = _fill_arrays_multi(
+                state.remaining[b],
+                state.active_requirements[b],
+                state.active_req_matrix[b, :k_b],
+                np.asarray(ord_b, dtype=np.int64),
+                capacity,
+            )
     return shares
 
 

@@ -39,6 +39,7 @@ from .base import (
     sort_key,
     water_fill,
     water_fill_array,
+    water_fill_array_batch,
 )
 
 __all__ = ["EDFWaterfill", "WeightedSRPT"]
@@ -84,6 +85,12 @@ class EDFWaterfill(Policy):
         )
         return water_fill_array(state, order)
 
+    def shares_batch(self, state) -> np.ndarray:
+        order = np.lexsort(
+            (sort_key(state.remaining), state.active_deadlines), axis=-1
+        )
+        return water_fill_array_batch(state, order)
+
 
 @register_policy
 class WeightedSRPT(Policy):
@@ -127,3 +134,15 @@ class WeightedSRPT(Policy):
         )
         order = np.lexsort((sort_key(state.remaining), sort_key(density)))
         return water_fill_array(state, order)
+
+    def shares_batch(self, state) -> np.ndarray:
+        density = np.divide(
+            state.remaining,
+            state.active_weights,
+            out=np.zeros_like(state.remaining),
+            where=state.active_weights > 0.0,
+        )
+        order = np.lexsort(
+            (sort_key(state.remaining), sort_key(density)), axis=-1
+        )
+        return water_fill_array_batch(state, order)

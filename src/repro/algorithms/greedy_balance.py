@@ -32,7 +32,14 @@ from typing import Sequence
 import numpy as np
 
 from ..core.state import ExecState
-from .base import Policy, register_policy, sort_key, water_fill, water_fill_array
+from .base import (
+    Policy,
+    register_policy,
+    sort_key,
+    water_fill,
+    water_fill_array,
+    water_fill_array_batch,
+)
 
 __all__ = ["GreedyBalance"]
 
@@ -67,3 +74,12 @@ class GreedyBalance(Policy):
         # useful share, so including them is harmless).
         order = np.lexsort((-sort_key(state.remaining), -state.jobs_remaining))
         return water_fill_array(state, order)
+
+    def shares_batch(self, state) -> np.ndarray:
+        # Same priority, one lexsort over the whole batch (lexsort
+        # orders along the last axis, lane by lane); padded processors
+        # carry zero useful share, so their position never matters.
+        order = np.lexsort(
+            (-sort_key(state.remaining), -state.jobs_remaining), axis=-1
+        )
+        return water_fill_array_batch(state, order)

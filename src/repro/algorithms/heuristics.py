@@ -16,7 +16,14 @@ import numpy as np
 
 from ..core.numerics import ONE, ZERO, frac_sum
 from ..core.state import ExecState
-from .base import Policy, register_policy, sort_key, water_fill, water_fill_array
+from .base import (
+    Policy,
+    register_policy,
+    sort_key,
+    water_fill,
+    water_fill_array,
+    water_fill_array_batch,
+)
 
 __all__ = [
     "GreedyFinishJobs",
@@ -57,6 +64,12 @@ class GreedyFinishJobs(Policy):
             state, np.argsort(sort_key(state.remaining), kind="stable")
         )
 
+    def shares_batch(self, state) -> np.ndarray:
+        return water_fill_array_batch(
+            state,
+            np.argsort(sort_key(state.remaining), axis=-1, kind="stable"),
+        )
+
 
 @register_policy
 class LargestRequirementFirst(Policy):
@@ -83,6 +96,12 @@ class LargestRequirementFirst(Policy):
     def shares_array(self, state) -> np.ndarray:
         return water_fill_array(
             state, np.argsort(-sort_key(state.remaining), kind="stable")
+        )
+
+    def shares_batch(self, state) -> np.ndarray:
+        return water_fill_array_batch(
+            state,
+            np.argsort(-sort_key(state.remaining), axis=-1, kind="stable"),
         )
 
 
@@ -112,6 +131,14 @@ class FewestRemainingJobsFirst(Policy):
     def shares_array(self, state) -> np.ndarray:
         order = np.lexsort((-sort_key(state.remaining), state.jobs_remaining))
         return water_fill_array(state, order)
+
+    def shares_batch(self, state) -> np.ndarray:
+        # Padded processors hold zero remaining jobs, so they sort
+        # first here -- harmlessly, their useful share is zero.
+        order = np.lexsort(
+            (-sort_key(state.remaining), state.jobs_remaining), axis=-1
+        )
+        return water_fill_array_batch(state, order)
 
 
 @register_policy
@@ -146,6 +173,47 @@ class ProportionalShare(Policy):
         if total <= 1.0:
             return state.remaining.copy()
         return state.remaining / total
+
+    def shares_batch(self, state) -> np.ndarray:
+        if state.num_resources != 1:
+            return self._shares_batch_multi(state)
+        return self._proportional_rows(state)
+
+    @staticmethod
+    def _proportional_rows(state) -> np.ndarray:
+        # The scalar rule per lane: demand <= 1 grants remaining work
+        # outright, otherwise the row is normalized by its total (a
+        # finished lane's all-zero row passes through unchanged).
+        total = state.remaining.sum(axis=1, keepdims=True)
+        scaled = np.divide(
+            state.remaining,
+            total,
+            out=np.zeros_like(state.remaining),
+            where=total > 1.0,
+        )
+        return np.where(total > 1.0, scaled, state.remaining)
+
+    def _shares_batch_multi(self, state) -> np.ndarray:
+        req = state.active_req_matrix  # (B, k, m)
+        rstar = state.active_requirements
+        positive = rstar > 0.0
+        fraction = np.zeros_like(rstar)
+        np.divide(state.remaining, rstar, out=fraction, where=positive)
+        np.minimum(fraction, 1.0, out=fraction)
+        consume = req * fraction[:, None, :]
+        demand = consume.sum(axis=2)  # (B, k)
+        over = demand > 1.0
+        inv = np.divide(
+            1.0, demand, out=np.full_like(demand, np.inf), where=over
+        )
+        theta = np.minimum(inv.min(axis=1), 1.0)  # (B,)
+        shares = consume * theta[:, None, None]
+        scalar = state.lane_num_resources == 1
+        if scalar.any():
+            # Single-resource lanes in a mixed batch follow the scalar
+            # rule, as their standalone vector run would.
+            shares[scalar, 0, :] = self._proportional_rows(state)[scalar]
+        return shares
 
     def shares(self, state: ExecState) -> Sequence[Fraction]:
         if state.instance.num_resources != 1:

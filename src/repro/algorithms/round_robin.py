@@ -27,7 +27,13 @@ import numpy as np
 
 from ..core.numerics import frac_ceil, frac_sum
 from ..core.state import ExecState
-from .base import Policy, register_policy, water_fill, water_fill_array
+from .base import (
+    Policy,
+    register_policy,
+    water_fill,
+    water_fill_array,
+    water_fill_array_batch,
+)
 
 __all__ = ["RoundRobin", "round_robin_phase", "round_robin_makespan_formula"]
 
@@ -86,6 +92,22 @@ class RoundRobin(Policy):
         min_done = state.done[pending].min()
         eligible = np.flatnonzero(pending & (state.done == min_done))
         return water_fill_array(state, eligible)
+
+    def shares_batch(self, state) -> np.ndarray:
+        # Per-lane phase = 1 + min completed count over pending
+        # processors; finished lanes (no pending processor) park their
+        # minimum at int64 max, so nothing is eligible and the lane
+        # receives an all-zero row.
+        pending = state.pending_mask  # (B, m)
+        big = np.iinfo(np.int64).max
+        min_done = np.where(pending, state.done, big).min(
+            axis=1, keepdims=True
+        )
+        eligible = pending & (state.done == min_done)
+        order = np.broadcast_to(
+            np.arange(state.num_processors), pending.shape
+        )
+        return water_fill_array_batch(state, order, eligible=eligible)
 
 
 def round_robin_makespan_formula(instance) -> int:

@@ -56,6 +56,12 @@ from typing import Callable
 from ..exceptions import BackendError
 from .base import Backend, BackendResult
 from .batch import BatchResult, BatchRunner, make_campaign_instances
+from .batched import (
+    BatchRunResult,
+    BatchVectorRuntime,
+    BatchVectorState,
+    run_batch,
+)
 from .crosscheck import CrossCheckResult, cross_validate
 from .exact import ExactBackend
 from .vector import VectorBackend, VectorRuntime, VectorState
@@ -64,7 +70,10 @@ __all__ = [
     "Backend",
     "BackendResult",
     "BatchResult",
+    "BatchRunResult",
     "BatchRunner",
+    "BatchVectorRuntime",
+    "BatchVectorState",
     "CrossCheckResult",
     "ExactBackend",
     "VectorBackend",
@@ -74,6 +83,7 @@ __all__ = [
     "cross_validate",
     "get_backend",
     "make_campaign_instances",
+    "run_batch",
 ]
 
 _REGISTRY: dict[str, Callable[[], Backend]] = {

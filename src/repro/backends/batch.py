@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Any, Iterable
 
 from ..core.instance import Instance
+from ..exceptions import BackendError
 
 __all__ = ["BatchResult", "BatchRunner", "make_campaign_instances"]
 
@@ -125,6 +126,9 @@ class BatchResult:
         sequencer: sequencer registry name applied per instance
             (``None`` = the fixed-order model).
         wall_seconds: end-to-end campaign wall time.
+        execution: how the campaign ran -- ``"processes"`` (the
+            multiprocessing sharding, the default) or ``"batched"``
+            (the in-process batched vector engine).
     """
 
     policy: str
@@ -134,6 +138,7 @@ class BatchResult:
     wall_seconds: float = 0.0
     objectives: tuple[str, ...] = ()
     sequencer: str | None = None
+    execution: str = "processes"
 
     @property
     def makespans(self) -> list[int]:
@@ -201,6 +206,13 @@ class BatchResult:
             **(
                 {"sequencer": self.sequencer}
                 if self.sequencer is not None
+                else {}
+            ),
+            # Only batched campaigns record the mode, so legacy
+            # multiprocessing result stores keep their exact shape.
+            **(
+                {"execution": self.execution}
+                if self.execution != "processes"
                 else {}
             ),
             "mean_makespan": sum(self.makespans) / count,
@@ -278,6 +290,16 @@ class BatchRunner:
         sequencer_options: keyword options for the sequencer factory
             (e.g. ``{"budget": 500}`` for ``"local-search"``); must be
             picklable, like the rest of the payload.
+        execution: ``"processes"`` (the default) shards instances
+            across multiprocessing workers; ``"batched"`` runs the
+            whole campaign in-process through the batched vector
+            engine (:func:`repro.backends.batched.run_batch`),
+            stepping up to *batch_lanes* instances per array program
+            -- no pickling, no process pool, same rows.  Batched
+            execution requires the ``"vector"`` backend and an
+            array-capable policy.
+        batch_lanes: instances stepped together per batched kernel
+            call under ``execution="batched"`` (default 64).
     """
 
     def __init__(
@@ -290,14 +312,40 @@ class BatchRunner:
         objectives: Iterable[str] = (),
         sequencer: str | None = None,
         sequencer_options: dict[str, Any] | None = None,
+        execution: str = "processes",
+        batch_lanes: int = 64,
     ) -> None:
         # Fail fast on unknown names (workers resolve them again).
         from ..algorithms import get_policy
         from ..objectives import get_objective
         from . import get_backend
 
-        get_policy(policy)
+        resolved_policy = get_policy(policy)
         get_backend(backend)
+        if execution not in ("processes", "batched"):
+            raise BackendError(
+                f"unknown execution mode {execution!r}; "
+                "available: ['batched', 'processes']"
+            )
+        if batch_lanes < 1:
+            raise BackendError(
+                f"batch_lanes must be >= 1, got {batch_lanes}"
+            )
+        if execution == "batched":
+            if backend != "vector":
+                raise BackendError(
+                    "batched execution requires the 'vector' backend, "
+                    f"got {backend!r}"
+                )
+            if not (
+                resolved_policy.supports_batch
+                or resolved_policy.supports_vector
+            ):
+                raise BackendError(
+                    f"policy {policy!r} has no array path "
+                    "(neither shares_batch nor shares_array); "
+                    "batched execution cannot run it"
+                )
         objectives = tuple(objectives)
         for name in objectives:
             get_objective(name)
@@ -315,6 +363,8 @@ class BatchRunner:
         self.objectives = objectives
         self.sequencer = sequencer
         self.sequencer_options = sequencer_options
+        self.execution = execution
+        self.batch_lanes = int(batch_lanes)
 
     def run(self, instances: Iterable[Instance]) -> BatchResult:
         """Execute the campaign; rows come back in input order.
@@ -329,42 +379,122 @@ class BatchRunner:
         """
         from ..telemetry import get_session  # local: keep worker imports lean
 
-        payloads = [
-            (
-                inst,
-                self.policy,
-                self.backend,
-                self.max_steps,
-                self.objectives,
-                self.sequencer,
-                self.sequencer_options,
-            )
-            for inst in instances
-        ]
         t0 = time.perf_counter()
-        if self.workers == 1 or len(payloads) <= 1:
-            rows = [_run_one(p) for p in payloads]
+        if self.execution == "batched":
+            rows = self._run_batched(list(instances))
+            workers = 1
         else:
-            # Platform-default start method: fork on Linux, spawn on
-            # macOS/Windows (the worker and payloads are picklable
-            # either way).
-            ctx = multiprocessing.get_context()
-            chunk = max(1, len(payloads) // (self.workers * 4))
-            with ctx.Pool(processes=self.workers) as pool:
-                rows = pool.map(_run_one, payloads, chunksize=chunk)
+            payloads = [
+                (
+                    inst,
+                    self.policy,
+                    self.backend,
+                    self.max_steps,
+                    self.objectives,
+                    self.sequencer,
+                    self.sequencer_options,
+                )
+                for inst in instances
+            ]
+            workers = self.workers
+            if self.workers == 1 or len(payloads) <= 1:
+                rows = [_run_one(p) for p in payloads]
+            else:
+                # Platform-default start method: fork on Linux, spawn on
+                # macOS/Windows (the worker and payloads are picklable
+                # either way).
+                ctx = multiprocessing.get_context()
+                chunk = max(1, len(payloads) // (self.workers * 4))
+                with ctx.Pool(processes=self.workers) as pool:
+                    rows = pool.map(_run_one, payloads, chunksize=chunk)
         result = BatchResult(
             policy=self.policy,
             backend=self.backend,
-            workers=self.workers,
+            workers=workers,
             rows=rows,
             wall_seconds=time.perf_counter() - t0,
             objectives=self.objectives,
             sequencer=self.sequencer,
+            execution=self.execution,
         )
         session = get_session()
         if session is not None:
             self._record_telemetry(session, result, start=t0)
         return result
+
+    def _run_batched(self, instances: list[Instance]) -> list[dict[str, Any]]:
+        """In-process campaign through the batched vector engine.
+
+        Sequencing (when configured) still runs instance by instance
+        -- the search itself may use batched evaluation internally via
+        its ``batch_lanes`` option -- then the (re)ordered instances
+        are stepped through :func:`repro.backends.batched.run_batch`
+        in chunks of :attr:`batch_lanes` lanes.  Rows carry the same
+        keys as the multiprocessing path; ``seconds`` charges each row
+        its sequencing time plus an equal share of its chunk's kernel
+        wall time.
+        """
+        from ..algorithms import get_policy
+        from ..objectives import get_objective
+        from .batched import run_batch
+
+        policy = get_policy(self.policy)
+        objectives = [get_objective(name) for name in self.objectives]
+        seq_seconds = [0.0] * len(instances)
+        if self.sequencer is not None:
+            from ..sequencing import get_sequencer  # local: builds on core
+
+            seq = get_sequencer(self.sequencer, **self.sequencer_options).bind(
+                policy=policy,
+                objective=objectives[0] if len(objectives) == 1 else None,
+            )
+            ordered: list[Instance] = []
+            for i, inst in enumerate(instances):
+                t0 = time.perf_counter()
+                ordered.append(seq.sequence(inst))
+                seq_seconds[i] = time.perf_counter() - t0
+            instances = ordered
+        rows: list[dict[str, Any]] = []
+        pid = os.getpid()
+        lanes = self.batch_lanes
+        for start in range(0, len(instances), lanes):
+            chunk = instances[start : start + lanes]
+            t0 = time.perf_counter()
+            result = run_batch(
+                chunk,
+                policy,
+                objectives=objectives,
+                max_steps=self.max_steps,
+            )
+            per_lane = (time.perf_counter() - t0) / len(chunk)
+            for b, inst in enumerate(chunk):
+                lower = inst.makespan_lower_bound()
+                makespan = int(result.makespans[b])
+                row: dict[str, Any] = {
+                    "m": inst.num_processors,
+                    "total_jobs": inst.total_jobs,
+                    "max_release": inst.max_release,
+                    "resources": inst.num_resources,
+                    "makespan": makespan,
+                    "lower_bound": lower,
+                    "ratio": makespan / lower if lower else 1.0,
+                    "seconds": seq_seconds[start + b] + per_lane,
+                    "worker": pid,
+                }
+                if objectives:
+                    report: dict[str, dict[str, float | None]] = {}
+                    for objective in objectives:
+                        value = result.objective_values[objective.name][b]
+                        bound = objective.lower_bound(inst)
+                        ratio = objective.ratio(value, bound)
+                        report[objective.name] = {
+                            "value": float(value),
+                            "lower_bound": float(bound),
+                            "ratio": ratio if math.isfinite(ratio) else None,
+                        }
+                    row["objectives"] = report
+                rows.append(row)
+        return rows
 
     def _record_telemetry(
         self, session, result: BatchResult, *, start: float

@@ -152,6 +152,15 @@ def _add_sequencer_args(parser: argparse.ArgumentParser) -> None:
         help="seed of the local-search move streams (restarts draw "
         "from decorrelated streams derived from it)",
     )
+    parser.add_argument(
+        "--batch-lanes",
+        type=int,
+        default=None,
+        metavar="B",
+        help="evaluate up to B candidate orders per batched kernel "
+        "call in the local-search sequencer (default: 1, the classic "
+        "sequential hill-climb; ignored by the static strategies)",
+    )
 
 
 def _sequencer_options(args: argparse.Namespace) -> dict:
@@ -165,12 +174,15 @@ def _sequencer_options(args: argparse.Namespace) -> dict:
     """
     if args.sequencer != "local-search":
         return {}
-    return {
+    options = {
         "policy": args.policy,
         "budget": args.search_budget,
         "seed": args.sequencer_seed,
         "objective": getattr(args, "objective", "makespan"),
     }
+    if getattr(args, "batch_lanes", None) is not None:
+        options["batch_lanes"] = args.batch_lanes
+    return options
 
 
 def _resolve_sequencer_arg(args: argparse.Namespace):
@@ -338,6 +350,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--seed", type=int, default=0, help="base seed")
     p_batch.add_argument(
         "--workers", type=int, default=None, help="worker processes (1 = serial)"
+    )
+    p_batch.add_argument(
+        "--execution",
+        choices=["processes", "batched"],
+        default="processes",
+        help="campaign execution mode: shard across worker processes "
+        "(the default) or step the whole campaign in-process through "
+        "the batched vector engine (requires --backend vector)",
     )
     _add_arrival_args(p_batch)
     _add_resource_args(p_batch)
@@ -649,6 +669,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         objectives=objectives,
         sequencer=args.sequencer,
         sequencer_options=_sequencer_options(args),
+        execution=args.execution,
     )
     result = runner.run(instances)
     summary = result.summary()
@@ -668,6 +689,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         "backend",
         "workers",
         "sequencer",
+        "execution",
         "mean_makespan",
         "mean_ratio",
         "max_ratio",
@@ -838,7 +860,54 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
             ["benchmark", "generated_at", "rows", "highlights"], rows
         )
     )
+    _print_search_throughput(results)
     return 0
+
+
+def _print_search_throughput(results: Path) -> None:
+    """Cross-store search-throughput digest for ``bench-report``.
+
+    Collects the local-search evaluation-loop figures from
+    ``BENCH_sequencing.json`` (single-instance vector loop vs exact)
+    and ``BENCH_batched_evals.json`` (batched engine vs single-
+    instance loop, plus the raw batched-steps/s series), so the
+    search-speed trajectory reads off one block instead of three
+    stores.  Silently prints nothing when neither store exists.
+    """
+    import json as _json
+
+    lines = []
+    try:
+        data = _json.loads((results / "BENCH_sequencing.json").read_text())
+        last = data["rows"][-1]
+        lines.append(
+            f"single-instance vector loop: "
+            f"{last['evals_per_second']} evals/s at m={last['m']} "
+            f"({last['eval_speedup']}x over exact re-evaluation)"
+        )
+    except (OSError, ValueError, LookupError):
+        pass
+    try:
+        data = _json.loads((results / "BENCH_batched_evals.json").read_text())
+        last = data["rows"][-1]
+        lines.append(
+            f"batched engine ({last['batch_lanes']} lanes): "
+            f"{last['batched_evals_per_second']} evals/s at m={last['m']} "
+            f"({last['eval_speedup']}x over the single-instance loop)"
+        )
+        for row in data.get("steps_series", []):
+            lines.append(
+                f"batched steps/s at m={row['m']}: "
+                f"{row['batched_steps_per_second']} vs "
+                f"{row['vector_steps_per_second']} single-instance"
+            )
+    except (OSError, ValueError, LookupError):
+        pass
+    if lines:
+        print()
+        print("search throughput (local-search evaluation loop):")
+        for line in lines:
+            print(f"  {line}")
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:

@@ -95,25 +95,30 @@ class Instance:
         releases: Sequence[int] | None = None,
     ) -> None:
         built: list[tuple[Job, ...]] = []
+        k: int | None = None
         for qi, queue in enumerate(queues):
             jobs: list[Job] = []
             for job in queue:
-                jobs.append(job if isinstance(job, Job) else Job(job))
+                if not isinstance(job, Job):
+                    job = Job(job)
+                jk = len(job.requirements)
+                if jk != k:
+                    if k is None:
+                        k = jk
+                    else:
+                        raise InvalidInstanceError(
+                            f"all jobs must declare the same number of shared "
+                            f"resources: processor {qi} has a job with "
+                            f"{jk}, expected {k}"
+                        )
+                jobs.append(job)
             if not jobs:
                 raise InvalidInstanceError(f"processor {qi} has an empty job sequence")
             built.append(tuple(jobs))
         if not built:
             raise InvalidInstanceError("an instance needs at least one processor")
         self._queues: tuple[tuple[Job, ...], ...] = tuple(built)
-        self._k = built[0][0].num_resources
-        for qi, queue in enumerate(built):
-            for job in queue:
-                if job.num_resources != self._k:
-                    raise InvalidInstanceError(
-                        f"all jobs must declare the same number of shared "
-                        f"resources: processor {qi} has a job with "
-                        f"{job.num_resources}, expected {self._k}"
-                    )
+        self._k = k
         if releases is None:
             self._releases: tuple[int, ...] = (0,) * len(built)
         else:

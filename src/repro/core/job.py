@@ -106,6 +106,10 @@ class Job:
     #: it every step; derived from ``requirements``, so excluded from
     #: equality/hash.
     requirement: Fraction = field(compare=False)
+    #: Memoized :func:`hash` -- ``Fraction`` hashing is slow and the
+    #: same ``Job`` objects recur across candidate orders in the
+    #: sequencing layer's memoized evaluation cache.
+    _hash: int | None = field(compare=False, repr=False)
 
     def __init__(
         self,
@@ -149,6 +153,14 @@ class Job:
         object.__setattr__(self, "weight", wgt)
         object.__setattr__(self, "deadline", deadline)
         object.__setattr__(self, "requirement", max(reqs))
+        object.__setattr__(self, "_hash", None)
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((self.requirements, self.size, self.weight, self.deadline))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     @property
     def num_resources(self) -> int:

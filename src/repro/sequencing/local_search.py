@@ -39,6 +39,9 @@ __all__ = ["LocalSearchSequencer"]
 #: the campaign generators' arrival/resource/weight offsets).
 _RESTART_SEED_OFFSET = 0x51ED2700
 
+#: Cache-miss sentinel (objective values may legitimately be 0).
+_MISSING = object()
+
 
 @register_sequencer
 class LocalSearchSequencer(Sequencer):
@@ -69,6 +72,21 @@ class LocalSearchSequencer(Sequencer):
         seed: base seed of the move streams.
         max_steps: per-evaluation safety limit forwarded to the
             backend (``None`` = the backend's default).
+        batch_lanes: candidate orders evaluated per batched kernel
+            call.  The default ``1`` keeps the classic sequential
+            hill-climb (evaluate one neighbor, accept if strictly
+            better) bit-identical to earlier releases.  With
+            ``batch_lanes > 1`` each iteration draws up to that many
+            neighbors of the incumbent and evaluates the whole batch
+            through one
+            :class:`~repro.backends.batched.BatchVectorRuntime` array
+            program (when the backend is ``"vector"``; other backends
+            evaluate the batch lane by lane), accepting the best
+            strictly-improving candidate -- a different (but equally
+            deterministic) search trajectory that trades per-candidate
+            acceptance sharpness for an order-of-magnitude higher
+            evals/s (``benchmarks/bench_batched_evals.py`` gates the
+            factor).
 
     Attributes:
         last_stats: after each :meth:`sequence` call, a dict with the
@@ -76,10 +94,14 @@ class LocalSearchSequencer(Sequencer):
             objective values, ``improved`` (their strict comparison),
             the move outcome counts (``accepted`` / ``rejected``
             neighborhood candidates, plus ``perturbations`` --
-            restart-kickoff evaluations, charged to neither), and the
-            search throughput (``seconds`` wall time,
-            ``evals_per_second``) -- the ORDER experiment and the
-            benchmark read these instead of re-deriving them.
+            restart-kickoff evaluations, charged to neither), the
+            memoization figures (``cache_hits`` -- evaluations served
+            from the per-call canonical-order cache -- and
+            ``kernel_runs``, the simulations actually executed), the
+            configured ``batch_lanes``, and the search throughput
+            (``seconds`` wall time, ``evals_per_second``) -- the ORDER
+            experiment and the benchmarks read these instead of
+            re-deriving them.
 
     Example:
         >>> from repro.core import Instance
@@ -105,6 +127,7 @@ class LocalSearchSequencer(Sequencer):
         restarts: int = 2,
         seed: int = 0,
         max_steps: int | None = None,
+        batch_lanes: int = 1,
     ) -> None:
         from ..algorithms import resolve_policy  # local: avoid import cycle
         from ..backends import get_backend
@@ -114,6 +137,10 @@ class LocalSearchSequencer(Sequencer):
             raise SequencingError(f"budget must be >= 1, got {budget}")
         if restarts < 1:
             raise SequencingError(f"restarts must be >= 1, got {restarts}")
+        if batch_lanes < 1:
+            raise SequencingError(
+                f"batch_lanes must be >= 1, got {batch_lanes}"
+            )
         # None = unpinned (bind may align it with the run); remember
         # which options were explicit so bind never overrides those.
         self._policy_pinned = policy is not None
@@ -131,7 +158,12 @@ class LocalSearchSequencer(Sequencer):
         self.restarts = int(restarts)
         self.seed = int(seed)
         self.max_steps = max_steps
+        self.batch_lanes = int(batch_lanes)
         self.last_stats: dict[str, object] = {}
+        # Per-sequence() evaluation cache and counters (reset each call).
+        self._cache: dict[Instance, object] = {}
+        self._counts: dict[str, int] = {}
+        self._step_limit: int | None = None
 
     def bind(self, *, policy=None, objective=None) -> "LocalSearchSequencer":
         """Adopt the run's policy/objective for any unpinned option.
@@ -178,6 +210,86 @@ class LocalSearchSequencer(Sequencer):
             objectives=(self.objective,),
         )
         return result.objective_values[self.objective.name]
+
+    def _evaluate_cached(self, instance: Instance):
+        """Memoized :meth:`evaluate` (key = the canonical order).
+
+        :class:`~repro.core.instance.Instance` hashes and compares by
+        its queue contents and release times, so an instance *is* its
+        canonical order key: restarts and revisited neighbors hit the
+        cache instead of re-running the kernel.  The cache lives for
+        one :meth:`sequence` call.
+        """
+        value = self._cache.get(instance, _MISSING)
+        if value is not _MISSING:
+            self._counts["cache_hits"] += 1
+            return value
+        value = self.evaluate(instance)
+        self._counts["kernel_runs"] += 1
+        self._cache[instance] = value
+        return value
+
+    def _evaluate_many(self, candidates: list[Instance]) -> list:
+        """Evaluate a candidate batch, cache-aware and deduplicated.
+
+        Cache misses run through one batched kernel call
+        (:func:`repro.backends.batched.run_batch`) when the backend is
+        the vector engine; other backends evaluate them one by one
+        (same values, no batching).
+        """
+        values: list = [None] * len(candidates)
+        fresh: dict[Instance, list[int]] = {}
+        for idx, inst in enumerate(candidates):
+            hit = self._cache.get(inst, _MISSING)
+            if hit is not _MISSING:
+                self._counts["cache_hits"] += 1
+                values[idx] = hit
+            else:
+                slots = fresh.setdefault(inst, [])
+                if slots:  # duplicate within this batch: one run serves both
+                    self._counts["cache_hits"] += 1
+                slots.append(idx)
+        if fresh:
+            insts = list(fresh)
+            results = self._run_fresh(insts)
+            self._counts["kernel_runs"] += len(insts)
+            for inst, value in zip(insts, results):
+                self._cache[inst] = value
+                for idx in fresh[inst]:
+                    values[idx] = value
+        return values
+
+    def _run_fresh(self, insts: list[Instance]) -> list:
+        """Kernel-evaluate uncached orders (batched when possible)."""
+        policy = self.policy
+        if getattr(self.backend, "name", None) == "vector" and (
+            getattr(policy, "supports_batch", False)
+            or getattr(policy, "supports_vector", False)
+        ):
+            from ..backends.batched import run_batch  # local: builds on core
+
+            max_steps = self.max_steps
+            if max_steps is None:
+                # The default step limit depends only on the job bag
+                # and the release times, both invariant under the
+                # neighborhood moves -- compute it once per search
+                # instead of once per candidate lane (the exact
+                # Fraction sums dominate short batched evaluations
+                # otherwise).
+                if self._step_limit is None:
+                    from ..core.simulator import default_step_limit
+
+                    self._step_limit = default_step_limit(insts[0])
+                max_steps = self._step_limit
+            result = run_batch(
+                insts,
+                policy,
+                objectives=(self.objective,),
+                tol=getattr(self.backend, "tol", 1e-9),
+                max_steps=max_steps,
+            )
+            return result.objective_values[self.objective.name]
+        return [self.evaluate(inst) for inst in insts]
 
     # ------------------------------------------------------------------
     # Neighborhood moves (queues mutated in place; moves return False
@@ -227,13 +339,20 @@ class LocalSearchSequencer(Sequencer):
         from ..telemetry import get_session  # local: builds on core
 
         t0 = perf_counter()
+        self._cache = {}
+        self._step_limit = None
+        c = self._counts = {
+            "evaluations": 0,
+            "accepted": 0,
+            "rejected": 0,
+            "perturbations": 0,
+            "cache_hits": 0,
+            "kernel_runs": 0,
+        }
         best_queues = [list(q) for q in instance.queues]
-        best_value = self.evaluate(instance)
+        best_value = self._evaluate_cached(instance)
+        c["evaluations"] += 1
         initial_value = best_value
-        evaluations = 1
-        accepted = 0
-        rejected = 0
-        perturbations = 0
         for r in range(self.restarts):
             rng = random.Random(self.seed + r * _RESTART_SEED_OFFSET)
             current = [list(q) for q in best_queues]
@@ -246,62 +365,51 @@ class LocalSearchSequencer(Sequencer):
                 for _ in range(len(instance.queues)):
                     self._swap(current, rng)
                 candidate = instance.with_queues(current)
-                current_value = self.evaluate(candidate)
-                evaluations += 1
+                current_value = self._evaluate_cached(candidate)
+                c["evaluations"] += 1
                 spent += 1
-                perturbations += 1
+                c["perturbations"] += 1
                 if current_value < best_value:
                     best_queues = [list(q) for q in current]
                     best_value = current_value
-            misdraws = 0
-            while spent < self.budget:
-                trial = [list(q) for q in current]
-                move = rng.choice((self._swap, self._insert))
-                if not move(trial, rng):
-                    # Degenerate instances (one single-job queue) have
-                    # no non-trivial neighborhood; stop redrawing after
-                    # a burst of no-op moves instead of spinning.
-                    misdraws += 1
-                    if misdraws >= 32:
-                        break
-                    continue
-                misdraws = 0
-                candidate = instance.with_queues(trial)
-                value = self.evaluate(candidate)
-                evaluations += 1
-                spent += 1
-                if value < current_value:
-                    accepted += 1
-                    current = trial
-                    current_value = value
-                    if value < best_value:
-                        best_queues = [list(q) for q in trial]
-                        best_value = value
-                else:
-                    rejected += 1
+            climb = (
+                self._climb_batched if self.batch_lanes > 1 else self._climb
+            )
+            best_queues, best_value = climb(
+                instance, rng, current, current_value,
+                best_queues, best_value, spent,
+            )
         improved = best_value < initial_value
         result = instance.with_queues(best_queues) if improved else instance
         if not instance.same_bag(result):  # pragma: no cover - invariant
             raise SequencingError(
                 "local search corrupted the job bag (internal error)"
             )
+        self._cache = {}  # orders die with the call; keep no references
         seconds = perf_counter() - t0
+        evaluations = c["evaluations"]
         self.last_stats = {
             "evaluations": evaluations,
             "initial": initial_value,
             "best": best_value,
             "improved": improved,
-            "accepted": accepted,
-            "rejected": rejected,
-            "perturbations": perturbations,
+            "accepted": c["accepted"],
+            "rejected": c["rejected"],
+            "perturbations": c["perturbations"],
+            "cache_hits": c["cache_hits"],
+            "kernel_runs": c["kernel_runs"],
+            "batch_lanes": self.batch_lanes,
             "seconds": seconds,
             "evals_per_second": evaluations / seconds if seconds > 0 else None,
         }
         session = get_session()
         if session is not None:
             session.metrics.counter("sequencer.evaluations").inc(evaluations)
-            session.metrics.counter("sequencer.accepted").inc(accepted)
-            session.metrics.counter("sequencer.rejected").inc(rejected)
+            session.metrics.counter("sequencer.accepted").inc(c["accepted"])
+            session.metrics.counter("sequencer.rejected").inc(c["rejected"])
+            session.metrics.counter("sequencer.cache_hits").inc(
+                c["cache_hits"]
+            )
             session.tracer.complete(
                 "sequencer.search",
                 t0,
@@ -312,8 +420,101 @@ class LocalSearchSequencer(Sequencer):
                 budget=self.budget,
                 restarts=self.restarts,
                 evaluations=evaluations,
-                accepted=accepted,
-                rejected=rejected,
+                accepted=c["accepted"],
+                rejected=c["rejected"],
+                cache_hits=c["cache_hits"],
+                kernel_runs=c["kernel_runs"],
+                batch_lanes=self.batch_lanes,
                 improved=improved,
             )
         return result
+
+    def _climb(
+        self, instance, rng, current, current_value,
+        best_queues, best_value, spent,
+    ):
+        """One restart's sequential hill-climb (``batch_lanes == 1``).
+
+        The classic loop: draw one move, evaluate, accept iff strictly
+        better.  Bit-identical move stream and acceptance decisions to
+        earlier releases (only the memoization cache is new, and values
+        are deterministic, so cached hits cannot change the
+        trajectory).
+        """
+        c = self._counts
+        misdraws = 0
+        while spent < self.budget:
+            trial = [list(q) for q in current]
+            move = rng.choice((self._swap, self._insert))
+            if not move(trial, rng):
+                # Degenerate instances (one single-job queue) have
+                # no non-trivial neighborhood; stop redrawing after
+                # a burst of no-op moves instead of spinning.
+                misdraws += 1
+                if misdraws >= 32:
+                    break
+                continue
+            misdraws = 0
+            candidate = instance.with_queues(trial)
+            value = self._evaluate_cached(candidate)
+            c["evaluations"] += 1
+            spent += 1
+            if value < current_value:
+                c["accepted"] += 1
+                current = trial
+                current_value = value
+                if value < best_value:
+                    best_queues = [list(q) for q in trial]
+                    best_value = value
+            else:
+                c["rejected"] += 1
+        return best_queues, best_value
+
+    def _climb_batched(
+        self, instance, rng, current, current_value,
+        best_queues, best_value, spent,
+    ):
+        """One restart's batched hill-climb (``batch_lanes > 1``).
+
+        Each iteration draws up to ``batch_lanes`` neighbors of the
+        incumbent from the same seeded move stream, evaluates the
+        whole batch through one batched kernel call
+        (:meth:`_evaluate_many`), and moves to the best candidate iff
+        it strictly improves the incumbent (first index wins ties, so
+        the trajectory is deterministic).
+        """
+        c = self._counts
+        misdraws = 0
+        while spent < self.budget:
+            lanes = min(self.batch_lanes, self.budget - spent)
+            trials: list[list[list[Job]]] = []
+            while len(trials) < lanes:
+                trial = [list(q) for q in current]
+                move = rng.choice((self._swap, self._insert))
+                if not move(trial, rng):
+                    misdraws += 1
+                    if misdraws >= 32:
+                        break
+                    continue
+                misdraws = 0
+                trials.append(trial)
+            if not trials:
+                break
+            candidates = [instance.with_queues(t) for t in trials]
+            values = self._evaluate_many(candidates)
+            c["evaluations"] += len(candidates)
+            spent += len(candidates)
+            best_i = min(range(len(values)), key=values.__getitem__)
+            if values[best_i] < current_value:
+                c["accepted"] += 1
+                c["rejected"] += len(candidates) - 1
+                current = trials[best_i]
+                current_value = values[best_i]
+                if current_value < best_value:
+                    best_queues = [list(q) for q in trials[best_i]]
+                    best_value = current_value
+            else:
+                c["rejected"] += len(candidates)
+            if misdraws >= 32:
+                break
+        return best_queues, best_value

@@ -32,6 +32,7 @@ DOCTEST_MODULES = [
     "repro.algorithms.heuristics",
     "repro.algorithms.flowdeadline",
     "repro.backends.base",
+    "repro.backends.batched",
     "repro.objectives.base",
     "repro.objectives.makespan",
     "repro.objectives.flow",
