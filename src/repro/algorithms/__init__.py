@@ -15,7 +15,10 @@ Offline exact algorithms:
 * :func:`opt_res_assignment_general` -- Algorithm 2, optimal for any
   fixed ``m`` in polynomial time (practical for small ``m``);
 * :func:`brute_force_makespan` and :func:`milp_makespan` --
-  independent optimality oracles for cross-validation.
+  independent optimality oracles for cross-validation;
+* :func:`branch_and_bound_order` / :func:`enumerate_order_optimum` --
+  exact optimization *over queue orders* (the NP-hard Theorem 4 axis),
+  wrapped for certification by :mod:`repro.analysis.certify`.
 """
 
 from .base import (
@@ -39,6 +42,15 @@ from .heuristics import (
 )
 from .milp import milp_feasible, milp_makespan
 from .opt_general import OptGeneralResult, opt_res_assignment_general
+from .opt_order import (
+    OrderSearchResult,
+    branch_and_bound_order,
+    enumerate_order_optimum,
+    exact_order_makespan,
+    identity_order,
+    order_invariant_lower_bound,
+    order_space_size,
+)
 from .opt_two import OptTwoResult, opt_res_assignment, opt_res_assignment_pq
 from .round_robin import RoundRobin, round_robin_makespan_formula, round_robin_phase
 
@@ -50,15 +62,22 @@ __all__ = [
     "LargestRequirementFirst",
     "OptGeneralResult",
     "OptTwoResult",
+    "OrderSearchResult",
     "Policy",
     "ProportionalShare",
     "RoundRobin",
     "available_policies",
+    "branch_and_bound_order",
     "brute_force_makespan",
+    "enumerate_order_optimum",
+    "exact_order_makespan",
     "get_policy",
     "greedy_balance_makespan",
+    "identity_order",
     "milp_feasible",
     "milp_makespan",
+    "order_invariant_lower_bound",
+    "order_space_size",
     "round_robin_makespan",
     "opt_res_assignment",
     "opt_res_assignment_general",

@@ -1,5 +1,6 @@
-"""Schedule analysis: metrics, verification, and ratio studies."""
+"""Schedule analysis: metrics, verification, certification, ratio studies."""
 
+from .certify import Certificate, certify_opt
 from .metrics import (
     ScheduleMetrics,
     approximation_ratio,
@@ -15,11 +16,13 @@ from .ratios import PolicyStats, RatioStudy, run_ratio_study
 from .verification import VerificationReport, verify_schedule, verify_share_rows
 
 __all__ = [
+    "Certificate",
     "PolicyStats",
     "RatioStudy",
     "ScheduleMetrics",
     "VerificationReport",
     "approximation_ratio",
+    "certify_opt",
     "compute_metrics",
     "deadline_misses",
     "max_lateness",

@@ -38,6 +38,12 @@ class CrossCheckResult:
             objective values (``None`` when none were requested).
         ok: True iff the makespans -- and all requested objective
             values -- agree within the requested relative tolerance.
+        certificate: the optimality
+            :class:`~repro.analysis.certify.Certificate` of the
+            sequenced instance when ``certify=True`` (``None``
+            otherwise).
+        opt_gap: ``(exact_makespan - OPT) / OPT`` against a *proved*
+            certificate (``None`` without one).
     """
 
     exact_makespan: int
@@ -47,6 +53,8 @@ class CrossCheckResult:
     ok: bool
     objective_values: dict[str, tuple[object, object]] = None
     max_objective_error: float | None = None
+    certificate: object | None = None
+    opt_gap: float | None = None
 
 
 def cross_validate(
@@ -58,6 +66,8 @@ def cross_validate(
     compare_shares: bool = True,
     objectives=(),
     sequencer=None,
+    certify: bool = False,
+    certify_max_nodes: int = 100_000,
 ) -> CrossCheckResult:
     """Run *policy* on *instance* through both backends and compare.
 
@@ -81,6 +91,22 @@ def cross_validate(
             queues.  Unpinned local-search options are bound to the
             audited policy (and the single requested objective, if
             exactly one).
+        certify: also certify the optimal queue order of the (already
+            sequenced) instance via
+            :func:`repro.analysis.certify.certify_opt` and **assert**
+            that both backends' makespans are >= the certified value
+            -- a violation means a backend undercut a proven lower
+            bound (a kernel bug) and raises
+            :class:`~repro.exceptions.BackendError`.  Instances
+            outside the exact oracles' model are certified in the
+            epsilon mode against the audited policy (still a valid
+            lower bound for *this policy's* runs).  Unproved
+            certificates (node budget) skip the assertion.
+        certify_max_nodes: branch-and-bound node budget for *certify*.
+
+    Raises:
+        BackendError: when ``certify=True`` produced a proved
+            certificate and either backend finished below it.
     """
     from ..algorithms import resolve_policy  # local: avoid import cycle
 
@@ -128,6 +154,35 @@ def cross_validate(
         err = abs(float(exact_value) - float(vector_value)) / scale
         worst_obj = err if worst_obj is None else max(worst_obj, err)
     ok = rel <= rtol and (worst_obj is None or worst_obj <= rtol)
+    certificate = None
+    opt_gap: float | None = None
+    if certify:
+        from ..analysis.certify import certify_opt  # local: builds on this
+        from ..exceptions import BackendError
+
+        oracle_model = (
+            instance.is_single_resource
+            and instance.is_unit_size
+            and not instance.has_releases
+        )
+        if oracle_model:
+            certificate = certify_opt(instance, max_nodes=certify_max_nodes)
+        else:
+            certificate = certify_opt(
+                instance, policy=policy, max_nodes=certify_max_nodes
+            )
+        if certificate.proved:
+            floor = certificate.value - (
+                0.0 if certificate.mode == "exact" else rtol * certificate.value
+            )
+            if exact.makespan < floor or vector.makespan < floor:
+                raise BackendError(
+                    f"backend undercut a proved optimality certificate: "
+                    f"certified OPT={certificate.value} "
+                    f"({certificate.mode}) but exact ran "
+                    f"{exact.makespan}, vector {vector.makespan}"
+                )
+            opt_gap = certificate.gap(exact.makespan)
     return CrossCheckResult(
         exact_makespan=exact.makespan,
         vector_makespan=vector.makespan,
@@ -136,4 +191,6 @@ def cross_validate(
         ok=ok,
         objective_values=pairs or None,
         max_objective_error=worst_obj,
+        certificate=certificate,
+        opt_gap=opt_gap,
     )

@@ -12,7 +12,11 @@ Subcommands:
 * ``batch`` -- run a seeded campaign of random instances through a
   backend, sharded over worker processes;
 * ``crosscheck`` -- audit the vector backend against the exact one on
-  random instances;
+  random instances (``--certify`` additionally proves an optimality
+  certificate per instance and asserts neither backend undercuts it);
+* ``certify`` -- branch-and-bound over all queue orders of an
+  instance and print the optimality certificate (value, witness
+  order, nodes/pruned/bound-call counts, proved flag);
 * ``bench-report`` -- summarize the timestamped ``BENCH_*.json``
   result stores under ``benchmarks/results/``;
 * ``profile`` -- run a policy under telemetry and print the hot-spot
@@ -384,11 +388,78 @@ def build_parser() -> argparse.ArgumentParser:
     p_cross.add_argument("--grid", type=int, default=100)
     p_cross.add_argument("--seed", type=int, default=0)
     p_cross.add_argument("--rtol", type=float, default=1e-9)
+    p_cross.add_argument(
+        "--certify",
+        action="store_true",
+        help="also certify each instance's optimal queue order and "
+        "assert neither backend finishes below the proved optimum",
+    )
+    p_cross.add_argument(
+        "--certify-max-nodes",
+        type=int,
+        default=100_000,
+        help="branch-and-bound node budget for --certify",
+    )
     _add_arrival_args(p_cross)
     _add_resource_args(p_cross)
     _add_objective_args(p_cross)
     _add_sequencer_args(p_cross)
     _add_telemetry_args(p_cross)
+
+    p_certify = sub.add_parser(
+        "certify",
+        help="certify the optimal queue order of an instance "
+        "(branch-and-bound over all per-queue permutations)",
+    )
+    p_certify.add_argument(
+        "instance",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="instance file to certify (default: a seeded random "
+        "instance shaped by --m/--n/--grid/--seed)",
+    )
+    p_certify.add_argument(
+        "--policy",
+        default=None,
+        help="certify the best order FOR THIS POLICY (epsilon mode, "
+        "simulated through --backend) instead of the offline optimum",
+    )
+    p_certify.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="vector",
+        help="simulation backend for --policy certification",
+    )
+    p_certify.add_argument(
+        "--oracle",
+        choices=["auto", "opt-two", "opt-general", "brute-force", "milp"],
+        default="auto",
+        help="per-order exact oracle for offline-optimum certification",
+    )
+    p_certify.add_argument(
+        "--max-nodes",
+        type=int,
+        default=100_000,
+        help="branch-and-bound node budget (exhausting it returns an "
+        "unproved upper bound)",
+    )
+    p_certify.add_argument(
+        "--m", type=int, default=2, help="processors (generated instance)"
+    )
+    p_certify.add_argument(
+        "--n", type=int, default=4, help="jobs per processor (generated)"
+    )
+    p_certify.add_argument(
+        "--grid", type=int, default=100, help="requirement grid (generated)"
+    )
+    p_certify.add_argument(
+        "--seed", type=int, default=0, help="instance seed (generated)"
+    )
+    p_certify.add_argument(
+        "--json", type=Path, help="write the certificate as JSON"
+    )
+    _add_telemetry_args(p_certify)
 
     p_verify = sub.add_parser(
         "verify", help="validate a schedule file and report its properties"
@@ -746,6 +817,8 @@ def _cmd_crosscheck(args: argparse.Namespace) -> int:
     worst_dev = 0.0
     worst_obj = 0.0
     failures = 0
+    certified = 0
+    worst_gap = 0.0
     for k, instance in enumerate(instances):
         check = cross_validate(
             instance,
@@ -753,7 +826,12 @@ def _cmd_crosscheck(args: argparse.Namespace) -> int:
             rtol=args.rtol,
             objectives=objectives,
             sequencer=sequencer,
+            certify=args.certify,
+            certify_max_nodes=args.certify_max_nodes,
         )
+        if check.certificate is not None and check.certificate.proved:
+            certified += 1
+            worst_gap = max(worst_gap, check.opt_gap)
         worst_rel = max(worst_rel, check.makespan_rel_error)
         if check.max_share_deviation is not None:
             worst_dev = max(worst_dev, check.max_share_deviation)
@@ -780,8 +858,63 @@ def _cmd_crosscheck(args: argparse.Namespace) -> int:
     print(f"  max per-step share deviation: {worst_dev:.3g}")
     if objectives:
         print(f"  max relative objective error: {worst_obj:.3g}")
+    if args.certify:
+        print(
+            f"  certified: {certified}/{args.count} proved, worst "
+            f"optimality gap {worst_gap:.3g} (no backend undercut OPT)"
+        )
     print(f"  result: {'OK' if failures == 0 else f'{failures} FAILURES'}")
     return 0 if failures == 0 else 1
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from .analysis import certify_opt
+    from .generators.random_instances import uniform_instance
+
+    if args.instance is not None:
+        instance = load_instance(args.instance)
+        source = str(args.instance)
+    else:
+        instance = uniform_instance(
+            args.m, args.n, grid=args.grid, seed=args.seed
+        )
+        source = f"uniform(m={args.m}, n={args.n}, seed={args.seed})"
+    cert = certify_opt(
+        instance,
+        oracle=args.oracle,
+        policy=args.policy,
+        backend=args.backend,
+        max_nodes=args.max_nodes,
+    )
+    target = (
+        "offline optimum (exact oracles)"
+        if args.policy is None
+        else f"best order for policy {args.policy!r} ({cert.mode} mode)"
+    )
+    print(f"certify: {source}")
+    print(f"  target: {target}")
+    status = (
+        "PROVED optimal"
+        if cert.proved
+        else "upper bound only -- node budget exhausted, raise --max-nodes"
+    )
+    print(f"  certified value: {cert.value} ({status})")
+    print(f"  witness order: {[list(row) for row in cert.order]}")
+    print(
+        f"  search: {cert.nodes} nodes, {cert.pruned} pruned, "
+        f"{cert.bound_calls} bound calls, {cert.leaf_evaluations} leaf "
+        f"evaluations over an order space of {cert.order_space}"
+    )
+    print(
+        f"  global lower bound: {cert.lower_bound}; "
+        f"wall time: {cert.seconds:.3f}s"
+    )
+    if args.json is not None:
+        import json as _json
+
+        args.json.write_text(_json.dumps(cert.summary(), indent=2) + "\n")
+        print(f"  certificate written to {args.json}")
+    return 0 if cert.proved else 1
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -840,6 +973,8 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
                 "mean_ratio",
                 "eval_speedup",
                 "evals_per_second",
+                "node_fraction",
+                "proved",
                 "verdict",
             ):
                 if key in last:
@@ -989,6 +1124,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "crosscheck":
         with _telemetry(args):
             return _cmd_crosscheck(args)
+    if args.command == "certify":
+        with _telemetry(args):
+            return _cmd_certify(args)
     if args.command == "verify":
         return _cmd_verify(args)
     if args.command == "bench-report":

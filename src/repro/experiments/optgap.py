@@ -1,0 +1,224 @@
+"""OPTGAP: certified optimality gaps -- policy vs *proved* OPT.
+
+Every other experiment compares policies against lower bounds (work
+bound, queue bound) or against per-order optima.  This one compares
+them against the **certified order-aware optimum**
+``OPT* = min_sigma OPT(I^sigma)`` computed by the
+:mod:`repro.analysis.certify` branch-and-bound, so the reported gaps
+are real optimality gaps, not bound slack:
+
+* the **gap table**: for each sequencer (the fixed order, the static
+  dispatch orders, budgeted local search), the mean gap between the
+  policy's makespan on the sequenced instance and certified OPT* --
+  measuring how much of the sequencing headroom each strategy
+  actually recovers;
+* the **ratio table**: empirical Theorem 5/6 checks with OPT computed
+  by the exact oracles on the *same* fixed order the policy ran --
+  RoundRobin must stay within ratio 2 (Theorem 3 via the Theorem 5/6
+  oracles) and GreedyBalance within ``2 - 1/m``, in exact rational
+  arithmetic;
+* the **gadget family**: planted Partition YES gadgets whose optimum
+  the certifier must *prove* equal to 4 (upgrading the ORDER
+  experiment's heuristic 5 -> 4 observation to a certificate).
+
+Machine check (the verdict): every certificate is proved; certified
+OPT* lower-bounds every policy x sequencer makespan; mean
+gap(local-search) <= mean gap(fixed); both Theorem ratios hold on
+every instance; and every gadget certificate proves exactly 4.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..algorithms.opt_order import exact_order_makespan
+from ..analysis.certify import certify_opt
+from ..core.simulator import run_policy
+from ..generators.random_instances import uniform_instance
+from ..reductions.partition import random_yes_instance
+from ..reductions.reduction import reduction_instance
+from ..sequencing import get_sequencer
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+#: Sequencers whose certified gap is measured (vs the fixed baseline).
+_SEQUENCERS = ("fixed", "spt", "lpt", "requirement-desc", "local-search")
+
+#: (policy, worst-case ratio as a function of m) for the ratio table.
+_RATIO_POLICIES = ("round-robin", "greedy-balance")
+
+#: Makespan the Theorem 4 gadget proves optimal for YES instances.
+_GADGET_OPT = 4
+
+
+def _ratio_bound(policy: str, m: int) -> Fraction:
+    """The paper's worst-case ratio guarantee for *policy* at ``m``."""
+    if policy == "round-robin":
+        return Fraction(2)
+    return 2 - Fraction(1, m)
+
+
+def run(
+    m: int = 2,
+    n: int = 4,
+    gadget_size: int = 4,
+    seeds: tuple[int, ...] = (0, 1, 2, 3),
+    policy: str = "greedy-balance",
+    budget: int = 120,
+    restarts: int = 2,
+    grid: int = 100,
+    backend: str = "vector",
+    max_nodes: int = 200_000,
+) -> ExperimentResult:
+    """Measure certified optimality gaps and Theorem 5/6 ratios."""
+    families = {
+        "uniform": [
+            uniform_instance(m, n, grid=grid, seed=seed) for seed in seeds
+        ],
+        "gadget-yes": [
+            reduction_instance(random_yes_instance(gadget_size, seed=seed)[0])
+            for seed in seeds
+        ],
+    }
+    rows = []
+    ok = True
+    mean_gap_by_sequencer: dict[tuple[str, str], float] = {}
+    for family, instances in families.items():
+        # Certify OPT* once per instance (exact mode, proved or bust).
+        certs = [certify_opt(inst, max_nodes=max_nodes) for inst in instances]
+        for cert in certs:
+            if not cert.proved:
+                ok = False
+        if family == "gadget-yes":
+            for cert in certs:
+                if not (cert.proved and cert.value == _GADGET_OPT):
+                    ok = False  # the gadget optimum must be *proved* 4
+        count = len(instances)
+        for name in _SEQUENCERS:
+            spans = []
+            for seed, inst in zip(seeds, instances):
+                if name == "local-search":
+                    sequencer = get_sequencer(
+                        name,
+                        policy=policy,
+                        backend=backend,
+                        budget=budget,
+                        restarts=restarts,
+                        seed=seed,
+                    )
+                else:
+                    sequencer = get_sequencer(name)
+                span = run_policy(
+                    sequencer.sequence(inst),
+                    policy,
+                    backend=backend,
+                    record_shares=False,
+                ).makespan
+                spans.append(span)
+            gaps = [
+                cert.gap(span) if cert.proved else float("nan")
+                for cert, span in zip(certs, spans)
+            ]
+            for cert, span in zip(certs, spans):
+                if cert.proved and span < cert.value:
+                    ok = False  # nothing beats a proved optimum
+            mean_gap = sum(gaps) / count
+            mean_gap_by_sequencer[(family, name)] = mean_gap
+            rows.append(
+                {
+                    "family": family,
+                    "measure": f"gap:{name}",
+                    "mean_policy": round(sum(spans) / count, 2),
+                    "mean_opt": round(
+                        sum(c.value for c in certs) / count, 2
+                    ),
+                    "mean_gap_pct": round(100 * mean_gap, 1),
+                    "worst_ratio": round(
+                        max(
+                            span / cert.value
+                            for cert, span in zip(certs, spans)
+                        ),
+                        3,
+                    ),
+                    "proved": sum(1 for c in certs if c.proved),
+                }
+            )
+        # Theorem 5/6 ratio checks: the policy on the *fixed* order vs
+        # the exact per-order oracles on that same order (the sound
+        # comparison the paper's guarantees are stated for).
+        for ratio_policy in _RATIO_POLICIES:
+            bound = _ratio_bound(ratio_policy, instances[0].m)
+            worst = Fraction(0)
+            spans = []
+            opts = []
+            for inst in instances:
+                span = run_policy(
+                    inst, ratio_policy, backend=backend, record_shares=False
+                ).makespan
+                opt = exact_order_makespan(inst)
+                ratio = Fraction(span, opt)
+                worst = max(worst, ratio)
+                if ratio > bound:
+                    ok = False
+                spans.append(span)
+                opts.append(opt)
+            rows.append(
+                {
+                    "family": family,
+                    "measure": f"ratio:{ratio_policy}",
+                    "mean_policy": round(sum(spans) / count, 2),
+                    "mean_opt": round(sum(opts) / count, 2),
+                    "mean_gap_pct": "",
+                    "worst_ratio": round(float(worst), 3),
+                    "proved": count,
+                }
+            )
+        ls = mean_gap_by_sequencer[(family, "local-search")]
+        fixed = mean_gap_by_sequencer[(family, "fixed")]
+        if ls > fixed:
+            ok = False  # local search starts from fixed, only improves
+    return ExperimentResult(
+        experiment="OPTGAP",
+        title="Certified optimality gaps: policy vs proved OPT",
+        paper_claim=(
+            "beyond the paper: with OPT* certified by branch-and-bound "
+            "over queue orders, policy gaps become real optimality gaps "
+            "-- local search recovers at least the fixed-order gap, "
+            "RoundRobin stays within ratio 2 and GreedyBalance within "
+            "2-1/m of the per-order exact optimum (Theorems 3/5/6/8), "
+            "and the Theorem 4 gadget optimum of 4 is proved, not found"
+        ),
+        params={
+            "m": m,
+            "n": n,
+            "gadget_size": gadget_size,
+            "seeds": list(seeds),
+            "policy": policy,
+            "budget": budget,
+            "restarts": restarts,
+            "grid": grid,
+            "backend": backend,
+            "max_nodes": max_nodes,
+        },
+        columns=[
+            "family",
+            "measure",
+            "mean_policy",
+            "mean_opt",
+            "mean_gap_pct",
+            "worst_ratio",
+            "proved",
+        ],
+        rows=rows,
+        verdict=ok,
+        notes=[
+            "gap rows: policy makespan on the sequenced instance vs "
+            "certified OPT* = min over all queue orders of the exact "
+            "per-order optimum; proved counts closed certificates",
+            "ratio rows: policy on the fixed order vs the exact oracle "
+            "on the same order, in exact rational arithmetic",
+            f"gadget-yes family: planted Partition YES gadgets whose "
+            f"optimum the certifier proves equal to {_GADGET_OPT}",
+        ],
+    )

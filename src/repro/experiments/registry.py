@@ -16,6 +16,7 @@ from . import (
     gen,
     lemmas,
     multires,
+    optgap,
     order,
     sim,
     thm3,
@@ -49,6 +50,7 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("FLOW", "Weighted flow time under Poisson arrivals", flow.run),
         Experiment("DEADLINE", "Deadlines: tardiness/lateness policy comparison", deadline.run),
         Experiment("ORDER", "Queue-order gap: fixed vs optimized sequencing", order.run),
+        Experiment("OPTGAP", "Certified optimality gaps: policy vs proved OPT", optgap.run),
     ]
 }
 

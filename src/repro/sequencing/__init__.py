@@ -27,7 +27,11 @@ Registered strategies:
   onto the least-loaded queue (may move jobs between processors);
 * ``local-search`` -- :class:`LocalSearchSequencer`, objective-driven
   swap/insertion hill-climbing with budgeted restarts on decorrelated
-  seed streams.
+  seed streams;
+* ``optimal`` -- :class:`OptimalSequencer`, certified-optimal orders
+  via the :mod:`repro.analysis.certify` branch-and-bound (exact
+  oracles when they apply, policy simulation otherwise; exponential,
+  small instances only).
 
 Select by name::
 
@@ -43,6 +47,7 @@ from .base import (
     resolve_sequencer,
 )
 from .local_search import LocalSearchSequencer
+from .optimal import OptimalSequencer
 from .placement import GreedyPlacement
 from .static_orders import (
     FixedOrder,
@@ -58,6 +63,7 @@ __all__ = [
     "GreedyPlacement",
     "LPTOrder",
     "LocalSearchSequencer",
+    "OptimalSequencer",
     "RequirementDescending",
     "SPTOrder",
     "Sequencer",

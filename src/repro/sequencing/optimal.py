@@ -1,0 +1,181 @@
+"""The certified-optimal sequencer: branch-and-bound, not hill-climbing.
+
+Where :class:`~repro.sequencing.local_search.LocalSearchSequencer`
+*searches* for a good queue order, :class:`OptimalSequencer` *proves*
+one: it runs the :func:`repro.analysis.certify.certify_opt`
+branch-and-bound over every per-queue permutation and returns the
+certified witness order.  Exponential in the worst case -- meant for
+small instances (certification studies, golden suites, gap
+measurement), not production dispatch.
+
+Two targets, chosen automatically:
+
+* ``"opt"`` -- certify the offline optimum ``min_sigma OPT(I^sigma)``
+  through the per-order exact oracles (requires the analyzed model:
+  one resource, unit sizes, no arrivals, makespan objective);
+* ``"policy"`` -- certify the best order *for the run's policy* by
+  simulating every candidate order (any instance the backends accept;
+  the epsilon-certified mode).
+
+``target="auto"`` (the default) uses ``"opt"`` whenever the exact
+oracles apply and falls back to ``"policy"`` otherwise, so the
+sequencer honors the registry contract on arrival/multi-resource
+instances instead of refusing them.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from ..core.instance import Instance
+from ..exceptions import SequencingError
+from .base import Sequencer, register_sequencer
+
+__all__ = ["OptimalSequencer"]
+
+_TARGETS = ("auto", "opt", "policy")
+
+
+@register_sequencer
+class OptimalSequencer(Sequencer):
+    """Certified-optimal queue orders via branch-and-bound.
+
+    Args:
+        target: ``"opt"`` (exact oracles; raises on instances outside
+            their model), ``"policy"`` (simulate the policy on every
+            candidate order), or ``"auto"`` (the default: ``"opt"``
+            when the oracles apply and the objective is makespan,
+            ``"policy"`` otherwise).
+        oracle: per-order exact oracle for the ``"opt"`` target
+            ("auto", "opt-two", "opt-general", "brute-force", "milp").
+        policy: policy for the ``"policy"`` target (registry name or
+            object).  ``None`` leaves it unpinned: :meth:`bind` adopts
+            the run's policy, standalone use falls back to
+            ``"greedy-balance"`` (the same discipline as local
+            search).
+        backend: simulation backend for the ``"policy"`` target.
+        objective: objective name for the ``"policy"`` target
+            (``None`` is unpinned, falling back to makespan).
+        max_nodes: branch-and-bound node budget.  When exhausted, the
+            best order found so far is returned and
+            ``last_certificate.proved`` is False.
+
+    Attributes:
+        last_certificate: the
+            :class:`~repro.analysis.certify.Certificate` of the most
+            recent :meth:`sequence` call (``None`` before any call) --
+            experiments read the certified value, node counts, and
+            the ``proved`` flag from here.
+
+    Example:
+        >>> from repro.core import Instance
+        >>> from repro.sequencing import get_sequencer
+        >>> seq = get_sequencer("optimal")
+        >>> inst = Instance([["1/2", 1, "1/2"], [1, "1/2", 1]])
+        >>> best = seq.sequence(inst)
+        >>> inst.same_bag(best), seq.last_certificate.value
+        (True, 5)
+        >>> seq.last_certificate.proved
+        True
+    """
+
+    name = "optimal"
+
+    def __init__(
+        self,
+        *,
+        target: str = "auto",
+        oracle: str = "auto",
+        policy=None,
+        backend: str = "vector",
+        objective: str | None = None,
+        max_nodes: int = 100_000,
+    ) -> None:
+        """Validate options; see the class docstring for their meaning."""
+        if target not in _TARGETS:
+            raise SequencingError(
+                f"unknown target {target!r}; available: {list(_TARGETS)}"
+            )
+        if max_nodes < 1:
+            raise SequencingError(f"max_nodes must be >= 1, got {max_nodes}")
+        self.target = target
+        self.oracle = oracle
+        self._policy_pinned = policy is not None
+        self._objective_pinned = objective is not None
+        self.policy = policy
+        self.backend = backend
+        self.objective = objective
+        self.max_nodes = int(max_nodes)
+        self.last_certificate = None
+
+    def bind(self, *, policy=None, objective=None) -> "OptimalSequencer":
+        """Adopt the run's policy/objective for any unpinned option.
+
+        Mirrors
+        :meth:`~repro.sequencing.local_search.LocalSearchSequencer.bind`:
+        explicit constructor options always win, adoption returns a
+        bound copy so the caller's object stays unpinned.
+        """
+        adopt_policy = policy is not None and not self._policy_pinned
+        adopt_objective = objective is not None and not self._objective_pinned
+        if not (adopt_policy or adopt_objective):
+            return self
+        bound = copy.copy(self)
+        bound.last_certificate = None
+        if adopt_policy:
+            bound.policy = policy
+            bound._policy_pinned = True
+        if adopt_objective:
+            bound.objective = (
+                objective if isinstance(objective, str) else objective.name
+            )
+            bound._objective_pinned = True
+        return bound
+
+    def _wants_exact(self, instance: Instance) -> bool:
+        """Whether this call should certify the offline optimum."""
+        applies = (
+            instance.is_single_resource
+            and instance.is_unit_size
+            and not instance.has_releases
+            and self.objective in (None, "makespan")
+        )
+        if self.target == "opt":
+            if not applies:
+                raise SequencingError(
+                    "OptimalSequencer(target='opt') certifies the exact "
+                    "oracles' model only (single resource, unit sizes, no "
+                    "arrivals, makespan); use target='policy' (or 'auto') "
+                    "for this instance"
+                )
+            return True
+        return self.target == "auto" and applies
+
+    def sequence(self, instance: Instance) -> Instance:
+        """Reorder *instance*'s queues to the certified-best order.
+
+        The certificate itself (value, node counts, ``proved``) is
+        kept in :attr:`last_certificate`.  Job bag, job-to-processor
+        assignment, and release times are always preserved -- this is
+        a pure ordering strategy.
+        """
+        from ..analysis.certify import certify_opt  # local: builds on this
+
+        if self._wants_exact(instance):
+            cert = certify_opt(
+                instance, oracle=self.oracle, max_nodes=self.max_nodes
+            )
+        else:
+            policy = self.policy if self.policy is not None else "greedy-balance"
+            objective = self.objective
+            cert = certify_opt(
+                instance,
+                policy=policy,
+                backend=self.backend,
+                objective=(
+                    None if objective in (None, "makespan") else objective
+                ),
+                max_nodes=self.max_nodes,
+            )
+        self.last_certificate = cert
+        return cert.witness(instance)

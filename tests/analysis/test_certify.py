@@ -1,0 +1,160 @@
+"""Property tests for the optimality-certification layer.
+
+The certified optimum is only useful if it really is a floor: these
+tests pit ``certify_opt`` against every registered policy x sequencer
+combination (makespan objective) on seeded instances, check the
+heuristic-dominance property (local search can never be further from
+OPT than the fixed order it starts from), and round-trip every
+certificate's witness order back through ``Instance.with_order``.
+"""
+
+import pytest
+
+from repro.algorithms import available_policies
+from repro.analysis import Certificate, certify_opt
+from repro.backends import cross_validate
+from repro.core import Instance
+from repro.core.simulator import run_policy
+from repro.exceptions import SolverError
+from repro.generators import uniform_instance
+from repro.sequencing import available_sequencers, get_sequencer
+from repro.telemetry import TelemetrySession, use_session
+
+SEEDS = (0, 1, 2)
+
+
+def _instances():
+    return [uniform_instance(2, 3, grid=10, seed=seed) for seed in SEEDS]
+
+
+def _certificates():
+    return [certify_opt(inst) for inst in _instances()]
+
+
+class TestOptIsAFloor:
+    """Certified OPT lower-bounds every policy x sequencer run."""
+
+    @pytest.mark.parametrize("policy", available_policies())
+    @pytest.mark.parametrize("sequencer", available_sequencers())
+    def test_policy_x_sequencer_never_beats_opt(self, policy, sequencer):
+        for inst, cert in zip(_instances(), _certificates()):
+            assert cert.proved
+            span = run_policy(
+                inst,
+                policy,
+                backend="exact",
+                record_shares=False,
+                sequencer=sequencer,
+            ).makespan
+            assert span >= cert.value, (
+                f"{policy} x {sequencer} ran {span} below certified "
+                f"OPT {cert.value}"
+            )
+
+    def test_cross_validate_certify_asserts_the_floor(self):
+        for inst in _instances():
+            result = cross_validate(inst, "greedy-balance", certify=True)
+            assert result.certificate.proved
+            assert result.opt_gap >= 0.0
+            assert result.exact_makespan >= result.certificate.value
+
+
+class TestHeuristicDominance:
+    """gap(LocalSearchSequencer) <= gap(FixedOrder), per instance."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_local_search_gap_at_most_fixed_gap(self, seed):
+        inst = uniform_instance(2, 4, grid=10, seed=seed)
+        cert = certify_opt(inst)
+        assert cert.proved
+        fixed_span = run_policy(
+            inst,
+            "greedy-balance",
+            backend="vector",
+            record_shares=False,
+            sequencer="fixed",
+        ).makespan
+        ls = get_sequencer(
+            "local-search", policy="greedy-balance", budget=60, seed=seed
+        )
+        ls_span = run_policy(
+            ls.sequence(inst),
+            "greedy-balance",
+            backend="vector",
+            record_shares=False,
+        ).makespan
+        assert cert.gap(ls_span) <= cert.gap(fixed_span)
+        assert cert.gap(ls_span) >= 0.0
+
+
+class TestCertificateRoundTrip:
+    """The witness order reproduces the certified value exactly."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_witness_reaches_certified_value(self, seed):
+        inst = uniform_instance(3, 2, grid=10, seed=seed)
+        cert = certify_opt(inst)
+        witness = cert.witness(inst)
+        assert inst.same_bag(witness)
+        assert witness == inst.with_order([list(r) for r in cert.order])
+        from repro.algorithms import exact_order_makespan
+
+        assert exact_order_makespan(witness) == cert.value
+
+    def test_epsilon_witness_reaches_certified_value(self):
+        inst = uniform_instance(2, 3, grid=10, seed=4)
+        cert = certify_opt(inst, policy="round-robin", backend="vector")
+        assert cert.mode == "epsilon"
+        span = run_policy(
+            cert.witness(inst),
+            "round-robin",
+            backend="vector",
+            record_shares=False,
+        ).makespan
+        assert span == cert.value
+
+    def test_optimal_sequencer_matches_certify(self):
+        inst = uniform_instance(2, 3, grid=10, seed=5)
+        seq = get_sequencer("optimal")
+        out = seq.sequence(inst)
+        cert = certify_opt(inst)
+        assert seq.last_certificate.value == cert.value
+        assert out == cert.witness(inst)
+
+
+class TestCertificateContract:
+    def test_gap_refuses_unproved(self):
+        cert = Certificate(
+            value=5,
+            order=((0,),),
+            nodes=1,
+            bound_calls=0,
+            proved=False,
+        )
+        with pytest.raises(SolverError, match="unproved"):
+            cert.gap(6)
+
+    def test_summary_is_json_friendly(self):
+        import json
+
+        cert = certify_opt(Instance([["1/2", 1], [1, "1/2"]]))
+        blob = json.dumps(cert.summary())
+        assert '"proved": true' in blob
+
+    def test_lower_bound_sandwich(self):
+        cert = certify_opt(uniform_instance(2, 3, grid=10, seed=6))
+        assert cert.lower_bound <= cert.value
+        assert cert.order_space >= cert.leaf_evaluations
+
+    def test_telemetry_counters_and_span(self):
+        session = TelemetrySession(tracing=True)
+        with use_session(session):
+            certify_opt(uniform_instance(2, 3, grid=10, seed=7))
+        names = [record.name for record in session.tracer.records]
+        assert "certify.opt" in names
+        counters = {entry["name"] for entry in session.metrics.snapshot()}
+        assert {
+            "certify.nodes",
+            "certify.pruned",
+            "certify.bound_calls",
+        } <= counters

@@ -1,0 +1,111 @@
+"""Regenerate ``certified_instances.json`` (golden certified OPT values).
+
+Run from the repo root with
+``PYTHONPATH=src python tests/data/make_certified.py``.
+
+The file pins, for a fixed set of certified-hard instances (instances
+where the branch-and-bound actually has to expand nodes, plus the
+planted Theorem 4 gadgets where it closes at the root), the full
+optimality certificate: the certified OPT value, the witness order,
+and the search counters.  The replay test
+(``tests/data/test_certified_replay.py``) re-certifies every instance
+and demands bit-identical certificates, so the file guards two things
+at once:
+
+* the certifier itself -- any change to the bound, the symmetry
+  breaking, or the seed orders that alters a certificate is surfaced;
+* the kernel and exact oracles -- a semantics change that moves any
+  OPT value breaks the replay before it can silently skew experiments.
+
+Regenerate only when the *model semantics* intentionally change, and
+say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import certify_opt
+from repro.core import Instance
+from repro.generators import uniform_instance
+from repro.io import instance_from_dict, instance_to_dict
+from repro.reductions import random_yes_instance, reduction_instance
+
+CERTIFIED_PATH = Path(__file__).parent / "certified_instances.json"
+
+
+def _tight_instance(seed: int) -> Instance:
+    """Small instances whose certification needs real search work."""
+    return uniform_instance(2, 4, grid=7, seed=seed)
+
+
+def _wide_instance(seed: int) -> Instance:
+    return uniform_instance(3, 3, grid=5, seed=seed)
+
+
+#: (case id, instance factory) -- all within the exact oracles' model.
+CASES = [
+    *[
+        (f"uniform-2x4-g7-s{s}", lambda s=s: _tight_instance(s))
+        for s in range(6)
+    ],
+    *[
+        (f"uniform-3x3-g5-s{s}", lambda s=s: _wide_instance(s))
+        for s in range(4)
+    ],
+    *[
+        (
+            f"gadget-yes-4-s{s}",
+            lambda s=s: reduction_instance(random_yes_instance(4, seed=s)[0]),
+        )
+        for s in range(2)
+    ],
+    (
+        "adversarial-pairing",
+        lambda: Instance(
+            [["9/10", "1/10", "9/10"], ["9/10", "1/10", "1/10"]]
+        ),
+    ),
+    (
+        "equal-jobs-symmetry",
+        lambda: Instance([["1/2"] * 3, ["1/2"] * 3]),
+    ),
+]
+
+
+def build() -> dict:
+    cases = []
+    for case_id, factory in CASES:
+        instance = factory()
+        cert = certify_opt(instance)
+        assert cert.proved, f"{case_id}: certificate must be proved"
+        summary = cert.summary()
+        summary.pop("seconds")  # wall time is not part of the pin
+        cases.append(
+            {
+                "id": case_id,
+                "instance": instance_to_dict(instance),
+                "certificate": summary,
+            }
+        )
+    return {"format": "crsharing-certified-instances", "version": 1, "cases": cases}
+
+
+def main() -> None:
+    doc = build()
+    CERTIFIED_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    searched = sum(
+        1 for case in doc["cases"] if case["certificate"]["nodes"] > 0
+    )
+    print(
+        f"wrote {len(doc['cases'])} certified cases "
+        f"({searched} needed node expansions) to {CERTIFIED_PATH}"
+    )
+    # Sanity: the stored instances round-trip.
+    for case in doc["cases"]:
+        instance_from_dict(case["instance"])
+
+
+if __name__ == "__main__":
+    main()

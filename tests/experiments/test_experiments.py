@@ -34,6 +34,7 @@ class TestRegistry:
             "FLOW",
             "DEADLINE",
             "ORDER",
+            "OPTGAP",
         }
 
     def test_lookup_case_insensitive(self):

@@ -1,0 +1,57 @@
+"""Integration tests for the OPTGAP experiment (certified gaps)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment
+from repro.experiments.runner import run_experiment
+
+
+class TestRegistered:
+    def test_optgap_registered(self):
+        assert "OPTGAP" in EXPERIMENTS
+
+
+class TestOptgap:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            get_experiment("OPTGAP"), seeds=(0, 1), budget=80
+        )
+
+    def test_reproduced_verdict(self, result):
+        assert result.verdict is True
+
+    def test_all_certificates_proved(self, result):
+        for row in result.rows:
+            assert row["proved"] == 2  # one proof per seed
+
+    def test_gap_rows_cover_every_sequencer(self, result):
+        measures = {row["measure"] for row in result.rows}
+        for name in ("fixed", "spt", "lpt", "requirement-desc", "local-search"):
+            assert f"gap:{name}" in measures
+
+    def test_local_search_gap_at_most_fixed(self, result):
+        by_measure = {
+            (row["family"], row["measure"]): row for row in result.rows
+        }
+        for family in ("uniform", "gadget-yes"):
+            ls = by_measure[(family, "gap:local-search")]["mean_gap_pct"]
+            fixed = by_measure[(family, "gap:fixed")]["mean_gap_pct"]
+            assert ls <= fixed
+
+    def test_ratio_rows_respect_theorem_bounds(self, result):
+        for row in result.rows:
+            if row["measure"] == "ratio:round-robin":
+                assert row["worst_ratio"] <= 2.0
+            if row["measure"] == "ratio:greedy-balance":
+                assert row["worst_ratio"] <= 2.0  # 2 - 1/m <= 2
+
+    def test_gadget_opt_is_four(self, result):
+        for row in result.rows:
+            if row["family"] == "gadget-yes":
+                assert row["mean_opt"] == 4.0
+
+    def test_gaps_are_never_negative(self, result):
+        for row in result.rows:
+            if row["mean_gap_pct"] != "":
+                assert row["mean_gap_pct"] >= 0.0

@@ -1,0 +1,69 @@
+"""The Theorem 4 gadget optimum is *proved*, not merely found.
+
+The ORDER experiment observes that policies on the as-built gadget
+order need 5 steps while local search recovers 4 -- but a hill-climb
+finding 4 only shows 4 is *achievable*.  This regression pins the
+certified fact: on planted Partition YES gadgets the branch-and-bound
+certifier proves that no queue order beats 4, bit-identically (same
+witness, same search counters) on every run.
+"""
+
+import pytest
+
+from repro.analysis import certify_opt
+from repro.reductions import random_yes_instance, reduction_instance
+
+#: Makespan the reduction proves optimal for YES partition instances.
+GADGET_OPT = 4
+
+#: Partition size used by the pinned certificates (matches OPTGAP's
+#: default; size 6 -- the ORDER experiment default -- is out of reach
+#: for the per-order exact oracles, which is exactly why ORDER could
+#: only ever *observe* the 5 -> 4 gap).
+GADGET_SIZE = 4
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_gadget_optimum_is_proved_bit_identically(seed):
+    partition, witness = random_yes_instance(GADGET_SIZE, seed=seed)
+    gadget = reduction_instance(partition)
+    cert = certify_opt(gadget)
+    # The claim itself: 4 is optimal, with a closed proof.
+    assert cert.proved
+    assert cert.value == GADGET_OPT
+    assert cert.mode == "exact"
+    # Bit-identical pin of the proof shape: the as-built YES gadget
+    # order already meets the Observation 1 work bound of 4, so the
+    # search must close at the root -- zero expansions, the identity
+    # witness, and exactly the three distinct seed-order evaluations.
+    assert cert.nodes == 0
+    assert cert.bound_calls == 0
+    assert cert.pruned == 0
+    assert cert.leaf_evaluations == 3
+    assert cert.lower_bound == GADGET_OPT
+    assert cert.order == tuple(
+        tuple(range(3)) for _ in range(GADGET_SIZE)
+    )
+    assert cert.order_space == 6**GADGET_SIZE
+
+
+def test_gadget_certificate_floor_holds_for_policies(seed=0):
+    from repro.core.simulator import run_policy
+
+    partition, _ = random_yes_instance(GADGET_SIZE, seed=seed)
+    gadget = reduction_instance(partition)
+    cert = certify_opt(gadget)
+    for policy in ("round-robin", "greedy-balance"):
+        span = run_policy(
+            gadget, policy, backend="vector", record_shares=False
+        ).makespan
+        assert span >= cert.value
+
+
+def test_certificate_is_deterministic(seed=1):
+    partition, _ = random_yes_instance(GADGET_SIZE, seed=seed)
+    gadget = reduction_instance(partition)
+    first = certify_opt(gadget)
+    second = certify_opt(gadget)
+    # Frozen dataclass equality ignores only the wall-clock field.
+    assert first == second

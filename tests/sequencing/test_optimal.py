@@ -1,0 +1,64 @@
+"""OptimalSequencer: registration, targets, binding, and fallbacks."""
+
+import pytest
+
+from repro.core import Instance
+from repro.exceptions import SequencingError
+from repro.sequencing import OptimalSequencer, get_sequencer
+
+
+@pytest.fixture
+def inst() -> Instance:
+    return Instance([["1/2", 1, "1/2"], [1, "1/2", 1]])
+
+
+class TestTargets:
+    def test_auto_uses_exact_mode_when_oracles_apply(self, inst):
+        seq = get_sequencer("optimal")
+        seq.sequence(inst)
+        assert seq.last_certificate.mode == "exact"
+        assert seq.last_certificate.proved
+
+    def test_auto_falls_back_to_policy_mode_on_releases(self, inst):
+        seq = get_sequencer("optimal")
+        out = seq.sequence(inst.with_releases([0, 2]))
+        assert out.releases == (0, 2)
+        assert seq.last_certificate.mode == "epsilon"
+
+    def test_explicit_opt_target_rejects_releases(self, inst):
+        seq = get_sequencer("optimal", target="opt")
+        with pytest.raises(SequencingError, match="target='policy'"):
+            seq.sequence(inst.with_releases([0, 2]))
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SequencingError, match="unknown target"):
+            OptimalSequencer(target="oracle")
+
+    def test_bad_max_nodes_rejected(self):
+        with pytest.raises(SequencingError, match="max_nodes"):
+            OptimalSequencer(max_nodes=0)
+
+
+class TestBinding:
+    def test_bind_adopts_unpinned_policy(self, inst):
+        seq = get_sequencer("optimal", target="policy")
+        bound = seq.bind(policy="round-robin")
+        assert bound is not seq
+        bound.sequence(inst)
+        assert "round-robin" in bound.last_certificate.evaluator
+
+    def test_bind_keeps_pinned_policy(self, inst):
+        seq = get_sequencer("optimal", target="policy", policy="round-robin")
+        bound = seq.bind(policy="greedy-balance")
+        assert bound is seq  # nothing to adopt
+
+    def test_sequence_result_achieves_certified_value(self, inst):
+        from repro.core.simulator import run_policy
+
+        seq = get_sequencer("optimal", target="policy", policy="round-robin")
+        out = seq.sequence(inst)
+        cert = seq.last_certificate
+        span = run_policy(
+            out, "round-robin", backend="vector", record_shares=False
+        ).makespan
+        assert span == cert.value

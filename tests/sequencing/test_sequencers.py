@@ -30,6 +30,7 @@ class TestRegistry:
                 "slack",
                 "greedy-placement",
                 "local-search",
+                "optimal",
             ]
         )
 

@@ -304,6 +304,98 @@ class TestVerify:
             main(["verify", str(js)])
 
 
+class TestCertify:
+    def test_certify_instance_file(self, instance_file, capsys):
+        assert main(["certify", str(instance_file)]) == 0
+        out = capsys.readouterr().out
+        assert "PROVED optimal" in out
+        assert "offline optimum" in out
+        assert "witness order" in out
+
+    def test_certify_generated_instance(self, capsys):
+        assert main(["certify", "--m", "2", "--n", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "uniform(m=2, n=3, seed=1)" in out
+        assert "PROVED optimal" in out
+
+    def test_certify_policy_mode(self, instance_file, capsys):
+        assert (
+            main(["certify", str(instance_file), "--policy", "round-robin"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "best order for policy 'round-robin'" in out
+        assert "epsilon mode" in out
+
+    def test_certify_json_and_trace(self, instance_file, tmp_path, capsys):
+        js = tmp_path / "cert.json"
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "certify",
+                    str(instance_file),
+                    "--json",
+                    str(js),
+                    "--trace",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        cert = json.loads(js.read_text())
+        assert cert["proved"] is True
+        assert cert["value"] >= 1
+        assert any(
+            json.loads(line)["name"] == "certify.opt"
+            for line in trace.read_text().splitlines()
+        )
+
+    def test_certify_budget_exhaustion_exits_nonzero(self, capsys):
+        # An instance needing real search, strangled to one node.
+        code = main(
+            [
+                "certify",
+                "--m",
+                "2",
+                "--n",
+                "4",
+                "--grid",
+                "7",
+                "--seed",
+                "1",
+                "--max-nodes",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        if "upper bound only" in out:
+            assert code == 1
+        else:  # the seed closed at the root; still a proof, exit 0
+            assert code == 0
+
+    def test_crosscheck_certify_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "crosscheck",
+                    "--count",
+                    "4",
+                    "--m",
+                    "2",
+                    "--n",
+                    "3",
+                    "--certify",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "certified: 4/4 proved" in out
+        assert "result: OK" in out
+
+
 class TestDemo:
     def test_demo_runs(self, capsys):
         assert main(["demo"]) == 0
