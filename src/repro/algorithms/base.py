@@ -435,44 +435,135 @@ def _water_fill_batch_multi(
     eligible: np.ndarray | None,
     capacity: float,
 ) -> np.ndarray:
-    """Per-lane ``k > 1`` fallback of :func:`water_fill_array_batch`.
+    """``k > 1`` path of :func:`water_fill_array_batch`: one
+    ``(B, k, m)`` array program over all lanes.
 
-    Each lane runs the exact depletion-rounds kernel on its own
-    ``(k_lane, m)`` slice (mixed batches may hold single-resource
-    lanes next to multi-resource ones; each gets its native rule), so
-    every lane is bit-identical to its standalone vector run.
+    Dispatches to :func:`_fill_arrays_batch_multi` for the
+    multi-resource depletion rounds and overwrites single-resource
+    lanes of a mixed batch with the scalar prefix-sum rule (exactly as
+    their standalone vector run applies it), so each lane follows its
+    native grant rule.
     """
-    shares = np.zeros(
-        (state.num_lanes, state.num_resources, state.num_processors),
-        dtype=np.float64,
+    shares = _fill_arrays_batch_multi(
+        state.remaining,
+        state.active_requirements,
+        state.active_req_matrix,
+        np.asarray(order, dtype=np.int64),
+        eligible,
+        capacity,
     )
-    for b in range(state.num_lanes):
-        if state.lane_done[b]:
-            continue
-        ord_b = order[b]
+    scalar = state.lane_num_resources == 1
+    if scalar.any():
+        # Single-resource lanes: the scalar prefix-sum rule (interleaved
+        # exact zeros keep the cumsum bit-identical to a per-lane fill).
+        useful = np.minimum(state.remaining, state.active_requirements)
         if eligible is not None:
-            ord_b = ord_b[eligible[b][ord_b]]
-        k_b = state.lane_num_resources[b]
-        if k_b == 1:
-            # Single-resource lane: the scalar prefix-sum rule, exactly
-            # as water_fill_array would apply it.
-            useful = np.minimum(
-                state.remaining[b], state.active_requirements[b]
+            useful = np.where(eligible, useful, 0.0)
+        u = np.take_along_axis(useful, order, axis=1)
+        taken_before = np.cumsum(u, axis=1) - u
+        grants = np.clip(capacity - taken_before, 0.0, u)
+        rows = np.zeros_like(useful)
+        np.put_along_axis(rows, order, grants, axis=1)
+        shares[scalar] = 0.0
+        shares[scalar, 0, :] = rows[scalar]
+    return shares
+
+
+def _fill_arrays_batch_multi(
+    remaining: np.ndarray,
+    rstar: np.ndarray,
+    req_matrix: np.ndarray,
+    order: np.ndarray,
+    eligible: np.ndarray | None,
+    capacity: float,
+) -> np.ndarray:
+    """Batched depletion-rounds core: ``B`` lanes per round, no lane loop.
+
+    The batch lift of :func:`_fill_arrays_multi`, working in *order
+    position* space: per round, every live lane optimistically cumsums
+    its full grants along its priority order, the first over-committing
+    position gets a partial grant (its binding resource caps the speed
+    fraction), everything before it is granted in one shot, and
+    positions whose needed resources are exhausted retire.  Inactive
+    positions contribute exact ``0.0`` terms, so the cumsums match the
+    per-lane compacted fill bit for bit; the only per-lane work left is
+    the capacity update of over-committing lanes, which sums each such
+    lane's compacted prefix exactly as the single-lane kernel does.
+    Lanes that never over-commit (the common case) finish in one fully
+    vectorized round.
+    """
+    B, k, m = req_matrix.shape
+    fraction_cap = np.zeros((B, m), dtype=np.float64)
+    positive = rstar > 0.0
+    np.divide(remaining, rstar, out=fraction_cap, where=positive)
+    np.minimum(fraction_cap, 1.0, out=fraction_cap)
+    if eligible is not None:
+        fraction_cap = np.where(eligible, fraction_cap, 0.0)
+    # Everything below runs in order-position space; one scatter at the
+    # end maps grants back to processor indices.
+    fc_ord = np.take_along_axis(fraction_cap, order, axis=1)  # (B, m)
+    req_ord = np.take_along_axis(req_matrix, order[:, None, :], axis=2)
+    granted_ord = np.zeros((B, k, m), dtype=np.float64)
+    left = np.full((B, k), capacity, dtype=np.float64)
+    active = fc_ord > 0.0  # (B, m) positions still pending
+    pos = np.arange(m)
+    while True:
+        live = active.any(axis=1)
+        if not live.any():
+            break
+        consume = np.where(
+            active[:, None, :], fc_ord[:, None, :] * req_ord, 0.0
+        )
+        over_ord = (
+            np.cumsum(consume, axis=2) > left[:, :, None] + _FILL_EPS
+        ).any(axis=1)
+        over_lane = over_ord.any(axis=1)
+        fits = live & ~over_lane
+        if fits.any():
+            # No over-commit: the whole pending set is granted.
+            granted_ord[fits] = np.where(
+                active[fits, None, :], consume[fits], granted_ord[fits]
             )
-            u = useful[ord_b]
-            taken_before = np.cumsum(u) - u
-            grants = np.clip(capacity - taken_before, 0.0, u)
-            row = np.zeros(state.num_processors, dtype=np.float64)
-            row[ord_b] = grants
-            shares[b, 0] = row
-        else:
-            shares[b, :k_b] = _fill_arrays_multi(
-                state.remaining[b],
-                state.active_requirements[b],
-                state.active_req_matrix[b, :k_b],
-                np.asarray(ord_b, dtype=np.int64),
-                capacity,
-            )
+            active[fits] = False
+        sel = np.flatnonzero(live & over_lane)
+        if not sel.size:
+            break
+        first = np.argmax(over_ord[sel], axis=1)  # over is monotone
+        prefix = active[sel] & (pos[None, :] < first[:, None])
+        granted_ord[sel] = np.where(
+            prefix[:, None, :], consume[sel], granted_ord[sel]
+        )
+        for row, b in enumerate(sel):
+            # Compacted prefix sum, exactly as the single-lane kernel
+            # charges its capacity (bit-identical reduction order).
+            taken = consume[b][:, prefix[row]]
+            if taken.shape[1]:
+                left[b] -= taken.sum(axis=1)
+        # Partial grant at each lane's first over-committing position.
+        needs = req_ord[sel, :, first]  # (|sel|, k)
+        needed = needs > 0.0
+        afford = np.divide(
+            left[sel], needs, out=np.full_like(needs, np.inf), where=needed
+        )
+        fraction = np.minimum(fc_ord[sel, first], afford.min(axis=1))
+        partial = fraction[:, None] * np.where(needed, needs, 0.0)
+        granted_ord[sel, :, first] = np.where(
+            fraction[:, None] > 0.0, partial, 0.0
+        )
+        left[sel] -= np.where(fraction[:, None] > 0.0, partial, 0.0)
+        np.maximum(left, 0.0, out=left)
+        # Retire the served prefix and positions whose needed resources
+        # are exhausted.
+        active[sel] &= pos[None, :] > first[:, None]
+        blocked = (
+            (req_ord[sel] > 0.0) & (left[sel, :, None] <= _FILL_EPS)
+        ).any(axis=1)
+        active[sel] &= ~blocked
+    shares = np.zeros((B, k, m), dtype=np.float64)
+    np.put_along_axis(
+        shares, np.broadcast_to(order[:, None, :], (B, k, m)), granted_ord,
+        axis=2,
+    )
     return shares
 
 

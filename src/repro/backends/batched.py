@@ -15,8 +15,11 @@ and advances all of them with one shared array program per step:
 * completion tests, release unmasking, and successor loading are
   batched boolean masks and fancy-indexed gathers;
 * every lane terminates early -- a finished lane's processors hold
-  zero remaining work, so it receives all-zero shares and simply rides
-  along until the batch drains (lanes are masked, never compacted);
+  zero remaining work, so it receives all-zero shares and rides along
+  masked; once the live fraction of a large batch drops below the
+  compaction threshold (default < 50%), the state *compacts* to the
+  surviving lanes so long-tail ragged batches stop paying for dead
+  ones (``BatchRunResult.compactions`` counts the shrinks);
 * objectives accumulate lane-wise through the standard
   ``ObjectiveAccumulator`` contract, so makespan / weighted flow /
   tardiness come out as length-``B`` vectors identical to ``B``
@@ -52,6 +55,13 @@ from ..exceptions import (
     InfeasibleAssignmentError,
     SimulationLimitError,
     VectorizationUnsupportedError,
+)
+from ..kernels import (
+    decide,
+    normalize_compiled,
+    note_fallback,
+    replay_run,
+    run_fused_instance,
 )
 from .base import resolve_objectives
 
@@ -324,6 +334,47 @@ class BatchVectorState:
             self.active_req_matrix[hl, :, hi] = self._reqk[hl, :, hi, hd]
             self.active_req_matrix[el, :, ei] = 0.0
 
+    def compact(self, keep: np.ndarray) -> None:
+        """Shrink the batch to the lanes selected by the *keep* mask.
+
+        Dropped lanes must already be finished: a dead lane holds only
+        exact zeros (shares, remaining work, requirements), and every
+        step operation is elementwise or a lane-row reduction, so
+        removing such lanes cannot perturb any surviving lane's
+        arithmetic.  Callers own the lane-index bookkeeping (results
+        are reported against original lane indices via an origin map).
+        """
+        idx = np.flatnonzero(keep)
+        if not idx.size:
+            raise BackendError("compaction must keep at least one lane")
+        self.instances = tuple(self.instances[int(b)] for b in idx)
+        self.num_lanes = int(idx.size)
+        self.lane_num_processors = self.lane_num_processors[idx]
+        self.lane_num_resources = self.lane_num_resources[idx]
+        self.num_jobs = self.num_jobs[idx]
+        self.done = self.done[idx]
+        self._req = self._req[idx]
+        self._work = self._work[idx]
+        self._wgt = self._wgt[idx]
+        self._dl = self._dl[idx]
+        self._release = self._release[idx]
+        self._released = self._released[idx]
+        self._all_released = bool(self._released.all())
+        self.remaining = self.remaining[idx]
+        self.active_requirements = self.active_requirements[idx]
+        self.active_weights = self.active_weights[idx]
+        self.active_deadlines = self.active_deadlines[idx]
+        self.resource_spent = self.resource_spent[idx]
+        if self._reqk is None:
+            # The k == 1 share-matrix view aliases active_requirements;
+            # slicing produced a fresh array, so rebuild the view.
+            self.active_req_matrix = self.active_requirements.reshape(
+                self.num_lanes, 1, self.num_processors
+            )
+        else:
+            self._reqk = self._reqk[idx]
+            self.active_req_matrix = self.active_req_matrix[idx]
+
 
 class _LaneView:
     """Single-lane, real-size view of a batch state.
@@ -446,6 +497,11 @@ class BatchRunResult:
         batched_policy: True when the policy supplied a
             ``shares_batch`` path; False means lanes were stepped one
             by one through ``shares_array`` (the fallback).
+        compactions: how many times the runtime shrank the batch to
+            its surviving lanes (ragged batches only; 0 when every
+            lane finishes near the same step).
+        compiled: True when the run was served by the fused compiled
+            driver instead of the per-step array program.
     """
 
     makespans: np.ndarray
@@ -455,6 +511,8 @@ class BatchRunResult:
     lane_steps: int
     wall_seconds: float
     batched_policy: bool
+    compactions: int = 0
+    compiled: bool = False
 
 
 class BatchVectorRuntime:
@@ -471,6 +529,16 @@ class BatchVectorRuntime:
             ``shares_batch``.
         tol: completion / feasibility tolerance (as
             :class:`~repro.backends.vector.VectorBackend`).
+        compiled: compiled-tier mode (``"auto"``/``"on"``/``"off"`` or
+            a boolean).  ``"auto"`` sends eligible runs (built-in
+            policy, numba importable) through the fused driver and
+            falls back silently otherwise; ``"on"`` forces it (raising
+            :class:`~repro.exceptions.CompiledUnsupportedError` when
+            ineligible); ``"off"`` always uses the per-step array
+            program.
+        compact_threshold: live-lane fraction below which a ragged
+            batch compacts to its surviving lanes (``None`` or ``0``
+            disables compaction).
     """
 
     def __init__(
@@ -479,6 +547,8 @@ class BatchVectorRuntime:
         policy,
         *,
         tol: float = 1e-9,
+        compiled: str | bool = "auto",
+        compact_threshold: float | None = 0.5,
     ) -> None:
         from ..algorithms import resolve_policy  # local: avoid import cycle
 
@@ -497,6 +567,14 @@ class BatchVectorRuntime:
         self.state = BatchVectorState(instances)
         self.tol = float(tol)
         self.batched_policy = bool(getattr(policy, "supports_batch", False))
+        self.compiled = normalize_compiled(compiled)
+        if compact_threshold is not None and not (
+            0.0 <= float(compact_threshold) <= 1.0
+        ):
+            raise ValueError("compact_threshold must be in [0, 1] or None")
+        self.compact_threshold = (
+            None if compact_threshold is None else float(compact_threshold)
+        )
 
     # ------------------------------------------------------------------
     # Step phases
@@ -667,6 +745,17 @@ class BatchVectorRuntime:
         from ..core.simulator import default_step_limit  # lazy: no cycle
         from ..telemetry import get_session
 
+        objectives = resolve_objectives(tuple(objectives))
+        if self.compiled != "off":
+            decision = decide(self.policy, self.compiled)
+            if decision.code is not None:
+                return self._run_compiled(
+                    decision.code,
+                    objectives=objectives,
+                    max_steps=max_steps,
+                    stall_limit=stall_limit,
+                )
+            note_fallback(decision.reason)
         state = self.state
         B = state.num_lanes
         if max_steps is None:
@@ -676,7 +765,6 @@ class BatchVectorRuntime:
             )
         else:
             limits = np.full(B, int(max_steps), dtype=np.int64)
-        objectives = resolve_objectives(tuple(objectives))
         accumulators = [
             [obj.start(inst) for inst in state.instances]
             for obj in objectives
@@ -684,6 +772,12 @@ class BatchVectorRuntime:
         values: list[list] = [[None] * B for _ in objectives]
         makespans = np.zeros(B, dtype=np.int64)
         stalled = np.zeros(B, dtype=np.int64)
+        # Results are reported against *original* lane indices; the
+        # state may compact to its surviving lanes mid-run, so this
+        # map tracks where each current lane started.
+        origin = np.arange(B, dtype=np.int64)
+        threshold = self.compact_threshold
+        compactions = 0
         live = ~state.lane_done
         # Lanes born finished (no jobs at all) have makespan 0.
         for b in np.flatnonzero(~live):
@@ -699,8 +793,8 @@ class BatchVectorRuntime:
             if over.any():
                 lane = int(np.argmax(over))
                 raise SimulationLimitError(
-                    f"batched run: lane {lane} did not finish within "
-                    f"{int(limits[lane])} steps "
+                    f"batched run: lane {int(origin[lane])} did not finish "
+                    f"within {int(limits[lane])} steps "
                     f"(done={state.done[lane].tolist()})"
                 )
             ts = perf_counter() if trace_steps else 0.0
@@ -718,9 +812,10 @@ class BatchVectorRuntime:
             newly_done = live & lane_done
             if newly_done.any():
                 for b in np.flatnonzero(newly_done):
-                    makespans[b] = t + 1
+                    ob = int(origin[b])
+                    makespans[ob] = t + 1
                     for o in range(len(objectives)):
-                        values[o][b] = accumulators[o][b].finish(t + 1)
+                        values[o][ob] = accumulators[o][b].finish(t + 1)
                 live &= ~lane_done
             waiting = state.lane_waiting
             stalled = np.where(
@@ -729,8 +824,8 @@ class BatchVectorRuntime:
             if (stalled >= stall_limit).any():
                 lane = int(np.argmax(stalled >= stall_limit))
                 raise SimulationLimitError(
-                    f"batched run: lane {lane} made no progress for "
-                    f"{int(stalled[lane])} consecutive steps "
+                    f"batched run: lane {int(origin[lane])} made no "
+                    f"progress for {int(stalled[lane])} consecutive steps "
                     f"(t={state.t}); aborting"
                 )
             if trace_steps:
@@ -742,6 +837,20 @@ class BatchVectorRuntime:
                     live=int(live.sum()),
                     completed=len(completed),
                 )
+            if (
+                threshold
+                and live.size >= 4
+                and 0 < live.sum() < threshold * live.size
+            ):
+                state.compact(live)
+                origin = origin[live]
+                limits = limits[live]
+                stalled = stalled[live]
+                keep = np.flatnonzero(live)
+                for o in range(len(objectives)):
+                    accumulators[o] = [accumulators[o][b] for b in keep]
+                live = np.ones(state.num_lanes, dtype=bool)
+                compactions += 1
         wall = perf_counter() - t0
         result = BatchRunResult(
             makespans=makespans,
@@ -753,8 +862,67 @@ class BatchVectorRuntime:
             lane_steps=int(makespans.sum()),
             wall_seconds=wall,
             batched_policy=self.batched_policy,
+            compactions=compactions,
         )
         if session is not None:
+            self._record_telemetry(session, result, start=t0)
+        return result
+
+    def _run_compiled(
+        self,
+        policy_code: int,
+        *,
+        objectives,
+        max_steps: int | None,
+        stall_limit: int,
+    ) -> BatchRunResult:
+        """Serve the batch through the fused compiled driver, lane by lane.
+
+        Each lane is one whole-run JIT region (no per-step Python at
+        all), then its completion table is replayed through the
+        objective recorders -- same numbers, same exceptions as the
+        per-step batched loop.
+        """
+        from ..core.kernel import ObjectiveRecorder  # lazy: no cycle
+        from ..telemetry import get_session
+
+        instances = self.state.instances
+        B = len(instances)
+        makespans = np.zeros(B, dtype=np.int64)
+        values: list[list] = [[None] * B for _ in objectives]
+        t0 = perf_counter()
+        for b, inst in enumerate(instances):
+            recorders = [ObjectiveRecorder(obj, inst) for obj in objectives]
+            makespan, completion = run_fused_instance(
+                inst,
+                policy_code,
+                tol=self.tol,
+                max_steps=max_steps,
+                stall_limit=stall_limit,
+                label=f"batched lane {b}",
+            )
+            replay_run(completion, makespan, recorders)
+            makespans[b] = makespan
+            for o, recorder in enumerate(recorders):
+                values[o][b] = recorder.value
+        wall = perf_counter() - t0
+        result = BatchRunResult(
+            makespans=makespans,
+            objective_values={
+                obj.name: values[o] for o, obj in enumerate(objectives)
+            },
+            lanes=B,
+            steps=int(makespans.max()) if B else 0,
+            lane_steps=int(makespans.sum()),
+            wall_seconds=wall,
+            batched_policy=self.batched_policy,
+            compactions=0,
+            compiled=True,
+        )
+        session = get_session()
+        if session is not None:
+            session.metrics.counter("compiled.runs").inc(B)
+            session.metrics.counter("compiled.steps").inc(result.lane_steps)
             self._record_telemetry(session, result, start=t0)
         return result
 
@@ -767,6 +935,8 @@ class BatchVectorRuntime:
         metrics.counter("batched.runs").inc()
         metrics.counter("batched.steps").inc(result.steps)
         metrics.counter("batched.lane_steps").inc(result.lane_steps)
+        if result.compactions:
+            metrics.counter("batch.compactions").inc(result.compactions)
         session.tracer.complete(
             "batched.run",
             start,
@@ -778,6 +948,7 @@ class BatchVectorRuntime:
             m=self.state.num_processors,
             resources=self.state.num_resources,
             batched_policy=result.batched_policy,
+            compiled=result.compiled,
         )
 
 
@@ -789,6 +960,8 @@ def run_batch(
     tol: float = 1e-9,
     max_steps: int | None = None,
     stall_limit: int = 3,
+    compiled: str | bool = "auto",
+    compact_threshold: float | None = 0.5,
 ) -> BatchRunResult:
     """Run *policy* over a batch of instances in one shared array program.
 
@@ -806,7 +979,13 @@ def run_batch(
         >>> run_batch(batch, "greedy-balance").makespans.tolist()
         [2, 3]
     """
-    runtime = BatchVectorRuntime(instances, policy, tol=tol)
+    runtime = BatchVectorRuntime(
+        instances,
+        policy,
+        tol=tol,
+        compiled=compiled,
+        compact_threshold=compact_threshold,
+    )
     return runtime.run(
         objectives=objectives, max_steps=max_steps, stall_limit=stall_limit
     )

@@ -1,0 +1,73 @@
+"""Compiled execution tier: JIT-fused water-fill + step loop.
+
+An optional acceleration layer under the backends
+(:mod:`repro.backends`): numba-``@njit`` (nopython, cached)
+implementations of the hot loop -- the water-fill grant rules
+(:mod:`repro.kernels.waterfill`), and a whole-run driver that steps an
+instance from release to makespan inside one JIT region
+(:mod:`repro.kernels.driver`).  The dispatch layer
+(:mod:`repro.kernels.dispatch`) decides per run whether the fused
+driver may serve it and translates results back into the observer
+world.
+
+Numba is optional (``pip install .[compiled]``) and import-guarded in
+exactly one place (:mod:`repro.kernels._numba`); without it this
+package still imports, the kernels run interpreted, and ``"auto"``
+mode transparently keeps using the NumPy per-step paths.
+
+Example:
+    >>> from repro.kernels import NUMBA_AVAILABLE, normalize_compiled
+    >>> normalize_compiled(None)
+    'auto'
+    >>> normalize_compiled(True)
+    'on'
+    >>> isinstance(NUMBA_AVAILABLE, bool)
+    True
+"""
+
+from __future__ import annotations
+
+from ._numba import NUMBA_AVAILABLE, njit, numba_version
+from .dispatch import (
+    COMPILED_MODES,
+    CompiledDecision,
+    compiled_policy_code,
+    decide,
+    instance_tables,
+    normalize_compiled,
+    note_fallback,
+    replay_run,
+    run_fused_instance,
+)
+from .driver import (
+    STATUS_INFEASIBLE,
+    STATUS_OK,
+    STATUS_STALLED,
+    STATUS_STEP_LIMIT,
+    run_fused,
+)
+from .waterfill import fill_multi, fill_single, round_key, stable_order
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "njit",
+    "numba_version",
+    "COMPILED_MODES",
+    "CompiledDecision",
+    "compiled_policy_code",
+    "decide",
+    "instance_tables",
+    "normalize_compiled",
+    "note_fallback",
+    "replay_run",
+    "run_fused_instance",
+    "run_fused",
+    "STATUS_OK",
+    "STATUS_STEP_LIMIT",
+    "STATUS_STALLED",
+    "STATUS_INFEASIBLE",
+    "fill_single",
+    "fill_multi",
+    "round_key",
+    "stable_order",
+]

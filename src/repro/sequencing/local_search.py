@@ -87,6 +87,10 @@ class LocalSearchSequencer(Sequencer):
             acceptance sharpness for an order-of-magnitude higher
             evals/s (``benchmarks/bench_batched_evals.py`` gates the
             factor).
+        compiled: compiled-tier mode for vector-backend evaluations
+            (``"auto"``/``"on"``/``"off"`` or a boolean, see
+            :mod:`repro.kernels`); ``None`` (the default) keeps the
+            backend's own ``"auto"``.  Non-vector backends ignore it.
 
     Attributes:
         last_stats: after each :meth:`sequence` call, a dict with the
@@ -128,9 +132,11 @@ class LocalSearchSequencer(Sequencer):
         seed: int = 0,
         max_steps: int | None = None,
         batch_lanes: int = 1,
+        compiled: str | bool | None = None,
     ) -> None:
         from ..algorithms import resolve_policy  # local: avoid import cycle
         from ..backends import get_backend
+        from ..kernels import normalize_compiled
         from ..objectives import get_objective
 
         if budget < 1:
@@ -159,6 +165,9 @@ class LocalSearchSequencer(Sequencer):
         self.seed = int(seed)
         self.max_steps = max_steps
         self.batch_lanes = int(batch_lanes)
+        self.compiled = (
+            None if compiled is None else normalize_compiled(compiled)
+        )
         self.last_stats: dict[str, object] = {}
         # Per-sequence() evaluation cache and counters (reset each call).
         self._cache: dict[Instance, object] = {}
@@ -202,12 +211,19 @@ class LocalSearchSequencer(Sequencer):
     # ------------------------------------------------------------------
     def evaluate(self, instance: Instance):
         """Objective value of running the policy on one candidate order."""
+        extra = (
+            {"compiled": self.compiled}
+            if self.compiled is not None
+            and getattr(self.backend, "name", None) == "vector"
+            else {}
+        )
         result = self.backend.run(
             instance,
             self.policy,
             record_shares=False,
             max_steps=self.max_steps,
             objectives=(self.objective,),
+            **extra,
         )
         return result.objective_values[self.objective.name]
 
@@ -287,6 +303,7 @@ class LocalSearchSequencer(Sequencer):
                 objectives=(self.objective,),
                 tol=getattr(self.backend, "tol", 1e-9),
                 max_steps=max_steps,
+                compiled="auto" if self.compiled is None else self.compiled,
             )
             return result.objective_values[self.objective.name]
         return [self.evaluate(inst) for inst in insts]

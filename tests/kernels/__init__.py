@@ -1,0 +1,1 @@
+"""Tests for the compiled kernel tier (src/repro/kernels)."""

@@ -1,0 +1,54 @@
+"""Golden pinning: ``compiled="off"`` is the untouched per-step engine.
+
+The compiled tier must be strictly additive: with ``compiled="off"``
+the vector backend reproduces the pre-tier golden makespans
+(``tests/data/golden_schedules.json``), and a ``compiled="auto"`` run
+that needs per-step share rows (``record_shares=True`` forces the
+fallback) emits share rows bit-identical to an explicit ``"off"`` run.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_policy
+from repro.backends import VectorBackend
+
+from ..data.make_golden import CASES, GOLDEN_PATH
+
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+_BUILDERS = dict(CASES)
+
+
+@pytest.mark.parametrize(
+    "entry",
+    GOLDEN["entries"],
+    ids=lambda e: f"{e['case']}-{e['policy']}",
+)
+def test_compiled_off_reproduces_golden_makespans(entry):
+    instance = _BUILDERS[entry["case"]]()
+    result = VectorBackend().run(
+        instance,
+        get_policy(entry["policy"]),
+        record_shares=False,
+        compiled="off",
+    )
+    assert result.makespan == entry["vector_makespan"]
+
+
+@pytest.mark.parametrize(
+    "entry",
+    GOLDEN["entries"],
+    ids=lambda e: f"{e['case']}-{e['policy']}",
+)
+def test_auto_with_share_recording_is_bit_identical_to_off(entry):
+    instance = _BUILDERS[entry["case"]]()
+    policy = get_policy(entry["policy"])
+    backend = VectorBackend()
+    auto = backend.run(
+        instance, policy, record_shares=True, compiled="auto"
+    )
+    off = backend.run(instance, policy, record_shares=True, compiled="off")
+    assert auto.makespan == off.makespan
+    assert np.array_equal(np.asarray(auto.shares), np.asarray(off.shares))
