@@ -42,6 +42,7 @@ from ..core.kernel import (
     run_kernel,
 )
 from ..exceptions import (
+    CheckpointError,
     InfeasibleAssignmentError,
     VectorizationUnsupportedError,
 )
@@ -228,6 +229,96 @@ class VectorState:
             self._released |= newly
             self._all_released = bool(self._released.all())
 
+    def capture(self) -> dict:
+        """JSON-serializable snapshot of the mutable float64 state.
+
+        Floats survive JSON byte-exactly (``repr`` round-trips float64),
+        so :meth:`restore` is bit-identical.  The padded requirement /
+        work tables are immutable derivations of the instance and are
+        rebuilt, not captured.
+        """
+        return {
+            "t": self.t,
+            "done": [int(x) for x in self.done],
+            "remaining": [float(x) for x in self.remaining],
+            "resource_spent": [float(x) for x in self.resource_spent],
+            "released": [bool(x) for x in self._released],
+        }
+
+    def restore(self, data: dict) -> None:
+        """Overwrite this state from a :meth:`capture` payload.
+
+        As with :meth:`repro.core.state.ExecState.restore`, the payload
+        may describe fewer processors than the instance this state was
+        built over (extension restores keep the new queues' fresh
+        state); the active-job views are recomputed from the padded
+        tables in place, which preserves the ``k == 1`` aliasing of
+        ``active_req_matrix``.
+
+        Raises:
+            CheckpointError: on malformed payloads or any inconsistency
+                with the instance.
+        """
+        m = self.num_processors
+        try:
+            t = int(data["t"])
+            done = np.array([int(x) for x in data["done"]], dtype=np.int64)
+            remaining = np.array(
+                [float(x) for x in data["remaining"]], dtype=np.float64
+            )
+            spent = np.array(
+                [float(x) for x in data["resource_spent"]], dtype=np.float64
+            )
+            released = np.array(
+                [bool(x) for x in data["released"]], dtype=bool
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed vector state payload: {exc}") from exc
+        mm = int(done.shape[0])
+        if not (
+            mm == remaining.shape[0] == released.shape[0] and mm <= m
+        ):
+            raise CheckpointError(
+                f"state payload describes {mm} processors "
+                f"(remaining: {remaining.shape[0]}, released: "
+                f"{released.shape[0]}) for an instance with {m}"
+            )
+        if spent.shape[0] != self.num_resources:
+            raise CheckpointError(
+                f"resource ledger has {spent.shape[0]} entries for "
+                f"{self.num_resources} shared resource(s)"
+            )
+        if t < 0:
+            raise CheckpointError(f"negative step counter {t}")
+        nn = self.num_jobs[:mm]
+        if (done < 0).any() or (done > nn).any():
+            raise CheckpointError(
+                f"done counts {done.tolist()} out of range for queues "
+                f"of {nn.tolist()} jobs"
+            )
+        j = np.minimum(done, nn - 1)
+        idx = np.arange(mm)
+        cap = np.where(done < nn, self._work[idx, j], 0.0)
+        if (remaining < 0.0).any() or (remaining > cap).any():
+            raise CheckpointError(
+                f"remaining work {remaining.tolist()} outside [0, work] "
+                "for the active jobs"
+            )
+        self.t = t
+        self.done[:mm] = done
+        self.remaining[:mm] = remaining
+        self.resource_spent[:] = spent
+        self._released[:mm] = released
+        self._all_released = bool(self._released.all())
+        live = released & (done < nn)
+        self.active_requirements[:mm] = np.where(live, self._req[idx, j], 0.0)
+        self.active_weights[:mm] = np.where(live, self._wgt[idx, j], 0.0)
+        self.active_deadlines[:mm] = np.where(live, self._dl[idx, j], np.inf)
+        if self._reqk is not None:
+            self.active_req_matrix[:, :mm] = np.where(
+                live[None, :], self._reqk[:, idx, j], 0.0
+            )
+
     def advance(self, finished: np.ndarray) -> None:
         """Complete the active jobs of the *finished* index array.
 
@@ -263,6 +354,9 @@ class VectorRuntime(KernelRuntime):
         tol: completion / feasibility tolerance (see
             :class:`VectorBackend`).
     """
+
+    #: Checkpoint backend tag (see :mod:`repro.core.checkpoint`).
+    kind = "vector"
 
     __slots__ = ("instance", "state", "tol", "_m", "_k")
 
@@ -397,6 +491,22 @@ class VectorRuntime(KernelRuntime):
     def describe_progress(self) -> str:
         """Completed-job counts, for limit-error messages."""
         return f"vector backend, done={self.state.done.tolist()}"
+
+    def capture(self) -> dict:
+        """Serializable snapshot of the runtime's mutable state.
+
+        Carries the completion tolerance alongside the state so a
+        restored runtime reproduces the same completion decisions.
+        """
+        data = self.state.capture()
+        data["tol"] = self.tol
+        return data
+
+    def restore(self, data: dict) -> None:
+        """Overwrite the runtime's state from a :meth:`capture` payload."""
+        self.state.restore(data)
+        if "tol" in data:
+            self.tol = float(data["tol"])
 
 
 class VectorBackend(Backend):

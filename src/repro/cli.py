@@ -391,6 +391,15 @@ def build_parser() -> argparse.ArgumentParser:
         "intensity instead of the uniform 0..MAX spread",
     )
     p_batch.add_argument("--json", type=Path, help="write the result store as JSON")
+    p_batch.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache: reuse rows computed by "
+        "earlier campaigns with the same instances/policy/objective/"
+        "sequencer, compute and cache only the misses",
+    )
 
     p_cross = sub.add_parser(
         "crosscheck", help="audit vector-backend agreement with the exact backend"
@@ -491,6 +500,113 @@ def build_parser() -> argparse.ArgumentParser:
         default=Path("benchmarks") / "results",
         help="results directory (default: benchmarks/results)",
     )
+    p_bench.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless every store parses, carries rows, "
+        "and at least one renders non-empty highlights (the CI gate "
+        "against silently-empty benchmark artifacts)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the always-on scheduling service over an arrival "
+        "stream (JSONL trace or Poisson) and print the steady-state "
+        "report",
+    )
+    # dest must not collide with the telemetry --trace option below,
+    # or the trace exporter would clobber the input file on exit.
+    p_serve.add_argument(
+        "arrivals_trace",
+        nargs="?",
+        type=Path,
+        default=None,
+        metavar="trace",
+        help="JSONL arrival trace to replay (default: a seeded "
+        "Poisson stream shaped by --rate/--count/--stream-seed)",
+    )
+    p_serve.add_argument(
+        "--policy",
+        default="greedy-balance",
+        help=f"one of {available_policies()}",
+    )
+    p_serve.add_argument(
+        "--backend",
+        choices=["exact", "vector"],
+        default="vector",
+        help="kernel backend for the service runtime",
+    )
+    p_serve.add_argument(
+        "--admission",
+        default="accept-all",
+        help="admission policy (see `crsharing list`): accept-all, "
+        "utilization-cap, deadline-feasibility",
+    )
+    p_serve.add_argument(
+        "--cap",
+        type=float,
+        default=0.9,
+        help="utilization-cap: target utilization in (0, 1]",
+    )
+    p_serve.add_argument(
+        "--window",
+        type=int,
+        default=64,
+        help="utilization-cap: work-buffer size in steps",
+    )
+    p_serve.add_argument(
+        "--max-queues",
+        type=int,
+        default=8,
+        help="logical queue cap (the service's core count)",
+    )
+    p_serve.add_argument(
+        "--mode",
+        choices=["incremental", "from-scratch"],
+        default="incremental",
+        help="incremental re-scheduling (the default) or the "
+        "re-simulate-from-t=0 baseline",
+    )
+    p_serve.add_argument(
+        "--rate",
+        type=float,
+        default=1.0,
+        help="Poisson stream: arrival intensity per step",
+    )
+    p_serve.add_argument(
+        "--count",
+        type=int,
+        default=100,
+        help="Poisson stream: number of arrivals",
+    )
+    p_serve.add_argument(
+        "--stream-seed",
+        type=int,
+        default=0,
+        help="Poisson stream: RNG seed (same seed, same stream)",
+    )
+    p_serve.add_argument(
+        "--event-log",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="record the replayable event log (JSONL) to FILE",
+    )
+    p_serve.add_argument(
+        "--json", type=Path, help="write the service report as JSON"
+    )
+    _add_telemetry_args(p_serve)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="deterministically re-run a recorded service event log "
+        "and verify every admission decision",
+    )
+    p_replay.add_argument("log", type=Path, help="event log from serve --event-log")
+    p_replay.add_argument(
+        "--json", type=Path, help="write the replayed report as JSON"
+    )
+    _add_telemetry_args(p_replay)
 
     p_prof = sub.add_parser(
         "profile",
@@ -539,6 +655,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_list() -> int:
     from .objectives import available_objectives
     from .sequencing import available_sequencers
+    from .service import available_admission
 
     experiments = list(EXPERIMENTS.values())
     policies = available_policies()
@@ -563,6 +680,14 @@ def _cmd_list() -> int:
     print()
     print(f"sequencers ({len(sequencers)}):  select with `--sequencer <name>`")
     for name in sequencers:
+        print(f"  {name}")
+    print()
+    admission = available_admission()
+    print(
+        f"admission policies ({len(admission)}):  select with "
+        "`serve --admission <name>`"
+    )
+    for name in admission:
         print(f"  {name}")
     print()
     print(
@@ -785,7 +910,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         execution=args.execution,
         compiled=args.compiled,
     )
-    result = runner.run(instances)
+    if args.store is not None:
+        import time as _time
+
+        from .backends.batch import BatchResult
+        from .service import ResultStore, run_cached_campaign
+
+        store = ResultStore(args.store)
+        t0 = _time.perf_counter()
+        rows = run_cached_campaign(instances, runner, store)
+        result = BatchResult(
+            policy=runner.policy,
+            backend=runner.backend,
+            workers=runner.workers,
+            rows=rows,
+            wall_seconds=_time.perf_counter() - t0,
+            objectives=runner.objectives,
+            sequencer=runner.sequencer,
+            execution=runner.execution,
+        )
+    else:
+        result = runner.run(instances)
     summary = result.summary()
     arrivals = (
         f"poisson(rate={args.arrival_rate:g})"
@@ -827,6 +972,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"  objective {name}: mean_value={report['mean_value']:.6g} "
             f"max_value={report['max_value']:.6g} "
             f"mean_ratio={ratio_text}"
+        )
+    if args.store is not None:
+        print(
+            f"  result cache: {store.hits} hits, {store.misses} misses "
+            f"({args.store})"
         )
     if args.json:
         result.to_json(args.json)
@@ -994,15 +1144,19 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
     from .experiments.runner import format_table
 
     results: Path = args.results
+    check: bool = getattr(args, "check", False)
     paths = sorted(results.glob("BENCH_*.json"))
     if not paths:
         print(f"no BENCH_*.json stores under {results}")
         return 1
     rows = []
+    problems: list[str] = []
+    nonempty_highlights = 0
     for path in paths:
         try:
             data = _json.loads(path.read_text())
         except (OSError, ValueError) as exc:
+            problems.append(f"{path.name}: unreadable ({exc})")
             rows.append(
                 {"benchmark": path.stem, "generated_at": f"unreadable: {exc}"}
             )
@@ -1032,6 +1186,10 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
                     highlights.append(f"{key}={last[key]}")
         if data.get("verdict") is not None:
             highlights.append(f"verdict={data['verdict']}")
+        if not bench_rows:
+            problems.append(f"{path.name}: empty rows")
+        if highlights:
+            nonempty_highlights += 1
         rows.append(
             {
                 "benchmark": data.get("benchmark", path.stem),
@@ -1047,6 +1205,18 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
         )
     )
     _print_search_throughput(results)
+    if check:
+        if nonempty_highlights == 0:
+            problems.append("no store renders any highlights")
+        if problems:
+            print("\nbench-report --check FAILED:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(
+            f"\nbench-report --check OK: {len(paths)} stores, "
+            f"{nonempty_highlights} with highlights"
+        )
     return 0
 
 
@@ -1094,6 +1264,79 @@ def _print_search_throughput(results: Path) -> None:
         print("search throughput (local-search evaluation loop):")
         for line in lines:
             print(f"  {line}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Drive the scheduling service over a trace or Poisson stream."""
+    import json as _json
+
+    from .service import (
+        PoissonStream,
+        SchedulingService,
+        TraceStream,
+        get_admission,
+        write_event_log,
+    )
+
+    if args.admission == "utilization-cap":
+        admission = get_admission(
+            "utilization-cap", cap=args.cap, window=args.window
+        )
+    else:
+        admission = get_admission(args.admission)
+    if args.arrivals_trace is not None:
+        stream = TraceStream.from_path(args.arrivals_trace)
+        source = str(args.arrivals_trace)
+    else:
+        stream = PoissonStream(
+            rate=args.rate, count=args.count, seed=args.stream_seed
+        )
+        source = (
+            f"poisson(rate={args.rate:g}, count={args.count}, "
+            f"seed={args.stream_seed})"
+        )
+    service = SchedulingService(
+        policy=args.policy,
+        backend=args.backend,
+        admission=admission,
+        max_queues=args.max_queues,
+        mode=args.mode,
+    )
+    report = service.run_stream(stream)
+    print(f"serve: {source} ({len(stream)} arrivals)")
+    print(report.render())
+    if args.event_log is not None:
+        count = write_event_log(
+            service.config(), service.event_log, args.event_log
+        )
+        print(f"event log: {count} lines written to {args.event_log}")
+    if args.json is not None:
+        args.json.write_text(_json.dumps(report.to_dict(), indent=2))
+        print(f"report written to {args.json}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Re-run a recorded event log and verify it is deterministic."""
+    import json as _json
+
+    from .exceptions import ServiceError
+    from .service import read_event_log, replay_log
+
+    config, records = read_event_log(args.log)
+    arrivals = sum(1 for r in records if r.get("type") == "arrival")
+    try:
+        report, _service = replay_log(config, records)
+    except ServiceError as exc:
+        print(f"replay FAILED: {exc}")
+        return 1
+    print(f"replay: {args.log} ({arrivals} arrivals, {len(records)} events)")
+    print(report.render())
+    print("deterministic: every recorded admission decision re-derived")
+    if args.json is not None:
+        args.json.write_text(_json.dumps(report.to_dict(), indent=2))
+        print(f"report written to {args.json}")
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -1182,6 +1425,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_verify(args)
     if args.command == "bench-report":
         return _cmd_bench_report(args)
+    if args.command == "serve":
+        with _telemetry(args):
+            return _cmd_serve(args)
+    if args.command == "replay":
+        with _telemetry(args):
+            return _cmd_replay(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "demo":

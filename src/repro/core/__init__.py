@@ -7,6 +7,12 @@ normalization transforms, the scheduling hypergraph of Section 3.2,
 and the lower bounds used throughout the analysis.
 """
 
+from .checkpoint import (
+    KernelCheckpoint,
+    checkpoint_run,
+    restore_observers,
+    restore_runtime,
+)
 from .continuous import (
     FluidPiece,
     FluidSchedule,
@@ -70,6 +76,10 @@ __all__ = [
     "CompletionRecorder",
     "Component",
     "Configuration",
+    "KernelCheckpoint",
+    "checkpoint_run",
+    "restore_observers",
+    "restore_runtime",
     "ExactRuntime",
     "ExecState",
     "KernelRuntime",

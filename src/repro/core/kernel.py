@@ -192,6 +192,29 @@ class StepObserver:
     def on_finish(self, makespan: int) -> None:
         """Called once, after the last step."""
 
+    def capture_state(self) -> dict | None:
+        """JSON-serializable observer state for checkpointing.
+
+        ``None`` (the default) marks the observer as stateless: the
+        checkpoint layer (:mod:`repro.core.checkpoint`) records nothing
+        and :meth:`restore_state` is never called for it on resume.
+        Stateful observers return a plain-data dict instead and accept
+        the same dict back.
+        """
+        return None
+
+    def restore_state(self, state: dict) -> None:
+        """Restore observer state from a :meth:`capture_state` dict.
+
+        Only called with a non-``None`` captured state; the default
+        (stateless) observer rejects any payload, because receiving one
+        means the checkpoint was taken from a different observer.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} is stateless but a checkpoint "
+            "carries state for it"
+        )
+
 
 class ShareRecorder(StepObserver):
     """Record per-step share and progress rows (memory permitting).
@@ -230,6 +253,20 @@ class CompletionRecorder(StepObserver):
         """Record that *job* completed in step *t*."""
         self.completion_steps[job] = t
 
+    def capture_state(self) -> dict:
+        """Completion table as plain data (``[[i, j, t], ...]``)."""
+        return {
+            "completions": [
+                [i, j, t] for (i, j), t in self.completion_steps.items()
+            ]
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild the completion table from a captured payload."""
+        self.completion_steps = {
+            (int(i), int(j)): int(t) for i, j, t in state["completions"]
+        }
+
 
 class ObjectiveRecorder(StepObserver):
     """Accumulate a scheduling objective online during the run.
@@ -249,20 +286,39 @@ class ObjectiveRecorder(StepObserver):
         instance: the instance the run executes.
     """
 
-    __slots__ = ("objective", "value", "_accumulator")
+    __slots__ = ("objective", "value", "_accumulator", "_seen", "_instance")
 
     def __init__(self, objective, instance: Instance) -> None:
         self.objective = objective
         self.value = None
+        self._instance = instance
         self._accumulator = objective.start(instance)
+        #: Completion events in arrival order, kept so a checkpoint can
+        #: replay them into a fresh accumulator on resume (accumulators
+        #: are arbitrary objective-defined objects; their state is the
+        #: fold over this stream by construction).
+        self._seen: list[tuple["JobId", int]] = []
 
     def on_complete(self, job: "JobId", t: int) -> None:
         """Feed one completion to the objective's accumulator."""
+        self._seen.append((job, t))
         self._accumulator.complete(job, t)
 
     def on_finish(self, makespan: int) -> None:
         """Close the accumulator and publish the objective value."""
         self.value = self._accumulator.finish(makespan)
+
+    def capture_state(self) -> dict:
+        """The completion stream the accumulator has folded so far."""
+        return {"completions": [[i, j, t] for (i, j), t in self._seen]}
+
+    def restore_state(self, state: dict) -> None:
+        """Replay a captured completion stream into a fresh accumulator."""
+        self.value = None
+        self._accumulator = self.objective.start(self._instance)
+        self._seen = []
+        for i, j, t in state["completions"]:
+            self.on_complete((int(i), int(j)), int(t))
 
 
 class KernelRuntime:
@@ -328,6 +384,9 @@ class ExactRuntime(KernelRuntime):
     The reference runtime; bit-identical to the pre-kernel simulator.
     """
 
+    #: Checkpoint backend tag (see :mod:`repro.core.checkpoint`).
+    kind = "exact"
+
     __slots__ = ("instance", "state", "_m", "_k")
 
     def __init__(self, instance: Instance) -> None:
@@ -389,6 +448,14 @@ class ExactRuntime(KernelRuntime):
     def describe_progress(self) -> str:
         """Completed-job counts, for limit-error messages."""
         return f"done={self.state.done}"
+
+    def capture(self) -> dict:
+        """Serializable snapshot of the runtime's mutable state."""
+        return self.state.capture()
+
+    def restore(self, data: dict) -> None:
+        """Overwrite the runtime's state from a :meth:`capture` payload."""
+        self.state.restore(data)
 
 
 class TelemetryObserver(StepObserver):
@@ -576,11 +643,17 @@ def _kernel_loop(
     label: str,
     heartbeat_interval: int | None,
     heartbeat,
-) -> int:
+    stop=None,
+) -> int | None:
     """The one step loop (shared by the plain and instrumented paths)."""
     stalled = 0
     waited = 0
     while not runtime.all_done:
+        if stop is not None and stop(runtime):
+            # Suspended at an event boundary: the state is consistent
+            # (no partial step), on_finish is NOT dispatched, and the
+            # run can be continued bit-identically (checkpoint layer).
+            return None
         if runtime.t >= limit:
             detail = runtime.describe_progress()
             raise SimulationLimitError(
@@ -652,7 +725,8 @@ def run_kernel(
     stall_limit: int = 3,
     label: str = "policy",
     heartbeat_interval: int | None = 64,
-) -> int:
+    stop=None,
+) -> int | None:
     """Drive *policy* through *runtime* until every job is finished.
 
     Args:
@@ -678,6 +752,15 @@ def run_kernel(
             ``kernel.heartbeat`` trace event under telemetry -- every
             this-many waiting steps, so stalls are never silent.
             ``None``/``0`` disables the heartbeat.
+        stop: optional suspension predicate ``stop(runtime) -> bool``,
+            evaluated before each step.  When it returns True the loop
+            returns ``None`` *without* dispatching ``on_finish`` -- the
+            runtime sits at a clean step boundary and can be resumed
+            (same runtime, or a checkpoint restored through
+            :mod:`repro.core.checkpoint`) by calling :func:`run_kernel`
+            again; the continued run is bit-identical to an
+            uninterrupted one.  The event engine of
+            :mod:`repro.service` advances to each arrival this way.
 
     When a :class:`~repro.telemetry.TelemetrySession` is installed
     (:func:`repro.telemetry.use_session`), the run is instrumented: a
@@ -726,6 +809,7 @@ def run_kernel(
             label,
             heartbeat_interval,
             _log_heartbeat,
+            stop,
         )
 
     tracer = session.tracer
@@ -767,6 +851,10 @@ def run_kernel(
             label,
             heartbeat_interval,
             _heartbeat,
+            stop,
         )
-        span.note(makespan=makespan)
+        span.note(
+            makespan=makespan,
+            **({} if makespan is not None else {"suspended_at": runtime.t}),
+        )
     return makespan

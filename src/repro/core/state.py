@@ -21,11 +21,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Sequence
+from typing import Any, Sequence
 
+from ..exceptions import CheckpointError
 from .instance import Instance
 from .job import JobId
-from .numerics import ONE, ZERO
+from .numerics import ONE, ZERO, to_frac
 
 __all__ = ["ExecState", "StepOutcome", "Configuration"]
 
@@ -181,6 +182,92 @@ class ExecState:
     def snapshot(self) -> tuple[int, tuple[int, ...], tuple[Fraction, ...]]:
         """Hashable progress snapshot (used for stall detection)."""
         return (self.t, tuple(self.done), tuple(self.remaining))
+
+    # ------------------------------------------------------------------
+    # Snapshot / resume (the checkpoint layer, :mod:`repro.core.checkpoint`)
+    # ------------------------------------------------------------------
+    def capture(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of the mutable execution state.
+
+        Fractions are encoded as exact ``"p/q"`` strings (integers stay
+        bare-looking but round-trip through :class:`~fractions.Fraction`
+        losslessly), so :meth:`restore` reproduces the state
+        bit-identically.  The immutable instance is *not* part of the
+        payload; :class:`~repro.core.checkpoint.KernelCheckpoint`
+        carries it alongside.
+        """
+        return {
+            "t": self.t,
+            "done": list(self.done),
+            "remaining": [str(x) for x in self.remaining],
+            "resource_spent": [str(x) for x in self.resource_spent],
+            "started": sorted([i, j] for (i, j) in self._started),
+        }
+
+    def restore(self, data: dict[str, Any]) -> None:
+        """Overwrite this state from a :meth:`capture` payload.
+
+        The payload may describe *fewer* processors than this state's
+        instance (the service layer restores into an **extended**
+        instance whose new queues keep their freshly-initialized
+        state); every described processor is validated against the
+        instance this state was built over.
+
+        Raises:
+            CheckpointError: on malformed payloads or any
+                inconsistency with the instance (counts out of range,
+                remaining work exceeding the active job's work, or a
+                resource-ledger arity mismatch).
+        """
+        inst = self.instance
+        m = inst.num_processors
+        try:
+            t = int(data["t"])
+            done = [int(x) for x in data["done"]]
+            remaining = [to_frac(x) for x in data["remaining"]]
+            spent = [to_frac(x) for x in data["resource_spent"]]
+            started = {(int(i), int(j)) for i, j in data["started"]}
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed exact state payload: {exc}") from exc
+        if t < 0:
+            raise CheckpointError(f"negative step counter {t}")
+        if not len(done) == len(remaining) <= m:
+            raise CheckpointError(
+                f"state payload describes {len(done)} processors "
+                f"(remaining rows: {len(remaining)}) for an instance "
+                f"with {m}"
+            )
+        if len(spent) != inst.num_resources:
+            raise CheckpointError(
+                f"resource ledger has {len(spent)} entries for "
+                f"{inst.num_resources} shared resource(s)"
+            )
+        for i, (d, rem) in enumerate(zip(done, remaining)):
+            n_i = inst.num_jobs(i)
+            if not 0 <= d <= n_i:
+                raise CheckpointError(
+                    f"done[{i}]={d} out of range 0..{n_i}"
+                )
+            if d < n_i:
+                work = inst.job(i, d).work
+                if not ZERO <= rem <= work:
+                    raise CheckpointError(
+                        f"remaining[{i}]={rem} outside [0, {work}] for "
+                        f"active job ({i}, {d})"
+                    )
+            elif rem != ZERO:
+                raise CheckpointError(
+                    f"remaining[{i}]={rem} nonzero but processor {i} "
+                    "has finished every job"
+                )
+        for i, j in started:
+            if not (0 <= i < m and 0 <= j < inst.num_jobs(i)):
+                raise CheckpointError(f"started job ({i}, {j}) does not exist")
+        self.t = t
+        self.done[: len(done)] = done
+        self.remaining[: len(remaining)] = remaining
+        self.resource_spent = spent
+        self._started = started
 
     # ------------------------------------------------------------------
     # Step semantics

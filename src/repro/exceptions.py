@@ -22,6 +22,8 @@ __all__ = [
     "CompiledUnsupportedError",
     "UnknownPolicyError",
     "SequencingError",
+    "CheckpointError",
+    "ServiceError",
 ]
 
 
@@ -102,6 +104,24 @@ class SequencingError(ReproError):
     """The sequencing layer (:mod:`repro.sequencing`) was misused:
     unknown sequencer name, or a strategy produced queues that do not
     preserve the instance's job bag."""
+
+
+class CheckpointError(ReproError):
+    """A :class:`~repro.core.checkpoint.KernelCheckpoint` cannot be used.
+
+    Raised when a serialized checkpoint document is corrupted (digest
+    mismatch, missing keys, malformed values), carries an unsupported
+    format/version tag, or does not fit the runtime it is being
+    restored into (wrong backend kind, shape mismatch against the
+    instance, or an instance that is not a valid extension of the
+    checkpointed one).
+    """
+
+
+class ServiceError(ReproError):
+    """The scheduling service layer (:mod:`repro.service`) was misused:
+    unknown admission policy, malformed trace/event-log documents, or
+    events submitted against a closed engine."""
 
 
 class UnknownPolicyError(ReproError, KeyError):

@@ -3,6 +3,8 @@
 from .serialization import (
     instance_from_dict,
     instance_to_dict,
+    job_from_dict,
+    job_to_dict,
     load_instance,
     load_schedule,
     save_instance,
@@ -14,6 +16,8 @@ from .serialization import (
 __all__ = [
     "instance_from_dict",
     "instance_to_dict",
+    "job_from_dict",
+    "job_to_dict",
     "load_instance",
     "load_schedule",
     "save_instance",

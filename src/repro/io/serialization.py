@@ -51,6 +51,8 @@ from ..core.schedule import Schedule
 __all__ = [
     "instance_to_dict",
     "instance_from_dict",
+    "job_to_dict",
+    "job_from_dict",
     "schedule_to_dict",
     "schedule_from_dict",
     "save_instance",
@@ -107,6 +109,32 @@ def _job_out(job: Job) -> dict[str, Any]:
     if job.deadline is not None:
         doc["d"] = job.deadline
     return doc
+
+
+def job_to_dict(job: Job) -> dict[str, Any]:
+    """Lossless dict form of a single job (the per-job instance schema).
+
+    Keys: ``r`` (requirement, ``"p/q"`` string or list for ``k > 1``),
+    ``p`` (processing volume), and the optional objective annotations
+    ``w`` (weight) / ``d`` (deadline), omitted at their defaults.  Used
+    standalone by the service layer's streaming trace format
+    (:mod:`repro.service.events`).
+    """
+    return _job_out(job)
+
+
+def job_from_dict(doc: dict[str, Any]) -> Job:
+    """Inverse of :func:`job_to_dict`.
+
+    Raises:
+        ValueError: on a malformed document (missing/invalid keys).
+    """
+    if not isinstance(doc, dict):
+        raise ValueError(f"job document must be a dict, got {type(doc).__name__}")
+    try:
+        return _job_in(doc)
+    except KeyError as exc:
+        raise ValueError(f"job document missing key {exc}") from exc
 
 
 def instance_to_dict(instance: Instance) -> dict[str, Any]:

@@ -28,12 +28,45 @@ import copy
 import random
 from time import perf_counter
 
+from ..core.checkpoint import KernelCheckpoint, checkpoint_run
 from ..core.instance import Instance
 from ..core.job import Job
+from ..core.kernel import ObjectiveRecorder, StepObserver, run_kernel
 from ..exceptions import SequencingError
 from .base import Sequencer, register_sequencer
 
 __all__ = ["LocalSearchSequencer"]
+
+#: Reference checkpoints kept for prefix resume (older ones are the
+#: least likely to be the deepest valid restore point).
+_MAX_PREFIX_POINTS = 128
+
+
+class _PrefixCapture(StepObserver):
+    """Checkpoints the run at every completion boundary.
+
+    A checkpoint is only consistent once *all* of a step's completions
+    have been dispatched to the peer observers, so the capture waits
+    for the last ``on_complete`` of the step (it must be ordered after
+    the peers in the observer tuple).
+    """
+
+    def __init__(self, runtime, peers: tuple) -> None:
+        self._runtime = runtime
+        self._peers = peers
+        self._pending = 0
+        self.points: list[KernelCheckpoint] = []
+
+    def on_step(self, event) -> None:
+        """Arm the countdown with the step's completion count."""
+        self._pending = len(event.completed)
+
+    def on_complete(self, job, t) -> None:
+        """Capture a checkpoint after the step's last completion."""
+        self._pending -= 1
+        if self._pending == 0:
+            self.points.append(checkpoint_run(self._runtime, self._peers))
+
 
 #: Decorrelates the per-restart seed streams (same constant family as
 #: the campaign generators' arrival/resource/weight offsets).
@@ -91,6 +124,19 @@ class LocalSearchSequencer(Sequencer):
             (``"auto"``/``"on"``/``"off"`` or a boolean, see
             :mod:`repro.kernels`); ``None`` (the default) keeps the
             backend's own ``"auto"``.  Non-vector backends ignore it.
+        prefix_cache: resume candidate evaluations from
+            :class:`~repro.core.checkpoint.KernelCheckpoint` snapshots
+            taken along the incumbent's run, at the deepest completion
+            boundary whose per-queue progress stays strictly inside
+            the candidate's common order prefix -- neighbors differ
+            from the incumbent by one move, so most of their prefix
+            simulation is shared work.  ``None`` (the default)
+            auto-enables on the sequential vector path
+            (``batch_lanes == 1``, vector backend, vector-capable
+            policy, ``compiled != "on"``); ``True``/``False`` force
+            it.  Resumed evaluations are bit-identical to fresh ones
+            (the checkpoint layer's contract), so the search
+            trajectory does not change -- only its cost.
 
     Attributes:
         last_stats: after each :meth:`sequence` call, a dict with the
@@ -100,8 +146,12 @@ class LocalSearchSequencer(Sequencer):
             neighborhood candidates, plus ``perturbations`` --
             restart-kickoff evaluations, charged to neither), the
             memoization figures (``cache_hits`` -- evaluations served
-            from the per-call canonical-order cache -- and
-            ``kernel_runs``, the simulations actually executed), the
+            from the per-call canonical-order cache -- ``prefix_hits``
+            -- kernel runs resumed from a checkpoint at the longest
+            common order prefix instead of simulated from ``t=0`` --
+            and ``kernel_runs``, the candidate evaluations actually
+            simulated, which with the prefix cache active excludes the
+            per-promotion snapshot re-runs), the
             configured ``batch_lanes``, and the search throughput
             (``seconds`` wall time, ``evals_per_second``) -- the ORDER
             experiment and the benchmarks read these instead of
@@ -133,6 +183,7 @@ class LocalSearchSequencer(Sequencer):
         max_steps: int | None = None,
         batch_lanes: int = 1,
         compiled: str | bool | None = None,
+        prefix_cache: bool | None = None,
     ) -> None:
         from ..algorithms import resolve_policy  # local: avoid import cycle
         from ..backends import get_backend
@@ -168,11 +219,17 @@ class LocalSearchSequencer(Sequencer):
         self.compiled = (
             None if compiled is None else normalize_compiled(compiled)
         )
+        self.prefix_cache = prefix_cache
         self.last_stats: dict[str, object] = {}
         # Per-sequence() evaluation cache and counters (reset each call).
         self._cache: dict[Instance, object] = {}
         self._counts: dict[str, int] = {}
         self._step_limit: int | None = None
+        # Prefix-resume state: (incumbent queues, its checkpoints) and
+        # the capture handoff slot of the latest promotion re-run.
+        self._prefix_active = False
+        self._ref: tuple[tuple, list[KernelCheckpoint]] | None = None
+        self._promoted: tuple[tuple, list[KernelCheckpoint]] | None = None
 
     def bind(self, *, policy=None, objective=None) -> "LocalSearchSequencer":
         """Adopt the run's policy/objective for any unpinned option.
@@ -234,16 +291,207 @@ class LocalSearchSequencer(Sequencer):
         its queue contents and release times, so an instance *is* its
         canonical order key: restarts and revisited neighbors hit the
         cache instead of re-running the kernel.  The cache lives for
-        one :meth:`sequence` call.
+        one :meth:`sequence` call.  With the prefix cache active,
+        misses run through :meth:`_evaluate_prefix` (same values,
+        resumed mid-run when a checkpoint of the incumbent applies).
         """
         value = self._cache.get(instance, _MISSING)
         if value is not _MISSING:
             self._counts["cache_hits"] += 1
             return value
-        value = self.evaluate(instance)
+        if self._prefix_active:
+            value = self._evaluate_prefix(instance)
+        else:
+            value = self.evaluate(instance)
         self._counts["kernel_runs"] += 1
         self._cache[instance] = value
         return value
+
+    # ------------------------------------------------------------------
+    # Prefix-resume evaluation (checkpoints along the incumbent's run)
+    # ------------------------------------------------------------------
+    def _resolve_prefix_active(self) -> bool:
+        """Whether this :meth:`sequence` call resumes from checkpoints.
+
+        The auto default (``prefix_cache=None``) requires the
+        sequential vector path: vector backend, ``batch_lanes == 1``,
+        a vector-capable policy, and not ``compiled == "on"`` (the
+        fused driver has no mid-run observer boundaries).  An explicit
+        ``True`` on an incompatible configuration raises instead of
+        silently degrading.
+
+        Raises:
+            SequencingError: ``prefix_cache=True`` with a non-vector
+                backend, ``batch_lanes > 1``, a policy without vector
+                support, or ``compiled == "on"``.
+        """
+        vector = getattr(self.backend, "name", None) == "vector"
+        capable = getattr(self.policy, "supports_vector", False)
+        eligible = (
+            vector
+            and capable
+            and self.batch_lanes == 1
+            and self.compiled != "on"
+        )
+        if self.prefix_cache is None:
+            return eligible
+        if self.prefix_cache and not eligible:
+            reason = (
+                "a non-vector backend"
+                if not vector
+                else "a policy without vector support"
+                if not capable
+                else "batch_lanes > 1"
+                if self.batch_lanes != 1
+                else 'compiled == "on"'
+            )
+            raise SequencingError(
+                f"prefix_cache=True is incompatible with {reason}"
+            )
+        return bool(self.prefix_cache)
+
+    @staticmethod
+    def _queues_key(queues) -> tuple:
+        return tuple(tuple(q) for q in queues)
+
+    @staticmethod
+    def _prefix_bounds(ref_key: tuple, cand_key: tuple) -> list | None:
+        """Per-queue resume bounds of *cand_key* against *ref_key*.
+
+        ``None`` entries mark identical queues (no constraint); an
+        integer ``d`` means a checkpoint may only be resumed while the
+        queue has started strictly fewer than ``d`` jobs (the common
+        order prefix -- positions ``>= d`` hold different jobs).
+        Returns ``None`` overall when any queue length differs: the
+        policies see per-queue backlog counts (``jobs_remaining``), so
+        runs over different queue shapes diverge from step 0 and no
+        checkpoint transfers.
+        """
+        bounds: list[int | None] = []
+        for rq, cq in zip(ref_key, cand_key):
+            if len(rq) != len(cq):
+                return None
+            if rq == cq:
+                bounds.append(None)
+                continue
+            d = 0
+            for a, b in zip(rq, cq):
+                if a != b:
+                    break
+                d += 1
+            bounds.append(d)
+        return bounds
+
+    def _best_resume_point(self, cand_key: tuple) -> KernelCheckpoint | None:
+        """Deepest incumbent checkpoint valid for the candidate order.
+
+        Valid means every queue's started jobs (done plus the one in
+        progress) lie strictly inside the common order prefix, so the
+        captured state is exactly what the candidate's own run from
+        ``t=0`` would have produced at that boundary.
+        """
+        if self._ref is None:
+            return None
+        ref_key, points = self._ref
+        bounds = self._prefix_bounds(ref_key, cand_key)
+        if bounds is None:
+            return None
+        constrained = [
+            (i, d) for i, d in enumerate(bounds) if d is not None
+        ]
+        for point in reversed(points):
+            done = point.state["done"]
+            if all(done[i] < d for i, d in constrained):
+                return point
+        return None
+
+    def _kernel_eval(self, candidate: Instance, *, capture: bool):
+        """One direct kernel run of *candidate*, resumed if possible.
+
+        Bit-identical to :meth:`evaluate` on the vector backend: the
+        restored state is on the candidate's own trajectory (see
+        :meth:`_best_resume_point`), and the checkpoint layer pins
+        resume bit-identity.  With *capture* the run also snapshots
+        every completion boundary (for :meth:`_promote_ref`) --
+        snapshots cost :math:`O(\\text{completions})` each, so plain
+        candidate evaluations skip them.
+        """
+        from ..backends.vector import VectorRuntime  # local: builds on core
+        from ..core.simulator import default_step_limit
+
+        cand_key = self._queues_key(candidate.queues)
+        rt = VectorRuntime(candidate, tol=getattr(self.backend, "tol", 1e-9))
+        objrec = ObjectiveRecorder(self.objective, candidate)
+        point = self._best_resume_point(cand_key)
+        if point is not None:
+            rt.restore(point.state)
+            payload = point.observers[0] if point.observers else None
+            if payload is not None:
+                objrec.restore_state(payload)
+            self._counts["prefix_hits"] += 1
+        observers: tuple = (objrec,)
+        cap = None
+        if capture:
+            cap = _PrefixCapture(rt, (objrec,))
+            observers = (objrec, cap)
+        if self._step_limit is None:
+            self._step_limit = default_step_limit(candidate)
+        max_steps = (
+            self.max_steps if self.max_steps is not None else self._step_limit
+        )
+        run_kernel(
+            rt, self.policy, observers,
+            max_steps=max_steps, label="sequencer candidate",
+        )
+        if cap is not None:
+            self._promoted = (cand_key, cap.points)
+        return objrec.value
+
+    def _evaluate_prefix(self, candidate: Instance):
+        """Resumable (but snapshot-free) candidate evaluation."""
+        return self._kernel_eval(candidate, capture=False)
+
+    def _promote_ref(self, candidate: Instance) -> None:
+        """Make *candidate* (the new climb incumbent) the resume reference.
+
+        Re-runs the incumbent once with completion-boundary snapshots
+        enabled -- itself resumed from the outgoing reference, so the
+        re-run only simulates the suffix past their common prefix.
+        Promotions are rare (one per accepted move / restart kickoff)
+        while rejected neighbors dominate, so paying the snapshot cost
+        here instead of on every evaluation keeps the hot path lean.
+        Snapshots of the old reference still on the new incumbent's
+        trajectory -- started jobs strictly inside their common
+        prefix, same queue lengths -- are merged in, so the suffix-only
+        re-run does not lose its early restore points; the merged list
+        keeps the newest :data:`_MAX_PREFIX_POINTS`.
+        """
+        if not self._prefix_active:
+            return
+        key = self._queues_key(candidate.queues)
+        old = self._ref
+        if old is not None and old[0] == key:
+            return
+        self._promoted = None
+        self._kernel_eval(candidate, capture=True)
+        promoted_key, points = self._promoted
+        assert promoted_key == key
+        if old is not None:
+            bounds = self._prefix_bounds(old[0], key)
+            if bounds is not None:
+                constrained = [
+                    (i, d) for i, d in enumerate(bounds) if d is not None
+                ]
+                have = {p.t for p in points}
+                carried = [
+                    p
+                    for p in old[1]
+                    if p.t not in have
+                    and all(p.state["done"][i] < d for i, d in constrained)
+                ]
+                if carried:
+                    points = sorted(carried + points, key=lambda p: p.t)
+        self._ref = (key, points[-_MAX_PREFIX_POINTS:])
 
     def _evaluate_many(self, candidates: list[Instance]) -> list:
         """Evaluate a candidate batch, cache-aware and deduplicated.
@@ -358,16 +606,21 @@ class LocalSearchSequencer(Sequencer):
         t0 = perf_counter()
         self._cache = {}
         self._step_limit = None
+        self._ref = None
+        self._promoted = None
+        self._prefix_active = self._resolve_prefix_active()
         c = self._counts = {
             "evaluations": 0,
             "accepted": 0,
             "rejected": 0,
             "perturbations": 0,
             "cache_hits": 0,
+            "prefix_hits": 0,
             "kernel_runs": 0,
         }
         best_queues = [list(q) for q in instance.queues]
         best_value = self._evaluate_cached(instance)
+        self._promote_ref(instance)
         c["evaluations"] += 1
         initial_value = best_value
         for r in range(self.restarts):
@@ -383,6 +636,7 @@ class LocalSearchSequencer(Sequencer):
                     self._swap(current, rng)
                 candidate = instance.with_queues(current)
                 current_value = self._evaluate_cached(candidate)
+                self._promote_ref(candidate)
                 c["evaluations"] += 1
                 spent += 1
                 c["perturbations"] += 1
@@ -403,6 +657,8 @@ class LocalSearchSequencer(Sequencer):
                 "local search corrupted the job bag (internal error)"
             )
         self._cache = {}  # orders die with the call; keep no references
+        self._ref = None
+        self._promoted = None
         seconds = perf_counter() - t0
         evaluations = c["evaluations"]
         self.last_stats = {
@@ -414,6 +670,7 @@ class LocalSearchSequencer(Sequencer):
             "rejected": c["rejected"],
             "perturbations": c["perturbations"],
             "cache_hits": c["cache_hits"],
+            "prefix_hits": c["prefix_hits"],
             "kernel_runs": c["kernel_runs"],
             "batch_lanes": self.batch_lanes,
             "seconds": seconds,
@@ -426,6 +683,9 @@ class LocalSearchSequencer(Sequencer):
             session.metrics.counter("sequencer.rejected").inc(c["rejected"])
             session.metrics.counter("sequencer.cache_hits").inc(
                 c["cache_hits"]
+            )
+            session.metrics.counter("sequencer.prefix_hits").inc(
+                c["prefix_hits"]
             )
             session.tracer.complete(
                 "sequencer.search",
@@ -440,6 +700,7 @@ class LocalSearchSequencer(Sequencer):
                 accepted=c["accepted"],
                 rejected=c["rejected"],
                 cache_hits=c["cache_hits"],
+                prefix_hits=c["prefix_hits"],
                 kernel_runs=c["kernel_runs"],
                 batch_lanes=self.batch_lanes,
                 improved=improved,
@@ -480,6 +741,7 @@ class LocalSearchSequencer(Sequencer):
                 c["accepted"] += 1
                 current = trial
                 current_value = value
+                self._promote_ref(candidate)
                 if value < best_value:
                     best_queues = [list(q) for q in trial]
                     best_value = value

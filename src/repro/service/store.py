@@ -1,0 +1,185 @@
+"""Content-addressed result store and sharded cached campaigns.
+
+The store memoizes campaign rows on disk, keyed by the *content* of
+the run -- ``(instance digest, policy, objectives, sequencer,
+backend)`` hashed to one SHA-256 address -- so repeating a campaign
+(or sharing a store between campaigns) only pays for rows never
+computed before.  Hits and misses feed the telemetry counters
+``store.hits`` / ``store.misses``.
+
+:func:`run_cached_campaign` is the sharded entry point: cache lookups
+happen in the parent, only the misses fan out across the
+:class:`~repro.backends.batch.BatchRunner` worker processes, and
+fresh rows are written back before the merged, input-ordered row list
+returns.  Cached and uncached campaigns produce identical rows (the
+round-trip is pinned by ``tests/service/test_store.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from ..backends.batch import BatchRunner
+from ..core.instance import Instance
+from ..exceptions import ServiceError
+from ..io.serialization import instance_to_dict
+from ..telemetry import get_session
+
+__all__ = ["ResultStore", "instance_digest", "run_cached_campaign"]
+
+_STORE_FORMAT = "crsharing-result"
+_STORE_VERSION = 1
+
+
+def instance_digest(instance: Instance) -> str:
+    """SHA-256 over the canonical serialized form of *instance*.
+
+    Two instances digest equally iff their lossless JSON documents
+    match -- same queues, sizes, releases, weights, deadlines.
+    """
+    doc = json.dumps(
+        instance_to_dict(instance), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """A content-addressed JSON result cache on disk.
+
+    Keys are ``(instance digest, policy, objectives, sequencer,
+    backend)`` tuples; addresses shard into 256 two-hex-character
+    subdirectories to keep directories small.  Values are arbitrary
+    JSON-serializable dicts (campaign rows).
+
+    Args:
+        root: cache directory (created on first write).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def address(
+        digest: str,
+        policy: str,
+        objectives: Sequence[str] = (),
+        sequencer: str | None = None,
+        backend: str = "vector",
+    ) -> str:
+        """The SHA-256 cache address for one run key."""
+        key = json.dumps(
+            {
+                "instance": digest,
+                "policy": policy,
+                "objectives": sorted(objectives),
+                "sequencer": sequencer,
+                "backend": backend,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+    def _path(self, address: str) -> Path:
+        return self.root / address[:2] / f"{address}.json"
+
+    def get(self, address: str) -> dict[str, Any] | None:
+        """The cached row at *address*, or None; counts hit/miss.
+
+        Raises:
+            ServiceError: if the stored document is corrupted.
+        """
+        path = self._path(address)
+        if not path.exists():
+            self.misses += 1
+            self._count("store.misses")
+            return None
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            raise ServiceError(
+                f"corrupted result-store entry {path}: {exc}"
+            ) from exc
+        if (
+            not isinstance(doc, dict)
+            or doc.get("format") != _STORE_FORMAT
+            or doc.get("version") != _STORE_VERSION
+        ):
+            raise ServiceError(f"unrecognized result-store entry {path}")
+        self.hits += 1
+        self._count("store.hits")
+        return doc["row"]
+
+    def put(self, address: str, row: dict[str, Any]) -> None:
+        """Persist *row* at *address* (atomic via rename)."""
+        path = self._path(address)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"format": _STORE_FORMAT, "version": _STORE_VERSION, "row": row}
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(doc), encoding="utf-8")
+        tmp.replace(path)
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    @staticmethod
+    def _count(name: str) -> None:
+        session = get_session()
+        if session is not None:
+            session.metrics.counter(name).inc()
+
+
+def run_cached_campaign(
+    instances: Iterable[Instance],
+    runner: BatchRunner,
+    store: ResultStore,
+) -> list[dict[str, Any]]:
+    """A sharded campaign with content-addressed memoization.
+
+    Looks every instance up in *store* first; only the misses are
+    dispatched to *runner* (which shards them across its worker
+    processes), and their fresh rows are written back.  Rows return in
+    input order and are identical to an uncached
+    ``runner.run(instances)`` -- modulo the measured ``seconds`` /
+    ``worker`` fields, which describe whichever process actually
+    computed the row.
+
+    Args:
+        instances: campaign instances.
+        runner: a configured :class:`~repro.backends.batch.BatchRunner`
+            (its policy/backend/objectives/sequencer become part of
+            the cache key).
+        store: the result cache.
+
+    Returns:
+        One row dict per instance, in input order.
+    """
+    instances = list(instances)
+    addresses = [
+        store.address(
+            instance_digest(inst),
+            runner.policy,
+            runner.objectives,
+            runner.sequencer,
+            runner.backend,
+        )
+        for inst in instances
+    ]
+    rows: list[dict[str, Any] | None] = [
+        store.get(address) for address in addresses
+    ]
+    missing = [i for i, row in enumerate(rows) if row is None]
+    if missing:
+        fresh = runner.run([instances[i] for i in missing]).rows
+        for i, row in zip(missing, fresh):
+            store.put(addresses[i], row)
+            rows[i] = row
+    return rows  # type: ignore[return-value]  # all slots filled above

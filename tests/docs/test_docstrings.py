@@ -2,8 +2,8 @@
 
 CI runs ruff's pydocstyle (``D``) rules over ``src/repro/core``,
 ``src/repro/backends``, ``src/repro/kernels``,
-``src/repro/objectives``, ``src/repro/sequencing`` and
-``src/repro/telemetry`` (see
+``src/repro/objectives``, ``src/repro/sequencing``,
+``src/repro/service`` and ``src/repro/telemetry`` (see
 ``[tool.ruff]`` in pyproject.toml); this AST-based check enforces the
 presence half of those rules inside the tier-1 suite as well, so a
 missing public docstring fails fast even where ruff is not installed.
@@ -22,6 +22,7 @@ CHECKED_DIRS = (
     "kernels",
     "objectives",
     "sequencing",
+    "service",
     "telemetry",
 )
 

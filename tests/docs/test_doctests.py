@@ -26,6 +26,7 @@ DOCTEST_MODULES = [
     "repro.core.instance",
     "repro.core.job",
     "repro.core.kernel",
+    "repro.core.checkpoint",
     "repro.algorithms.base",
     "repro.algorithms.round_robin",
     "repro.algorithms.greedy_balance",
@@ -40,6 +41,7 @@ DOCTEST_MODULES = [
     "repro.objectives.flow",
     "repro.objectives.tardiness",
     "repro.generators.random_instances",
+    "repro.service.engine",
 ]
 
 

@@ -1,0 +1,1 @@
+"""Tests for the always-on scheduling service (:mod:`repro.service`)."""

@@ -1,0 +1,111 @@
+"""Admission control policies (:mod:`repro.service.admission`)."""
+
+import pytest
+
+from repro.core import Job
+from repro.exceptions import ServiceError
+from repro.service import (
+    AcceptAll,
+    AdmissionContext,
+    DeadlineFeasibility,
+    UtilizationCap,
+    available_admission,
+    get_admission,
+)
+
+
+def _ctx(job=None, *, time=0, queue_backlog=0.0, total_backlog=0.0):
+    return AdmissionContext(
+        time=time,
+        job=job if job is not None else Job("1/2"),
+        queue_index=0,
+        queue_backlog=queue_backlog,
+        total_backlog=total_backlog,
+        num_processors=4,
+    )
+
+
+class TestRegistry:
+    def test_all_policies_listed(self):
+        assert available_admission() == [
+            "accept-all",
+            "deadline-feasibility",
+            "utilization-cap",
+        ]
+
+    def test_resolves_by_name_with_options(self):
+        policy = get_admission("utilization-cap", cap=0.5, window=10)
+        assert policy.cap == 0.5
+        assert policy.window == 10
+
+    def test_passes_objects_through(self):
+        policy = AcceptAll()
+        assert get_admission(policy) is policy
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ServiceError, match="unknown admission"):
+            get_admission("no-such-policy")
+
+    def test_options_with_object_rejected(self):
+        with pytest.raises(ServiceError, match="registry name"):
+            get_admission(AcceptAll(), cap=0.5)
+
+    def test_bad_options_rejected(self):
+        with pytest.raises(ServiceError, match="bad options"):
+            get_admission("accept-all", cap=0.5)
+
+
+class TestAcceptAll:
+    def test_admits_everything(self):
+        policy = AcceptAll()
+        assert policy.admit(_ctx(total_backlog=1e9))
+        assert policy.describe() == "accept-all"
+        assert policy.options() == {}
+
+
+class TestUtilizationCap:
+    def test_admits_within_the_window(self):
+        policy = UtilizationCap(cap=0.5, window=10)
+        assert policy.admit(_ctx(Job("1/2"), total_backlog=4.0))
+
+    def test_rejects_beyond_the_window(self):
+        policy = UtilizationCap(cap=0.5, window=10)
+        assert not policy.admit(_ctx(Job("1/2"), total_backlog=4.9))
+
+    def test_boundary_is_inclusive(self):
+        policy = UtilizationCap(cap=0.5, window=10)
+        assert policy.admit(_ctx(Job("1/2"), total_backlog=4.5))
+
+    def test_describe_and_options_carry_parameters(self):
+        policy = UtilizationCap(cap=0.8, window=32)
+        assert "cap=0.8" in policy.describe()
+        assert policy.options() == {"cap": 0.8, "window": 32}
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ServiceError, match="cap"):
+            UtilizationCap(cap=1.5)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ServiceError, match="window"):
+            UtilizationCap(window=0)
+
+
+class TestDeadlineFeasibility:
+    def test_jobs_without_deadline_always_admitted(self):
+        policy = DeadlineFeasibility()
+        assert policy.admit(_ctx(Job("1/2"), queue_backlog=1e9))
+
+    def test_feasible_deadline_admitted(self):
+        # 1 full-speed step of own work + backlog 3 from time 2 = 6.
+        policy = DeadlineFeasibility()
+        ctx = _ctx(
+            Job("1/2", deadline=6), time=2, queue_backlog=3.0
+        )
+        assert policy.admit(ctx)
+
+    def test_infeasible_deadline_rejected(self):
+        policy = DeadlineFeasibility()
+        ctx = _ctx(
+            Job("1/2", deadline=5), time=2, queue_backlog=3.0
+        )
+        assert not policy.admit(ctx)

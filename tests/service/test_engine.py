@@ -1,0 +1,254 @@
+"""The event-driven scheduling engine (:mod:`repro.service.engine`)."""
+
+import pytest
+
+from repro.core import Job
+from repro.exceptions import ServiceError
+from repro.service import (
+    ArrivalEvent,
+    PoissonStream,
+    SchedulingService,
+    UtilizationCap,
+    replay_log,
+)
+from repro.telemetry import TelemetrySession, use_session
+
+BACKENDS = ("exact", "vector")
+
+
+def _stream(count=30, rate=2.0, seed=5):
+    return PoissonStream(rate=rate, count=count, seed=seed)
+
+
+class TestBasicLifecycle:
+    def test_submit_drain_report(self):
+        svc = SchedulingService(max_queues=2)
+        assert svc.submit(ArrivalEvent(0, Job("1/2")))
+        assert svc.submit(ArrivalEvent(1, Job("3/4")))
+        makespan = svc.drain()
+        assert makespan >= 1
+        report = svc.report()
+        assert report.submitted == 2
+        assert report.admitted == 2
+        assert report.completed == 2
+        assert report.dropped_events == 0
+        assert svc.closed
+
+    def test_empty_service_drains_to_zero(self):
+        svc = SchedulingService()
+        assert svc.drain() == 0
+        assert svc.report().completed == 0
+
+    def test_submit_after_drain_rejected(self):
+        svc = SchedulingService()
+        svc.drain()
+        with pytest.raises(ServiceError, match="closed"):
+            svc.submit(ArrivalEvent(0, Job("1/2")))
+
+    def test_double_drain_rejected(self):
+        svc = SchedulingService()
+        svc.drain()
+        with pytest.raises(ServiceError, match="closed"):
+            svc.drain()
+
+    def test_clock_never_rewinds(self):
+        svc = SchedulingService()
+        svc.submit(ArrivalEvent(5, Job("1/2")))
+        with pytest.raises(ServiceError, match="in order"):
+            svc.submit(ArrivalEvent(3, Job("1/2")))
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ServiceError, match="backend"):
+            SchedulingService(backend="quantum")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ServiceError, match="mode"):
+            SchedulingService(mode="psychic")
+
+    def test_bad_max_queues_rejected(self):
+        with pytest.raises(ServiceError, match="max_queues"):
+            SchedulingService(max_queues=0)
+
+
+class TestPlacement:
+    def test_grows_queues_up_to_the_cap(self):
+        svc = SchedulingService(max_queues=3)
+        for step in range(3):
+            svc.submit(ArrivalEvent(step, Job("1/2", 50)))
+        assert svc.report().num_queues == 3
+
+    def test_then_places_on_the_least_loaded_queue(self):
+        svc = SchedulingService(max_queues=2)
+        svc.submit(ArrivalEvent(0, Job("1/2", 100)))  # heavy queue 0
+        svc.submit(ArrivalEvent(0, Job("1/2")))  # opens queue 1
+        svc.submit(ArrivalEvent(0, Job("1/2")))  # lighter queue 1 wins
+        log = [r for r in svc.event_log if r["type"] == "arrival"]
+        assert [r["queue"] for r in log] == [0, 1, 1]
+
+    def test_idle_gap_fast_forwards(self):
+        svc = SchedulingService()
+        svc.submit(ArrivalEvent(0, Job("1/2")))
+        # The queue drains after a couple of steps; the next arrival
+        # far in the future must advance the clock without issue.
+        assert svc.submit(ArrivalEvent(500, Job("1/2")))
+        assert svc.clock == 500
+        svc.drain()
+        assert svc.report().completed == 2
+
+
+class TestIncrementalEqualsFromScratch:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bit_identical_completions(self, backend):
+        count = 12 if backend == "exact" else 30
+        results = {}
+        for mode in ("incremental", "from-scratch"):
+            svc = SchedulingService(
+                backend=backend, mode=mode, max_queues=4
+            )
+            svc.run_stream(_stream(count=count))
+            results[mode] = svc.completion_steps
+        assert results["incremental"] == results["from-scratch"]
+
+    def test_identical_event_logs(self):
+        logs = {}
+        for mode in ("incremental", "from-scratch"):
+            svc = SchedulingService(mode=mode, max_queues=4)
+            svc.run_stream(_stream())
+            logs[mode] = svc.event_log
+        assert logs["incremental"] == logs["from-scratch"]
+
+
+class TestAdmissionIntegration:
+    def test_utilization_cap_sheds_bursts(self):
+        svc = SchedulingService(
+            admission=UtilizationCap(cap=0.5, window=4), max_queues=2
+        )
+        decisions = [
+            svc.submit(ArrivalEvent(0, Job("1/2", 2))) for _ in range(5)
+        ]
+        assert True in decisions and False in decisions
+        report = svc.report()
+        assert report.admitted + report.rejected == report.submitted == 5
+
+    def test_deadline_feasibility_rejects_late_jobs(self):
+        svc = SchedulingService(
+            admission="deadline-feasibility", max_queues=1
+        )
+        assert svc.submit(ArrivalEvent(0, Job("1/2", 10, deadline=30)))
+        assert not svc.submit(ArrivalEvent(0, Job("1/2", deadline=2)))
+
+    def test_rejected_jobs_never_enter_the_instance(self):
+        svc = SchedulingService(
+            admission=UtilizationCap(cap=0.5, window=2), max_queues=1
+        )
+        svc.submit(ArrivalEvent(0, Job("1/2", 2)))
+        assert not svc.submit(ArrivalEvent(0, Job("1/2", 2)))
+        svc.drain()
+        assert svc.report().completed == 1
+
+
+class TestReport:
+    def test_utilization_is_a_fraction(self):
+        svc = SchedulingService(max_queues=4)
+        svc.run_stream(_stream())
+        report = svc.report()
+        assert 0.0 <= report.utilization <= 1.0
+        assert report.total_work > 0
+
+    def test_latency_percentiles_are_ordered(self):
+        svc = SchedulingService(max_queues=4)
+        svc.run_stream(_stream())
+        lat = svc.report().latency_percentiles
+        assert set(lat) == {"p50", "p90", "p99", "mean", "max"}
+        assert 0.0 <= lat["p50"] <= lat["p90"] <= lat["p99"] <= lat["max"]
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        svc = SchedulingService()
+        svc.run_stream(_stream(count=5))
+        doc = svc.report().to_dict()
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_render_mentions_the_headline_figures(self):
+        svc = SchedulingService()
+        svc.run_stream(_stream(count=5))
+        text = svc.report().render()
+        assert "utilization=" in text
+        assert "p99=" in text
+
+
+class TestEventLog:
+    def test_log_structure(self):
+        svc = SchedulingService(max_queues=2)
+        svc.run_stream(_stream(count=8))
+        log = svc.event_log
+        kinds = [r["type"] for r in log]
+        assert kinds[-1] == "drain"
+        arrivals = [r for r in log if r["type"] == "arrival"]
+        completions = [r for r in log if r["type"] == "completion"]
+        assert len(arrivals) == 8
+        assert len(completions) == 8
+        assert [r["seq"] for r in arrivals] == list(range(8))
+
+    def test_config_is_replayable(self):
+        svc = SchedulingService(
+            admission=UtilizationCap(cap=0.7, window=16), max_queues=3
+        )
+        config = svc.config()
+        assert config["admission"] == {
+            "name": "utilization-cap",
+            "options": {"cap": 0.7, "window": 16},
+        }
+
+
+class TestReplay:
+    def test_replay_reproduces_the_run(self):
+        svc = SchedulingService(
+            admission=UtilizationCap(cap=0.9, window=8), max_queues=4
+        )
+        original = svc.run_stream(_stream(count=20))
+        report, replayed = replay_log(svc.config(), svc.event_log)
+        assert report.admitted == original.admitted
+        assert report.rejected == original.rejected
+        assert report.completed == original.completed
+        assert replayed.completion_steps == svc.completion_steps
+
+    def test_diverging_decision_rejected(self):
+        svc = SchedulingService(max_queues=2)
+        svc.run_stream(_stream(count=5))
+        records = svc.event_log
+        tampered = [
+            {**r, "admitted": False} if r["type"] == "arrival" else r
+            for r in records
+        ]
+        with pytest.raises(ServiceError, match="diverged"):
+            replay_log(svc.config(), tampered)
+
+    def test_malformed_config_rejected(self):
+        with pytest.raises(ServiceError, match="malformed event-log config"):
+            replay_log({}, [])
+
+    def test_malformed_arrival_record_rejected(self):
+        config = SchedulingService().config()
+        with pytest.raises(ServiceError, match="malformed arrival"):
+            replay_log(config, [{"type": "arrival", "t": 0}])
+
+
+class TestTelemetry:
+    def test_service_metrics_are_recorded(self):
+        session = TelemetrySession(tracing=False)
+        with use_session(session):
+            svc = SchedulingService(max_queues=4)
+            svc.run_stream(_stream(count=10))
+        metrics = session.metrics
+        assert metrics.counter("service.arrivals").value == 10
+        assert metrics.counter("service.admitted").value == 10
+        assert metrics.counter("service.completions").value == 10
+
+    def test_stream_span_is_traced(self):
+        session = TelemetrySession()
+        with use_session(session):
+            SchedulingService().run_stream(_stream(count=5))
+        names = [r.name for r in session.tracer.records]
+        assert "service.stream" in names

@@ -1,0 +1,38 @@
+"""Soak smoke: sustained Poisson streaming with a clean shutdown.
+
+The CI service job runs this with ``CRSHARING_SOAK_SECONDS=30`` (the
+30-second soak); the tier-1 default keeps it to a couple of seconds so
+the ordinary test run stays fast.  Either way the invariants are the
+same: every submitted event is accounted for (zero dropped events),
+every admitted job completes, and the service shuts down cleanly.
+"""
+
+import os
+import time
+
+from repro.service import PoissonStream, SchedulingService
+
+#: Wall-clock budget for the soak loop (seconds).
+SOAK_SECONDS = float(os.environ.get("CRSHARING_SOAK_SECONDS", "2"))
+
+
+def test_soak_streaming_sessions():
+    """Run streaming sessions until the time budget is exhausted."""
+    deadline = time.monotonic() + SOAK_SECONDS
+    sessions = 0
+    while True:
+        svc = SchedulingService(
+            max_queues=8, admission="utilization-cap"
+        )
+        report = svc.run_stream(
+            PoissonStream(rate=3.0, count=100, seed=sessions)
+        )
+        assert report.dropped_events == 0
+        assert report.submitted == 100
+        assert report.admitted + report.rejected == 100
+        assert report.completed == report.admitted
+        assert svc.closed
+        sessions += 1
+        if time.monotonic() >= deadline:
+            break
+    assert sessions >= 1

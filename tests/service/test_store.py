@@ -1,0 +1,120 @@
+"""Content-addressed result store (:mod:`repro.service.store`)."""
+
+import json
+
+import pytest
+
+from repro.backends.batch import BatchRunner
+from repro.exceptions import ServiceError
+from repro.generators import bag_instance
+from repro.service import ResultStore, instance_digest, run_cached_campaign
+from repro.telemetry import TelemetrySession, use_session
+
+
+def _instances(n=4):
+    return [bag_instance(2, 3, seed=s) for s in range(n)]
+
+
+class TestInstanceDigest:
+    def test_digest_is_stable(self):
+        inst = bag_instance(2, 3, seed=0)
+        assert instance_digest(inst) == instance_digest(inst)
+
+    def test_different_instances_digest_differently(self):
+        a, b = _instances(2)
+        assert instance_digest(a) != instance_digest(b)
+
+    def test_order_changes_the_digest(self):
+        inst = bag_instance(2, 3, seed=0)
+        queues = [list(q) for q in inst.queues]
+        queues[0].reverse()
+        assert instance_digest(inst) != instance_digest(
+            inst.with_queues(queues)
+        )
+
+
+class TestResultStore:
+    def test_address_depends_on_every_key_part(self):
+        base = ResultStore.address("d", "greedy-balance", ("makespan",))
+        assert base != ResultStore.address("e", "greedy-balance", ("makespan",))
+        assert base != ResultStore.address("d", "round-robin", ("makespan",))
+        assert base != ResultStore.address("d", "greedy-balance", ())
+        assert base != ResultStore.address(
+            "d", "greedy-balance", ("makespan",), backend="exact"
+        )
+
+    def test_objective_order_does_not_matter(self):
+        a = ResultStore.address("d", "p", ("makespan", "tardiness"))
+        b = ResultStore.address("d", "p", ("tardiness", "makespan"))
+        assert a == b
+
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        address = ResultStore.address("d", "p")
+        assert store.get(address) is None
+        store.put(address, {"makespan": 7})
+        assert store.get(address) == {"makespan": 7}
+        assert store.hits == 1
+        assert store.misses == 1
+        assert len(store) == 1
+
+    def test_corrupt_entry_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        address = ResultStore.address("d", "p")
+        store.put(address, {"makespan": 7})
+        path = store._path(address)
+        path.write_text("{not json")
+        with pytest.raises(ServiceError, match="corrupted"):
+            store.get(address)
+
+    def test_unrecognized_entry_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        address = ResultStore.address("d", "p")
+        store.put(address, {"makespan": 7})
+        store._path(address).write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ServiceError, match="unrecognized"):
+            store.get(address)
+
+    def test_empty_store_has_no_entries(self, tmp_path):
+        assert len(ResultStore(tmp_path / "missing")) == 0
+
+
+class TestCachedCampaign:
+    def test_second_run_is_all_hits_with_identical_rows(self, tmp_path):
+        instances = _instances()
+        runner = BatchRunner(
+            "greedy-balance", "vector", workers=1, objectives=("makespan",)
+        )
+        store = ResultStore(tmp_path / "cache")
+        first = run_cached_campaign(instances, runner, store)
+        assert store.misses == len(instances)
+        assert store.hits == 0
+        second = run_cached_campaign(instances, runner, store)
+        assert store.hits == len(instances)
+        assert second == first
+
+    def test_partial_overlap_only_runs_the_misses(self, tmp_path):
+        instances = _instances(3)
+        runner = BatchRunner(
+            "greedy-balance", "vector", workers=1, objectives=("makespan",)
+        )
+        store = ResultStore(tmp_path / "cache")
+        run_cached_campaign(instances[:2], runner, store)
+        store.hits = store.misses = 0
+        rows = run_cached_campaign(instances, runner, store)
+        assert store.hits == 2
+        assert store.misses == 1
+        assert len(rows) == 3
+
+    def test_telemetry_counters_fill(self, tmp_path):
+        instances = _instances(2)
+        runner = BatchRunner(
+            "greedy-balance", "vector", workers=1, objectives=("makespan",)
+        )
+        store = ResultStore(tmp_path / "cache")
+        session = TelemetrySession(tracing=False)
+        with use_session(session):
+            run_cached_campaign(instances, runner, store)
+            run_cached_campaign(instances, runner, store)
+        assert session.metrics.counter("store.misses").value == 2
+        assert session.metrics.counter("store.hits").value == 2

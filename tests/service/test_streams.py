@@ -1,0 +1,73 @@
+"""Arrival streams (:mod:`repro.service.streams`)."""
+
+import pytest
+
+from repro.core import Job
+from repro.exceptions import ServiceError
+from repro.service import ArrivalEvent, PoissonStream, TraceStream
+
+
+class TestTraceStream:
+    def test_replays_events_in_order(self):
+        events = [ArrivalEvent(0, Job("1/2")), ArrivalEvent(2, Job("3/4"))]
+        stream = TraceStream(events)
+        assert list(stream) == events
+        assert len(stream) == 2
+
+    def test_is_reiterable(self):
+        stream = TraceStream([ArrivalEvent(1, Job("1/2"))])
+        assert list(stream) == list(stream)
+
+    def test_out_of_order_rejected(self):
+        events = [ArrivalEvent(3, Job("1/2")), ArrivalEvent(1, Job("1/2"))]
+        with pytest.raises(ServiceError, match="non-decreasing"):
+            TraceStream(events)
+
+    def test_from_lines_parses_the_trace_format(self):
+        stream = TraceStream.from_lines(
+            ['{"t": 0, "job": {"r": "1/2", "p": 1}}']
+        )
+        assert len(stream) == 1
+
+
+class TestPoissonStream:
+    def test_same_seed_same_events(self):
+        a = list(PoissonStream(rate=2.0, count=25, seed=7))
+        b = list(PoissonStream(rate=2.0, count=25, seed=7))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(PoissonStream(rate=2.0, count=25, seed=7))
+        b = list(PoissonStream(rate=2.0, count=25, seed=8))
+        assert a != b
+
+    def test_is_reiterable(self):
+        stream = PoissonStream(rate=1.0, count=10, seed=0)
+        assert list(stream) == list(stream)
+        assert len(stream) == 10
+
+    def test_times_are_non_decreasing(self):
+        events = list(PoissonStream(rate=3.0, count=50, seed=1))
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(t >= 0 for t in times)
+
+    def test_requirements_respect_the_grid(self):
+        stream = PoissonStream(
+            rate=1.0, count=30, seed=2, grid=10, low=2, high=5
+        )
+        for event in stream:
+            numerator = event.job.requirement * 10
+            assert 2 <= numerator <= 5
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ServiceError, match="rate"):
+            PoissonStream(rate=0.0, count=1)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ServiceError, match="count"):
+            PoissonStream(rate=1.0, count=-1)
+
+    def test_invalid_grid_range_rejected(self):
+        with pytest.raises(ServiceError, match="grid"):
+            PoissonStream(rate=1.0, count=1, low=8, high=4)

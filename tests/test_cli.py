@@ -547,3 +547,71 @@ class TestBenchReport:
             pytest.skip("no benchmark stores present")
         assert main(["bench-report", "--results", str(results)]) == 0
         assert "benchmark stores" in capsys.readouterr().out
+
+
+class TestServeAndReplay:
+    TRACE = (
+        '{"t": 0, "job": {"r": "1/2", "p": 1}}\n'
+        '{"t": 1, "job": {"r": "3/4", "p": 2}}\n'
+        '{"t": 4, "job": {"r": "1/4", "p": 1}}\n'
+    )
+
+    def test_poisson_stream_report(self, capsys):
+        assert main(["serve", "--rate", "2", "--count", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "poisson(rate=2" in out
+        assert "submitted=30" in out
+        assert "dropped=0" in out
+
+    def test_trace_replay_and_event_log(self, tmp_path, capsys):
+        trace = tmp_path / "arrivals.jsonl"
+        trace.write_text(self.TRACE)
+        log = tmp_path / "events.jsonl"
+        assert main(["serve", str(trace), "--event-log", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "(3 arrivals)" in out
+        assert log.exists()
+        assert main(["replay", str(log)]) == 0
+        assert "deterministic" in capsys.readouterr().out
+
+    def test_tampered_log_fails_replay(self, tmp_path, capsys):
+        trace = tmp_path / "arrivals.jsonl"
+        trace.write_text(self.TRACE)
+        log = tmp_path / "events.jsonl"
+        assert main(["serve", str(trace), "--event-log", str(log)]) == 0
+        capsys.readouterr()
+        tampered = log.read_text().replace(
+            '"admitted": true', '"admitted": false', 1
+        )
+        log.write_text(tampered)
+        assert main(["replay", str(log)]) == 1
+        assert "diverged" in capsys.readouterr().out
+
+    def test_telemetry_trace_does_not_clobber_the_arrival_trace(
+        self, tmp_path, capsys
+    ):
+        # The serve positional (input trace) and the telemetry --trace
+        # (output file) must stay independent argparse dests.
+        trace = tmp_path / "arrivals.jsonl"
+        trace.write_text(self.TRACE)
+        out_trace = tmp_path / "telemetry.jsonl"
+        assert main(["serve", str(trace), "--trace", str(out_trace)]) == 0
+        capsys.readouterr()
+        assert trace.read_text() == self.TRACE
+        assert out_trace.exists()
+
+    def test_json_report(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert main(
+            ["serve", "--rate", "1", "--count", "10", "--json", str(report)]
+        ) == 0
+        capsys.readouterr()
+        doc = json.loads(report.read_text())
+        assert doc["submitted"] == 10
+        assert doc["dropped_events"] == 0
+
+    def test_admission_listed(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "utilization-cap" in out
+        assert "deadline-feasibility" in out
